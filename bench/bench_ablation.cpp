@@ -1,0 +1,147 @@
+// Ablation study over the design choices DESIGN.md calls out:
+//
+//   A1. generational search bound (SAGE) on/off — without the bound every
+//       child re-negates the whole prefix, and input dedup must absorb the
+//       redundancy;
+//   A2. solver stage composition — direct inversion / exhaustive
+//       enumeration / branch-distance search, individually and combined;
+//   A3. seed quality — strict-grammar seeds vs random-byte seeds for the
+//       same engine budget (paper: "reuses existing protocol messages").
+//
+// Target: the instrumented UPDATE handler of a Gao-Rexford tier-2 router
+// with all three parser bugs injected (crash discovery doubles as a
+// usefulness metric).
+#include <cstdio>
+#include <set>
+
+#include "bench_util.hpp"
+#include "bgp/bugs.hpp"
+#include "bgp/sym_update.hpp"
+#include "bgp/topology.hpp"
+#include "concolic/engine.hpp"
+#include "fuzz/bgp_grammar.hpp"
+
+namespace {
+
+using namespace dice;
+
+struct RunOutcome {
+  concolic::EngineStats stats;
+  std::size_t distinct_bugs = 0;  ///< distinct crash reasons (max 3)
+  double wall_ms = 0;
+};
+
+RunOutcome run_engine(const bgp::RouterConfig& config, const concolic::EngineOptions& options,
+                      bool grammar_seeds) {
+  bgp::SymHandlerEnv env;
+  env.config = &config;
+  env.neighbor_index = 0;
+
+  concolic::ConcolicEngine engine(
+      [&env](concolic::SymCtx& ctx) { (void)bgp::sym_handle_update(ctx, env); }, options);
+  util::Rng rng(11);
+  if (grammar_seeds) {
+    const fuzz::BgpUpdateGrammar grammar(fuzz::BgpGrammarSeeds::from_config(config),
+                                         /*strict=*/true);
+    for (int i = 0; i < 6; ++i) engine.add_seed(grammar.generate_body(rng));
+  } else {
+    for (int i = 0; i < 6; ++i) {
+      util::Bytes seed(4 + rng.below(60));
+      for (auto& b : seed) b = rng.byte();
+      engine.add_seed(std::move(seed));
+    }
+  }
+
+  bench::Stopwatch clock;
+  const concolic::RunResult result = engine.run();
+  RunOutcome out;
+  out.stats = result.stats;
+  std::set<std::string> reasons;
+  for (const concolic::CrashInfo& crash : result.crashes) reasons.insert(crash.reason);
+  out.distinct_bugs = reasons.size();
+  out.wall_ms = clock.ms();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using bench::fmt;
+
+  std::puts("== Ablations over the concolic exploration design choices ==\n");
+
+  bgp::SystemBlueprint bp = bgp::make_internet({2, 3, 4});
+  bgp::RouterConfig config = bp.configs[3];
+  config.bug_mask = bgp::bugs::kCommunityLength | bgp::bugs::kAsPathZeroSegment |
+                    bgp::bugs::kMedOverflow;
+
+  concolic::EngineOptions base;
+  base.max_executions = 600;
+  base.max_branches_per_exec = 64;
+  base.solver.search_budget = 2500;
+  base.solver.restarts = 2;
+
+  // --- A1: generational bound ------------------------------------------------
+  {
+    std::puts("A1: generational search bound (600-execution budget)");
+    bench::Table table({"variant", "unique paths", "bugs found (of 3)", "solver queries",
+                        "wall ms"});
+    for (const bool generational : {true, false}) {
+      concolic::EngineOptions options = base;
+      options.generational = generational;
+      const RunOutcome out = run_engine(config, options, /*grammar_seeds=*/true);
+      table.row({generational ? "generational (SAGE)" : "no bound (re-negate all)",
+                 std::to_string(out.stats.unique_paths), std::to_string(out.distinct_bugs),
+                 std::to_string(out.stats.solver.queries), fmt(out.wall_ms, 1)});
+    }
+    table.print();
+    std::puts("");
+  }
+
+  // --- A2: solver stage composition -------------------------------------------
+  {
+    std::puts("A2: solver stage composition (600-execution budget)");
+    bench::Table table({"stages", "sat queries", "unique paths", "bugs found (of 3)",
+                        "wall ms"});
+    struct Stage {
+      const char* name;
+      bool inversion, exhaustive, search;
+    };
+    for (const Stage stage : {Stage{"inversion only", true, false, false},
+                              Stage{"exhaustive only", false, true, false},
+                              Stage{"search only", false, false, true},
+                              Stage{"all stages", true, true, true}}) {
+      concolic::EngineOptions options = base;
+      options.solver.enable_inversion = stage.inversion;
+      options.solver.enable_exhaustive = stage.exhaustive;
+      options.solver.enable_search = stage.search;
+      const RunOutcome out = run_engine(config, options, /*grammar_seeds=*/true);
+      table.row({stage.name, std::to_string(out.stats.solver.sat),
+                 std::to_string(out.stats.unique_paths), std::to_string(out.distinct_bugs),
+                 fmt(out.wall_ms, 1)});
+    }
+    table.print();
+    std::puts("");
+  }
+
+  // --- A3: seed quality --------------------------------------------------------
+  {
+    std::puts("A3: seed quality (600-execution budget)");
+    bench::Table table({"seeds", "unique paths", "branch points", "bugs found (of 3)",
+                        "wall ms"});
+    for (const bool grammar : {true, false}) {
+      const RunOutcome out = run_engine(config, base, grammar);
+      table.row({grammar ? "strict grammar (valid messages)" : "random bytes",
+                 std::to_string(out.stats.unique_paths),
+                 std::to_string(out.stats.branch_points), std::to_string(out.distinct_bugs),
+                 fmt(out.wall_ms, 1)});
+    }
+    table.print();
+  }
+
+  std::puts("\nexpected shape: the generational bound buys more paths per solver query;");
+  std::puts("each solver stage contributes (inversion is cheap-but-narrow, search is");
+  std::puts("broad-but-costly; the composition wins); valid seeds reach code that random");
+  std::puts("seeds never parse into.");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E2 — policy-conflict detection (BGP dispute wheel).
+//
+// §3: DiCE detects faults due to "policy conflicts". The scenario is
+// Griffin's BAD GADGET: locally sensible preferences with no global
+// fixpoint. The bench measures detection latency, shows the flip-counter
+// evidence, and runs a stable control topology (same shape, conflict-free
+// preferences) to demonstrate the checker does not false-positive.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dice/orchestrator.hpp"
+
+namespace {
+
+using namespace dice;
+
+/// Control: same wheel shape, but every node simply prefers its direct
+/// route (no dispute) — converges instantly.
+bgp::SystemBlueprint make_good_gadget() {
+  bgp::SystemBlueprint bp = bgp::make_bad_gadget();
+  for (sim::NodeId i = 1; i <= 3; ++i) {
+    for (bgp::NeighborConfig& neighbor : bp.configs[i].neighbors) {
+      for (bgp::PolicyRule& rule : neighbor.import_policy.rules) {
+        for (bgp::Action& action : rule.actions) {
+          if (action.kind == bgp::Action::Kind::kSetLocalPref) action.value = 100;
+        }
+      }
+    }
+  }
+  return bp;
+}
+
+}  // namespace
+
+int main() {
+  using bench::fmt;
+  using bench::Stopwatch;
+
+  std::puts("== E2: dispute-wheel (policy conflict) detection ==\n");
+
+  bench::Table table({"topology", "live converged", "probes to detect", "wall ms",
+                      "max flips seen", "verdict"});
+
+  for (const bool conflicted : {true, false}) {
+    bgp::SystemBlueprint blueprint = conflicted ? bgp::make_bad_gadget() : make_good_gadget();
+    core::DiceOptions options;
+    options.inputs_per_episode = 8;
+    options.clone_event_budget = 20'000;
+    options.oscillation_threshold = 8;
+    core::Orchestrator dice(std::move(blueprint), options);
+    const bool converged = dice.bootstrap(/*max_events=*/20'000);
+
+    core::GrammarStrategy strategy;
+    Stopwatch clock;
+    const std::size_t probes = dice.explore_until_fault(
+        strategy, core::FaultClass::kPolicyConflict, /*max_episodes=*/4);
+    const double elapsed = clock.ms();
+
+    std::uint32_t max_flips = 0;
+    for (std::size_t i = 0; i < dice.live().size(); ++i) {
+      for (const auto& [prefix, flips] :
+           dice.live().router(static_cast<sim::NodeId>(i)).best_flips()) {
+        max_flips = std::max(max_flips, flips);
+      }
+    }
+    table.row({conflicted ? "BAD GADGET" : "stable control", converged ? "yes" : "no",
+               probes == SIZE_MAX ? "-" : std::to_string(probes), fmt(elapsed, 1),
+               std::to_string(max_flips),
+               probes == SIZE_MAX ? (conflicted ? "MISSED" : "clean")
+                                  : (conflicted ? "conflict detected" : "FALSE POSITIVE")});
+  }
+  table.print();
+
+  std::puts("\nevidence detail (BAD GADGET episode):");
+  core::DiceOptions options;
+  options.inputs_per_episode = 4;
+  options.clone_event_budget = 20'000;
+  core::Orchestrator dice(bgp::make_bad_gadget(), options);
+  (void)dice.bootstrap(/*max_events=*/20'000);
+  core::GrammarStrategy strategy;
+  const core::EpisodeResult episode = dice.run_episode(strategy);
+  std::printf("%s", core::render_fault_table(episode.faults).c_str());
+  std::puts("\nexpected shape: conflict flagged on the first probe (non-quiescence plus");
+  std::puts("per-node oscillation counters); the stable control stays clean.");
+  return 0;
+}

@@ -1,0 +1,168 @@
+// E4 — DiCE's overhead on the live node (google-benchmark micro suite).
+//
+// §3: "Our evaluation ... demonstrates DiCE's ... low overhead". Three
+// costs matter on the live path:
+//   1. instrumentation tax: the Sym* scalar types degrade to plain integer
+//      operations when no recording context is active — UPDATE decode with
+//      the concrete codec vs the instrumented handler outside/inside a
+//      SymScope quantifies the tax and the recording cost;
+//   2. checkpoint cost vs RIB size (the "lightweight node checkpoints");
+//   3. the marker-protocol snapshot while the system is serving.
+#include <benchmark/benchmark.h>
+
+#include "bgp/codec.hpp"
+#include "bgp/sym_update.hpp"
+#include "dice/system.hpp"
+#include "fuzz/bgp_grammar.hpp"
+
+namespace {
+
+using namespace dice;
+
+[[nodiscard]] util::Bytes sample_update_message() {
+  bgp::UpdateMessage update;
+  update.attrs.origin = bgp::Origin::kIgp;
+  update.attrs.as_path = bgp::AsPath{{65001, 65002, 65003}};
+  update.attrs.next_hop = util::IpAddress{10, 0, 0, 2};
+  update.attrs.med = 50;
+  update.attrs.add_community(bgp::make_community(65001, 100));
+  update.nlri.push_back(util::IpPrefix{util::IpAddress{10, 1, 0, 0}, 16});
+  update.nlri.push_back(util::IpPrefix{util::IpAddress{10, 2, 0, 0}, 16});
+  return bgp::encode(bgp::Message{update}).value();
+}
+
+[[nodiscard]] bgp::RouterConfig handler_config() {
+  return bgp::make_internet({2, 3, 4}).configs[3];
+}
+
+/// Baseline: the plain concrete decoder (what a vanilla router runs).
+void BM_DecodeConcrete(benchmark::State& state) {
+  const util::Bytes message = sample_update_message();
+  for (auto _ : state) {
+    auto decoded = bgp::decode(message);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DecodeConcrete);
+
+/// Fair baseline for the instrumented handler: concrete decode PLUS the
+/// concrete import-policy evaluation over every NLRI entry (the handler
+/// performs both).
+void BM_DecodeAndImportConcrete(benchmark::State& state) {
+  const bgp::RouterConfig config = handler_config();
+  const bgp::Policy& policy = config.neighbors[0].import_policy;
+  const util::Bytes message = sample_update_message();
+  for (auto _ : state) {
+    auto decoded = bgp::decode(message);
+    const auto& update = std::get<bgp::UpdateMessage>(decoded.value());
+    std::size_t accepted = 0;
+    for (const util::IpPrefix& prefix : update.nlri) {
+      bgp::Route route;
+      route.prefix = prefix;
+      route.attrs = update.attrs;
+      if (bgp::evaluate(policy, std::move(route), config.asn).accepted) ++accepted;
+    }
+    benchmark::DoNotOptimize(accepted);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DecodeAndImportConcrete);
+
+/// The instrumented handler with NO active context: this is the live-node
+/// tax of shipping instrumented code (paper: negligible). Includes the
+/// same decode + import-policy work as BM_DecodeAndImportConcrete.
+void BM_DecodeInstrumentedIdle(benchmark::State& state) {
+  const bgp::RouterConfig config = handler_config();
+  bgp::SymHandlerEnv env;
+  env.config = &config;
+  const util::Bytes message = sample_update_message();
+  const auto body = bgp::unwrap_update_body(message);
+  for (auto _ : state) {
+    concolic::SymCtx ctx(*body);  // constructed but NOT activated
+    auto result = bgp::sym_handle_update(ctx, env);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DecodeInstrumentedIdle);
+
+/// The instrumented handler while recording (exploration-time cost, paid
+/// only on clones — never on the live node).
+void BM_DecodeInstrumentedRecording(benchmark::State& state) {
+  const bgp::RouterConfig config = handler_config();
+  bgp::SymHandlerEnv env;
+  env.config = &config;
+  const util::Bytes message = sample_update_message();
+  const auto body = bgp::unwrap_update_body(message);
+  for (auto _ : state) {
+    concolic::SymCtx ctx(*body);
+    concolic::SymScope scope(ctx);
+    auto result = bgp::sym_handle_update(ctx, env);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DecodeInstrumentedRecording);
+
+/// Checkpoint cost as the Loc-RIB grows (the "lightweight checkpoint").
+void BM_CheckpointVsRibSize(benchmark::State& state) {
+  const std::size_t routes = static_cast<std::size_t>(state.range(0));
+  core::System system(bgp::make_line(2));
+  system.start();
+  (void)system.converge();
+  // Feed `routes` synthetic announcements into router 0 from router 1.
+  util::Rng rng(7);
+  for (std::size_t i = 0; i < routes; ++i) {
+    bgp::UpdateMessage update;
+    update.attrs.origin = bgp::Origin::kIgp;
+    update.attrs.as_path = bgp::AsPath{{bgp::node_asn(1)}};
+    update.attrs.next_hop = bgp::node_address(1);
+    update.nlri.push_back(util::IpPrefix{
+        util::IpAddress{static_cast<std::uint32_t>((20 << 24) | (i << 8))}, 24});
+    system.inject_message(1, 0, bgp::encode(bgp::Message{update}).value());
+  }
+  (void)system.converge();
+
+  for (auto _ : state) {
+    util::ByteWriter writer;
+    system.router(0).checkpoint(writer);
+    benchmark::DoNotOptimize(writer.size());
+  }
+  state.counters["rib_routes"] =
+      static_cast<double>(system.router(0).loc_rib().size());
+  util::ByteWriter writer;
+  system.router(0).checkpoint(writer);
+  state.counters["checkpoint_bytes"] = static_cast<double>(writer.size());
+}
+BENCHMARK(BM_CheckpointVsRibSize)->Arg(10)->Arg(100)->Arg(1000)->Arg(5000);
+
+/// Consistent snapshot of a live 27-router system (marker protocol sweep).
+void BM_ConsistentSnapshot27(benchmark::State& state) {
+  core::System system(bgp::make_internet());
+  system.start();
+  (void)system.converge();
+  for (auto _ : state) {
+    auto id = system.take_snapshot(0);
+    benchmark::DoNotOptimize(id);
+    system.snapshots().trim(1);  // bounded memory across iterations
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ConsistentSnapshot27);
+
+/// End-to-end router work with instrumentation shipped but idle: full
+/// convergence of the 27-router topology (the live "serving" path).
+void BM_Converge27(benchmark::State& state) {
+  for (auto _ : state) {
+    core::System system(bgp::make_internet());
+    system.start();
+    const bool converged = system.converge();
+    benchmark::DoNotOptimize(converged);
+  }
+}
+BENCHMARK(BM_Converge27)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

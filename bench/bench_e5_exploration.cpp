@@ -1,0 +1,134 @@
+// E5 — code-path exploration effectiveness (paper §2).
+//
+// "DiCE drives exploration by using concolic execution to produce inputs
+// that systematically explore all possible paths at one node." This bench
+// plots unique paths and branch coverage of the instrumented UPDATE
+// handler against the execution budget, comparing:
+//   - concolic: generational search with solver-negated constraints;
+//   - grammar:  grammar-based fuzzing (valid-biased, no feedback);
+//   - random:   uniform random bytes (blackbox baseline).
+// Expected shape: concolic dominates both on paths per execution and on
+// branch coverage; grammar beats random by parsing deeper.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "bgp/sym_update.hpp"
+#include "bgp/topology.hpp"
+#include "concolic/engine.hpp"
+#include "fuzz/bgp_grammar.hpp"
+
+namespace {
+
+using namespace dice;
+
+struct Coverage {
+  std::uint64_t executions = 0;
+  std::uint64_t unique_paths = 0;
+  std::uint64_t branch_points = 0;
+  std::uint64_t crashes = 0;
+};
+
+/// Runs `budget` executions of the handler over inputs from `next_input`,
+/// tracking path/branch coverage the same way the engine does.
+template <typename NextInput>
+Coverage run_blackbox(const bgp::SymHandlerEnv& env, std::size_t budget,
+                      NextInput&& next_input) {
+  Coverage cov;
+  std::unordered_set<std::uint64_t> paths;
+  std::unordered_set<std::uint64_t> branches;
+  for (std::size_t i = 0; i < budget; ++i) {
+    concolic::SymCtx ctx(next_input());
+    {
+      concolic::SymScope scope(ctx);
+      try {
+        (void)bgp::sym_handle_update(ctx, env);
+      } catch (const concolic::CrashSignal&) {
+        ++cov.crashes;
+      }
+    }
+    ++cov.executions;
+    paths.insert(ctx.path().signature());
+    for (const concolic::BranchRecord& r : ctx.path().records()) {
+      branches.insert((static_cast<std::uint64_t>(r.site) << 1) | (r.taken ? 1 : 0));
+    }
+  }
+  cov.unique_paths = paths.size();
+  cov.branch_points = branches.size();
+  return cov;
+}
+
+}  // namespace
+
+int main() {
+  using bench::fmt;
+
+  std::puts("== E5: exploration effectiveness — concolic vs grammar vs random ==\n");
+
+  const bgp::SystemBlueprint bp = bgp::make_internet({2, 3, 4});
+  const bgp::RouterConfig config = bp.configs[3];
+  bgp::SymHandlerEnv env;
+  env.config = &config;
+  env.neighbor_index = 0;
+
+  bench::Table table({"budget (execs)", "strategy", "unique paths", "branch points",
+                      "paths/100 execs"});
+
+  for (const std::size_t budget : {100UL, 400UL, 1600UL}) {
+    // --- concolic ----------------------------------------------------------
+    {
+      concolic::EngineOptions options;
+      options.max_executions = static_cast<std::uint32_t>(budget);
+      // Cap negation fan-out per execution: path conditions here run to
+      // hundreds of records, and solving every suffix flip is what the
+      // full engine does offline; the bench trades a little coverage for
+      // a fast harness.
+      options.max_branches_per_exec = 64;
+      options.solver.search_budget = 2500;
+      options.solver.restarts = 2;
+      concolic::ConcolicEngine engine(
+          [&env](concolic::SymCtx& ctx) { (void)bgp::sym_handle_update(ctx, env); }, options);
+      util::Rng seed_rng(1);
+      const fuzz::BgpUpdateGrammar grammar(fuzz::BgpGrammarSeeds::from_config(config));
+      for (int i = 0; i < 6; ++i) engine.add_seed(grammar.generate_body(seed_rng));
+      const concolic::RunResult result = engine.run();
+      table.row({std::to_string(budget), "concolic",
+                 std::to_string(result.stats.unique_paths),
+                 std::to_string(result.stats.branch_points),
+                 fmt(100.0 * static_cast<double>(result.stats.unique_paths) /
+                         static_cast<double>(result.stats.executions),
+                     1)});
+    }
+    // --- grammar -----------------------------------------------------------
+    {
+      util::Rng rng(2);
+      const fuzz::BgpUpdateGrammar grammar(fuzz::BgpGrammarSeeds::from_config(config));
+      const Coverage cov = run_blackbox(env, budget, [&] {
+        return grammar.generate_body(rng, /*corruption_rate=*/0.05);
+      });
+      table.row({std::to_string(budget), "grammar", std::to_string(cov.unique_paths),
+                 std::to_string(cov.branch_points),
+                 fmt(100.0 * static_cast<double>(cov.unique_paths) /
+                         static_cast<double>(cov.executions),
+                     1)});
+    }
+    // --- random ------------------------------------------------------------
+    {
+      util::Rng rng(3);
+      const Coverage cov = run_blackbox(env, budget, [&] {
+        util::Bytes body(4 + rng.below(60));
+        for (auto& b : body) b = rng.byte();
+        return body;
+      });
+      table.row({std::to_string(budget), "random", std::to_string(cov.unique_paths),
+                 std::to_string(cov.branch_points),
+                 fmt(100.0 * static_cast<double>(cov.unique_paths) /
+                         static_cast<double>(cov.executions),
+                     1)});
+    }
+  }
+  table.print();
+  std::puts("\nexpected shape: concolic discovers the most distinct paths and branch");
+  std::puts("directions at every budget; random plateaus almost immediately (inputs");
+  std::puts("die in the first length checks).");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E6 — grammar-based fuzzing valid-input rate (paper §2 insight iii).
+//
+// "We subject the node's code to small-sized inputs, and apply grammar-
+// based fuzzing to produce a large number of valid inputs." This bench
+// measures the fraction of generated UPDATE messages the strict decoder
+// accepts, plus generation throughput, across generator configurations.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "bgp/codec.hpp"
+#include "bgp/sym_update.hpp"
+#include "bgp/topology.hpp"
+#include "fuzz/bgp_grammar.hpp"
+#include "fuzz/mutator.hpp"
+
+int main() {
+  using namespace dice;
+  using bench::fmt;
+  using bench::Stopwatch;
+
+  std::puts("== E6: valid-input rate — grammar fuzzing vs byte-level baselines ==\n");
+
+  const bgp::SystemBlueprint bp = bgp::make_internet();
+  const bgp::RouterConfig config = bp.configs[5];
+  const fuzz::BgpUpdateGrammar grammar(fuzz::BgpGrammarSeeds::from_config(config));
+  const int total = 4000;
+
+  bench::Table table({"generator", "valid %", "decode-error %", "avg bytes", "gen+decode us/input"});
+
+  const auto measure = [&](const char* name, auto&& produce) {
+    util::Rng rng(99);
+    int valid = 0;
+    std::size_t bytes = 0;
+    Stopwatch clock;
+    for (int i = 0; i < total; ++i) {
+      const util::Bytes message = produce(rng);
+      bytes += message.size();
+      try {
+        if (bgp::decode(message).ok()) ++valid;
+      } catch (const concolic::CrashSignal&) {
+        // bug-free config here; defensive
+      }
+    }
+    const double us_per = clock.ms() * 1000.0 / total;
+    table.row({name, fmt(100.0 * valid / total, 1), fmt(100.0 * (total - valid) / total, 1),
+               fmt(static_cast<double>(bytes) / total, 1), fmt(us_per, 2)});
+  };
+
+  measure("grammar (valid-biased)", [&](util::Rng& rng) {
+    return grammar.generate_message(rng, /*corruption_rate=*/0.0);
+  });
+  measure("grammar (5% corruption)", [&](util::Rng& rng) {
+    return grammar.generate_message(rng, /*corruption_rate=*/0.05);
+  });
+  measure("grammar (20% corruption)", [&](util::Rng& rng) {
+    return grammar.generate_message(rng, /*corruption_rate=*/0.20);
+  });
+  {
+    // Mutated corpus: structure-aware seeds, byte-level havoc on top.
+    util::Rng seed_rng(5);
+    std::vector<util::Bytes> corpus;
+    for (int i = 0; i < 32; ++i) corpus.push_back(grammar.generate_message(seed_rng));
+    fuzz::Mutator mutator;
+    measure("mutated grammar corpus", [&](util::Rng& rng) {
+      return mutator.mutate(corpus[rng.below(corpus.size())], rng);
+    });
+  }
+  measure("random bytes (w/ header)", [&](util::Rng& rng) {
+    util::Bytes body(4 + rng.below(60));
+    for (auto& b : body) b = rng.byte();
+    return bgp::wrap_update_body(body);  // framing given away for free
+  });
+  measure("random bytes (raw)", [&](util::Rng& rng) {
+    util::Bytes message(bgp::kHeaderLength + rng.below(60));
+    for (auto& b : message) b = rng.byte();
+    return message;
+  });
+
+  table.print();
+  std::puts("\nexpected shape: the uncorrupted grammar produces a large majority of");
+  std::puts("valid messages; corruption dials validity down smoothly; random bytes are");
+  std::puts("effectively never valid (the 16-byte marker alone defeats them).");
+  return 0;
+}

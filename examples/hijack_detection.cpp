@@ -1,0 +1,64 @@
+// Prefix-hijack detection on the paper's 27-router Internet-like topology
+// (Figure 1 scale), modeled after the 2008 YouTube / Pakistan Telecom
+// incident: a stub AS is misconfigured to originate a prefix owned by
+// another stub. DiCE detects the Multiple-Origin-AS conflict through the
+// narrow information-sharing interface — each AS publishes only hashed
+// (prefix, origin) claims, and only the legitimate owner can recognize the
+// hash of its own prefix.
+#include <cstdio>
+
+#include "dice/orchestrator.hpp"
+
+int main() {
+  using namespace dice;
+
+  bgp::SystemBlueprint blueprint = bgp::make_internet();  // 3+8+16 = 27 routers
+  const sim::NodeId victim = blueprint.node_by_name("r12");    // a stub AS
+  const sim::NodeId attacker = blueprint.node_by_name("r20");  // another stub
+
+  std::printf("topology: %zu routers (tier-1: 3, tier-2: 8, stubs: 16)\n",
+              blueprint.size());
+  const util::IpPrefix owned = bgp::node_prefix(victim);
+  const util::IpPrefix stolen{owned.address(), 24};
+  std::printf("victim:   r%u (AS%u) originates %s\n", victim, bgp::node_asn(victim),
+              owned.to_string().c_str());
+  std::printf("attacker: r%u (AS%u) misconfigured to originate the more-specific %s\n\n",
+              attacker, bgp::node_asn(attacker), stolen.to_string().c_str());
+  bgp::inject_hijack(blueprint, victim, attacker, /*more_specific=*/true);
+
+  core::DiceOptions options;
+  options.inputs_per_episode = 8;
+  core::Orchestrator dice(std::move(blueprint), options);
+  if (!dice.bootstrap()) {
+    std::puts("live system failed to converge");
+    return 1;
+  }
+
+  // How far did the hijack spread? The more-specific /24 wins by longest-
+  // prefix match wherever it propagates.
+  std::size_t poisoned = 0;
+  for (std::size_t i = 0; i < dice.live().size(); ++i) {
+    const auto* route = dice.live().router(static_cast<sim::NodeId>(i)).loc_rib().find(stolen);
+    if (route != nullptr &&
+        (route->local()
+             ? dice.live().router(static_cast<sim::NodeId>(i)).config().asn
+             : route->attrs.as_path.origin_asn().value_or(0)) == bgp::node_asn(attacker)) {
+      ++poisoned;
+    }
+  }
+  std::printf("live state: %zu/%zu routers carry the attacker's more-specific route\n\n",
+              poisoned, dice.live().size());
+
+  core::GrammarStrategy strategy;
+  const core::EpisodeResult episode = dice.run_episode(strategy);
+  std::printf("%s\n", core::render_fault_table(episode.faults).c_str());
+
+  for (const core::FaultReport& fault : episode.faults) {
+    if (fault.check == "route-origin") {
+      std::puts("hijack detected via the privacy-preserving origin check.");
+      return 0;
+    }
+  }
+  std::puts("hijack NOT detected");
+  return 1;
+}

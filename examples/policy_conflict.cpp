@@ -1,0 +1,47 @@
+// Policy-conflict detection: Griffin's BAD GADGET dispute wheel.
+//
+// Three ASes each prefer the route through their clockwise neighbor over
+// their direct route to the destination — a configuration with no stable
+// routing. Individually every AS's policy is locally sensible; the
+// conflict only exists globally, which is why the paper calls for online
+// *system-wide* exploration. DiCE flags it two ways: clones never quiesce
+// within budget, and per-prefix best-route flip counters blow past the
+// oscillation threshold.
+#include <cstdio>
+
+#include "dice/orchestrator.hpp"
+
+int main() {
+  using namespace dice;
+
+  bgp::SystemBlueprint blueprint = bgp::make_bad_gadget();
+  std::printf("BAD GADGET: destination r0 (AS%u), wheel r1-r2-r3\n", bgp::node_asn(0));
+  for (sim::NodeId i = 1; i <= 3; ++i) {
+    std::printf("  r%u prefers paths via r%u over its direct route\n", i,
+                i == 3 ? 1 : i + 1);
+  }
+
+  core::DiceOptions options;
+  options.inputs_per_episode = 4;
+  options.clone_event_budget = 20'000;
+  options.oscillation_threshold = 8;
+  core::Orchestrator dice(std::move(blueprint), options);
+
+  const bool converged = dice.bootstrap(/*max_events=*/20'000);
+  std::printf("\nlive system converged: %s (expected: no)\n", converged ? "yes" : "no");
+
+  core::GrammarStrategy strategy;
+  const core::EpisodeResult episode = dice.run_episode(strategy);
+  std::printf("clones run: %zu, non-quiescent: %zu\n\n", episode.clones_run,
+              episode.clones_non_quiescent);
+  std::printf("%s", core::render_fault_table(episode.faults).c_str());
+
+  for (const core::FaultReport& fault : episode.faults) {
+    if (fault.fault_class == core::FaultClass::kPolicyConflict) {
+      std::puts("\npolicy conflict detected.");
+      return 0;
+    }
+  }
+  std::puts("\npolicy conflict NOT detected");
+  return 1;
+}

@@ -1,0 +1,45 @@
+#include "bgp/attr.hpp"
+
+#include <algorithm>
+
+namespace dice::bgp {
+
+bool PathAttributes::has_community(Community c) const noexcept {
+  return std::binary_search(communities.begin(), communities.end(), c);
+}
+
+void PathAttributes::add_community(Community c) {
+  auto it = std::lower_bound(communities.begin(), communities.end(), c);
+  if (it == communities.end() || *it != c) communities.insert(it, c);
+}
+
+void PathAttributes::remove_community(Community c) {
+  auto it = std::lower_bound(communities.begin(), communities.end(), c);
+  if (it != communities.end() && *it == c) communities.erase(it);
+}
+
+std::string PathAttributes::to_string() const {
+  std::string out = "origin=";
+  out.append(bgp::to_string(origin));
+  out.append(" as_path=[").append(as_path.to_string()).append("]");
+  out.append(" next_hop=").append(next_hop.to_string());
+  if (med) out.append(" med=").append(std::to_string(*med));
+  if (local_pref) out.append(" local_pref=").append(std::to_string(*local_pref));
+  if (atomic_aggregate) out.append(" atomic_aggregate");
+  if (aggregator) {
+    out.append(" aggregator=")
+        .append(std::to_string(aggregator->asn))
+        .append("@")
+        .append(aggregator->address.to_string());
+  }
+  if (!communities.empty()) {
+    out.append(" communities=");
+    for (std::size_t i = 0; i < communities.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      out.append(community_to_string(communities[i]));
+    }
+  }
+  return out;
+}
+
+}  // namespace dice::bgp

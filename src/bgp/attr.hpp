@@ -1,0 +1,61 @@
+// Parsed path attributes of a BGP route (RFC 4271 §5, RFC 1997).
+// Unknown optional-transitive attributes are preserved byte-for-byte so the
+// router forwards them per the transitivity rules (§5 last paragraph).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/types.hpp"
+#include "util/ip.hpp"
+
+namespace dice::bgp {
+
+struct Aggregator {
+  Asn asn = 0;
+  util::IpAddress address;
+  bool operator==(const Aggregator&) const = default;
+};
+
+/// An attribute the local implementation does not recognize, carried
+/// opaquely when transitive (with the Partial bit set on re-advertisement).
+struct UnknownAttr {
+  std::uint8_t flags = 0;
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> value;
+  bool operator==(const UnknownAttr&) const = default;
+};
+
+struct PathAttributes {
+  Origin origin = Origin::kIncomplete;
+  AsPath as_path;
+  util::IpAddress next_hop;
+  std::optional<std::uint32_t> med;
+  std::optional<std::uint32_t> local_pref;
+  bool atomic_aggregate = false;
+  std::optional<Aggregator> aggregator;
+  std::vector<Community> communities;  // kept sorted for canonical equality
+  std::vector<UnknownAttr> unknown;
+
+  [[nodiscard]] bool has_community(Community c) const noexcept;
+  void add_community(Community c);
+  void remove_community(Community c);
+
+  /// Effective LOCAL_PREF for route selection (RFC default when absent).
+  [[nodiscard]] std::uint32_t effective_local_pref() const noexcept {
+    return local_pref.value_or(kDefaultLocalPref);
+  }
+  /// Effective MED: missing MED compares as the lowest (best) value 0 by
+  /// default; kept explicit so tests can exercise both conventions.
+  [[nodiscard]] std::uint32_t effective_med() const noexcept { return med.value_or(0); }
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const PathAttributes&) const = default;
+
+  static constexpr std::uint32_t kDefaultLocalPref = 100;
+};
+
+}  // namespace dice::bgp

@@ -1,0 +1,35 @@
+// Injectable programming errors for the paper's third fault class.
+//
+// The DiCE paper detects "faults that can occur due to programming errors"
+// in the BIRD UPDATE-handling code. Since our substrate is written from
+// scratch, reproducible bugs are *injected* behind a per-router mask: with
+// a bit clear the code handles the input correctly (rejects it with the
+// RFC-prescribed NOTIFICATION); with the bit set the faulty code path runs
+// and raises concolic::CrashSignal — which is what the engine hunts for in
+// bench_e3_program_error. Each bug mirrors a realistic parser defect.
+#pragma once
+
+#include <cstdint>
+
+namespace dice::bgp {
+
+namespace bugs {
+
+/// COMMUNITY attribute length not a multiple of 4 triggers a simulated
+/// out-of-bounds read instead of AttributeLengthError.
+inline constexpr std::uint32_t kCommunityLength = 1u << 0;
+
+/// AS_PATH segment with a zero ASN count trips a loop guard instead of
+/// MalformedAsPath (a classic never-advances parsing loop).
+inline constexpr std::uint32_t kAsPathZeroSegment = 1u << 1;
+
+/// MED of 0xffffffff overflows a preference computation (+1 wraps to 0).
+inline constexpr std::uint32_t kMedOverflow = 1u << 2;
+
+}  // namespace bugs
+
+struct DecodeOptions {
+  std::uint32_t bug_mask = 0;
+};
+
+}  // namespace dice::bgp

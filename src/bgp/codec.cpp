@@ -1,0 +1,552 @@
+#include "bgp/codec.hpp"
+
+#include <algorithm>
+
+#include "concolic/context.hpp"
+#include "util/strings.hpp"
+
+namespace dice::bgp {
+
+namespace {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::Bytes;
+using util::Error;
+using util::make_error;
+using util::Result;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+void write_attr_header(ByteWriter& w, std::uint8_t flags, AttrType type,
+                       std::size_t length) {
+  if (length > 0xff) flags |= attr_flags::kExtendedLength;
+  w.u8(flags);
+  w.u8(static_cast<std::uint8_t>(type));
+  if ((flags & attr_flags::kExtendedLength) != 0) {
+    w.u16(static_cast<std::uint16_t>(length));
+  } else {
+    w.u8(static_cast<std::uint8_t>(length));
+  }
+}
+
+void encode_as_path(ByteWriter& w, const AsPath& path) {
+  ByteWriter body;
+  for (const AsSegment& seg : path.segments()) {
+    body.u8(static_cast<std::uint8_t>(seg.type));
+    body.u8(static_cast<std::uint8_t>(seg.asns.size()));
+    for (Asn asn : seg.asns) body.u16(static_cast<std::uint16_t>(asn));
+  }
+  write_attr_header(w, attr_flags::kTransitive, AttrType::kAsPath, body.size());
+  w.raw(body.span());
+}
+
+void encode_open(ByteWriter& w, const OpenMessage& m) {
+  w.u8(m.version);
+  w.u16(m.my_asn);
+  w.u16(m.hold_time);
+  w.u32(m.router_id);
+  w.u8(static_cast<std::uint8_t>(m.opt_params.size()));
+  w.raw(m.opt_params);
+}
+
+void encode_update(ByteWriter& w, const UpdateMessage& m) {
+  ByteWriter withdrawn;
+  for (const util::IpPrefix& p : m.withdrawn) encode_prefix(withdrawn, p);
+  w.u16(static_cast<std::uint16_t>(withdrawn.size()));
+  w.raw(withdrawn.span());
+
+  ByteWriter attrs;
+  if (m.announces()) encode_attributes(attrs, m.attrs);
+  w.u16(static_cast<std::uint16_t>(attrs.size()));
+  w.raw(attrs.span());
+
+  for (const util::IpPrefix& p : m.nlri) encode_prefix(w, p);
+}
+
+void encode_notification(ByteWriter& w, const NotificationMessage& m) {
+  w.u8(static_cast<std::uint8_t>(m.code));
+  w.u8(m.subcode);
+  w.raw(m.data);
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+Result<OpenMessage> decode_open(ByteReader& r) {
+  OpenMessage m;
+  auto version = r.u8();
+  if (!version) return make_error("bgp.open.truncated");
+  m.version = version.value();
+  if (m.version != 4) return make_error("bgp.open.unsupported_version");
+  auto asn = r.u16();
+  if (!asn) return make_error("bgp.open.truncated");
+  m.my_asn = asn.value();
+  if (m.my_asn == 0) return make_error("bgp.open.bad_peer_as");
+  auto hold = r.u16();
+  if (!hold) return make_error("bgp.open.truncated");
+  m.hold_time = hold.value();
+  // §4.2: hold time MUST be zero or at least three seconds.
+  if (m.hold_time == 1 || m.hold_time == 2) return make_error("bgp.open.unacceptable_hold_time");
+  auto id = r.u32();
+  if (!id) return make_error("bgp.open.truncated");
+  m.router_id = id.value();
+  if (m.router_id == 0) return make_error("bgp.open.bad_bgp_identifier");
+  auto opt_len = r.u8();
+  if (!opt_len) return make_error("bgp.open.truncated");
+  auto params = r.raw(opt_len.value());
+  if (!params) return make_error("bgp.open.truncated");
+  m.opt_params.assign(params.value().begin(), params.value().end());
+  if (!r.exhausted()) return make_error("bgp.open.trailing_bytes");
+  return m;
+}
+
+Result<AsPath> decode_as_path(std::span<const std::uint8_t> data, const DecodeOptions& options) {
+  ByteReader r(data);
+  AsPath path;
+  while (!r.exhausted()) {
+    auto type = r.u8();
+    auto count = r.u8();
+    if (!type || !count) return make_error("bgp.update.malformed_as_path", "segment header");
+    if (type.value() != static_cast<std::uint8_t>(AsSegmentType::kSet) &&
+        type.value() != static_cast<std::uint8_t>(AsSegmentType::kSequence)) {
+      return make_error("bgp.update.malformed_as_path", "segment type");
+    }
+    if (count.value() == 0) {
+      if ((options.bug_mask & bugs::kAsPathZeroSegment) != 0) {
+        // Injected defect: the parsing loop would never advance past a
+        // zero-count segment; the loop guard fires instead of the RFC error.
+        throw concolic::CrashSignal{"bug.aspath_zero_segment: parser loop stuck", {}};
+      }
+      return make_error("bgp.update.malformed_as_path", "empty segment");
+    }
+    AsSegment seg;
+    seg.type = static_cast<AsSegmentType>(type.value());
+    seg.asns.reserve(count.value());
+    for (std::uint8_t i = 0; i < count.value(); ++i) {
+      auto asn = r.u16();
+      if (!asn) return make_error("bgp.update.malformed_as_path", "truncated asns");
+      seg.asns.push_back(asn.value());
+    }
+    path.segments().push_back(std::move(seg));
+  }
+  return path;
+}
+
+struct AttrSection {
+  PathAttributes attrs;
+  bool saw_origin = false;
+  bool saw_as_path = false;
+  bool saw_next_hop = false;
+};
+
+Result<AttrSection> decode_attributes(std::span<const std::uint8_t> data,
+                                      const DecodeOptions& options) {
+  AttrSection out;
+  ByteReader r(data);
+  bool seen[256] = {};
+  while (!r.exhausted()) {
+    auto flags_r = r.u8();
+    auto type_r = r.u8();
+    if (!flags_r || !type_r) return make_error("bgp.update.malformed_attribute_list", "header");
+    const std::uint8_t flags = flags_r.value();
+    const std::uint8_t type = type_r.value();
+
+    std::size_t length = 0;
+    if ((flags & attr_flags::kExtendedLength) != 0) {
+      auto len = r.u16();
+      if (!len) return make_error("bgp.update.malformed_attribute_list", "ext length");
+      length = len.value();
+    } else {
+      auto len = r.u8();
+      if (!len) return make_error("bgp.update.malformed_attribute_list", "length");
+      length = len.value();
+    }
+    auto value_r = r.raw(length);
+    if (!value_r) return make_error("bgp.update.attribute_length", "value truncated");
+    const std::span<const std::uint8_t> value = value_r.value();
+
+    if (seen[type]) {
+      return make_error("bgp.update.malformed_attribute_list",
+                        util::format("duplicate attribute %u", type));
+    }
+    seen[type] = true;
+
+    const bool optional = (flags & attr_flags::kOptional) != 0;
+    const bool transitive = (flags & attr_flags::kTransitive) != 0;
+    const bool partial = (flags & attr_flags::kPartial) != 0;
+
+    const auto check_well_known = [&]() -> util::Status {
+      // §6.3: well-known attributes must have optional=0, transitive=1,
+      // partial=0.
+      if (optional || !transitive || partial) {
+        return make_error("bgp.update.attribute_flags",
+                          util::format("attr %u flags 0x%02x", type, flags));
+      }
+      return util::Status::success();
+    };
+    const auto check_length = [&](std::size_t want) -> util::Status {
+      if (value.size() != want) {
+        return make_error("bgp.update.attribute_length",
+                          util::format("attr %u len %zu", type, value.size()));
+      }
+      return util::Status::success();
+    };
+
+    switch (static_cast<AttrType>(type)) {
+      case AttrType::kOrigin: {
+        if (auto s = check_well_known(); !s) return s.error();
+        if (auto s = check_length(1); !s) return s.error();
+        if (value[0] > 2) return make_error("bgp.update.invalid_origin");
+        out.attrs.origin = static_cast<Origin>(value[0]);
+        out.saw_origin = true;
+        break;
+      }
+      case AttrType::kAsPath: {
+        if (auto s = check_well_known(); !s) return s.error();
+        auto path = decode_as_path(value, options);
+        if (!path) return path.error();
+        out.attrs.as_path = std::move(path).take();
+        out.saw_as_path = true;
+        break;
+      }
+      case AttrType::kNextHop: {
+        if (auto s = check_well_known(); !s) return s.error();
+        if (auto s = check_length(4); !s) return s.error();
+        const std::uint32_t ip = (static_cast<std::uint32_t>(value[0]) << 24) |
+                                 (static_cast<std::uint32_t>(value[1]) << 16) |
+                                 (static_cast<std::uint32_t>(value[2]) << 8) | value[3];
+        if (ip == 0 || ip == 0xffffffffU) return make_error("bgp.update.invalid_next_hop");
+        out.attrs.next_hop = util::IpAddress{ip};
+        out.saw_next_hop = true;
+        break;
+      }
+      case AttrType::kMed: {
+        if (!optional || transitive) {
+          return make_error("bgp.update.attribute_flags", "MED must be optional non-transitive");
+        }
+        if (auto s = check_length(4); !s) return s.error();
+        const std::uint32_t med = (static_cast<std::uint32_t>(value[0]) << 24) |
+                                  (static_cast<std::uint32_t>(value[1]) << 16) |
+                                  (static_cast<std::uint32_t>(value[2]) << 8) | value[3];
+        if (med == 0xffffffffU && (options.bug_mask & bugs::kMedOverflow) != 0) {
+          // Injected defect: a downstream preference computation does
+          // `med + 1` and wraps, corrupting route ranking.
+          throw concolic::CrashSignal{"bug.med_overflow: med+1 wrapped to 0", {}};
+        }
+        out.attrs.med = med;
+        break;
+      }
+      case AttrType::kLocalPref: {
+        if (auto s = check_well_known(); !s) return s.error();
+        if (auto s = check_length(4); !s) return s.error();
+        out.attrs.local_pref = (static_cast<std::uint32_t>(value[0]) << 24) |
+                               (static_cast<std::uint32_t>(value[1]) << 16) |
+                               (static_cast<std::uint32_t>(value[2]) << 8) | value[3];
+        break;
+      }
+      case AttrType::kAtomicAggregate: {
+        if (auto s = check_well_known(); !s) return s.error();
+        if (auto s = check_length(0); !s) return s.error();
+        out.attrs.atomic_aggregate = true;
+        break;
+      }
+      case AttrType::kAggregator: {
+        if (!optional || !transitive) {
+          return make_error("bgp.update.attribute_flags", "AGGREGATOR must be optional transitive");
+        }
+        if (auto s = check_length(6); !s) return s.error();
+        Aggregator agg;
+        agg.asn = (static_cast<std::uint32_t>(value[0]) << 8) | value[1];
+        agg.address = util::IpAddress{(static_cast<std::uint32_t>(value[2]) << 24) |
+                                      (static_cast<std::uint32_t>(value[3]) << 16) |
+                                      (static_cast<std::uint32_t>(value[4]) << 8) | value[5]};
+        out.attrs.aggregator = agg;
+        break;
+      }
+      case AttrType::kCommunity: {
+        if (!optional || !transitive) {
+          return make_error("bgp.update.attribute_flags", "COMMUNITY must be optional transitive");
+        }
+        if (value.size() % 4 != 0) {
+          if ((options.bug_mask & bugs::kCommunityLength) != 0) {
+            // Injected defect: the loop below would read past the end of
+            // the value buffer on a truncated final community.
+            throw concolic::CrashSignal{"bug.community_length: out-of-bounds read", {}};
+          }
+          return make_error("bgp.update.attribute_length", "COMMUNITY not multiple of 4");
+        }
+        for (std::size_t i = 0; i < value.size(); i += 4) {
+          out.attrs.add_community((static_cast<std::uint32_t>(value[i]) << 24) |
+                                  (static_cast<std::uint32_t>(value[i + 1]) << 16) |
+                                  (static_cast<std::uint32_t>(value[i + 2]) << 8) |
+                                  value[i + 3]);
+        }
+        break;
+      }
+      default: {
+        if (!optional) {
+          // §6.3: unrecognized well-known attribute.
+          return make_error("bgp.update.unrecognized_well_known",
+                            util::format("attr %u", type));
+        }
+        if (transitive) {
+          UnknownAttr ua;
+          ua.flags = flags | attr_flags::kPartial;  // §5: mark partial on pass-through
+          ua.type = type;
+          ua.value.assign(value.begin(), value.end());
+          out.attrs.unknown.push_back(std::move(ua));
+        }
+        // Unrecognized optional non-transitive attributes are quietly ignored.
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<UpdateMessage> decode_update(ByteReader& r, const DecodeOptions& options) {
+  UpdateMessage m;
+  auto withdrawn_len = r.u16();
+  if (!withdrawn_len) return make_error("bgp.update.malformed_attribute_list", "withdrawn len");
+  auto withdrawn_bytes = r.raw(withdrawn_len.value());
+  if (!withdrawn_bytes) {
+    return make_error("bgp.update.malformed_attribute_list", "withdrawn section");
+  }
+  {
+    ByteReader wr(withdrawn_bytes.value());
+    while (!wr.exhausted()) {
+      auto prefix = decode_prefix(wr);
+      if (!prefix) return prefix.error();
+      m.withdrawn.push_back(prefix.value());
+    }
+  }
+
+  auto attr_len = r.u16();
+  if (!attr_len) return make_error("bgp.update.malformed_attribute_list", "attr len");
+  auto attr_bytes = r.raw(attr_len.value());
+  if (!attr_bytes) return make_error("bgp.update.malformed_attribute_list", "attr section");
+
+  auto section = decode_attributes(attr_bytes.value(), options);
+  if (!section) return section.error();
+
+  while (!r.exhausted()) {
+    auto prefix = decode_prefix(r);
+    if (!prefix) return prefix.error();
+    m.nlri.push_back(prefix.value());
+  }
+
+  if (!m.nlri.empty()) {
+    // §6.3: mandatory attributes required when NLRI present.
+    if (!section.value().saw_origin || !section.value().saw_as_path ||
+        !section.value().saw_next_hop) {
+      return make_error("bgp.update.missing_well_known", "ORIGIN/AS_PATH/NEXT_HOP");
+    }
+    m.attrs = std::move(section.value().attrs);
+  }
+  // Attributes without NLRI carry no meaning (§3.1) — the attribute section
+  // was still validated above, but the canonical decoded form drops it so
+  // decode(encode(decode(x))) is stable.
+  return m;
+}
+
+Result<NotificationMessage> decode_notification(ByteReader& r) {
+  NotificationMessage m;
+  auto code = r.u8();
+  auto subcode = r.u8();
+  if (!code || !subcode) return make_error("bgp.notification.truncated");
+  if (code.value() < 1 || code.value() > 6) return make_error("bgp.notification.bad_code");
+  m.code = static_cast<NotifCode>(code.value());
+  m.subcode = subcode.value();
+  auto rest = r.raw(r.remaining());
+  m.data.assign(rest.value().begin(), rest.value().end());
+  return m;
+}
+
+}  // namespace
+
+void encode_prefix(ByteWriter& writer, const util::IpPrefix& prefix) {
+  writer.u8(prefix.length());
+  const std::uint32_t bits = prefix.address().value();
+  const std::size_t bytes = (prefix.length() + 7) / 8;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    writer.u8(static_cast<std::uint8_t>(bits >> (24 - 8 * i)));
+  }
+}
+
+Result<util::IpPrefix> decode_prefix(ByteReader& reader) {
+  auto len = reader.u8();
+  if (!len) return make_error("bgp.update.invalid_network_field", "missing length");
+  if (len.value() > 32) {
+    return make_error("bgp.update.invalid_network_field",
+                      util::format("prefix length %u", len.value()));
+  }
+  const std::size_t bytes = (len.value() + 7) / 8;
+  auto body = reader.raw(bytes);
+  if (!body) return make_error("bgp.update.invalid_network_field", "truncated prefix");
+  std::uint32_t bits = 0;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    bits |= static_cast<std::uint32_t>(body.value()[i]) << (24 - 8 * i);
+  }
+  return util::IpPrefix{util::IpAddress{bits}, len.value()};
+}
+
+void encode_attributes(ByteWriter& writer, const PathAttributes& attrs) {
+  {  // ORIGIN
+    write_attr_header(writer, attr_flags::kTransitive, AttrType::kOrigin, 1);
+    writer.u8(static_cast<std::uint8_t>(attrs.origin));
+  }
+  encode_as_path(writer, attrs.as_path);
+  {  // NEXT_HOP
+    write_attr_header(writer, attr_flags::kTransitive, AttrType::kNextHop, 4);
+    writer.u32(attrs.next_hop.value());
+  }
+  if (attrs.med) {
+    write_attr_header(writer, attr_flags::kOptional, AttrType::kMed, 4);
+    writer.u32(*attrs.med);
+  }
+  if (attrs.local_pref) {
+    write_attr_header(writer, attr_flags::kTransitive, AttrType::kLocalPref, 4);
+    writer.u32(*attrs.local_pref);
+  }
+  if (attrs.atomic_aggregate) {
+    write_attr_header(writer, attr_flags::kTransitive, AttrType::kAtomicAggregate, 0);
+  }
+  if (attrs.aggregator) {
+    write_attr_header(writer, attr_flags::kOptional | attr_flags::kTransitive,
+                      AttrType::kAggregator, 6);
+    writer.u16(static_cast<std::uint16_t>(attrs.aggregator->asn));
+    writer.u32(attrs.aggregator->address.value());
+  }
+  if (!attrs.communities.empty()) {
+    write_attr_header(writer, attr_flags::kOptional | attr_flags::kTransitive,
+                      AttrType::kCommunity, attrs.communities.size() * 4);
+    for (Community c : attrs.communities) writer.u32(c);
+  }
+  for (const UnknownAttr& ua : attrs.unknown) {
+    write_attr_header(writer, ua.flags, static_cast<AttrType>(ua.type), ua.value.size());
+    writer.raw(ua.value);
+  }
+}
+
+Result<Bytes> encode(const Message& msg) {
+  ByteWriter w(64);
+  for (std::size_t i = 0; i < kMarkerLength; ++i) w.u8(0xff);
+  const std::size_t length_at = w.placeholder(2);
+  w.u8(static_cast<std::uint8_t>(type_of(msg)));
+
+  struct Visitor {
+    ByteWriter& w;
+    void operator()(const OpenMessage& m) const { encode_open(w, m); }
+    void operator()(const UpdateMessage& m) const { encode_update(w, m); }
+    void operator()(const NotificationMessage& m) const { encode_notification(w, m); }
+    void operator()(const KeepaliveMessage&) const {}
+  };
+  std::visit(Visitor{w}, msg);
+
+  if (w.size() > kMaxMessageLength) {
+    return make_error("bgp.encode.too_long", util::format("%zu bytes", w.size()));
+  }
+  w.patch_u16(length_at, static_cast<std::uint16_t>(w.size()));
+  return std::move(w).take();
+}
+
+Result<Message> decode(std::span<const std::uint8_t> data, const DecodeOptions& options) {
+  ByteReader r(data);
+  for (std::size_t i = 0; i < kMarkerLength; ++i) {
+    auto b = r.u8();
+    if (!b || b.value() != 0xff) {
+      return make_error("bgp.header.connection_not_synchronized");
+    }
+  }
+  auto length = r.u16();
+  auto type = r.u8();
+  if (!length || !type) return make_error("bgp.header.bad_message_length", "truncated header");
+  if (length.value() < kHeaderLength || length.value() > kMaxMessageLength ||
+      length.value() != data.size()) {
+    return make_error("bgp.header.bad_message_length",
+                      util::format("declared %u actual %zu", length.value(), data.size()));
+  }
+
+  switch (static_cast<MessageType>(type.value())) {
+    case MessageType::kOpen: {
+      auto m = decode_open(r);
+      if (!m) return m.error();
+      return Message{std::move(m).take()};
+    }
+    case MessageType::kUpdate: {
+      auto m = decode_update(r, options);
+      if (!m) return m.error();
+      return Message{std::move(m).take()};
+    }
+    case MessageType::kNotification: {
+      auto m = decode_notification(r);
+      if (!m) return m.error();
+      return Message{std::move(m).take()};
+    }
+    case MessageType::kKeepalive: {
+      if (length.value() != kHeaderLength) {
+        return make_error("bgp.header.bad_message_length", "keepalive with body");
+      }
+      return Message{KeepaliveMessage{}};
+    }
+    default:
+      return make_error("bgp.header.bad_message_type",
+                        util::format("type %u", type.value()));
+  }
+}
+
+NotificationMessage error_to_notification(const Error& error) {
+  NotificationMessage n;
+  const std::string_view code = error.code;
+  const auto set = [&n](NotifCode c, std::uint8_t sub) {
+    n.code = c;
+    n.subcode = sub;
+  };
+  if (code == "bgp.header.connection_not_synchronized") {
+    set(NotifCode::kMessageHeaderError, 1);
+  } else if (code == "bgp.header.bad_message_length") {
+    set(NotifCode::kMessageHeaderError, 2);
+  } else if (code == "bgp.header.bad_message_type") {
+    set(NotifCode::kMessageHeaderError, 3);
+  } else if (code == "bgp.open.unsupported_version") {
+    set(NotifCode::kOpenMessageError, 1);
+  } else if (code == "bgp.open.bad_peer_as") {
+    set(NotifCode::kOpenMessageError, 2);
+  } else if (code == "bgp.open.bad_bgp_identifier") {
+    set(NotifCode::kOpenMessageError, 3);
+  } else if (code == "bgp.open.unacceptable_hold_time") {
+    set(NotifCode::kOpenMessageError, 6);
+  } else if (util::starts_with(code, "bgp.open.")) {
+    set(NotifCode::kOpenMessageError, 0);
+  } else if (code == "bgp.update.attribute_flags") {
+    set(NotifCode::kUpdateMessageError, static_cast<std::uint8_t>(UpdateError::kAttributeFlagsError));
+  } else if (code == "bgp.update.attribute_length") {
+    set(NotifCode::kUpdateMessageError, static_cast<std::uint8_t>(UpdateError::kAttributeLengthError));
+  } else if (code == "bgp.update.invalid_origin") {
+    set(NotifCode::kUpdateMessageError, static_cast<std::uint8_t>(UpdateError::kInvalidOrigin));
+  } else if (code == "bgp.update.invalid_next_hop") {
+    set(NotifCode::kUpdateMessageError, static_cast<std::uint8_t>(UpdateError::kInvalidNextHop));
+  } else if (code == "bgp.update.invalid_network_field") {
+    set(NotifCode::kUpdateMessageError, static_cast<std::uint8_t>(UpdateError::kInvalidNetworkField));
+  } else if (code == "bgp.update.malformed_as_path") {
+    set(NotifCode::kUpdateMessageError, static_cast<std::uint8_t>(UpdateError::kMalformedAsPath));
+  } else if (code == "bgp.update.missing_well_known") {
+    set(NotifCode::kUpdateMessageError, static_cast<std::uint8_t>(UpdateError::kMissingWellKnownAttribute));
+  } else if (code == "bgp.update.unrecognized_well_known") {
+    set(NotifCode::kUpdateMessageError,
+        static_cast<std::uint8_t>(UpdateError::kUnrecognizedWellKnownAttribute));
+  } else if (util::starts_with(code, "bgp.update.")) {
+    set(NotifCode::kUpdateMessageError,
+        static_cast<std::uint8_t>(UpdateError::kMalformedAttributeList));
+  } else {
+    set(NotifCode::kCease, 0);
+  }
+  n.data.assign(error.detail.begin(), error.detail.end());
+  return n;
+}
+
+}  // namespace dice::bgp

@@ -1,0 +1,39 @@
+// BGP-4 wire codec (RFC 4271 §4). One frame on the simulated transport
+// carries exactly one BGP message including the 19-byte header.
+//
+// decode() is strict: every validation failure maps to the NOTIFICATION
+// error code/subcode the RFC prescribes (see error_to_notification), which
+// is how a receiving session decides to reset. The decoder is also the
+// concrete twin of the instrumented symbolic decoder (sym_update.hpp); a
+// differential property test keeps the two in agreement.
+#pragma once
+
+#include <span>
+
+#include "bgp/bugs.hpp"
+#include "bgp/message.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace dice::bgp {
+
+/// Serializes a message with header. Returns an error when the message
+/// would exceed kMaxMessageLength.
+[[nodiscard]] util::Result<util::Bytes> encode(const Message& msg);
+
+/// Parses one complete message (header + body). The span must contain
+/// exactly one message (`data.size()` equals the header length field).
+/// `options.bug_mask` enables injected parser defects (bugs.hpp) that raise
+/// concolic::CrashSignal instead of returning the RFC error.
+[[nodiscard]] util::Result<Message> decode(std::span<const std::uint8_t> data,
+                                           const DecodeOptions& options = {});
+
+/// Maps a decode error to the NOTIFICATION the speaker must send (§6).
+[[nodiscard]] NotificationMessage error_to_notification(const util::Error& error);
+
+/// Wire helpers shared with the symbolic decoder and the fuzzer grammar.
+void encode_prefix(util::ByteWriter& writer, const util::IpPrefix& prefix);
+[[nodiscard]] util::Result<util::IpPrefix> decode_prefix(util::ByteReader& reader);
+void encode_attributes(util::ByteWriter& writer, const PathAttributes& attrs);
+
+}  // namespace dice::bgp

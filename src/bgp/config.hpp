@@ -1,0 +1,81 @@
+// Router configuration: the model consumed by BgpRouter, plus a parser and
+// renderer for a BIRD-flavored text format. Operator mistakes — the paper's
+// third fault class — enter the system here (e.g. an extra `network`
+// statement originating someone else's prefix, or a botched filter).
+//
+// Example:
+//
+//   router {
+//     name r1;
+//     id 10.0.0.1;
+//     as 65001;
+//     address 10.0.0.1;
+//     hold 90;
+//     network 10.1.0.0/16;
+//     neighbor 10.0.0.2 {
+//       as 65002;
+//       description "transit provider";
+//       import {
+//         if prefix in 192.168.0.0/16+ then reject;
+//         if community (65001,666) then reject;
+//         then { localpref 120; accept; }
+//       }
+//       export {
+//         if community (65001,100) then accept;
+//         then reject;
+//       }
+//     }
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/policy.hpp"
+#include "bgp/types.hpp"
+#include "util/ip.hpp"
+#include "util/result.hpp"
+
+namespace dice::bgp {
+
+struct NeighborConfig {
+  util::IpAddress address;
+  Asn asn = 0;
+  std::string description;
+  Policy import_policy = Policy::accept_all();
+  Policy export_policy = Policy::accept_all();
+
+  bool operator==(const NeighborConfig&) const = default;
+};
+
+struct RouterConfig {
+  std::string name;
+  RouterId router_id = 0;
+  Asn asn = 0;
+  util::IpAddress address;
+  std::uint16_t hold_time = 90;  ///< seconds; 0 disables keepalive/hold timers
+  std::vector<util::IpPrefix> networks;  ///< locally originated prefixes
+  std::vector<NeighborConfig> neighbors;
+  bool always_compare_med = false;
+  std::uint32_t bug_mask = 0;  ///< injected programming errors (bugs.hpp)
+
+  [[nodiscard]] const NeighborConfig* neighbor_by_address(util::IpAddress addr) const;
+  [[nodiscard]] const NeighborConfig* neighbor_by_asn(Asn asn) const;
+
+  bool operator==(const RouterConfig&) const = default;
+};
+
+/// Parses one `router { ... }` block.
+[[nodiscard]] util::Result<RouterConfig> parse_config(std::string_view text);
+
+/// Renders a config back to the text format (parse ∘ render == identity,
+/// covered by a round-trip property test).
+[[nodiscard]] std::string render_config(const RouterConfig& config);
+
+/// Structural sanity checks an operator tool would run before deploying:
+/// nonzero ASN/router id, neighbor ASNs distinct from invalid, no duplicate
+/// neighbor addresses, prefixes with zeroed host bits.
+[[nodiscard]] util::Status validate_config(const RouterConfig& config);
+
+}  // namespace dice::bgp

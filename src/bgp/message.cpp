@@ -1,0 +1,69 @@
+#include "bgp/message.hpp"
+
+#include "util/strings.hpp"
+
+namespace dice::bgp {
+
+std::string UpdateMessage::to_string() const {
+  std::string out = "UPDATE";
+  if (!withdrawn.empty()) {
+    out.append(" withdraw{");
+    for (std::size_t i = 0; i < withdrawn.size(); ++i) {
+      if (i != 0) out.push_back(' ');
+      out.append(withdrawn[i].to_string());
+    }
+    out.push_back('}');
+  }
+  if (!nlri.empty()) {
+    out.append(" announce{");
+    for (std::size_t i = 0; i < nlri.size(); ++i) {
+      if (i != 0) out.push_back(' ');
+      out.append(nlri[i].to_string());
+    }
+    out.append("} ");
+    out.append(attrs.to_string());
+  }
+  return out;
+}
+
+std::string NotificationMessage::to_string() const {
+  const char* name = "?";
+  switch (code) {
+    case NotifCode::kMessageHeaderError: name = "MessageHeaderError"; break;
+    case NotifCode::kOpenMessageError: name = "OpenMessageError"; break;
+    case NotifCode::kUpdateMessageError: name = "UpdateMessageError"; break;
+    case NotifCode::kHoldTimerExpired: name = "HoldTimerExpired"; break;
+    case NotifCode::kFsmError: name = "FsmError"; break;
+    case NotifCode::kCease: name = "Cease"; break;
+  }
+  return util::format("NOTIFICATION %s subcode=%u", name, subcode);
+}
+
+MessageType type_of(const Message& msg) noexcept {
+  struct Visitor {
+    MessageType operator()(const OpenMessage&) const noexcept { return MessageType::kOpen; }
+    MessageType operator()(const UpdateMessage&) const noexcept { return MessageType::kUpdate; }
+    MessageType operator()(const NotificationMessage&) const noexcept {
+      return MessageType::kNotification;
+    }
+    MessageType operator()(const KeepaliveMessage&) const noexcept {
+      return MessageType::kKeepalive;
+    }
+  };
+  return std::visit(Visitor{}, msg);
+}
+
+std::string to_string(const Message& msg) {
+  struct Visitor {
+    std::string operator()(const OpenMessage& m) const {
+      return util::format("OPEN as=%u hold=%u id=%s", m.my_asn, m.hold_time,
+                          router_id_to_string(m.router_id).c_str());
+    }
+    std::string operator()(const UpdateMessage& m) const { return m.to_string(); }
+    std::string operator()(const NotificationMessage& m) const { return m.to_string(); }
+    std::string operator()(const KeepaliveMessage&) const { return "KEEPALIVE"; }
+  };
+  return std::visit(Visitor{}, msg);
+}
+
+}  // namespace dice::bgp

@@ -1,0 +1,84 @@
+// BGP message structures (RFC 4271 §4): OPEN, UPDATE, NOTIFICATION,
+// KEEPALIVE, plus the Message variant exchanged between sessions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bgp/attr.hpp"
+#include "bgp/types.hpp"
+#include "util/ip.hpp"
+
+namespace dice::bgp {
+
+inline constexpr std::size_t kMarkerLength = 16;
+inline constexpr std::size_t kHeaderLength = 19;   // marker + length + type
+inline constexpr std::size_t kMaxMessageLength = 4096;
+
+struct OpenMessage {
+  std::uint8_t version = 4;
+  std::uint16_t my_asn = 0;       // 2-octet AS field (AS4 out of scope, see DESIGN.md)
+  std::uint16_t hold_time = 90;   // seconds; 0 disables keepalives
+  RouterId router_id = 0;
+  std::vector<std::uint8_t> opt_params;  // carried opaquely
+
+  bool operator==(const OpenMessage&) const = default;
+};
+
+struct UpdateMessage {
+  std::vector<util::IpPrefix> withdrawn;
+  PathAttributes attrs;                 // meaningful when nlri is non-empty
+  std::vector<util::IpPrefix> nlri;
+
+  [[nodiscard]] bool announces() const noexcept { return !nlri.empty(); }
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const UpdateMessage&) const = default;
+};
+
+/// NOTIFICATION error codes (RFC 4271 §4.5).
+enum class NotifCode : std::uint8_t {
+  kMessageHeaderError = 1,
+  kOpenMessageError = 2,
+  kUpdateMessageError = 3,
+  kHoldTimerExpired = 4,
+  kFsmError = 5,
+  kCease = 6,
+};
+
+/// UPDATE error subcodes (§6.3) — the codec produces these on bad input.
+enum class UpdateError : std::uint8_t {
+  kMalformedAttributeList = 1,
+  kUnrecognizedWellKnownAttribute = 2,
+  kMissingWellKnownAttribute = 3,
+  kAttributeFlagsError = 4,
+  kAttributeLengthError = 5,
+  kInvalidOrigin = 6,
+  kInvalidNextHop = 8,
+  kOptionalAttributeError = 9,
+  kInvalidNetworkField = 10,
+  kMalformedAsPath = 11,
+};
+
+struct NotificationMessage {
+  NotifCode code = NotifCode::kCease;
+  std::uint8_t subcode = 0;
+  std::vector<std::uint8_t> data;
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const NotificationMessage&) const = default;
+};
+
+struct KeepaliveMessage {
+  bool operator==(const KeepaliveMessage&) const = default;
+};
+
+using Message = std::variant<OpenMessage, UpdateMessage, NotificationMessage, KeepaliveMessage>;
+
+[[nodiscard]] MessageType type_of(const Message& msg) noexcept;
+[[nodiscard]] std::string to_string(const Message& msg);
+
+}  // namespace dice::bgp

@@ -1,0 +1,125 @@
+#include "bgp/policy.hpp"
+
+#include "util/strings.hpp"
+
+namespace dice::bgp {
+
+bool Match::matches(const Route& route) const noexcept {
+  switch (kind) {
+    case Kind::kAny:
+      return true;
+    case Kind::kPrefixExact:
+      return route.prefix == prefix;
+    case Kind::kPrefixOrLonger:
+      return prefix.contains(route.prefix);
+    case Kind::kAsPathContains:
+      return route.attrs.as_path.contains(asn);
+    case Kind::kOriginatedBy:
+      return route.attrs.as_path.origin_asn() == asn;
+    case Kind::kCommunity:
+      return route.attrs.has_community(community);
+    case Kind::kNextHop:
+      return route.attrs.next_hop == address;
+  }
+  return false;
+}
+
+std::string Match::to_string() const {
+  switch (kind) {
+    case Kind::kAny: return "any";
+    case Kind::kPrefixExact: return "prefix in " + prefix.to_string();
+    case Kind::kPrefixOrLonger: return "prefix in " + prefix.to_string() + "+";
+    case Kind::kAsPathContains: return util::format("aspath ~ %u", asn);
+    case Kind::kOriginatedBy: return util::format("originated %u", asn);
+    case Kind::kCommunity: return "community " + community_to_string(community);
+    case Kind::kNextHop: return "nexthop " + address.to_string();
+  }
+  return "?";
+}
+
+std::string Action::to_string() const {
+  switch (kind) {
+    case Kind::kSetLocalPref: return util::format("localpref %u", value);
+    case Kind::kSetMed: return util::format("med %u", value);
+    case Kind::kClearMed: return "med clear";
+    case Kind::kAddCommunity: return "community add " + community_to_string(value);
+    case Kind::kRemoveCommunity: return "community remove " + community_to_string(value);
+    case Kind::kPrepend: return util::format("prepend %u", value);
+  }
+  return "?";
+}
+
+bool PolicyRule::matches_route(const Route& route) const noexcept {
+  for (const Match& m : matches) {
+    if (!m.matches(route)) return false;
+  }
+  return true;
+}
+
+std::string PolicyRule::to_string() const {
+  std::string out = "if ";
+  if (matches.empty()) {
+    out.append("any");
+  } else {
+    for (std::size_t i = 0; i < matches.size(); ++i) {
+      if (i != 0) out.append(" and ");
+      out.append(matches[i].to_string());
+    }
+  }
+  out.append(" then { ");
+  for (const Action& a : actions) out.append(a.to_string()).append("; ");
+  switch (verdict) {
+    case Verdict::kAccept: out.append("accept; "); break;
+    case Verdict::kReject: out.append("reject; "); break;
+    case Verdict::kNext: break;
+  }
+  out.append("}");
+  return out;
+}
+
+namespace {
+
+void apply_action(const Action& action, Route& route, Asn local_asn) {
+  switch (action.kind) {
+    case Action::Kind::kSetLocalPref:
+      route.attrs.local_pref = action.value;
+      break;
+    case Action::Kind::kSetMed:
+      route.attrs.med = action.value;
+      break;
+    case Action::Kind::kClearMed:
+      route.attrs.med.reset();
+      break;
+    case Action::Kind::kAddCommunity:
+      route.attrs.add_community(action.value);
+      break;
+    case Action::Kind::kRemoveCommunity:
+      route.attrs.remove_community(action.value);
+      break;
+    case Action::Kind::kPrepend:
+      route.attrs.as_path.prepend(local_asn, action.value);
+      break;
+  }
+}
+
+}  // namespace
+
+PolicyOutcome evaluate(const Policy& policy, Route route, Asn local_asn) {
+  for (std::size_t i = 0; i < policy.rules.size(); ++i) {
+    const PolicyRule& rule = policy.rules[i];
+    if (!rule.matches_route(route)) continue;
+    for (const Action& action : rule.actions) apply_action(action, route, local_asn);
+    switch (rule.verdict) {
+      case Verdict::kAccept:
+        return PolicyOutcome{true, std::move(route), i};
+      case Verdict::kReject:
+        return PolicyOutcome{false, {}, i};
+      case Verdict::kNext:
+        break;  // actions applied, keep scanning
+    }
+  }
+  if (policy.default_accept) return PolicyOutcome{true, std::move(route), SIZE_MAX};
+  return PolicyOutcome{false, {}, SIZE_MAX};
+}
+
+}  // namespace dice::bgp

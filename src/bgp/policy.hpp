@@ -1,0 +1,100 @@
+// Routing policy engine: ordered rules of (match conjunction -> actions ->
+// verdict), evaluated on import and export. This is the "configuration"
+// whose interpretation DiCE's instrumented run records as path constraints
+// (paper §3: "the explored execution paths are comprehensive of both code
+// and configuration") — sym_policy.cpp evaluates the same structures over
+// symbolic routes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/rib.hpp"
+#include "util/ip.hpp"
+
+namespace dice::bgp {
+
+enum class PolicyDirection : std::uint8_t { kImport, kExport };
+
+struct Match {
+  enum class Kind : std::uint8_t {
+    kAny,
+    kPrefixExact,      ///< NLRI equals `prefix`
+    kPrefixOrLonger,   ///< NLRI covered by `prefix` (the BIRD "+" form)
+    kAsPathContains,   ///< `asn` appears anywhere in AS_PATH
+    kOriginatedBy,     ///< `asn` is the origin (rightmost) AS
+    kCommunity,        ///< route carries `community`
+    kNextHop,          ///< NEXT_HOP equals `address`
+  };
+
+  Kind kind = Kind::kAny;
+  util::IpPrefix prefix;
+  Asn asn = 0;
+  Community community = 0;
+  util::IpAddress address;
+
+  [[nodiscard]] bool matches(const Route& route) const noexcept;
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Match&) const = default;
+};
+
+struct Action {
+  enum class Kind : std::uint8_t {
+    kSetLocalPref,
+    kSetMed,
+    kClearMed,
+    kAddCommunity,
+    kRemoveCommunity,
+    kPrepend,  ///< prepend own ASN `value` times (applied with evaluator's asn)
+  };
+
+  Kind kind = Kind::kSetLocalPref;
+  std::uint32_t value = 0;
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Action&) const = default;
+};
+
+enum class Verdict : std::uint8_t { kAccept, kReject, kNext };
+
+struct PolicyRule {
+  std::vector<Match> matches;   ///< conjunction; empty means "always"
+  std::vector<Action> actions;  ///< applied when matched
+  Verdict verdict = Verdict::kNext;
+
+  [[nodiscard]] bool matches_route(const Route& route) const noexcept;
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const PolicyRule&) const = default;
+};
+
+struct Policy {
+  std::vector<PolicyRule> rules;
+  /// Verdict when no rule produced kAccept/kReject. BGP convention: import
+  /// policies often default-accept inside a lab, default-reject for export.
+  bool default_accept = false;
+
+  bool operator==(const Policy&) const = default;
+
+  [[nodiscard]] static Policy accept_all() {
+    Policy p;
+    p.default_accept = true;
+    return p;
+  }
+  [[nodiscard]] static Policy reject_all() { return Policy{}; }
+};
+
+struct PolicyOutcome {
+  bool accepted = false;
+  Route route;                 ///< with actions applied (valid when accepted)
+  std::size_t matched_rule = SIZE_MAX;  ///< index of the deciding rule
+};
+
+/// Evaluates `policy` over `route`. `local_asn` parameterizes kPrepend.
+[[nodiscard]] PolicyOutcome evaluate(const Policy& policy, Route route, Asn local_asn);
+
+}  // namespace dice::bgp

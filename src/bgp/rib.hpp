@@ -1,0 +1,76 @@
+// Routing Information Bases (RFC 4271 §3.2): Adj-RIB-In (per peer, post
+// import policy), Loc-RIB (selected best routes), Adj-RIB-Out (per peer,
+// post export policy). All three are serializable for checkpointing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/attr.hpp"
+#include "util/bytes.hpp"
+#include "util/ip.hpp"
+
+namespace dice::bgp {
+
+/// Identifies where a route came from for selection and propagation rules.
+struct RouteSource {
+  std::uint32_t peer_node = 0xffffffffU;  ///< sim node id; kLocalRoute for originated
+  Asn peer_asn = 0;
+  RouterId peer_router_id = 0;
+  util::IpAddress peer_address;
+  bool ebgp = true;
+
+  bool operator==(const RouteSource&) const = default;
+};
+
+inline constexpr std::uint32_t kLocalRoute = 0xffffffffU;
+
+struct Route {
+  util::IpPrefix prefix;
+  PathAttributes attrs;
+  RouteSource source;
+
+  [[nodiscard]] bool local() const noexcept { return source.peer_node == kLocalRoute; }
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Route&) const = default;
+};
+
+/// One RIB table: prefix -> route, ordered for deterministic iteration.
+class Rib {
+ public:
+  using Table = std::map<util::IpPrefix, Route>;
+
+  /// Returns true when the entry changed (insert or different route).
+  bool upsert(Route route);
+  /// Returns true when an entry was removed.
+  bool erase(const util::IpPrefix& prefix);
+
+  [[nodiscard]] const Route* find(const util::IpPrefix& prefix) const;
+  [[nodiscard]] const Table& table() const noexcept { return table_; }
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return table_.empty(); }
+  void clear() noexcept { table_.clear(); }
+
+  /// Content hash over all entries (order-independent by construction since
+  /// iteration is ordered). Feeds checkpoint hashes and the privacy-
+  /// preserving check interface.
+  [[nodiscard]] std::uint64_t content_hash() const;
+
+  void serialize(util::ByteWriter& writer) const;
+  [[nodiscard]] static util::Result<Rib> deserialize(util::ByteReader& reader);
+
+ private:
+  Table table_;
+};
+
+/// Route (de)serialization shared by Rib and session checkpoints.
+void serialize_route(util::ByteWriter& writer, const Route& route);
+[[nodiscard]] util::Result<Route> deserialize_route(util::ByteReader& reader);
+void serialize_attrs(util::ByteWriter& writer, const PathAttributes& attrs);
+[[nodiscard]] util::Result<PathAttributes> deserialize_attrs(util::ByteReader& reader);
+
+}  // namespace dice::bgp

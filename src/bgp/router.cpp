@@ -1,0 +1,413 @@
+#include "bgp/router.hpp"
+
+#include <algorithm>
+
+#include "concolic/context.hpp"
+#include "util/log.hpp"
+
+namespace dice::bgp {
+
+namespace {
+const util::Logger& logger() {
+  static util::Logger instance("bgp.router");
+  return instance;
+}
+}  // namespace
+
+BgpRouter::BgpRouter(sim::Network& network, sim::NodeId id, RouterConfig config,
+                     std::map<util::IpAddress, sim::NodeId> address_book)
+    : snapshot::SnapshotParticipant(network, id),
+      config_(std::move(config)),
+      address_book_(std::move(address_book)) {
+  for (const NeighborConfig& neighbor : config_.neighbors) {
+    auto it = address_book_.find(neighbor.address);
+    if (it == address_book_.end()) {
+      logger().warn() << config_.name << ": neighbor " << neighbor.address.to_string()
+                      << " has no node mapping; skipped";
+      continue;
+    }
+    sessions_.emplace(it->second, std::make_unique<Session>(*this, it->second, neighbor, config_));
+  }
+}
+
+void BgpRouter::start() {
+  originate_networks();
+  for (auto& [peer, session] : sessions_) session->start();
+}
+
+void BgpRouter::originate_networks() {
+  // run_decision() knows about configured networks and will install the
+  // locally originated route (or keep a better learned one, which cannot
+  // happen at start time but keeps the logic in one place).
+  for (const util::IpPrefix& prefix : config_.networks) run_decision(prefix);
+}
+
+const Rib* BgpRouter::adj_rib_in(sim::NodeId peer) const {
+  auto it = adj_in_.find(peer);
+  return it == adj_in_.end() ? nullptr : &it->second;
+}
+
+const Rib* BgpRouter::adj_rib_out(sim::NodeId peer) const {
+  auto it = adj_out_.find(peer);
+  return it == adj_out_.end() ? nullptr : &it->second;
+}
+
+Session* BgpRouter::session(sim::NodeId peer) {
+  auto it = sessions_.find(peer);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+void BgpRouter::reset_session(sim::NodeId peer) {
+  if (Session* s = session(peer)) {
+    s->stop(NotifCode::kCease, 0, "administrative reset");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------------
+
+void BgpRouter::session_send(sim::NodeId peer, const Message& msg, bool background) {
+  auto encoded = encode(msg);
+  if (!encoded) {
+    logger().error() << config_.name << ": encode failed: " << encoded.error().to_string();
+    return;
+  }
+  sim::Frame frame;
+  frame.kind = sim::FrameKind::kData;
+  frame.payload = std::move(encoded).take();
+  frame.background = background;
+  network().send(node_id(), peer, std::move(frame));
+}
+
+void BgpRouter::deliver_data(sim::NodeId from, const util::Bytes& payload) {
+  Session* s = session(from);
+  if (s == nullptr) return;  // frame from an unconfigured node
+  try {
+    auto msg = decode(payload, DecodeOptions{config_.bug_mask});
+    if (!msg) {
+      ++stats_.decode_failures;
+      // §6: send the prescribed NOTIFICATION and reset the session.
+      const NotificationMessage notif = error_to_notification(msg.error());
+      s->stop(notif.code, notif.subcode, "decode error: " + msg.error().to_string());
+      return;
+    }
+    s->handle_message(msg.value());
+  } catch (const concolic::CrashSignal& crash) {
+    // An injected programming error fired in the live/clone data path. A
+    // real daemon would abort; we model the crash as a session-wide reset
+    // and surface it to DiCE's crash checker via handler_crashes.
+    ++stats_.handler_crashes;
+    logger().warn() << config_.name << ": handler crash: " << crash.what;
+    for (auto& [peer, session] : sessions_) {
+      session->reset_transport("daemon crash: " + crash.what);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Session callbacks
+// ---------------------------------------------------------------------------
+
+void BgpRouter::session_established(sim::NodeId peer) {
+  if (Session* s = session(peer)) send_full_table(*s);
+}
+
+void BgpRouter::session_down(sim::NodeId peer, const std::string& reason) {
+  (void)reason;
+  // Flush everything learned from the peer and withdraw what we advertised.
+  auto it = adj_in_.find(peer);
+  if (it != adj_in_.end()) {
+    std::vector<util::IpPrefix> lost;
+    lost.reserve(it->second.size());
+    for (const auto& [prefix, route] : it->second.table()) lost.push_back(prefix);
+    adj_in_.erase(it);
+    for (const util::IpPrefix& prefix : lost) run_decision(prefix);
+  }
+  adj_out_.erase(peer);
+  if (auto_restart_) schedule_restart(peer);
+}
+
+void BgpRouter::schedule_restart(sim::NodeId peer) {
+  network().simulator().schedule_after(restart_delay_, [this, peer] {
+    if (Session* s = session(peer)) {
+      if (s->state() == SessionState::kIdle) s->start();
+    }
+  });
+}
+
+void BgpRouter::session_update(sim::NodeId peer, const UpdateMessage& update) {
+  ++stats_.updates_received;
+  process_update(peer, update);
+}
+
+// ---------------------------------------------------------------------------
+// Route processing
+// ---------------------------------------------------------------------------
+
+void BgpRouter::process_update(sim::NodeId peer, const UpdateMessage& update) {
+  Session* s = session(peer);
+  if (s == nullptr) return;
+  Rib& rib_in = adj_in_[peer];
+
+  for (const util::IpPrefix& prefix : update.withdrawn) {
+    if (rib_in.erase(prefix)) run_decision(prefix);
+  }
+
+  if (!update.announces()) return;
+
+  // RFC 4271 §9.1.2: AS-path loop detection — routes carrying our own ASN
+  // are treated as withdrawn.
+  if (update.attrs.as_path.contains(config_.asn)) {
+    ++stats_.loop_rejects;
+    for (const util::IpPrefix& prefix : update.nlri) {
+      if (rib_in.erase(prefix)) run_decision(prefix);
+    }
+    return;
+  }
+
+  // Next-hop resolvability (§6.3 / BIRD's import check): a route whose
+  // NEXT_HOP is not a known neighbor address is unusable and is treated as
+  // withdrawn. Without this, crafted UPDATEs could park unroutable entries
+  // in the Loc-RIB. iBGP is exempt: iBGP preserves the original eBGP next
+  // hop and resolves it recursively through the IGP, which this substrate
+  // assumes reachable (no IGP layer — see DESIGN.md).
+  if (s->ebgp() &&
+      config_.neighbor_by_address(update.attrs.next_hop) == nullptr &&
+      update.attrs.next_hop != config_.address) {
+    ++stats_.import_rejects;
+    for (const util::IpPrefix& prefix : update.nlri) {
+      if (rib_in.erase(prefix)) run_decision(prefix);
+    }
+    return;
+  }
+
+  Route base;
+  base.attrs = update.attrs;
+  base.source.peer_node = peer;
+  base.source.peer_asn = s->neighbor().asn;
+  base.source.peer_router_id = s->peer_router_id();
+  base.source.peer_address = s->neighbor().address;
+  base.source.ebgp = s->ebgp();
+  if (base.source.ebgp) {
+    // LOCAL_PREF is only meaningful within an AS (§5.1.5); import policy
+    // may assign one.
+    base.attrs.local_pref.reset();
+  }
+
+  for (const util::IpPrefix& prefix : update.nlri) {
+    Route candidate = base;
+    candidate.prefix = prefix;
+    PolicyOutcome outcome =
+        evaluate(s->neighbor().import_policy, std::move(candidate), config_.asn);
+    if (outcome.accepted) {
+      if (rib_in.upsert(std::move(outcome.route))) run_decision(prefix);
+    } else {
+      ++stats_.import_rejects;
+      if (rib_in.erase(prefix)) run_decision(prefix);
+    }
+  }
+}
+
+void BgpRouter::run_decision(const util::IpPrefix& prefix) {
+  ++stats_.decision_runs;
+
+  std::vector<Route> candidates;
+  // Locally originated network?
+  if (std::find(config_.networks.begin(), config_.networks.end(), prefix) !=
+      config_.networks.end()) {
+    Route local;
+    local.prefix = prefix;
+    local.attrs.origin = Origin::kIgp;
+    local.attrs.next_hop = config_.address;
+    local.source.peer_node = kLocalRoute;
+    local.source.peer_asn = config_.asn;
+    local.source.peer_router_id = config_.router_id;
+    local.source.peer_address = config_.address;
+    local.source.ebgp = false;
+    candidates.push_back(std::move(local));
+  }
+  for (const auto& [peer, rib] : adj_in_) {
+    if (const Route* route = rib.find(prefix)) candidates.push_back(*route);
+  }
+
+  DecisionOptions options;
+  options.always_compare_med = config_.always_compare_med;
+  const std::size_t best = select_best(candidates, options);
+
+  const Route* current = loc_rib_.find(prefix);
+  if (best == SIZE_MAX) {
+    if (loc_rib_.erase(prefix)) {
+      ++stats_.best_changes;
+      ++best_flips_[prefix];
+      propagate(prefix);
+    }
+    return;
+  }
+  if (current != nullptr && *current == candidates[best]) return;
+  loc_rib_.upsert(candidates[best]);
+  ++stats_.best_changes;
+  ++best_flips_[prefix];
+  propagate(prefix);
+}
+
+void BgpRouter::propagate(const util::IpPrefix& prefix) {
+  for (auto& [peer, session] : sessions_) {
+    if (session->established()) export_to_peer(*session, prefix);
+  }
+}
+
+void BgpRouter::send_full_table(Session& session) {
+  for (const auto& [prefix, route] : loc_rib_.table()) {
+    export_to_peer(session, prefix);
+  }
+}
+
+void BgpRouter::export_to_peer(Session& session, const util::IpPrefix& prefix) {
+  const sim::NodeId peer = session.peer_node();
+  Rib& rib_out = adj_out_[peer];
+  const Route* best = loc_rib_.find(prefix);
+
+  const auto withdraw_if_advertised = [&] {
+    if (rib_out.erase(prefix)) {
+      UpdateMessage update;
+      update.withdrawn.push_back(prefix);
+      ++stats_.withdraws_sent;
+      session_send(peer, Message{update}, /*background=*/false);
+    }
+  };
+
+  if (best == nullptr) {
+    withdraw_if_advertised();
+    return;
+  }
+  // Split horizon: never advertise back to the peer the route came from.
+  if (!best->local() && best->source.peer_node == peer) {
+    withdraw_if_advertised();
+    return;
+  }
+  // iBGP-learned routes are not reflected to other iBGP peers (§9.2.1,
+  // no route-reflection support).
+  if (!best->local() && !best->source.ebgp && !session.ebgp()) {
+    withdraw_if_advertised();
+    return;
+  }
+  // NO_EXPORT: do not advertise beyond the local AS (RFC 1997).
+  if (best->attrs.has_community(well_known::kNoExport) && session.ebgp()) {
+    withdraw_if_advertised();
+    return;
+  }
+
+  PolicyOutcome outcome = evaluate(session.neighbor().export_policy, *best, config_.asn);
+  if (!outcome.accepted) {
+    withdraw_if_advertised();
+    return;
+  }
+
+  Route advertised = std::move(outcome.route);
+  if (session.ebgp()) {
+    advertised.attrs.as_path.prepend(config_.asn);
+    advertised.attrs.next_hop = config_.address;
+    advertised.attrs.local_pref.reset();  // §5.1.5: not sent on eBGP
+  } else {
+    // iBGP keeps NEXT_HOP and LOCAL_PREF; ensure LOCAL_PREF present (§5.1.5).
+    if (!advertised.attrs.local_pref) {
+      advertised.attrs.local_pref = PathAttributes::kDefaultLocalPref;
+    }
+  }
+
+  const Route* previous = rib_out.find(prefix);
+  if (previous != nullptr && previous->attrs == advertised.attrs) return;  // no change
+
+  UpdateMessage update;
+  update.nlri.push_back(prefix);
+  update.attrs = advertised.attrs;
+  rib_out.upsert(advertised);
+  ++stats_.updates_sent;
+  session_send(peer, Message{update}, /*background=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / restore
+// ---------------------------------------------------------------------------
+
+void BgpRouter::checkpoint(util::ByteWriter& writer) const {
+  // Sessions (keyed by peer node id for stable identity across clones).
+  writer.u32(static_cast<std::uint32_t>(sessions_.size()));
+  for (const auto& [peer, session] : sessions_) {
+    writer.u32(peer);
+    session->checkpoint(writer);
+  }
+  // RIBs.
+  writer.u32(static_cast<std::uint32_t>(adj_in_.size()));
+  for (const auto& [peer, rib] : adj_in_) {
+    writer.u32(peer);
+    rib.serialize(writer);
+  }
+  loc_rib_.serialize(writer);
+  writer.u32(static_cast<std::uint32_t>(adj_out_.size()));
+  for (const auto& [peer, rib] : adj_out_) {
+    writer.u32(peer);
+    rib.serialize(writer);
+  }
+  // Flip counters travel with the snapshot so clone-side oscillation
+  // detection starts from the live system's baseline.
+  writer.u32(static_cast<std::uint32_t>(best_flips_.size()));
+  for (const auto& [prefix, count] : best_flips_) {
+    writer.u32(prefix.address().value());
+    writer.u8(prefix.length());
+    writer.u32(count);
+  }
+}
+
+util::Status BgpRouter::restore(util::ByteReader& reader) {
+  auto session_count = reader.u32();
+  if (!session_count) return util::make_error("router.restore.sessions");
+  for (std::uint32_t i = 0; i < session_count.value(); ++i) {
+    auto peer = reader.u32();
+    if (!peer) return util::make_error("router.restore.peer");
+    Session* s = session(peer.value());
+    if (s == nullptr) return util::make_error("router.restore.unknown_peer");
+    if (auto status = s->restore(reader); !status) return status;
+  }
+
+  adj_in_.clear();
+  auto in_count = reader.u32();
+  if (!in_count) return util::make_error("router.restore.adj_in");
+  for (std::uint32_t i = 0; i < in_count.value(); ++i) {
+    auto peer = reader.u32();
+    if (!peer) return util::make_error("router.restore.adj_in_peer");
+    auto rib = Rib::deserialize(reader);
+    if (!rib) return util::make_error("router.restore.adj_in_rib", rib.error().to_string());
+    adj_in_[peer.value()] = std::move(rib).take();
+  }
+
+  auto loc = Rib::deserialize(reader);
+  if (!loc) return util::make_error("router.restore.loc_rib", loc.error().to_string());
+  loc_rib_ = std::move(loc).take();
+
+  adj_out_.clear();
+  auto out_count = reader.u32();
+  if (!out_count) return util::make_error("router.restore.adj_out");
+  for (std::uint32_t i = 0; i < out_count.value(); ++i) {
+    auto peer = reader.u32();
+    if (!peer) return util::make_error("router.restore.adj_out_peer");
+    auto rib = Rib::deserialize(reader);
+    if (!rib) return util::make_error("router.restore.adj_out_rib", rib.error().to_string());
+    adj_out_[peer.value()] = std::move(rib).take();
+  }
+
+  best_flips_.clear();
+  auto flip_count = reader.u32();
+  if (!flip_count) return util::make_error("router.restore.flips");
+  for (std::uint32_t i = 0; i < flip_count.value(); ++i) {
+    auto addr = reader.u32();
+    auto len = reader.u8();
+    auto count = reader.u32();
+    if (!addr || !len || !count) return util::make_error("router.restore.flip_entry");
+    best_flips_[util::IpPrefix{util::IpAddress{addr.value()}, len.value()}] = count.value();
+  }
+  return util::Status::success();
+}
+
+}  // namespace dice::bgp

@@ -1,0 +1,116 @@
+// BgpRouter: a complete BGP speaker wired into the simulated network.
+//
+// Responsibilities:
+//   - per-neighbor sessions (session.hpp) over the frame transport;
+//   - UPDATE processing: import policy -> Adj-RIB-In -> decision process ->
+//     Loc-RIB -> export policy -> Adj-RIB-Out deltas -> UPDATEs out;
+//   - origination of configured `network` prefixes;
+//   - AS-path loop rejection, NO_EXPORT handling, split horizon;
+//   - checkpoint/restore of all dynamic state (snapshot participant);
+//   - fault surface: handler crashes (injected bugs) are caught, counted
+//     and surfaced to DiCE's checkers; per-prefix best-route flip counters
+//     feed the oscillation (policy conflict) checker.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "bgp/codec.hpp"
+#include "bgp/config.hpp"
+#include "bgp/decision.hpp"
+#include "bgp/rib.hpp"
+#include "bgp/session.hpp"
+#include "snapshot/participant.hpp"
+
+namespace dice::bgp {
+
+class BgpRouter final : public snapshot::SnapshotParticipant,
+                        public snapshot::Checkpointable,
+                        public SessionHost {
+ public:
+  /// `address_book` maps neighbor IP addresses to sim node ids (the
+  /// topology's wiring); neighbors without an entry are ignored.
+  BgpRouter(sim::Network& network, sim::NodeId id, RouterConfig config,
+            std::map<util::IpAddress, sim::NodeId> address_book);
+
+  /// Originates configured networks and starts all neighbor sessions.
+  void start();
+
+  // --- introspection (tests, checkers, benches) ----------------------------
+  [[nodiscard]] const RouterConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const Rib& loc_rib() const noexcept { return loc_rib_; }
+  [[nodiscard]] const Rib* adj_rib_in(sim::NodeId peer) const;
+  [[nodiscard]] const Rib* adj_rib_out(sim::NodeId peer) const;
+  [[nodiscard]] Session* session(sim::NodeId peer);
+  [[nodiscard]] const std::map<sim::NodeId, std::unique_ptr<Session>>& sessions() const noexcept {
+    return sessions_;
+  }
+  [[nodiscard]] const std::map<util::IpPrefix, std::uint32_t>& best_flips() const noexcept {
+    return best_flips_;
+  }
+
+  struct Stats {
+    std::uint64_t updates_received = 0;
+    std::uint64_t updates_sent = 0;
+    std::uint64_t withdraws_sent = 0;
+    std::uint64_t decision_runs = 0;
+    std::uint64_t best_changes = 0;
+    std::uint64_t import_rejects = 0;
+    std::uint64_t loop_rejects = 0;
+    std::uint64_t decode_failures = 0;
+    std::uint64_t handler_crashes = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_flip_counters() { best_flips_.clear(); }
+
+  /// Administratively resets one session (the paper's "local session reset"
+  /// emergent-behavior scenario); the session auto-restarts after a delay.
+  void reset_session(sim::NodeId peer);
+
+  /// Disables automatic session restart (used by clones during exploration
+  /// so a crash leaves an observable dead session).
+  void set_auto_restart(bool enabled) noexcept { auto_restart_ = enabled; }
+
+  // --- Checkpointable -------------------------------------------------------
+  void checkpoint(util::ByteWriter& writer) const override;
+  [[nodiscard]] util::Status restore(util::ByteReader& reader) override;
+
+  // --- SessionHost ----------------------------------------------------------
+  void session_send(sim::NodeId peer, const Message& msg, bool background) override;
+  void session_established(sim::NodeId peer) override;
+  void session_down(sim::NodeId peer, const std::string& reason) override;
+  void session_update(sim::NodeId peer, const UpdateMessage& update) override;
+  [[nodiscard]] sim::Simulator& session_simulator() override {
+    return network().simulator();
+  }
+
+ protected:
+  // --- SnapshotParticipant --------------------------------------------------
+  void deliver_data(sim::NodeId from, const util::Bytes& payload) override;
+  [[nodiscard]] snapshot::Checkpointable& checkpointable() override { return *this; }
+
+ private:
+  void originate_networks();
+  void process_update(sim::NodeId peer, const UpdateMessage& update);
+  /// Re-runs the decision process for `prefix`; propagates on change.
+  void run_decision(const util::IpPrefix& prefix);
+  void propagate(const util::IpPrefix& prefix);
+  void export_to_peer(Session& session, const util::IpPrefix& prefix);
+  void send_full_table(Session& session);
+  void schedule_restart(sim::NodeId peer);
+
+  RouterConfig config_;
+  std::map<util::IpAddress, sim::NodeId> address_book_;
+  std::map<sim::NodeId, std::unique_ptr<Session>> sessions_;
+
+  std::map<sim::NodeId, Rib> adj_in_;
+  Rib loc_rib_;
+  std::map<sim::NodeId, Rib> adj_out_;
+  std::map<util::IpPrefix, std::uint32_t> best_flips_;
+
+  Stats stats_;
+  bool auto_restart_ = true;
+  sim::Time restart_delay_ = sim::kSecond;
+};
+
+}  // namespace dice::bgp

@@ -1,0 +1,477 @@
+#include "bgp/sym_update.hpp"
+
+#include "bgp/bugs.hpp"
+#include "bgp/codec.hpp"
+
+namespace dice::bgp {
+
+using concolic::branch;
+using concolic::input_byte;
+using concolic::input_u16;
+using concolic::input_u32;
+using concolic::sym_assert;
+using concolic::SymBool;
+using concolic::SymCtx;
+using concolic::SymU16;
+using concolic::SymU32;
+using concolic::SymU8;
+
+namespace {
+
+/// Decode failure inside the instrumented handler; carries the same error
+/// codes as the concrete codec so the differential test can compare.
+struct SymDecodeError {
+  std::string code;
+};
+
+/// Cursor over the symbolic input. Position and buffer size are concrete
+/// (the engine fixes the input length per execution); every *value* read
+/// is symbolic. Length-field checks compare symbolic lengths against the
+/// concrete remaining byte count, faithfully mirroring ByteReader.
+///
+/// The concrete decoder parses each section (withdrawn, attributes, one
+/// attribute value, AS_PATH segment list) through a *bounded sub-reader*;
+/// `limit()` reproduces those bounds so the two decoders fail with the
+/// same error codes on the same inputs (bgp_sym_diff_test.cpp).
+class SymCursor {
+ public:
+  explicit SymCursor(const SymCtx& ctx) : size_(ctx.input_size()), limit_(size_) {}
+
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return limit_ - pos_; }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ >= limit_; }
+  [[nodiscard]] std::size_t limit() const noexcept { return limit_; }
+
+  /// Narrows reads to [pos, end) — the sub-reader boundary. Returns the
+  /// previous limit for restoration.
+  std::size_t push_limit(std::size_t end) {
+    const std::size_t previous = limit_;
+    limit_ = end < size_ ? end : size_;
+    return previous;
+  }
+  void pop_limit(std::size_t previous) { limit_ = previous; }
+
+  [[nodiscard]] SymU8 u8(const char* what) {
+    require(1, what);
+    return input_byte(pos_++);
+  }
+  [[nodiscard]] SymU16 u16(const char* what) {
+    require(2, what);
+    const SymU16 v = input_u16(pos_);
+    pos_ += 2;
+    return v;
+  }
+  [[nodiscard]] SymU32 u32(const char* what) {
+    require(4, what);
+    const SymU32 v = input_u32(pos_);
+    pos_ += 4;
+    return v;
+  }
+  void skip(std::size_t n, const char* what) {
+    require(n, what);
+    pos_ += n;
+  }
+  /// Bounds a symbolic length field against the concrete remaining bytes;
+  /// records the comparison (this is the `remaining() < n` branch of the
+  /// concrete reader) and throws the matching decode error when violated.
+  void check_fits(const SymU32& length, const char* code) {
+    const SymU32 rem{static_cast<std::uint32_t>(remaining())};
+    if (branch(length > rem)) throw SymDecodeError{code};
+  }
+
+ private:
+  void require(std::size_t n, const char* what) {
+    // Concrete bounds check — neither buffer size nor limits are symbolic.
+    if (remaining() < n) throw SymDecodeError{what};
+  }
+
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::size_t limit_;
+};
+
+/// RAII section bound.
+class SectionLimit {
+ public:
+  SectionLimit(SymCursor& cur, std::size_t end) : cur_(cur), saved_(cur.push_limit(end)) {}
+  ~SectionLimit() { cur_.pop_limit(saved_); }
+  SectionLimit(const SectionLimit&) = delete;
+  SectionLimit& operator=(const SectionLimit&) = delete;
+
+ private:
+  SymCursor& cur_;
+  std::size_t saved_;
+};
+
+/// Parses one wire prefix (length octet + packed address bytes), recording
+/// the length-validity branch. Returns the symbolic view plus the concrete
+/// prefix for loc-rib lookups.
+struct ParsedPrefix {
+  SymU8 length;
+  SymU32 bits;
+  util::IpPrefix concrete;
+};
+
+ParsedPrefix sym_decode_prefix(SymCursor& cur) {
+  const SymU8 len = cur.u8("bgp.update.invalid_network_field");
+  if (branch(len > SymU8{32})) {
+    throw SymDecodeError{"bgp.update.invalid_network_field"};
+  }
+  // nbytes = (len + 7) >> 3, evaluated concretely for cursor advancement;
+  // the per-byte loop below records the i < nbytes conditions implicitly
+  // through the len > 32 guard plus the reads themselves.
+  const std::size_t nbytes = (static_cast<std::size_t>(len.concrete()) + 7) / 8;
+  SymU32 bits{0};
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    const SymU32 b = cur.u8("bgp.update.invalid_network_field").to<std::uint32_t>();
+    bits = bits | (b << SymU32{static_cast<std::uint32_t>(24 - 8 * i)});
+  }
+  return ParsedPrefix{
+      len, bits,
+      util::IpPrefix{util::IpAddress{bits.concrete()}, len.concrete()}};
+}
+
+struct SymAttrSection {
+  SymRouteView view;  ///< shared attribute state for all NLRI in the message
+  bool saw_origin = false;
+  bool saw_as_path = false;
+  bool saw_next_hop = false;
+};
+
+/// Instrumented twin of codec.cpp's decode_attributes; the caller bounds
+/// the cursor to the attribute section.
+SymAttrSection sym_decode_attributes(SymCursor& cur, std::uint32_t bug_mask) {
+  SymAttrSection out;
+  bool seen[256] = {};
+  while (!cur.exhausted()) {
+    const SymU8 flags = cur.u8("bgp.update.malformed_attribute_list");
+    const SymU8 type = cur.u8("bgp.update.malformed_attribute_list");
+
+    // Extended-length bit decides the length field width (data-dependent
+    // control flow on a symbolic flag bit).
+    SymU32 length{0};
+    if (branch((flags & SymU8{attr_flags::kExtendedLength}) != SymU8{0})) {
+      length = cur.u16("bgp.update.malformed_attribute_list").to<std::uint32_t>();
+    } else {
+      length = cur.u8("bgp.update.malformed_attribute_list").to<std::uint32_t>();
+    }
+    cur.check_fits(length, "bgp.update.attribute_length");
+    const std::size_t value_at = cur.pos();
+    const std::size_t value_len = length.concrete();
+
+    const std::uint8_t ctype = type.concrete();
+    if (seen[ctype]) throw SymDecodeError{"bgp.update.malformed_attribute_list"};
+    seen[ctype] = true;
+
+    const SymBool optional = (flags & SymU8{attr_flags::kOptional}) != SymU8{0};
+    const SymBool transitive = (flags & SymU8{attr_flags::kTransitive}) != SymU8{0};
+    const SymBool partial = (flags & SymU8{attr_flags::kPartial}) != SymU8{0};
+
+    const auto check_well_known = [&] {
+      if (branch(optional || !transitive || partial)) {
+        throw SymDecodeError{"bgp.update.attribute_flags"};
+      }
+    };
+    const auto check_length = [&](std::uint32_t want) {
+      if (branch(length != SymU32{want})) {
+        throw SymDecodeError{"bgp.update.attribute_length"};
+      }
+    };
+
+    // if/else-if chain over the symbolic type byte: each comparison is a
+    // recorded branch, exactly like a compiled switch.
+    if (branch(type == SymU8{static_cast<std::uint8_t>(AttrType::kOrigin)})) {
+      check_well_known();
+      check_length(1);
+      const SymU8 value = cur.u8("bgp.update.attribute_length");
+      if (branch(value > SymU8{2})) throw SymDecodeError{"bgp.update.invalid_origin"};
+      out.view.origin = value;
+      out.saw_origin = true;
+    } else if (branch(type == SymU8{static_cast<std::uint8_t>(AttrType::kAsPath)})) {
+      check_well_known();
+      SectionLimit segment_section(cur, value_at + value_len);
+      while (!cur.exhausted()) {
+        const SymU8 seg_type = cur.u8("bgp.update.malformed_as_path");
+        const SymU8 seg_count = cur.u8("bgp.update.malformed_as_path");
+        if (branch(seg_type != SymU8{static_cast<std::uint8_t>(AsSegmentType::kSet)} &&
+                   seg_type != SymU8{static_cast<std::uint8_t>(AsSegmentType::kSequence)})) {
+          throw SymDecodeError{"bgp.update.malformed_as_path"};
+        }
+        if (branch(seg_count == SymU8{0})) {
+          if ((bug_mask & bugs::kAsPathZeroSegment) != 0) {
+            sym_assert(SymBool{false}, "bug.aspath_zero_segment: parser loop stuck");
+          }
+          throw SymDecodeError{"bgp.update.malformed_as_path"};
+        }
+        const bool is_sequence =
+            seg_type.concrete() == static_cast<std::uint8_t>(AsSegmentType::kSequence);
+        for (std::uint8_t i = 0; i < seg_count.concrete(); ++i) {
+          const SymU32 asn = cur.u16("bgp.update.malformed_as_path").to<std::uint32_t>();
+          out.view.path_asns.push_back(asn);
+          if (is_sequence) ++out.view.path_selection_length;
+        }
+        if (!is_sequence) ++out.view.path_selection_length;  // SET counts once
+      }
+      out.saw_as_path = true;
+    } else if (branch(type == SymU8{static_cast<std::uint8_t>(AttrType::kNextHop)})) {
+      check_well_known();
+      check_length(4);
+      const SymU32 value = cur.u32("bgp.update.attribute_length");
+      if (branch(value == SymU32{0} || value == SymU32{0xffffffffU})) {
+        throw SymDecodeError{"bgp.update.invalid_next_hop"};
+      }
+      out.view.next_hop = value;
+      out.saw_next_hop = true;
+    } else if (branch(type == SymU8{static_cast<std::uint8_t>(AttrType::kMed)})) {
+      if (branch(!optional || transitive)) {
+        throw SymDecodeError{"bgp.update.attribute_flags"};
+      }
+      check_length(4);
+      const SymU32 value = cur.u32("bgp.update.attribute_length");
+      if ((bug_mask & bugs::kMedOverflow) != 0) {
+        // Injected defect: (med + 1) wraps to zero and corrupts ranking.
+        sym_assert(value != SymU32{0xffffffffU}, "bug.med_overflow: med+1 wrapped to 0");
+      }
+      out.view.med = value;
+      out.view.has_med = true;
+    } else if (branch(type == SymU8{static_cast<std::uint8_t>(AttrType::kLocalPref)})) {
+      check_well_known();
+      check_length(4);
+      out.view.local_pref = cur.u32("bgp.update.attribute_length");
+      out.view.has_local_pref = true;
+    } else if (branch(type == SymU8{static_cast<std::uint8_t>(AttrType::kAtomicAggregate)})) {
+      check_well_known();
+      check_length(0);
+    } else if (branch(type == SymU8{static_cast<std::uint8_t>(AttrType::kAggregator)})) {
+      if (branch(!optional || !transitive)) {
+        throw SymDecodeError{"bgp.update.attribute_flags"};
+      }
+      check_length(6);
+      cur.skip(6, "bgp.update.attribute_length");
+    } else if (branch(type == SymU8{static_cast<std::uint8_t>(AttrType::kCommunity)})) {
+      if (branch(!optional || !transitive)) {
+        throw SymDecodeError{"bgp.update.attribute_flags"};
+      }
+      // length % 4 != 0 <=> (length & 3) != 0 — symbolic modulo check.
+      if (branch((length & SymU32{3}) != SymU32{0})) {
+        if ((bug_mask & bugs::kCommunityLength) != 0) {
+          sym_assert(SymBool{false}, "bug.community_length: out-of-bounds read");
+        }
+        throw SymDecodeError{"bgp.update.attribute_length"};
+      }
+      for (std::size_t i = 0; i + 4 <= value_len; i += 4) {
+        out.view.communities.push_back(cur.u32("bgp.update.attribute_length"));
+      }
+    } else {
+      // Unknown attribute: §6.3 rejects unrecognized *well-known* attrs.
+      if (branch(!optional)) {
+        throw SymDecodeError{"bgp.update.unrecognized_well_known"};
+      }
+      cur.skip(value_len, "bgp.update.attribute_length");
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic import-policy interpreter (the "configuration" dimension).
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] SymBool sym_match(const Match& match, const SymRouteView& view) {
+  switch (match.kind) {
+    case Match::Kind::kAny:
+      return SymBool{true};
+    case Match::Kind::kPrefixExact: {
+      // Wire prefixes carry zero bits past the length, but crafted inputs
+      // may not; mask with the config prefix's own mask (a constant).
+      const std::uint8_t len = match.prefix.length();
+      const std::uint32_t mask =
+          len == 0 ? 0 : (len >= 32 ? 0xffffffffU : ~((1U << (32 - len)) - 1U));
+      return view.prefix_len == SymU8{len} &&
+             (view.prefix_bits & SymU32{mask}) == SymU32{match.prefix.address().value()};
+    }
+    case Match::Kind::kPrefixOrLonger: {
+      const std::uint8_t len = match.prefix.length();
+      const std::uint32_t mask =
+          len == 0 ? 0 : (len >= 32 ? 0xffffffffU : ~((1U << (32 - len)) - 1U));
+      return view.prefix_len >= SymU8{len} &&
+             (view.prefix_bits & SymU32{mask}) == SymU32{match.prefix.address().value()};
+    }
+    case Match::Kind::kAsPathContains: {
+      SymBool any{false};
+      for (const SymU32& asn : view.path_asns) {
+        any = any || (asn == SymU32{match.asn & 0xffffU});
+      }
+      return any;
+    }
+    case Match::Kind::kOriginatedBy: {
+      if (view.path_asns.empty()) return SymBool{false};
+      return view.path_asns.back() == SymU32{match.asn & 0xffffU};
+    }
+    case Match::Kind::kCommunity: {
+      SymBool any{false};
+      for (const SymU32& c : view.communities) {
+        any = any || (c == SymU32{match.community});
+      }
+      return any;
+    }
+    case Match::Kind::kNextHop:
+      return view.next_hop == SymU32{match.address.value()};
+  }
+  return SymBool{false};
+}
+
+/// Evaluates the import policy over the symbolic view. Mirrors
+/// policy.cpp's evaluate(); every match comparison lands in the path
+/// condition (the interpreted configuration, paper §3).
+[[nodiscard]] bool sym_evaluate_policy(const Policy& policy, SymRouteView& view) {
+  for (const PolicyRule& rule : policy.rules) {
+    SymBool matched{true};
+    for (const Match& m : rule.matches) matched = matched && sym_match(m, view);
+    if (!branch(matched)) continue;
+    for (const Action& action : rule.actions) {
+      switch (action.kind) {
+        case Action::Kind::kSetLocalPref:
+          view.local_pref = SymU32{action.value};
+          view.has_local_pref = true;
+          break;
+        case Action::Kind::kSetMed:
+          view.med = SymU32{action.value};
+          view.has_med = true;
+          break;
+        case Action::Kind::kClearMed:
+          view.med = SymU32{0};
+          view.has_med = false;
+          break;
+        case Action::Kind::kAddCommunity:
+          view.communities.push_back(SymU32{action.value});
+          break;
+        case Action::Kind::kRemoveCommunity:
+          // Symbolic removal would need value-indexed erase; communities
+          // only feed equality matches, so appending a tombstone is not
+          // needed — concrete evaluation governs actual route state.
+          break;
+        case Action::Kind::kPrepend:
+          for (std::uint32_t i = 0; i < action.value; ++i) {
+            view.path_asns.insert(view.path_asns.begin(), SymU32{0});
+            ++view.path_selection_length;
+          }
+          break;
+      }
+    }
+    switch (rule.verdict) {
+      case Verdict::kAccept: return true;
+      case Verdict::kReject: return false;
+      case Verdict::kNext: break;
+    }
+  }
+  return policy.default_accept;
+}
+
+}  // namespace
+
+SymHandlerResult sym_handle_update(SymCtx& ctx, const SymHandlerEnv& env) {
+  SymHandlerResult result;
+  const RouterConfig& config = *env.config;
+  const Policy& import_policy =
+      env.neighbor_index < config.neighbors.size()
+          ? config.neighbors[env.neighbor_index].import_policy
+          : Policy::accept_all();
+
+  SymCursor cur(ctx);
+  try {
+    // Withdrawn routes section (bounded sub-reader, like the concrete twin).
+    const SymU32 withdrawn_len = cur.u16("bgp.update.malformed_attribute_list")
+                                     .to<std::uint32_t>();
+    cur.check_fits(withdrawn_len, "bgp.update.malformed_attribute_list");
+    {
+      SectionLimit withdrawn_section(cur, cur.pos() + withdrawn_len.concrete());
+      while (!cur.exhausted()) {
+        (void)sym_decode_prefix(cur);
+        ++result.withdrawn;
+      }
+    }
+
+    // Path attributes section.
+    const SymU32 attr_len = cur.u16("bgp.update.malformed_attribute_list")
+                                .to<std::uint32_t>();
+    cur.check_fits(attr_len, "bgp.update.malformed_attribute_list");
+    SymAttrSection section;
+    {
+      SectionLimit attr_section(cur, cur.pos() + attr_len.concrete());
+      section = sym_decode_attributes(cur, config.bug_mask);
+    }
+
+    // NLRI to end of body.
+    std::vector<ParsedPrefix> nlri;
+    while (!cur.exhausted()) {
+      nlri.push_back(sym_decode_prefix(cur));
+      ++result.announced;
+    }
+
+    if (!nlri.empty()) {
+      if (!section.saw_origin || !section.saw_as_path || !section.saw_next_hop) {
+        throw SymDecodeError{"bgp.update.missing_well_known"};
+      }
+      // AS-path loop check (own ASN) — symbolic over every path element.
+      SymBool loop{false};
+      for (const SymU32& asn : section.view.path_asns) {
+        loop = loop || (asn == SymU32{config.asn & 0xffffU});
+      }
+      if (branch(loop)) {
+        result.decode_ok = true;
+        result.rejected = result.announced;
+        return result;
+      }
+
+      for (ParsedPrefix& prefix : nlri) {
+        SymRouteView view = section.view;
+        view.prefix_bits = prefix.bits;
+        view.prefix_len = prefix.length;
+        if (!sym_evaluate_policy(import_policy, view)) {
+          ++result.rejected;
+          continue;
+        }
+        ++result.accepted;
+
+        // The paper's route-selection condition: is this route now the
+        // locally most preferred one for its prefix?
+        auto best_it = env.current_best.find(prefix.concrete);
+        const CurrentBest best = best_it == env.current_best.end()
+                                     ? CurrentBest{0, 0xffffffffU}  // no incumbent
+                                     : best_it->second;
+        const SymU32 best_lp{best.local_pref};
+        const SymU32 new_len{view.path_selection_length};
+        const SymU32 best_len{best.path_length};
+        const SymBool preferred =
+            (view.local_pref > best_lp) ||
+            ((view.local_pref == best_lp) && (new_len < best_len));
+        if (branch(preferred)) ++result.preferred;
+      }
+    }
+    result.decode_ok = true;
+  } catch (const SymDecodeError& error) {
+    result.decode_ok = false;
+    result.error_code = error.code;
+  }
+  return result;
+}
+
+util::Bytes wrap_update_body(const util::Bytes& body) {
+  util::ByteWriter w(kHeaderLength + body.size());
+  for (std::size_t i = 0; i < kMarkerLength; ++i) w.u8(0xff);
+  w.u16(static_cast<std::uint16_t>(kHeaderLength + body.size()));
+  w.u8(static_cast<std::uint8_t>(MessageType::kUpdate));
+  w.raw(body);
+  return std::move(w).take();
+}
+
+std::optional<util::Bytes> unwrap_update_body(const util::Bytes& message) {
+  if (message.size() < kHeaderLength) return std::nullopt;
+  if (message[kHeaderLength - 1] != static_cast<std::uint8_t>(MessageType::kUpdate)) {
+    return std::nullopt;
+  }
+  return util::Bytes(message.begin() + kHeaderLength, message.end());
+}
+
+}  // namespace dice::bgp

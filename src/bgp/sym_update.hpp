@@ -1,0 +1,93 @@
+// Instrumented BGP UPDATE handler — the DiCE integration point (paper §3).
+//
+// The paper integrates DiCE with BIRD by marking UPDATE message regions
+// (NLRI, path-attribute TLVs) as symbolic and letting the Oasis engine
+// explore the handler. This module is the source-level equivalent: it
+// re-implements the UPDATE decode path, the import-policy interpreter and
+// the route-preference condition over concolic::Sym* types, so that every
+// data-dependent branch lands in the active path condition:
+//
+//   - decode: attribute flags/type/length checks, AS_PATH segment walk,
+//     NLRI prefix-length validation — "the first dimension, due to the
+//     code implementing BGP";
+//   - policy: each config-driven comparison (prefix match, community
+//     match, AS-path match) — "the second, as the result of the particular
+//     configuration currently in use";
+//   - preference: "we treat as symbolic the condition that describes
+//     whether a route is the locally most preferred one".
+//
+// The same injected bugs as the concrete codec (bugs.hpp) fire here via
+// sym_assert, which is how the engine *finds* the crashing inputs that are
+// then replayed against clones.
+//
+// A differential property test (tests/bgp_sym_diff_test.cpp) keeps this
+// decoder byte-for-byte consistent with the concrete codec on arbitrary
+// inputs: same accept/reject outcome, same parsed fields.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/config.hpp"
+#include "concolic/sym.hpp"
+
+namespace dice::bgp {
+
+/// Symbolic view of one announced route while it flows through the
+/// instrumented import path.
+struct SymRouteView {
+  concolic::SymU32 prefix_bits{0};
+  concolic::SymU8 prefix_len{0};
+  concolic::SymU8 origin{0};
+  concolic::SymU32 next_hop{0};
+  concolic::SymU32 med{0};
+  bool has_med = false;
+  concolic::SymU32 local_pref{PathAttributes::kDefaultLocalPref};
+  bool has_local_pref = false;
+  std::vector<concolic::SymU32> path_asns;  ///< flattened AS_PATH
+  std::vector<concolic::SymU32> communities;
+  std::uint32_t path_selection_length = 0;  ///< concrete §9.1.2.2 length
+};
+
+/// Concrete summary of the current best route for one prefix (the loc-rib
+/// facts the preference condition compares against).
+struct CurrentBest {
+  std::uint32_t local_pref = PathAttributes::kDefaultLocalPref;
+  std::uint32_t path_length = 0;
+};
+
+/// Everything the handler needs from the router it runs inside.
+struct SymHandlerEnv {
+  const RouterConfig* config = nullptr;
+  std::size_t neighbor_index = 0;  ///< whose import policy applies
+  std::map<util::IpPrefix, CurrentBest> current_best;  ///< loc-rib snapshot
+};
+
+struct SymHandlerResult {
+  bool decode_ok = false;
+  std::string error_code;          ///< first decode error (empty when ok)
+  std::uint32_t withdrawn = 0;
+  std::uint32_t announced = 0;     ///< NLRI entries parsed
+  std::uint32_t accepted = 0;      ///< passed import policy
+  std::uint32_t rejected = 0;
+  std::uint32_t preferred = 0;     ///< accepted AND would become new best
+};
+
+/// Runs the instrumented handler over ctx.input(), which holds the *body*
+/// of an UPDATE message (everything after the 19-byte header — the region
+/// the paper marks symbolic). Branches land in ctx.path(); injected bugs
+/// (config->bug_mask) raise concolic::CrashSignal.
+[[nodiscard]] SymHandlerResult sym_handle_update(concolic::SymCtx& ctx,
+                                                 const SymHandlerEnv& env);
+
+/// Wraps an UPDATE body into a full wire message (header prepended) so
+/// engine-generated bodies can be injected into clones as real traffic.
+[[nodiscard]] util::Bytes wrap_update_body(const util::Bytes& body);
+
+/// Strips the header from a full UPDATE message (inverse of wrap).
+[[nodiscard]] std::optional<util::Bytes> unwrap_update_body(const util::Bytes& message);
+
+}  // namespace dice::bgp

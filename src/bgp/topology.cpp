@@ -1,0 +1,360 @@
+#include "bgp/topology.hpp"
+
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace dice::bgp {
+
+std::map<util::IpAddress, sim::NodeId> SystemBlueprint::address_book() const {
+  std::map<util::IpAddress, sim::NodeId> book;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    book[configs[i].address] = static_cast<sim::NodeId>(i);
+  }
+  return book;
+}
+
+sim::NodeId SystemBlueprint::node_by_name(std::string_view name) const {
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (configs[i].name == name) return static_cast<sim::NodeId>(i);
+  }
+  return sim::kInvalidNode;
+}
+
+util::IpAddress node_address(sim::NodeId i) {
+  return util::IpAddress{10, 0, static_cast<std::uint8_t>(i), 1};
+}
+
+Asn node_asn(sim::NodeId i) { return 65000 + i; }
+
+util::IpPrefix node_prefix(sim::NodeId i) {
+  return util::IpPrefix{util::IpAddress{10, static_cast<std::uint8_t>(100 + i), 0, 0}, 16};
+}
+
+namespace {
+
+RouterConfig base_config(sim::NodeId i, std::uint16_t hold_time = 90) {
+  RouterConfig config;
+  config.name = util::format("r%u", i);
+  config.address = node_address(i);
+  config.router_id = config.address.value();
+  config.asn = node_asn(i);
+  config.hold_time = hold_time;
+  config.networks.push_back(node_prefix(i));
+  return config;
+}
+
+NeighborConfig permissive_neighbor(sim::NodeId peer) {
+  NeighborConfig n;
+  n.address = node_address(peer);
+  n.asn = node_asn(peer);
+  n.import_policy = Policy::accept_all();
+  n.export_policy = Policy::accept_all();
+  return n;
+}
+
+void add_link(SystemBlueprint& bp, sim::NodeId a, sim::NodeId b, sim::Time latency) {
+  bp.links.push_back(LinkSpec{a, b, latency});
+  bp.configs[a].neighbors.push_back(permissive_neighbor(b));
+  bp.configs[b].neighbors.push_back(permissive_neighbor(a));
+}
+
+}  // namespace
+
+SystemBlueprint make_line(std::size_t n) {
+  SystemBlueprint bp;
+  for (std::size_t i = 0; i < n; ++i) bp.configs.push_back(base_config(static_cast<sim::NodeId>(i)));
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    add_link(bp, static_cast<sim::NodeId>(i), static_cast<sim::NodeId>(i + 1),
+             sim::kMillisecond);
+  }
+  return bp;
+}
+
+SystemBlueprint make_ring(std::size_t n) {
+  SystemBlueprint bp = make_line(n);
+  if (n > 2) add_link(bp, static_cast<sim::NodeId>(n - 1), 0, sim::kMillisecond);
+  return bp;
+}
+
+SystemBlueprint make_full_mesh(std::size_t n) {
+  SystemBlueprint bp;
+  for (std::size_t i = 0; i < n; ++i) bp.configs.push_back(base_config(static_cast<sim::NodeId>(i)));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      add_link(bp, static_cast<sim::NodeId>(i), static_cast<sim::NodeId>(j),
+               sim::kMillisecond);
+    }
+  }
+  return bp;
+}
+
+SystemBlueprint make_star(std::size_t leaves) {
+  SystemBlueprint bp;
+  bp.configs.push_back(base_config(0));
+  for (std::size_t i = 1; i <= leaves; ++i) {
+    bp.configs.push_back(base_config(static_cast<sim::NodeId>(i)));
+    add_link(bp, 0, static_cast<sim::NodeId>(i), sim::kMillisecond);
+  }
+  return bp;
+}
+
+// ---------------------------------------------------------------------------
+// Internet-like topology with Gao-Rexford policies
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Relationship of *the neighbor* relative to the local AS.
+enum class PeerKind : std::uint8_t { kCustomer, kPeer, kProvider };
+
+/// Import: tag + local-pref per Gao-Rexford; also drop our own tag
+/// collisions (defensive, tags are re-assigned on every import).
+Policy gao_import(PeerKind kind) {
+  using gao_rexford::kCustomerRoute;
+  using gao_rexford::kPeerRoute;
+  using gao_rexford::kProviderRoute;
+  Community tag = kProviderRoute;
+  std::uint32_t local_pref = 100;
+  switch (kind) {
+    case PeerKind::kCustomer:
+      tag = kCustomerRoute;
+      local_pref = 200;
+      break;
+    case PeerKind::kPeer:
+      tag = kPeerRoute;
+      local_pref = 150;
+      break;
+    case PeerKind::kProvider:
+      tag = kProviderRoute;
+      local_pref = 100;
+      break;
+  }
+  Policy policy;
+  PolicyRule rule;
+  // Strip stale relationship tags, then stamp the fresh one.
+  rule.actions.push_back(Action{Action::Kind::kRemoveCommunity, kCustomerRoute});
+  rule.actions.push_back(Action{Action::Kind::kRemoveCommunity, kPeerRoute});
+  rule.actions.push_back(Action{Action::Kind::kRemoveCommunity, kProviderRoute});
+  rule.actions.push_back(Action{Action::Kind::kAddCommunity, tag});
+  rule.actions.push_back(Action{Action::Kind::kSetLocalPref, local_pref});
+  rule.verdict = Verdict::kAccept;
+  policy.rules.push_back(std::move(rule));
+  return policy;
+}
+
+/// Export: valley-free. To customers everything goes; to peers/providers
+/// only customer routes and locally originated ones (untagged).
+Policy gao_export(PeerKind kind) {
+  using gao_rexford::kPeerRoute;
+  using gao_rexford::kProviderRoute;
+  Policy policy;
+  if (kind != PeerKind::kCustomer) {
+    PolicyRule reject_peer;
+    reject_peer.matches.push_back(
+        Match{Match::Kind::kCommunity, {}, 0, kPeerRoute, {}});
+    reject_peer.verdict = Verdict::kReject;
+    policy.rules.push_back(std::move(reject_peer));
+
+    PolicyRule reject_provider;
+    reject_provider.matches.push_back(
+        Match{Match::Kind::kCommunity, {}, 0, kProviderRoute, {}});
+    reject_provider.verdict = Verdict::kReject;
+    policy.rules.push_back(std::move(reject_provider));
+  }
+  PolicyRule accept;
+  accept.verdict = Verdict::kAccept;
+  policy.rules.push_back(std::move(accept));
+  return policy;
+}
+
+void add_gao_link(SystemBlueprint& bp, sim::NodeId upper, sim::NodeId lower, bool peering,
+                  sim::Time latency) {
+  bp.links.push_back(LinkSpec{upper, lower, latency});
+
+  NeighborConfig from_upper;  // upper's view of lower
+  from_upper.address = node_address(lower);
+  from_upper.asn = node_asn(lower);
+  NeighborConfig from_lower;  // lower's view of upper
+  from_lower.address = node_address(upper);
+  from_lower.asn = node_asn(upper);
+
+  if (peering) {
+    from_upper.description = "peer";
+    from_lower.description = "peer";
+    from_upper.import_policy = gao_import(PeerKind::kPeer);
+    from_upper.export_policy = gao_export(PeerKind::kPeer);
+    from_lower.import_policy = gao_import(PeerKind::kPeer);
+    from_lower.export_policy = gao_export(PeerKind::kPeer);
+  } else {
+    from_upper.description = "customer";
+    from_lower.description = "provider";
+    from_upper.import_policy = gao_import(PeerKind::kCustomer);
+    from_upper.export_policy = gao_export(PeerKind::kCustomer);
+    from_lower.import_policy = gao_import(PeerKind::kProvider);
+    from_lower.export_policy = gao_export(PeerKind::kProvider);
+  }
+  bp.configs[upper].neighbors.push_back(std::move(from_upper));
+  bp.configs[lower].neighbors.push_back(std::move(from_lower));
+}
+
+}  // namespace
+
+SystemBlueprint make_internet(const InternetTopologyParams& params) {
+  SystemBlueprint bp;
+  const std::size_t total = params.tier1 + params.tier2 + params.stubs;
+  assert(total <= 200);
+  for (std::size_t i = 0; i < total; ++i) {
+    bp.configs.push_back(base_config(static_cast<sim::NodeId>(i), params.hold_time));
+  }
+
+  const auto t1 = [&](std::size_t i) { return static_cast<sim::NodeId>(i); };
+  const auto t2 = [&](std::size_t i) { return static_cast<sim::NodeId>(params.tier1 + i); };
+  const auto stub = [&](std::size_t i) {
+    return static_cast<sim::NodeId>(params.tier1 + params.tier2 + i);
+  };
+
+  // Tier-1 clique: settlement-free peering.
+  for (std::size_t i = 0; i < params.tier1; ++i) {
+    for (std::size_t j = i + 1; j < params.tier1; ++j) {
+      add_gao_link(bp, t1(i), t1(j), /*peering=*/true, params.core_latency);
+    }
+  }
+
+  // Each tier-2 buys transit from two tier-1s (diverse upstreams) and peers
+  // with the next tier-2 (regional peering ring).
+  for (std::size_t i = 0; i < params.tier2; ++i) {
+    if (params.tier1 > 0) {
+      add_gao_link(bp, t1(i % params.tier1), t2(i), /*peering=*/false, params.core_latency);
+      if (params.tier1 > 1) {
+        add_gao_link(bp, t1((i + 1) % params.tier1), t2(i), /*peering=*/false,
+                     params.core_latency);
+      }
+    }
+    if (params.tier2 > 2) {
+      add_gao_link(bp, t2(i), t2((i + 1) % params.tier2), /*peering=*/true,
+                   params.edge_latency);
+    }
+  }
+
+  // Each stub buys transit from two tier-2 providers.
+  for (std::size_t i = 0; i < params.stubs; ++i) {
+    if (params.tier2 > 0) {
+      add_gao_link(bp, t2(i % params.tier2), stub(i), /*peering=*/false, params.edge_latency);
+      if (params.tier2 > 1) {
+        add_gao_link(bp, t2((i + 1) % params.tier2), stub(i), /*peering=*/false,
+                     params.edge_latency);
+      }
+    }
+  }
+  return bp;
+}
+
+// ---------------------------------------------------------------------------
+// BAD GADGET
+// ---------------------------------------------------------------------------
+
+SystemBlueprint make_bad_gadget() {
+  // Node 0: destination; nodes 1..3: the wheel. Node i prefers routes
+  // heard from its clockwise ring neighbor over its direct route to 0,
+  // and each ring node exports to its counter-clockwise neighbor only its
+  // direct path (reject anything that already went around the wheel).
+  SystemBlueprint bp;
+  for (sim::NodeId i = 0; i < 4; ++i) {
+    RouterConfig config = base_config(i, /*hold_time=*/0);  // no keepalive noise
+    if (i != 0) config.networks.clear();  // only node 0 originates
+    bp.configs.push_back(std::move(config));
+  }
+
+  const auto ring_next = [](sim::NodeId i) -> sim::NodeId {  // clockwise
+    return i == 3 ? 1 : i + 1;
+  };
+
+  // Spokes: each ring node connects to the destination.
+  for (sim::NodeId i = 1; i <= 3; ++i) {
+    bp.links.push_back(LinkSpec{0, i, sim::kMillisecond});
+    NeighborConfig hub_side = permissive_neighbor(i);
+    bp.configs[0].neighbors.push_back(hub_side);
+
+    NeighborConfig spoke_side;  // ring node's view of the destination
+    spoke_side.address = node_address(0);
+    spoke_side.asn = node_asn(0);
+    PolicyRule direct;
+    direct.actions.push_back(Action{Action::Kind::kSetLocalPref, 100});
+    direct.verdict = Verdict::kAccept;
+    spoke_side.import_policy.rules.push_back(std::move(direct));
+    spoke_side.import_policy.default_accept = false;
+    spoke_side.export_policy = Policy::accept_all();
+    bp.configs[i].neighbors.push_back(std::move(spoke_side));
+  }
+
+  // Ring links i -> next(i): i prefers routes from next(i) (localpref 200);
+  // next(i) exports to i only paths that avoid next(next(i)) — i.e. only
+  // its direct path — which is exactly Griffin's BAD GADGET path system.
+  for (sim::NodeId i = 1; i <= 3; ++i) {
+    const sim::NodeId j = ring_next(i);
+    bp.links.push_back(LinkSpec{i, j, sim::kMillisecond});
+
+    NeighborConfig i_view;  // i's view of j (clockwise neighbor)
+    i_view.address = node_address(j);
+    i_view.asn = node_asn(j);
+    PolicyRule prefer;
+    prefer.actions.push_back(Action{Action::Kind::kSetLocalPref, 200});
+    prefer.verdict = Verdict::kAccept;
+    i_view.import_policy.rules.push_back(std::move(prefer));
+    i_view.import_policy.default_accept = false;
+    {  // i exports to j only i's direct path (no wheel paths)
+      PolicyRule no_wheel;
+      no_wheel.matches.push_back(
+          Match{Match::Kind::kAsPathContains, {}, node_asn(ring_next(i)), 0, {}});
+      no_wheel.verdict = Verdict::kReject;
+      i_view.export_policy.rules.push_back(std::move(no_wheel));
+      PolicyRule accept;
+      accept.verdict = Verdict::kAccept;
+      i_view.export_policy.rules.push_back(std::move(accept));
+      i_view.export_policy.default_accept = false;
+    }
+    bp.configs[i].neighbors.push_back(std::move(i_view));
+
+    NeighborConfig j_view;  // j's view of i (counter-clockwise neighbor)
+    j_view.address = node_address(i);
+    j_view.asn = node_asn(i);
+    // j does not use routes heard from its counter-clockwise neighbor
+    // (keeps the gadget minimal: only clockwise preference edges exist).
+    j_view.import_policy = Policy::reject_all();
+    {  // j exports to i only j's direct path
+      PolicyRule no_wheel;
+      no_wheel.matches.push_back(
+          Match{Match::Kind::kAsPathContains, {}, node_asn(ring_next(j)), 0, {}});
+      no_wheel.verdict = Verdict::kReject;
+      j_view.export_policy.rules.push_back(std::move(no_wheel));
+      PolicyRule accept;
+      accept.verdict = Verdict::kAccept;
+      j_view.export_policy.rules.push_back(std::move(accept));
+      j_view.export_policy.default_accept = false;
+    }
+    bp.configs[j].neighbors.push_back(std::move(j_view));
+  }
+  return bp;
+}
+
+void inject_hijack(SystemBlueprint& blueprint, sim::NodeId victim, sim::NodeId attacker,
+                   bool more_specific) {
+  assert(victim < blueprint.configs.size() && attacker < blueprint.configs.size());
+  const util::IpPrefix owned = node_prefix(victim);
+  const util::IpPrefix stolen =
+      more_specific
+          ? util::IpPrefix{owned.address(), static_cast<std::uint8_t>(owned.length() + 8)}
+          : owned;
+  auto& networks = blueprint.configs[attacker].networks;
+  if (std::find(networks.begin(), networks.end(), stolen) == networks.end()) {
+    networks.push_back(stolen);
+  }
+}
+
+void inject_bug(SystemBlueprint& blueprint, sim::NodeId node, std::uint32_t mask) {
+  assert(node < blueprint.configs.size());
+  blueprint.configs[node].bug_mask |= mask;
+}
+
+}  // namespace dice::bgp

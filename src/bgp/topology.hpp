@@ -1,0 +1,100 @@
+// Topology builders: system blueprints (router configs + links) for the
+// paper's experiments. A SystemBlueprint is everything needed to build a
+// live system — or an isolated clone of one (dice/clone.hpp): static
+// configuration lives here, dynamic state lives in snapshots.
+//
+// Includes:
+//  - generic shapes (line, ring, full mesh, star) for tests;
+//  - the two-tier Internet-like topology with Gao-Rexford (customer/
+//    provider/peer) policies — defaults sized to the paper's 27-router
+//    demo (3 tier-1, 8 tier-2, 16 stubs, Figure 1);
+//  - the classic BAD GADGET dispute wheel (policy-conflict fault class);
+//  - fault injectors: prefix hijack (operator mistake) and parser bugs
+//    (programming errors).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/config.hpp"
+#include "sim/network.hpp"
+
+namespace dice::bgp {
+
+struct LinkSpec {
+  sim::NodeId a = 0;
+  sim::NodeId b = 0;
+  sim::Time latency = sim::kMillisecond;
+};
+
+/// Static description of a whole system; node ids are indices into configs.
+struct SystemBlueprint {
+  std::vector<RouterConfig> configs;
+  std::vector<LinkSpec> links;
+
+  [[nodiscard]] std::size_t size() const noexcept { return configs.size(); }
+  /// Address book shared by all routers (address -> node id).
+  [[nodiscard]] std::map<util::IpAddress, sim::NodeId> address_book() const;
+  [[nodiscard]] sim::NodeId node_by_name(std::string_view name) const;
+};
+
+/// Conventions used by all builders: router i has address 10.0.i.1,
+/// router id = address, ASN 65000+i, and originates 10.(100+i).0.0/16.
+[[nodiscard]] util::IpAddress node_address(sim::NodeId i);
+[[nodiscard]] Asn node_asn(sim::NodeId i);
+[[nodiscard]] util::IpPrefix node_prefix(sim::NodeId i);
+
+/// Chain r0 - r1 - ... - r{n-1}; permissive policies.
+[[nodiscard]] SystemBlueprint make_line(std::size_t n);
+
+/// Cycle of n routers; permissive policies.
+[[nodiscard]] SystemBlueprint make_ring(std::size_t n);
+
+/// Full mesh of n routers; permissive policies.
+[[nodiscard]] SystemBlueprint make_full_mesh(std::size_t n);
+
+/// Hub-and-spoke: node 0 is the hub.
+[[nodiscard]] SystemBlueprint make_star(std::size_t leaves);
+
+struct InternetTopologyParams {
+  std::size_t tier1 = 3;    ///< fully meshed core (peers)
+  std::size_t tier2 = 8;    ///< regional providers, 2 upstreams each
+  std::size_t stubs = 16;   ///< edge ASes, 2 upstreams each
+  std::uint16_t hold_time = 90;
+  sim::Time core_latency = 10 * sim::kMillisecond;
+  sim::Time edge_latency = 5 * sim::kMillisecond;
+};
+
+/// Two-tier Internet-like topology with Gao-Rexford policies. Defaults
+/// yield 27 routers, matching the demo in the paper's Figure 1.
+/// Local-pref: customer 200, peer 150, provider 100; exports follow the
+/// valley-free rules (customer routes go everywhere; peer/provider routes
+/// go to customers only), implemented with community tags (tag AS 1000:
+/// 1=customer, 2=peer, 3=provider).
+[[nodiscard]] SystemBlueprint make_internet(const InternetTopologyParams& params = {});
+
+/// Community tags used by make_internet's Gao-Rexford policies.
+namespace gao_rexford {
+inline constexpr Community kCustomerRoute = (1000u << 16) | 1;
+inline constexpr Community kPeerRoute = (1000u << 16) | 2;
+inline constexpr Community kProviderRoute = (1000u << 16) | 3;
+}  // namespace gao_rexford
+
+/// Griffin's BAD GADGET: destination node 0 plus a 3-cycle in which every
+/// ring node prefers the route through its clockwise neighbor over its
+/// direct route — a dispute wheel with no stable assignment. The system
+/// oscillates forever; DiCE's oscillation checker flags it (policy-conflict
+/// fault class).
+[[nodiscard]] SystemBlueprint make_bad_gadget();
+
+/// Operator mistake injector: `attacker` also originates `victim`'s prefix
+/// (the classic prefix hijack, e.g. the 2008 YouTube incident). With
+/// `more_specific` the attacker announces a /24 inside the victim's /16 —
+/// the YouTube-style variant that wins everywhere by longest-prefix match.
+void inject_hijack(SystemBlueprint& blueprint, sim::NodeId victim, sim::NodeId attacker,
+                   bool more_specific = false);
+
+/// Programming error injector: enables `mask` (bugs.hpp) on one router.
+void inject_bug(SystemBlueprint& blueprint, sim::NodeId node, std::uint32_t mask);
+
+}  // namespace dice::bgp

@@ -1,0 +1,84 @@
+#include "bgp/types.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace dice::bgp {
+
+std::string_view to_string(Origin origin) noexcept {
+  switch (origin) {
+    case Origin::kIgp: return "IGP";
+    case Origin::kEgp: return "EGP";
+    case Origin::kIncomplete: return "INCOMPLETE";
+  }
+  return "?";
+}
+
+std::size_t AsPath::selection_length() const noexcept {
+  std::size_t length = 0;
+  for (const AsSegment& seg : segments_) {
+    length += seg.type == AsSegmentType::kSequence ? seg.asns.size() : 1;
+  }
+  return length;
+}
+
+std::size_t AsPath::asn_count() const noexcept {
+  std::size_t count = 0;
+  for (const AsSegment& seg : segments_) count += seg.asns.size();
+  return count;
+}
+
+bool AsPath::contains(Asn asn) const noexcept {
+  for (const AsSegment& seg : segments_) {
+    if (std::find(seg.asns.begin(), seg.asns.end(), asn) != seg.asns.end()) return true;
+  }
+  return false;
+}
+
+std::optional<Asn> AsPath::origin_asn() const noexcept {
+  for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+    if (it->type == AsSegmentType::kSequence && !it->asns.empty()) return it->asns.back();
+  }
+  return std::nullopt;
+}
+
+std::optional<Asn> AsPath::first_asn() const noexcept {
+  for (const AsSegment& seg : segments_) {
+    if (seg.type == AsSegmentType::kSequence && !seg.asns.empty()) return seg.asns.front();
+  }
+  return std::nullopt;
+}
+
+void AsPath::prepend(Asn asn, std::size_t count) {
+  if (count == 0) return;
+  if (segments_.empty() || segments_.front().type != AsSegmentType::kSequence) {
+    segments_.insert(segments_.begin(), AsSegment{AsSegmentType::kSequence, {}});
+  }
+  auto& front = segments_.front().asns;
+  front.insert(front.begin(), count, asn);
+}
+
+std::string AsPath::to_string() const {
+  std::string out;
+  for (const AsSegment& seg : segments_) {
+    if (!out.empty()) out.push_back(' ');
+    if (seg.type == AsSegmentType::kSet) out.push_back('{');
+    for (std::size_t i = 0; i < seg.asns.size(); ++i) {
+      if (i != 0) out.push_back(seg.type == AsSegmentType::kSet ? ',' : ' ');
+      out.append(std::to_string(seg.asns[i]));
+    }
+    if (seg.type == AsSegmentType::kSet) out.push_back('}');
+  }
+  return out.empty() ? "<empty>" : out;
+}
+
+std::string community_to_string(Community c) {
+  return util::format("(%u,%u)", c >> 16, c & 0xffff);
+}
+
+std::string router_id_to_string(RouterId id) {
+  return util::IpAddress{id}.to_string();
+}
+
+}  // namespace dice::bgp

@@ -1,0 +1,118 @@
+// Core BGP vocabulary: AS numbers, origins, AS paths, communities.
+// Follows RFC 4271 (BGP-4) with 2-byte AS numbers on the wire (the paper's
+// 2011-era BIRD setup) while storing ASNs as 32-bit internally.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/ip.hpp"
+
+namespace dice::bgp {
+
+using Asn = std::uint32_t;
+using RouterId = std::uint32_t;  // conventionally rendered as an IPv4 address
+
+enum class Origin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+[[nodiscard]] std::string_view to_string(Origin origin) noexcept;
+
+enum class MessageType : std::uint8_t {
+  kOpen = 1,
+  kUpdate = 2,
+  kNotification = 3,
+  kKeepalive = 4,
+};
+
+/// Path attribute type codes (RFC 4271 §4.3, RFC 1997 for COMMUNITY).
+enum class AttrType : std::uint8_t {
+  kOrigin = 1,
+  kAsPath = 2,
+  kNextHop = 3,
+  kMed = 4,
+  kLocalPref = 5,
+  kAtomicAggregate = 6,
+  kAggregator = 7,
+  kCommunity = 8,
+};
+
+/// Attribute flag bits (high nibble of the flags octet).
+namespace attr_flags {
+inline constexpr std::uint8_t kOptional = 0x80;
+inline constexpr std::uint8_t kTransitive = 0x40;
+inline constexpr std::uint8_t kPartial = 0x20;
+inline constexpr std::uint8_t kExtendedLength = 0x10;
+}  // namespace attr_flags
+
+/// AS_PATH segment kinds (RFC 4271 §4.3 b).
+enum class AsSegmentType : std::uint8_t { kSet = 1, kSequence = 2 };
+
+struct AsSegment {
+  AsSegmentType type = AsSegmentType::kSequence;
+  std::vector<Asn> asns;
+
+  bool operator==(const AsSegment&) const = default;
+};
+
+/// An AS_PATH: ordered segments. Most paths are a single SEQUENCE.
+class AsPath {
+ public:
+  AsPath() = default;
+  explicit AsPath(std::vector<Asn> sequence) {
+    if (!sequence.empty()) {
+      segments_.push_back(AsSegment{AsSegmentType::kSequence, std::move(sequence)});
+    }
+  }
+
+  [[nodiscard]] const std::vector<AsSegment>& segments() const noexcept { return segments_; }
+  [[nodiscard]] std::vector<AsSegment>& segments() noexcept { return segments_; }
+
+  /// Path length for route selection: each SEQUENCE ASN counts 1, each SET
+  /// counts 1 total (RFC 4271 §9.1.2.2 a).
+  [[nodiscard]] std::size_t selection_length() const noexcept;
+
+  /// Total number of ASNs mentioned (for stats / tests).
+  [[nodiscard]] std::size_t asn_count() const noexcept;
+
+  [[nodiscard]] bool contains(Asn asn) const noexcept;
+
+  /// ASN of the route's originator: the last ASN of the last SEQUENCE
+  /// segment; nullopt for empty paths (locally originated routes).
+  [[nodiscard]] std::optional<Asn> origin_asn() const noexcept;
+
+  /// First ASN (the neighboring AS the route was learned from).
+  [[nodiscard]] std::optional<Asn> first_asn() const noexcept;
+
+  /// Prepends `asn` `count` times at the front (export-time prepending).
+  void prepend(Asn asn, std::size_t count = 1);
+
+  [[nodiscard]] bool empty() const noexcept { return segments_.empty(); }
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const AsPath&) const = default;
+
+ private:
+  std::vector<AsSegment> segments_;
+};
+
+/// RFC 1997 community value; (asn << 16) | tag.
+using Community = std::uint32_t;
+
+[[nodiscard]] constexpr Community make_community(std::uint16_t asn, std::uint16_t tag) noexcept {
+  return (static_cast<Community>(asn) << 16) | tag;
+}
+
+namespace well_known {
+inline constexpr Community kNoExport = 0xffffff01;
+inline constexpr Community kNoAdvertise = 0xffffff02;
+inline constexpr Community kNoExportSubconfed = 0xffffff03;
+}  // namespace well_known
+
+[[nodiscard]] std::string community_to_string(Community c);
+
+/// Renders a RouterId in the conventional dotted-quad form.
+[[nodiscard]] std::string router_id_to_string(RouterId id);
+
+}  // namespace dice::bgp

@@ -1,0 +1,91 @@
+#include "bgp/workload.hpp"
+
+#include "bgp/codec.hpp"
+
+namespace dice::bgp {
+
+UpdateMessage FeedEvent::to_update() const {
+  UpdateMessage update;
+  if (announce) {
+    update.attrs = attrs;
+    update.nlri.push_back(prefix);
+  } else {
+    update.withdrawn.push_back(prefix);
+  }
+  return update;
+}
+
+RouteFeedGenerator::RouteFeedGenerator(WorkloadOptions options, std::uint64_t seed)
+    : options_(options),
+      rng_(seed),
+      zipf_(options.prefix_universe, options.zipf_exponent),
+      announced_(options.prefix_universe, false) {}
+
+util::IpPrefix RouteFeedGenerator::prefix_for(std::size_t rank) const {
+  // Pack the rank into the third octet group of the /24 universe; wraps
+  // within the base /8 for very large universes.
+  const std::uint32_t bits =
+      options_.prefix_base + (static_cast<std::uint32_t>(rank) << 8);
+  return util::IpPrefix{util::IpAddress{bits}, options_.prefix_length};
+}
+
+FeedEvent RouteFeedGenerator::next(util::IpAddress next_hop) {
+  const std::size_t rank = zipf_.sample(rng_);
+  FeedEvent event;
+  event.prefix = prefix_for(rank);
+
+  const bool can_withdraw = announced_[rank];
+  event.announce = !(can_withdraw && rng_.chance(options_.withdraw_ratio));
+
+  if (!event.announce) {
+    announced_[rank] = false;
+    --announced_count_;
+    return event;
+  }
+
+  if (!announced_[rank]) {
+    announced_[rank] = true;
+    ++announced_count_;
+  }
+  event.attrs.origin = rng_.chance(0.8) ? Origin::kIgp : Origin::kIncomplete;
+  event.attrs.next_hop = next_hop;
+  const std::size_t path_len = static_cast<std::size_t>(
+      rng_.range(static_cast<std::int64_t>(options_.min_path_len),
+                 static_cast<std::int64_t>(options_.max_path_len)));
+  std::vector<Asn> path;
+  path.reserve(path_len);
+  for (std::size_t i = 0; i < path_len; ++i) {
+    path.push_back(options_.origin_asn_base +
+                   static_cast<Asn>(rng_.below(options_.origin_asn_count)));
+  }
+  // Stable origin per prefix rank keeps origin checks meaningful: the same
+  // prefix is always originated by the same AS in a healthy feed.
+  if (!path.empty()) {
+    path.back() =
+        options_.origin_asn_base + static_cast<Asn>(rank % options_.origin_asn_count);
+  }
+  event.attrs.as_path = AsPath{std::move(path)};
+  if (rng_.chance(options_.med_probability)) {
+    event.attrs.med = static_cast<std::uint32_t>(rng_.below(1000));
+  }
+  const std::size_t communities = rng_.below(options_.max_communities + 1);
+  for (std::size_t i = 0; i < communities; ++i) {
+    event.attrs.add_community(
+        make_community(static_cast<std::uint16_t>(options_.origin_asn_base),
+                       static_cast<std::uint16_t>(rng_.below(1024))));
+  }
+  return event;
+}
+
+std::vector<util::Bytes> RouteFeedGenerator::encoded_batch(std::size_t n,
+                                                           util::IpAddress next_hop) {
+  std::vector<util::Bytes> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto encoded = encode(Message{next(next_hop).to_update()});
+    if (encoded.ok()) out.push_back(std::move(encoded).take());
+  }
+  return out;
+}
+
+}  // namespace dice::bgp

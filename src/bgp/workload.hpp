@@ -1,0 +1,69 @@
+// Synthetic route-feed workload generator (the stand-in for live Internet
+// feeds, per DESIGN.md's substitution table). Produces streams of UPDATE
+// events with realistic shape: Zipf-skewed prefix popularity, plausible
+// AS-path lengths, configurable announce/withdraw mix and attribute
+// richness. Used by the overhead benches (RIB scaling) and by soak tests
+// that exercise routers under sustained churn.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/message.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace dice::bgp {
+
+struct WorkloadOptions {
+  std::size_t prefix_universe = 1000;   ///< distinct prefixes in the feed
+  double zipf_exponent = 1.1;           ///< popularity skew across prefixes
+  double withdraw_ratio = 0.15;         ///< fraction of events that withdraw
+  std::size_t min_path_len = 1;
+  std::size_t max_path_len = 6;
+  std::size_t max_communities = 3;
+  double med_probability = 0.4;
+  Asn origin_asn_base = 64512;          ///< origin ASNs drawn from a pool
+  std::size_t origin_asn_count = 64;
+  std::uint8_t prefix_length = 24;      ///< /24s, the Internet's modal length
+  std::uint32_t prefix_base = (20u << 24);  ///< 20.0.0.0 block
+};
+
+/// One feed event: an announcement (with attributes) or a withdrawal.
+struct FeedEvent {
+  bool announce = true;
+  util::IpPrefix prefix;
+  PathAttributes attrs;  ///< meaningful when announce
+
+  /// Renders the event as a complete UPDATE message from `sender`.
+  [[nodiscard]] UpdateMessage to_update() const;
+};
+
+class RouteFeedGenerator {
+ public:
+  RouteFeedGenerator(WorkloadOptions options, std::uint64_t seed);
+
+  /// Next event in the stream. Withdrawals only target prefixes that are
+  /// currently announced (the generator tracks feed state), so a consumer
+  /// router's RIB mirrors the generator's announced set.
+  [[nodiscard]] FeedEvent next(util::IpAddress next_hop);
+
+  /// Convenience: a batch of `n` encoded UPDATE messages.
+  [[nodiscard]] std::vector<util::Bytes> encoded_batch(std::size_t n,
+                                                       util::IpAddress next_hop);
+
+  /// Number of prefixes currently announced by the feed.
+  [[nodiscard]] std::size_t announced_count() const noexcept { return announced_count_; }
+  [[nodiscard]] const WorkloadOptions& options() const noexcept { return options_; }
+
+ private:
+  [[nodiscard]] util::IpPrefix prefix_for(std::size_t rank) const;
+
+  WorkloadOptions options_;
+  util::Rng rng_;
+  util::ZipfSampler zipf_;
+  std::vector<bool> announced_;  ///< by prefix rank
+  std::size_t announced_count_ = 0;
+};
+
+}  // namespace dice::bgp

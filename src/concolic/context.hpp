@@ -1,0 +1,114 @@
+// SymCtx: the per-execution concolic recording context. Instrumented code
+// (the BGP UPDATE handler and policy interpreter) runs against Sym* scalar
+// types (sym.hpp); whenever control flow depends on a symbolic value, the
+// branch outcome and its condition are appended to the PathCondition here.
+// With no active context the instrumented types degrade to plain integers —
+// this is what keeps DiCE's overhead on the live node low (paper §3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "concolic/expr.hpp"
+#include "util/bytes.hpp"
+
+namespace dice::concolic {
+
+/// Identifies a branch location in the instrumented source (hashed
+/// file:line from std::source_location). Used for coverage accounting.
+using BranchSite = std::uint32_t;
+
+/// One recorded branch: the symbolic condition and the direction the
+/// concrete execution took at a given source site.
+struct BranchRecord {
+  ExprRef cond = kNullExpr;
+  bool taken = false;
+  BranchSite site = 0;
+};
+
+/// Ordered list of branch records for a single execution.
+class PathCondition {
+ public:
+  void record(ExprRef cond, bool taken, BranchSite site) {
+    records_.push_back(BranchRecord{cond, taken, site});
+  }
+
+  [[nodiscard]] const std::vector<BranchRecord>& records() const noexcept { return records_; }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  void clear() noexcept { records_.clear(); }
+
+  /// Order-sensitive signature of (site, taken) pairs: two executions with
+  /// the same signature followed the same explored path.
+  [[nodiscard]] std::uint64_t signature() const noexcept;
+
+ private:
+  std::vector<BranchRecord> records_;
+};
+
+/// Thrown by sym_assert / instrumented invariants; the concolic engine (and
+/// the router's top-level handler) catch it and classify as a programming
+/// error — the paper's third fault class.
+struct CrashSignal {
+  std::string what;
+  util::Bytes input;  // filled in by the engine when known
+};
+
+/// Execution context: symbolic input bytes, expression pool, path condition.
+class SymCtx {
+ public:
+  explicit SymCtx(util::Bytes input) : input_(std::move(input)) {}
+
+  [[nodiscard]] ExprPool& pool() noexcept { return pool_; }
+  [[nodiscard]] const ExprPool& pool() const noexcept { return pool_; }
+  [[nodiscard]] PathCondition& path() noexcept { return path_; }
+  [[nodiscard]] const PathCondition& path() const noexcept { return path_; }
+  [[nodiscard]] const util::Bytes& input() const noexcept { return input_; }
+  [[nodiscard]] std::size_t input_size() const noexcept { return input_.size(); }
+
+  /// Concrete value of input byte i (0 beyond the end, mirroring eval()).
+  [[nodiscard]] std::uint8_t concrete_byte(std::size_t i) const noexcept {
+    return i < input_.size() ? input_[i] : 0;
+  }
+
+  /// Marks an execution-level fault (caught assertion, decoder invariant).
+  void flag_crash(std::string what) {
+    crashed_ = true;
+    crash_reason_ = std::move(what);
+  }
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+  [[nodiscard]] const std::string& crash_reason() const noexcept { return crash_reason_; }
+
+  /// The active context for instrumented code, or nullptr when the code is
+  /// running concretely (live node). Single-threaded by design — the
+  /// simulator and engine never run instrumented code concurrently.
+  [[nodiscard]] static SymCtx* current() noexcept { return current_; }
+
+ private:
+  friend class SymScope;
+  inline static SymCtx* current_ = nullptr;
+
+  ExprPool pool_;
+  PathCondition path_;
+  util::Bytes input_;
+  bool crashed_ = false;
+  std::string crash_reason_;
+};
+
+/// RAII activation of a SymCtx as the current recording context.
+class SymScope {
+ public:
+  explicit SymScope(SymCtx& ctx) noexcept : previous_(SymCtx::current_) {
+    SymCtx::current_ = &ctx;
+  }
+  ~SymScope() noexcept { SymCtx::current_ = previous_; }
+  SymScope(const SymScope&) = delete;
+  SymScope& operator=(const SymScope&) = delete;
+
+ private:
+  SymCtx* previous_;
+};
+
+}  // namespace dice::concolic

@@ -1,0 +1,435 @@
+#include "concolic/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace dice::concolic {
+
+namespace {
+
+/// Values that frequently flip branch predicates (boundary values).
+constexpr std::uint8_t kInterestingBytes[] = {0, 1, 2, 4, 7, 8, 15, 16, 24, 31, 32,
+                                              63, 64, 100, 127, 128, 192, 200, 254, 255};
+
+/// Recognizes a (possibly zero-extended/truncated) bare input byte.
+[[nodiscard]] std::optional<std::uint32_t> as_bare_sym_byte(const ExprPool& pool,
+                                                            ExprRef ref) {
+  const ExprNode* cur = &pool.node(ref);
+  while (cur->op == Op::kZext || cur->op == Op::kTrunc) cur = &pool.node(cur->a);
+  if (cur->op == Op::kSym) return static_cast<std::uint32_t>(cur->value);
+  return std::nullopt;
+}
+
+[[nodiscard]] std::optional<std::uint64_t> as_constant(const ExprPool& pool, ExprRef ref) {
+  const ExprNode& node = pool.node(ref);
+  if (node.op == Op::kConst) return node.value;
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool Solver::propagate_intervals(
+    const ExprPool& pool, std::span<const Constraint> constraints,
+    std::unordered_map<std::uint32_t, ByteInterval>& intervals) const {
+  const auto narrow_lo = [&](std::uint32_t byte, std::uint32_t lo) {
+    ByteInterval& iv = intervals[byte];
+    iv.lo = std::max(iv.lo, lo);
+    return !iv.empty();
+  };
+  const auto narrow_hi = [&](std::uint32_t byte, std::uint32_t hi) {
+    ByteInterval& iv = intervals[byte];
+    iv.hi = std::min(iv.hi, hi);
+    return !iv.empty();
+  };
+
+  for (const Constraint& c : constraints) {
+    const ExprNode& node = pool.node(c.cond);
+    if (node.op != Op::kEq && node.op != Op::kNe && node.op != Op::kUlt &&
+        node.op != Op::kUle) {
+      continue;  // only flat comparisons feed the interval domain
+    }
+    // Normalize to (sym CMP const) or (const CMP sym).
+    auto sym_lhs = as_bare_sym_byte(pool, node.a);
+    auto cst_rhs = as_constant(pool, node.b);
+    auto cst_lhs = as_constant(pool, node.a);
+    auto sym_rhs = as_bare_sym_byte(pool, node.b);
+
+    if (sym_lhs && cst_rhs) {
+      const std::uint32_t byte = *sym_lhs;
+      const std::uint64_t k = *cst_rhs;
+      switch (node.op) {
+        case Op::kEq:
+          if (c.require) {
+            if (k > 0xff) return false;  // byte can never equal k
+            if (!narrow_lo(byte, static_cast<std::uint32_t>(k)) ||
+                !narrow_hi(byte, static_cast<std::uint32_t>(k))) {
+              return false;
+            }
+          }
+          // !require (x != k): not representable as one interval; skip.
+          break;
+        case Op::kNe:
+          if (!c.require) {  // x == k required
+            if (k > 0xff) return false;
+            if (!narrow_lo(byte, static_cast<std::uint32_t>(k)) ||
+                !narrow_hi(byte, static_cast<std::uint32_t>(k))) {
+              return false;
+            }
+          }
+          break;
+        case Op::kUlt:  // x < k
+          if (c.require) {
+            if (k == 0) return false;
+            if (!narrow_hi(byte, static_cast<std::uint32_t>(std::min<std::uint64_t>(k, 256) - 1))) {
+              return false;
+            }
+          } else {  // x >= k
+            if (k > 0xff) return false;
+            if (!narrow_lo(byte, static_cast<std::uint32_t>(k))) return false;
+          }
+          break;
+        case Op::kUle:  // x <= k
+          if (c.require) {
+            if (!narrow_hi(byte, static_cast<std::uint32_t>(std::min<std::uint64_t>(k, 255)))) {
+              return false;
+            }
+          } else {  // x > k
+            if (k >= 0xff) return false;
+            if (!narrow_lo(byte, static_cast<std::uint32_t>(k + 1))) return false;
+          }
+          break;
+        default:
+          break;
+      }
+    } else if (cst_lhs && sym_rhs) {
+      const std::uint32_t byte = *sym_rhs;
+      const std::uint64_t k = *cst_lhs;
+      switch (node.op) {
+        case Op::kEq:
+          if (c.require) {
+            if (k > 0xff) return false;
+            if (!narrow_lo(byte, static_cast<std::uint32_t>(k)) ||
+                !narrow_hi(byte, static_cast<std::uint32_t>(k))) {
+              return false;
+            }
+          }
+          break;
+        case Op::kNe:
+          if (!c.require) {
+            if (k > 0xff) return false;
+            if (!narrow_lo(byte, static_cast<std::uint32_t>(k)) ||
+                !narrow_hi(byte, static_cast<std::uint32_t>(k))) {
+              return false;
+            }
+          }
+          break;
+        case Op::kUlt:  // k < x
+          if (c.require) {
+            if (k >= 0xff) return false;
+            if (!narrow_lo(byte, static_cast<std::uint32_t>(k + 1))) return false;
+          } else {  // k >= x, i.e. x <= k
+            if (!narrow_hi(byte, static_cast<std::uint32_t>(std::min<std::uint64_t>(k, 255)))) {
+              return false;
+            }
+          }
+          break;
+        case Op::kUle:  // k <= x
+          if (c.require) {
+            if (k > 0xff) return false;
+            if (!narrow_lo(byte, static_cast<std::uint32_t>(k))) return false;
+          } else {  // k > x, i.e. x < k
+            if (k == 0) return false;
+            if (!narrow_hi(byte, static_cast<std::uint32_t>(std::min<std::uint64_t>(k, 256) - 1))) {
+              return false;
+            }
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<util::Bytes> Solver::solve(const ExprPool& pool,
+                                         std::span<const Constraint> constraints,
+                                         const util::Bytes& hint) {
+  ++stats_.queries;
+
+  if (satisfied(pool, constraints, hint)) {
+    ++stats_.sat;
+    ++stats_.hint_hits;
+    return hint;
+  }
+
+  if (options_.enable_inversion) {
+    if (auto direct = try_inversion(pool, constraints, hint)) {
+      ++stats_.sat;
+      ++stats_.inversion_hits;
+      return direct;
+    }
+  }
+
+  // Determine which input bytes the *unsatisfied* constraints depend on;
+  // only those need to change (the rest already satisfy their conjuncts,
+  // though mutations may break them — full verification guards that).
+  std::unordered_set<std::uint32_t> involved_set;
+  for (const Constraint& c : constraints) {
+    const bool holds = (pool.eval(c.cond, hint) != 0) == c.require;
+    ++stats_.evaluations;
+    if (!holds) pool.collect_syms(c.cond, involved_set);
+  }
+  std::vector<std::uint32_t> involved(involved_set.begin(), involved_set.end());
+  std::sort(involved.begin(), involved.end());
+  // Bytes beyond the hint length read as zero and cannot be assigned.
+  std::erase_if(involved, [&](std::uint32_t i) { return i >= hint.size(); });
+  if (involved.empty()) {
+    ++stats_.unsat_or_unknown;
+    return std::nullopt;
+  }
+
+  // Interval pre-pass: each derived bound is a necessary condition, so an
+  // empty intersection proves the conjunction unsatisfiable without any
+  // candidate evaluation.
+  std::unordered_map<std::uint32_t, ByteInterval> intervals;
+  if (!propagate_intervals(pool, constraints, intervals)) {
+    ++stats_.interval_unsat;
+    ++stats_.unsat_or_unknown;
+    return std::nullopt;
+  }
+
+  if (options_.enable_exhaustive && involved.size() <= options_.max_exhaustive_bytes) {
+    if (auto found = try_exhaustive(pool, constraints, hint, involved)) {
+      ++stats_.sat;
+      ++stats_.exhaustive_hits;
+      return found;
+    }
+    // Exhaustive over the involved bytes is complete w.r.t. those bytes:
+    // if nothing satisfies the conjunction, widening to other bytes cannot
+    // help (they do not appear in the failing constraints).
+    ++stats_.unsat_or_unknown;
+    return std::nullopt;
+  }
+
+  if (options_.enable_search) {
+    if (auto found = try_search(pool, constraints, hint, involved)) {
+      ++stats_.sat;
+      ++stats_.search_hits;
+      return found;
+    }
+  }
+  ++stats_.unsat_or_unknown;
+  return std::nullopt;
+}
+
+bool Solver::satisfied(const ExprPool& pool, std::span<const Constraint> constraints,
+                       const util::Bytes& candidate) {
+  for (const Constraint& c : constraints) {
+    ++stats_.evaluations;
+    if ((pool.eval(c.cond, candidate) != 0) != c.require) return false;
+  }
+  return true;
+}
+
+double Solver::distance(const ExprPool& pool, const Constraint& c,
+                        const util::Bytes& candidate) {
+  ++stats_.evaluations;
+  const ExprNode& n = pool.node(c.cond);
+  const auto eval_children = [&]() -> std::pair<std::uint64_t, std::uint64_t> {
+    return {pool.eval(n.a, candidate), pool.eval(n.b, candidate)};
+  };
+  // Classic branch-distance metric from search-based software testing.
+  switch (n.op) {
+    case Op::kEq: {
+      const auto [a, b] = eval_children();
+      const double diff = a > b ? static_cast<double>(a - b) : static_cast<double>(b - a);
+      return c.require ? diff : (a == b ? 1.0 : 0.0);
+    }
+    case Op::kNe: {
+      const auto [a, b] = eval_children();
+      const double diff = a > b ? static_cast<double>(a - b) : static_cast<double>(b - a);
+      return c.require ? (a != b ? 0.0 : 1.0) : diff;
+    }
+    case Op::kUlt: {
+      const auto [a, b] = eval_children();
+      if (c.require) return a < b ? 0.0 : static_cast<double>(a - b) + 1.0;
+      return a >= b ? 0.0 : static_cast<double>(b - a);
+    }
+    case Op::kUle: {
+      const auto [a, b] = eval_children();
+      if (c.require) return a <= b ? 0.0 : static_cast<double>(a - b);
+      return a > b ? 0.0 : static_cast<double>(b - a) + 1.0;
+    }
+    case Op::kBoolAnd: {
+      const Constraint ca{n.a, true};
+      const Constraint cb{n.b, true};
+      if (c.require) return distance(pool, ca, candidate) + distance(pool, cb, candidate);
+      return std::min(distance(pool, Constraint{n.a, false}, candidate),
+                      distance(pool, Constraint{n.b, false}, candidate));
+    }
+    case Op::kBoolOr: {
+      if (c.require) {
+        return std::min(distance(pool, Constraint{n.a, true}, candidate),
+                        distance(pool, Constraint{n.b, true}, candidate));
+      }
+      return distance(pool, Constraint{n.a, false}, candidate) +
+             distance(pool, Constraint{n.b, false}, candidate);
+    }
+    case Op::kBoolNot:
+      return distance(pool, Constraint{n.a, !c.require}, candidate);
+    default: {
+      const bool holds = (pool.eval(c.cond, candidate) != 0) == c.require;
+      return holds ? 0.0 : 1.0;
+    }
+  }
+}
+
+double Solver::total_distance(const ExprPool& pool, std::span<const Constraint> constraints,
+                              const util::Bytes& candidate) {
+  double total = 0.0;
+  for (const Constraint& c : constraints) {
+    // log1p keeps one huge conjunct from drowning progress on the others.
+    total += std::log1p(distance(pool, c, candidate));
+  }
+  return total;
+}
+
+std::optional<util::Bytes> Solver::try_inversion(const ExprPool& pool,
+                                                 std::span<const Constraint> constraints,
+                                                 const util::Bytes& hint) {
+  // Fast path: exactly one failing constraint of shape byte-expr ⊕ const
+  // where the byte expression is a bare (possibly zero-extended) input byte.
+  const Constraint* failing = nullptr;
+  for (const Constraint& c : constraints) {
+    ++stats_.evaluations;
+    if ((pool.eval(c.cond, hint) != 0) != c.require) {
+      if (failing != nullptr) return std::nullopt;  // more than one failing
+      failing = &c;
+    }
+  }
+  if (failing == nullptr) return std::nullopt;
+
+  const ExprNode& n = pool.node(failing->cond);
+  if (n.op != Op::kEq && n.op != Op::kNe) return std::nullopt;
+
+  const auto as_bare_sym = [&](ExprRef ref) -> std::optional<std::uint32_t> {
+    const ExprNode* cur = &pool.node(ref);
+    while (cur->op == Op::kZext || cur->op == Op::kTrunc) cur = &pool.node(cur->a);
+    if (cur->op == Op::kSym) return static_cast<std::uint32_t>(cur->value);
+    return std::nullopt;
+  };
+  const auto as_const = [&](ExprRef ref) -> std::optional<std::uint64_t> {
+    const ExprNode& cn = pool.node(ref);
+    if (cn.op == Op::kConst) return cn.value;
+    return std::nullopt;
+  };
+
+  std::optional<std::uint32_t> sym = as_bare_sym(n.a);
+  std::optional<std::uint64_t> cst = as_const(n.b);
+  if (!sym || !cst) {
+    sym = as_bare_sym(n.b);
+    cst = as_const(n.a);
+  }
+  if (!sym || !cst || *sym >= hint.size() || *cst > 0xff) return std::nullopt;
+
+  util::Bytes candidate = hint;
+  const bool want_equal = (n.op == Op::kEq) == failing->require;
+  if (want_equal) {
+    candidate[*sym] = static_cast<std::uint8_t>(*cst);
+  } else {
+    candidate[*sym] = static_cast<std::uint8_t>((*cst + 1) & 0xff);
+  }
+  if (satisfied(pool, constraints, candidate)) return candidate;
+  return std::nullopt;
+}
+
+std::optional<util::Bytes> Solver::try_exhaustive(const ExprPool& pool,
+                                                  std::span<const Constraint> constraints,
+                                                  const util::Bytes& hint,
+                                                  const std::vector<std::uint32_t>& involved) {
+  util::Bytes candidate = hint;
+  if (involved.size() == 1) {
+    const std::uint32_t i = involved[0];
+    // Enumerate only the interval-feasible range for this byte.
+    std::unordered_map<std::uint32_t, ByteInterval> intervals;
+    ByteInterval range;
+    if (propagate_intervals(pool, constraints, intervals)) {
+      if (auto it = intervals.find(i); it != intervals.end()) range = it->second;
+    }
+    for (std::uint32_t v = range.lo; v <= range.hi; ++v) {
+      candidate[i] = static_cast<std::uint8_t>(v);
+      if (satisfied(pool, constraints, candidate)) return candidate;
+    }
+    return std::nullopt;
+  }
+  // Two bytes: iterate boundary-biased order first, then the full square.
+  const std::uint32_t i = involved[0];
+  const std::uint32_t j = involved[1];
+  for (std::uint8_t vi : kInterestingBytes) {
+    for (std::uint8_t vj : kInterestingBytes) {
+      candidate[i] = vi;
+      candidate[j] = vj;
+      if (satisfied(pool, constraints, candidate)) return candidate;
+    }
+  }
+  for (int vi = 0; vi <= 0xff; ++vi) {
+    for (int vj = 0; vj <= 0xff; ++vj) {
+      candidate[i] = static_cast<std::uint8_t>(vi);
+      candidate[j] = static_cast<std::uint8_t>(vj);
+      if (satisfied(pool, constraints, candidate)) return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<util::Bytes> Solver::try_search(const ExprPool& pool,
+                                              std::span<const Constraint> constraints,
+                                              const util::Bytes& hint,
+                                              const std::vector<std::uint32_t>& involved) {
+  const std::uint32_t per_restart = options_.search_budget / std::max(1U, options_.restarts);
+  for (std::uint32_t restart = 0; restart < options_.restarts; ++restart) {
+    util::Bytes current = hint;
+    if (restart > 0) {
+      // Later restarts scramble the involved bytes to escape local minima.
+      for (std::uint32_t i : involved) current[i] = rng_.byte();
+    }
+    double best = total_distance(pool, constraints, current);
+    if (best == 0.0 && satisfied(pool, constraints, current)) return current;
+
+    for (std::uint32_t step = 0; step < per_restart; ++step) {
+      util::Bytes candidate = current;
+      const std::uint32_t idx = involved[rng_.below(involved.size())];
+      switch (rng_.below(4)) {
+        case 0:
+          candidate[idx] = kInterestingBytes[rng_.below(std::size(kInterestingBytes))];
+          break;
+        case 1:
+          candidate[idx] = rng_.byte();
+          break;
+        case 2: {
+          const int delta = static_cast<int>(rng_.range(1, 16)) * (rng_.chance(0.5) ? 1 : -1);
+          candidate[idx] = static_cast<std::uint8_t>(candidate[idx] + delta);
+          break;
+        }
+        default: {
+          // Occasionally mutate a second byte too (coupled constraints).
+          const std::uint32_t idx2 = involved[rng_.below(involved.size())];
+          candidate[idx] = rng_.byte();
+          candidate[idx2] = rng_.byte();
+          break;
+        }
+      }
+      const double d = total_distance(pool, constraints, candidate);
+      if (d <= best) {  // accept sideways moves: plateaus are common
+        best = d;
+        current = std::move(candidate);
+        if (best == 0.0 && satisfied(pool, constraints, current)) return current;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dice::concolic

@@ -1,0 +1,112 @@
+// Constraint solver for path conditions over symbolic input bytes.
+//
+// The solver answers: "find an input assignment under which every constraint
+// in a conjunction evaluates to its required truth value", starting from a
+// hint (the input of the execution whose path is being mutated — concolic
+// solving is always a perturbation of a known-good assignment).
+//
+// Strategy, cheapest first:
+//   1. verify the hint (the negated branch may already hold);
+//   2. direct inversion for single-byte equalities/inequalities;
+//   3. exhaustive enumeration when <=2 input bytes are involved;
+//   4. branch-distance-guided stochastic local search (search-based testing
+//      style) over the involved bytes, with random restarts.
+// Every candidate is verified by concrete evaluation before being returned,
+// so the solver is sound by construction (it can only be incomplete).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "concolic/expr.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace dice::concolic {
+
+/// A conjunct: `cond` must evaluate to `require`.
+struct Constraint {
+  ExprRef cond = kNullExpr;
+  bool require = true;
+};
+
+struct SolverOptions {
+  std::uint32_t max_exhaustive_bytes = 2;  ///< enumerate up to 256^k assignments
+  std::uint32_t search_budget = 6000;      ///< local-search candidate evaluations
+  std::uint32_t restarts = 4;              ///< random restarts for local search
+  std::uint64_t seed = 0x50151ca5;         ///< deterministic search stream
+  // Stage toggles (ablation knobs; production keeps all enabled).
+  bool enable_inversion = true;
+  bool enable_exhaustive = true;
+  bool enable_search = true;
+};
+
+struct SolverStats {
+  std::uint64_t queries = 0;
+  std::uint64_t sat = 0;
+  std::uint64_t unsat_or_unknown = 0;
+  std::uint64_t hint_hits = 0;        ///< solved by the hint itself
+  std::uint64_t inversion_hits = 0;   ///< solved by direct inversion
+  std::uint64_t exhaustive_hits = 0;  ///< solved by enumeration
+  std::uint64_t search_hits = 0;      ///< solved by local search
+  std::uint64_t evaluations = 0;      ///< candidate evaluations performed
+  std::uint64_t interval_unsat = 0;   ///< proven unsat by interval propagation
+};
+
+/// Per-byte feasible interval derived from single-byte comparisons against
+/// constants. Each derived interval is a *necessary* condition of the
+/// conjunction, so an empty intersection proves unsatisfiability outright,
+/// and exhaustive enumeration can restrict itself to [lo, hi].
+struct ByteInterval {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 255;
+  [[nodiscard]] bool empty() const noexcept { return lo > hi; }
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverOptions options = {}) : options_(options), rng_(options.seed) {}
+
+  /// Finds an assignment satisfying all constraints, or nullopt. The result
+  /// always has the same size as `hint`.
+  [[nodiscard]] std::optional<util::Bytes> solve(const ExprPool& pool,
+                                                 std::span<const Constraint> constraints,
+                                                 const util::Bytes& hint);
+
+  [[nodiscard]] const SolverStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = SolverStats{}; }
+
+ private:
+  [[nodiscard]] bool satisfied(const ExprPool& pool, std::span<const Constraint> constraints,
+                               const util::Bytes& candidate);
+  /// Branch distance of one constraint: 0 iff satisfied; smaller is closer.
+  [[nodiscard]] double distance(const ExprPool& pool, const Constraint& c,
+                                const util::Bytes& candidate);
+  [[nodiscard]] double total_distance(const ExprPool& pool,
+                                      std::span<const Constraint> constraints,
+                                      const util::Bytes& candidate);
+  [[nodiscard]] std::optional<util::Bytes> try_inversion(const ExprPool& pool,
+                                                         std::span<const Constraint> constraints,
+                                                         const util::Bytes& hint);
+  [[nodiscard]] std::optional<util::Bytes> try_exhaustive(
+      const ExprPool& pool, std::span<const Constraint> constraints, const util::Bytes& hint,
+      const std::vector<std::uint32_t>& involved);
+  [[nodiscard]] std::optional<util::Bytes> try_search(const ExprPool& pool,
+                                                      std::span<const Constraint> constraints,
+                                                      const util::Bytes& hint,
+                                                      const std::vector<std::uint32_t>& involved);
+  /// Derives per-byte intervals from single-byte constraints; returns
+  /// false when some byte's interval is empty (conjunction unsat).
+  [[nodiscard]] bool propagate_intervals(
+      const ExprPool& pool, std::span<const Constraint> constraints,
+      std::unordered_map<std::uint32_t, ByteInterval>& intervals) const;
+
+  SolverOptions options_;
+  util::Rng rng_;
+  SolverStats stats_;
+};
+
+}  // namespace dice::concolic

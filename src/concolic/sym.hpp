@@ -1,0 +1,220 @@
+// Instrumented scalar types for source-level concolic execution.
+//
+// A Sym<U> carries a concrete value plus (optionally) a symbolic expression.
+// Arithmetic and comparisons compute concretely AND build the matching
+// expression when a SymCtx is active and at least one operand is symbolic.
+// Control flow over symbolic booleans must go through branch(), which
+// records the (condition, direction) pair in the active path condition and
+// returns the concrete truth value — exactly the concolic discipline the
+// Oasis engine applies to BIRD in the paper, here done at the source level.
+//
+// With no active SymCtx every operation is a plain integer operation plus a
+// null check, which is what bench_e4_overhead measures against vanilla code.
+#pragma once
+
+#include <cstdint>
+#include <source_location>
+#include <type_traits>
+
+#include "concolic/context.hpp"
+#include "util/hash.hpp"
+
+namespace dice::concolic {
+
+namespace detail {
+
+template <typename U>
+inline constexpr std::uint8_t width_of = sizeof(U) * 8;
+
+[[nodiscard]] inline BranchSite site_of(const std::source_location& loc) noexcept {
+  std::uint64_t h = util::fnv1a(loc.file_name());
+  h = util::hash_mix(h, loc.line());
+  h = util::hash_mix(h, loc.column());
+  return static_cast<BranchSite>(util::hash_finalize(h));
+}
+
+}  // namespace detail
+
+template <typename U>
+class Sym;
+
+/// Symbolic boolean: result of instrumented comparisons.
+class SymBool {
+ public:
+  SymBool(bool v) : conc_(v) {}  // NOLINT(google-explicit-constructor)
+  SymBool(bool v, ExprRef e) : conc_(v), expr_(e) {}
+
+  [[nodiscard]] bool concrete() const noexcept { return conc_; }
+  [[nodiscard]] ExprRef expr() const noexcept { return expr_; }
+  [[nodiscard]] bool symbolic() const noexcept {
+    return expr_ != kNullExpr && SymCtx::current() != nullptr;
+  }
+
+  [[nodiscard]] SymBool operator!() const {
+    if (!symbolic()) return SymBool{!conc_};
+    return SymBool{!conc_, SymCtx::current()->pool().bool_not(expr_)};
+  }
+  [[nodiscard]] SymBool operator&&(const SymBool& other) const {
+    const bool value = conc_ && other.conc_;
+    SymCtx* ctx = SymCtx::current();
+    if (ctx == nullptr || (expr_ == kNullExpr && other.expr_ == kNullExpr)) {
+      return SymBool{value};
+    }
+    return SymBool{value, ctx->pool().binary(Op::kBoolAnd, materialize(*ctx), other.materialize(*ctx))};
+  }
+  [[nodiscard]] SymBool operator||(const SymBool& other) const {
+    const bool value = conc_ || other.conc_;
+    SymCtx* ctx = SymCtx::current();
+    if (ctx == nullptr || (expr_ == kNullExpr && other.expr_ == kNullExpr)) {
+      return SymBool{value};
+    }
+    return SymBool{value, ctx->pool().binary(Op::kBoolOr, materialize(*ctx), other.materialize(*ctx))};
+  }
+
+  [[nodiscard]] ExprRef materialize(SymCtx& ctx) const {
+    return expr_ != kNullExpr ? expr_ : ctx.pool().constant(conc_ ? 1 : 0, 1);
+  }
+
+ private:
+  bool conc_;
+  ExprRef expr_ = kNullExpr;
+};
+
+/// Records a symbolic branch and returns the concrete direction. ALL
+/// control flow on symbolic data in instrumented code must flow through
+/// here; plain `if (x.concrete())` would silently drop the constraint.
+[[nodiscard]] inline bool branch(const SymBool& cond,
+                                 const std::source_location loc =
+                                     std::source_location::current()) {
+  SymCtx* ctx = SymCtx::current();
+  if (ctx != nullptr && cond.expr() != kNullExpr) {
+    ctx->path().record(cond.expr(), cond.concrete(), detail::site_of(loc));
+  }
+  return cond.concrete();
+}
+
+/// Instrumented assertion: records the condition like a branch, then raises
+/// CrashSignal when concretely violated. Models the "programming error"
+/// fault class: the engine searches for inputs that reach the violation.
+inline void sym_assert(const SymBool& cond, const char* what,
+                       const std::source_location loc = std::source_location::current()) {
+  if (!branch(cond, loc)) {
+    if (SymCtx* ctx = SymCtx::current()) ctx->flag_crash(what);
+    throw CrashSignal{what, {}};
+  }
+}
+
+/// Instrumented unsigned integer.
+template <typename U>
+class Sym {
+  static_assert(std::is_unsigned_v<U> && sizeof(U) <= 8);
+
+ public:
+  using value_type = U;
+  static constexpr std::uint8_t kWidth = detail::width_of<U>;
+
+  constexpr Sym() = default;
+  constexpr Sym(U v) : conc_(v) {}  // NOLINT(google-explicit-constructor)
+  constexpr Sym(U v, ExprRef e) : conc_(v), expr_(e) {}
+
+  [[nodiscard]] constexpr U concrete() const noexcept { return conc_; }
+  [[nodiscard]] constexpr ExprRef expr() const noexcept { return expr_; }
+  [[nodiscard]] bool symbolic() const noexcept {
+    return expr_ != kNullExpr && SymCtx::current() != nullptr;
+  }
+
+  /// Widening/narrowing conversion that preserves the symbolic expression.
+  template <typename V>
+  [[nodiscard]] Sym<V> to() const {
+    const V value = static_cast<V>(conc_);
+    SymCtx* ctx = SymCtx::current();
+    if (ctx == nullptr || expr_ == kNullExpr) return Sym<V>{value};
+    constexpr std::uint8_t target = detail::width_of<V>;
+    if constexpr (detail::width_of<V> == kWidth) {
+      return Sym<V>{value, expr_};
+    } else if constexpr (detail::width_of<V> > kWidth) {
+      return Sym<V>{value, ctx->pool().zext(expr_, target)};
+    } else {
+      return Sym<V>{value, ctx->pool().trunc(expr_, target)};
+    }
+  }
+
+  // --- arithmetic / bitwise -------------------------------------------------
+  friend Sym operator+(const Sym& a, const Sym& b) { return combine(Op::kAdd, a, b, static_cast<U>(a.conc_ + b.conc_)); }
+  friend Sym operator-(const Sym& a, const Sym& b) { return combine(Op::kSub, a, b, static_cast<U>(a.conc_ - b.conc_)); }
+  friend Sym operator*(const Sym& a, const Sym& b) { return combine(Op::kMul, a, b, static_cast<U>(a.conc_ * b.conc_)); }
+  friend Sym operator&(const Sym& a, const Sym& b) { return combine(Op::kAnd, a, b, static_cast<U>(a.conc_ & b.conc_)); }
+  friend Sym operator|(const Sym& a, const Sym& b) { return combine(Op::kOr, a, b, static_cast<U>(a.conc_ | b.conc_)); }
+  friend Sym operator^(const Sym& a, const Sym& b) { return combine(Op::kXor, a, b, static_cast<U>(a.conc_ ^ b.conc_)); }
+  friend Sym operator<<(const Sym& a, const Sym& b) {
+    const U value = b.conc_ >= kWidth ? U{0} : static_cast<U>(a.conc_ << b.conc_);
+    return combine(Op::kShl, a, b, value);
+  }
+  friend Sym operator>>(const Sym& a, const Sym& b) {
+    const U value = b.conc_ >= kWidth ? U{0} : static_cast<U>(a.conc_ >> b.conc_);
+    return combine(Op::kLshr, a, b, value);
+  }
+
+  // --- comparisons ----------------------------------------------------------
+  friend SymBool operator==(const Sym& a, const Sym& b) { return compare(Op::kEq, a, b, a.conc_ == b.conc_); }
+  friend SymBool operator!=(const Sym& a, const Sym& b) { return compare(Op::kNe, a, b, a.conc_ != b.conc_); }
+  friend SymBool operator<(const Sym& a, const Sym& b) { return compare(Op::kUlt, a, b, a.conc_ < b.conc_); }
+  friend SymBool operator<=(const Sym& a, const Sym& b) { return compare(Op::kUle, a, b, a.conc_ <= b.conc_); }
+  friend SymBool operator>(const Sym& a, const Sym& b) { return compare(Op::kUlt, b, a, a.conc_ > b.conc_); }
+  friend SymBool operator>=(const Sym& a, const Sym& b) { return compare(Op::kUle, b, a, a.conc_ >= b.conc_); }
+
+  [[nodiscard]] ExprRef materialize(SymCtx& ctx) const {
+    return expr_ != kNullExpr ? expr_ : ctx.pool().constant(conc_, kWidth);
+  }
+
+ private:
+  [[nodiscard]] static Sym combine(Op op, const Sym& a, const Sym& b, U value) {
+    SymCtx* ctx = SymCtx::current();
+    if (ctx == nullptr || (a.expr_ == kNullExpr && b.expr_ == kNullExpr)) {
+      return Sym{value};
+    }
+    return Sym{value, ctx->pool().binary(op, a.materialize(*ctx), b.materialize(*ctx))};
+  }
+  [[nodiscard]] static SymBool compare(Op op, const Sym& a, const Sym& b, bool value) {
+    SymCtx* ctx = SymCtx::current();
+    if (ctx == nullptr || (a.expr_ == kNullExpr && b.expr_ == kNullExpr)) {
+      return SymBool{value};
+    }
+    return SymBool{value, ctx->pool().binary(op, a.materialize(*ctx), b.materialize(*ctx))};
+  }
+
+  U conc_{};
+  ExprRef expr_ = kNullExpr;
+};
+
+using SymU8 = Sym<std::uint8_t>;
+using SymU16 = Sym<std::uint16_t>;
+using SymU32 = Sym<std::uint32_t>;
+using SymU64 = Sym<std::uint64_t>;
+
+/// Reads input byte i as a symbolic value tied to the active context. With
+/// no active context the byte is concretely zero — callers always bound
+/// reads by the concrete input size, so this path is never exercised.
+[[nodiscard]] inline SymU8 input_byte(std::size_t i) {
+  SymCtx* ctx = SymCtx::current();
+  if (ctx == nullptr) return SymU8{0};
+  return SymU8{ctx->concrete_byte(i), ctx->pool().sym_byte(static_cast<std::uint32_t>(i))};
+}
+
+/// Big-endian 16-bit read of input bytes [i, i+2).
+[[nodiscard]] inline SymU16 input_u16(std::size_t i) {
+  const SymU16 high = input_byte(i).to<std::uint16_t>();
+  const SymU16 low = input_byte(i + 1).to<std::uint16_t>();
+  return (high << SymU16{8}) | low;
+}
+
+/// Big-endian 32-bit read of input bytes [i, i+4).
+[[nodiscard]] inline SymU32 input_u32(std::size_t i) {
+  const SymU32 b0 = input_byte(i).to<std::uint32_t>();
+  const SymU32 b1 = input_byte(i + 1).to<std::uint32_t>();
+  const SymU32 b2 = input_byte(i + 2).to<std::uint32_t>();
+  const SymU32 b3 = input_byte(i + 3).to<std::uint32_t>();
+  return (b0 << SymU32{24}) | (b1 << SymU32{16}) | (b2 << SymU32{8}) | b3;
+}
+
+}  // namespace dice::concolic

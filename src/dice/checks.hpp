@@ -1,0 +1,117 @@
+// DiCE property framework (paper §2 step iii: "checks for violations of
+// properties that capture the desired system behavior").
+//
+// Federation constraint: "there cannot be unrestricted access to remote
+// node states". Checks therefore run *locally* on each node with full
+// access to that node's state, but export only a CheckVerdict through the
+// narrow information-sharing interface: booleans, counters and *hashed*
+// evidence — never RIB contents. Cross-node checks (route-origin
+// authorization) correlate verdicts by hash: a node recognizes the hash of
+// a prefix it owns, and learns nothing about anyone else's prefixes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bgp/router.hpp"
+
+namespace dice::core {
+
+/// What crosses the federation boundary. Everything here is safe to share:
+/// no prefixes, no AS paths, no RIB contents in the clear (origin ASNs are
+/// public data in BGP; prefixes travel only as hashes).
+struct CheckVerdict {
+  std::string check;                            ///< check name
+  sim::NodeId node = sim::kInvalidNode;
+  bool ok = true;
+  std::map<std::string, std::uint64_t> counters;
+  std::string summary;                          ///< redacted human summary
+
+  /// (prefix_hash, origin ASN) claims for cross-node origin validation.
+  struct OriginClaim {
+    std::uint64_t prefix_hash = 0;
+    bgp::Asn origin = 0;
+  };
+  std::vector<OriginClaim> origin_claims;
+
+  /// Hashes of prefixes this node legitimately originates (from its own
+  /// configuration — information the owner chooses to publish).
+  std::vector<std::uint64_t> owned_prefix_hashes;
+};
+
+/// Salted prefix hashing for the narrow interface. All nodes of one system
+/// share the salt (negotiated out of band); outsiders cannot invert it.
+[[nodiscard]] std::uint64_t hash_prefix(const util::IpPrefix& prefix,
+                                        std::uint64_t salt = 0xd1ce0000beefULL);
+
+/// A local check: full access to the local router, narrow output.
+class LocalCheck {
+ public:
+  virtual ~LocalCheck() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual CheckVerdict run(const bgp::BgpRouter& router) const = 0;
+};
+
+/// Programming-error detector: any handler crash observed on the node.
+class CrashCheck final : public LocalCheck {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "crash"; }
+  [[nodiscard]] CheckVerdict run(const bgp::BgpRouter& router) const override;
+};
+
+/// Policy-conflict detector: per-prefix best-route flip counts above the
+/// threshold indicate route oscillation (dispute wheel).
+class OscillationCheck final : public LocalCheck {
+ public:
+  explicit OscillationCheck(std::uint32_t flip_threshold = 8)
+      : flip_threshold_(flip_threshold) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "oscillation"; }
+  [[nodiscard]] CheckVerdict run(const bgp::BgpRouter& router) const override;
+
+ private:
+  std::uint32_t flip_threshold_;
+};
+
+/// Publishes origin claims from the local Loc-RIB plus the owned-prefix
+/// hashes from the local configuration. Never fails locally — violations
+/// only exist at aggregation time (OriginAggregator).
+class OriginClaimCheck final : public LocalCheck {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "origin-claims"; }
+  [[nodiscard]] CheckVerdict run(const bgp::BgpRouter& router) const override;
+};
+
+/// Route sanity: every Loc-RIB entry's NEXT_HOP must be a configured
+/// neighbor address (or self for local routes), and no accepted route may
+/// carry the local ASN in its AS_PATH.
+class RouteConsistencyCheck final : public LocalCheck {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "route-consistency"; }
+  [[nodiscard]] CheckVerdict run(const bgp::BgpRouter& router) const override;
+};
+
+/// Cross-node aggregation of origin claims (the hijack detector). For each
+/// prefix hash that some node declared as owned, every claim with a
+/// different origin ASN is a violation (Multiple-Origin-AS conflict /
+/// prefix hijack — the paper's operator-mistake fault class).
+struct OriginViolation {
+  std::uint64_t prefix_hash = 0;
+  bgp::Asn legitimate_origin = 0;
+  bgp::Asn observed_origin = 0;
+  std::vector<sim::NodeId> observers;  ///< nodes whose Loc-RIB carries it
+};
+
+[[nodiscard]] std::vector<OriginViolation> aggregate_origin_claims(
+    const std::vector<CheckVerdict>& verdicts,
+    const std::map<std::uint64_t, bgp::Asn>& owners);
+
+/// Builds the owner map (prefix hash -> owner ASN) from verdicts: each
+/// node publishes hashes of the prefixes it originates.
+[[nodiscard]] std::map<std::uint64_t, bgp::Asn> collect_owners(
+    const std::vector<CheckVerdict>& verdicts,
+    const std::map<sim::NodeId, bgp::Asn>& node_asns);
+
+}  // namespace dice::core

@@ -1,0 +1,214 @@
+#include "dice/orchestrator.hpp"
+
+#include <unordered_set>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace dice::core {
+
+namespace {
+
+const util::Logger& logger() {
+  static util::Logger instance("dice");
+  return instance;
+}
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+Orchestrator::Orchestrator(bgp::SystemBlueprint blueprint, DiceOptions options)
+    : blueprint_(std::move(blueprint)),
+      options_(options),
+      live_(std::make_unique<System>(blueprint_)) {}
+
+bool Orchestrator::bootstrap(std::size_t max_events) {
+  live_->start();
+  const bool quiesced = live_->converge(max_events);
+  logger().info() << "live system " << (quiesced ? "converged" : "did NOT converge") << " ("
+                  << live_->total_loc_rib_routes() << " routes, "
+                  << live_->established_sessions() << " sessions)";
+  return quiesced;
+}
+
+sim::NodeId Orchestrator::next_explorer() {
+  const sim::NodeId explorer = next_explorer_;
+  next_explorer_ = static_cast<sim::NodeId>((next_explorer_ + 1) % blueprint_.size());
+  return explorer;
+}
+
+std::vector<FaultReport> Orchestrator::check_system(System& system, std::uint64_t episode,
+                                                    sim::NodeId explorer,
+                                                    const util::Bytes& input,
+                                                    bool quiesced) const {
+  std::vector<FaultReport> faults;
+  const auto add = [&](FaultClass fault_class, std::string check, sim::NodeId node,
+                       std::string description) {
+    FaultReport report;
+    report.fault_class = fault_class;
+    report.check = std::move(check);
+    report.description = std::move(description);
+    report.node = node;
+    report.episode = episode;
+    report.explorer = explorer;
+    report.input = input;
+    report.potential = !input.empty();  // baseline clones carry no input
+    faults.push_back(std::move(report));
+  };
+
+  // A clone that cannot quiesce within budget is itself evidence of a
+  // policy conflict (persistent route oscillation).
+  if (!quiesced) {
+    add(FaultClass::kPolicyConflict, "non-quiescence", explorer,
+        "clone did not reach quiescence within budget (persistent oscillation)");
+  }
+
+  const CrashCheck crash_check;
+  const OscillationCheck oscillation_check(options_.oscillation_threshold);
+  const RouteConsistencyCheck consistency_check;
+  const OriginClaimCheck origin_check;
+
+  std::vector<CheckVerdict> origin_verdicts;
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    const sim::NodeId node = static_cast<sim::NodeId>(i);
+    const bgp::BgpRouter& router = system.router(node);
+
+    if (CheckVerdict v = crash_check.run(router); !v.ok) {
+      add(FaultClass::kProgrammingError, v.check, node, v.summary);
+    }
+    if (CheckVerdict v = oscillation_check.run(router); !v.ok) {
+      add(FaultClass::kPolicyConflict, v.check, node, v.summary);
+    }
+    if (CheckVerdict v = consistency_check.run(router); !v.ok) {
+      add(FaultClass::kOperatorMistake, v.check, node, v.summary);
+    }
+    origin_verdicts.push_back(origin_check.run(router));
+  }
+
+  // Cross-node origin authorization over the narrow interface.
+  const auto owners = collect_owners(origin_verdicts, system.node_asns());
+  for (const OriginViolation& violation : aggregate_origin_claims(origin_verdicts, owners)) {
+    std::string desc = util::format(
+        "prefix hash %016llx originated by AS%u but owned by AS%u (seen on %zu node(s))",
+        static_cast<unsigned long long>(violation.prefix_hash), violation.observed_origin,
+        violation.legitimate_origin, violation.observers.size());
+    add(FaultClass::kOperatorMistake, "route-origin",
+        violation.observers.empty() ? explorer : violation.observers.front(),
+        std::move(desc));
+  }
+  return faults;
+}
+
+EpisodeResult Orchestrator::run_episode(InputStrategy& strategy) {
+  EpisodeResult result;
+  result.episode = ++episode_counter_;
+  result.explorer = next_explorer();
+
+  // Step 2: consistent shadow snapshot (marker protocol on the live sim).
+  const auto snapshot_start = Clock::now();
+  result.snapshot_id = live_->take_snapshot(result.explorer);
+  result.snapshot_ms = ms_since(snapshot_start);
+  if (result.snapshot_id == 0) {
+    logger().warn() << "episode " << result.episode << ": snapshot failed";
+    return result;
+  }
+  const snapshot::Snapshot* snap = live_->snapshots().find(result.snapshot_id);
+
+  strategy.on_episode(*live_, result.explorer);
+
+  // Choose the injection peer: rotate over the explorer's neighbors so
+  // different episodes exercise different import policies.
+  const std::vector<sim::NodeId> neighbors = live_->network().neighbors(result.explorer);
+
+  std::unordered_set<std::uint64_t> seen_faults;
+  const auto record_faults = [&](std::vector<FaultReport> faults) {
+    for (FaultReport& fault : faults) {
+      const std::uint64_t key = fault_key(fault);
+      if (seen_faults.insert(key).second) {
+        logger().info() << "episode " << result.episode << ": " << fault.to_string();
+        result.faults.push_back(fault);
+        // The global list deduplicates across episodes (a standing fault
+        // would otherwise be re-reported every episode).
+        if (known_fault_keys_.insert(key).second) {
+          all_faults_.push_back(std::move(fault));
+        }
+      }
+    }
+  };
+
+  // Baseline clone: checks the *current* system state with no new input
+  // (catches faults already manifest, e.g. a deployed hijack).
+  if (options_.include_baseline_clone) {
+    const auto clone_start = Clock::now();
+    std::unique_ptr<System> clone = System::clone_from(blueprint_, *snap);
+    result.clone_ms += ms_since(clone_start);
+    if (clone) {
+      ++result.clones_run;
+      for (std::size_t i = 0; i < clone->size(); ++i) {
+        clone->router(static_cast<sim::NodeId>(i)).reset_flip_counters();
+      }
+      const auto explore_start = Clock::now();
+      const bool quiesced =
+          clone->converge(options_.clone_event_budget, options_.clone_time_budget);
+      result.explore_ms += ms_since(explore_start);
+      if (!quiesced) ++result.clones_non_quiescent;
+      const auto check_start = Clock::now();
+      record_faults(check_system(*clone, result.episode, result.explorer, {}, quiesced));
+      result.check_ms += ms_since(check_start);
+    }
+  }
+
+  // Steps 3..5: one cloned snapshot per input.
+  if (options_.stop_on_first_fault && !result.faults.empty()) return result;
+  const std::vector<util::Bytes> batch = strategy.next_batch(options_.inputs_per_episode);
+  for (std::size_t input_index = 0; input_index < batch.size(); ++input_index) {
+    const util::Bytes& body = batch[input_index];
+    const auto clone_start = Clock::now();
+    std::unique_ptr<System> clone = System::clone_from(blueprint_, *snap);
+    result.clone_ms += ms_since(clone_start);
+    if (!clone) continue;
+    ++result.clones_run;
+    ++result.inputs_subjected;
+    for (std::size_t i = 0; i < clone->size(); ++i) {
+      clone->router(static_cast<sim::NodeId>(i)).reset_flip_counters();
+    }
+
+    const auto explore_start = Clock::now();
+    if (!neighbors.empty()) {
+      const sim::NodeId from = neighbors[input_index % neighbors.size()];
+      clone->inject_message(from, result.explorer, bgp::wrap_update_body(body));
+    }
+    const bool quiesced =
+        clone->converge(options_.clone_event_budget, options_.clone_time_budget);
+    result.explore_ms += ms_since(explore_start);
+    if (!quiesced) ++result.clones_non_quiescent;
+
+    const auto check_start = Clock::now();
+    record_faults(check_system(*clone, result.episode, result.explorer, body, quiesced));
+    result.check_ms += ms_since(check_start);
+
+    if (options_.stop_on_first_fault && !result.faults.empty()) break;
+  }
+  return result;
+}
+
+std::size_t Orchestrator::explore_until_fault(InputStrategy& strategy, FaultClass wanted,
+                                              std::size_t max_episodes) {
+  std::size_t inputs_total = 0;
+  for (std::size_t i = 0; i < max_episodes; ++i) {
+    EpisodeResult episode = run_episode(strategy);
+    // Count baseline clone as one probe plus each subjected input.
+    inputs_total += episode.clones_run;
+    for (const FaultReport& fault : episode.faults) {
+      if (fault.fault_class == wanted) return inputs_total;
+    }
+  }
+  return SIZE_MAX;
+}
+
+}  // namespace dice::core

@@ -1,0 +1,93 @@
+// The DiCE orchestrator: drives the paper's Figure 2 loop.
+//
+//   1. choose explorer and trigger snapshot creation      (next_explorer)
+//   2. establish consistent shadow snapshot of local node
+//      checkpoints                                        (take_snapshot)
+//   3-5. explore input k over cloned snapshot k           (run_episode)
+//   then: check properties, classify faults.
+//
+// The live system keeps running throughout; exploration happens in cloned
+// Systems that share nothing with it ("operates alongside the deployed
+// system but in isolation from it").
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <unordered_set>
+
+#include "dice/checks.hpp"
+#include "dice/inputs.hpp"
+#include "dice/report.hpp"
+#include "dice/system.hpp"
+
+namespace dice::core {
+
+struct DiceOptions {
+  std::size_t inputs_per_episode = 32;
+  std::size_t clone_event_budget = 200'000;   ///< per-clone quiescence budget
+  sim::Time clone_time_budget = 120 * sim::kSecond;
+  std::uint32_t oscillation_threshold = 8;
+  bool include_baseline_clone = true;  ///< also check a no-input clone
+  bool stop_on_first_fault = false;
+};
+
+struct EpisodeResult {
+  std::uint64_t episode = 0;
+  sim::NodeId explorer = sim::kInvalidNode;
+  snapshot::SnapshotId snapshot_id = 0;
+  std::size_t inputs_subjected = 0;
+  std::size_t clones_run = 0;
+  std::size_t clones_non_quiescent = 0;
+  std::vector<FaultReport> faults;  ///< deduplicated within the episode
+  double snapshot_ms = 0.0;         ///< wall-clock stage timings (Fig. 2)
+  double clone_ms = 0.0;
+  double explore_ms = 0.0;
+  double check_ms = 0.0;
+};
+
+class Orchestrator {
+ public:
+  Orchestrator(bgp::SystemBlueprint blueprint, DiceOptions options = {});
+
+  /// Starts the live system and converges it. Returns false when the live
+  /// system fails to quiesce (e.g. an active dispute wheel) — exploration
+  /// can still proceed from whatever state the budget left behind.
+  bool bootstrap(std::size_t max_events = 2'000'000);
+
+  /// Runs one full explore-and-check episode with the given strategy.
+  [[nodiscard]] EpisodeResult run_episode(InputStrategy& strategy);
+
+  /// Runs episodes until a fault of `wanted` class is found or `max_episodes`
+  /// pass. Returns the number of inputs subjected before first detection
+  /// (SIZE_MAX when not found) — the paper's detection-latency metric.
+  [[nodiscard]] std::size_t explore_until_fault(InputStrategy& strategy, FaultClass wanted,
+                                                std::size_t max_episodes);
+
+  [[nodiscard]] System& live() noexcept { return *live_; }
+  [[nodiscard]] const std::vector<FaultReport>& all_faults() const noexcept {
+    return all_faults_;
+  }
+  [[nodiscard]] std::uint64_t episodes_run() const noexcept { return episode_counter_; }
+
+  /// Round-robin explorer election (step 1 of Fig. 2). Deterministic so
+  /// experiments are reproducible; real deployments can plug any policy.
+  [[nodiscard]] sim::NodeId next_explorer();
+
+  /// Runs the full check suite over a (usually cloned) system and returns
+  /// classified faults. Exposed for tests and custom harnesses.
+  [[nodiscard]] std::vector<FaultReport> check_system(System& system, std::uint64_t episode,
+                                                      sim::NodeId explorer,
+                                                      const util::Bytes& input,
+                                                      bool quiesced) const;
+
+ private:
+  bgp::SystemBlueprint blueprint_;
+  DiceOptions options_;
+  std::unique_ptr<System> live_;
+  sim::NodeId next_explorer_ = 0;
+  std::uint64_t episode_counter_ = 0;
+  std::vector<FaultReport> all_faults_;  ///< globally deduplicated
+  std::unordered_set<std::uint64_t> known_fault_keys_;
+};
+
+}  // namespace dice::core

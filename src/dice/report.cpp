@@ -1,0 +1,48 @@
+#include "dice/report.hpp"
+
+#include "util/hash.hpp"
+#include "util/strings.hpp"
+
+namespace dice::core {
+
+std::string_view to_string(FaultClass fault_class) noexcept {
+  switch (fault_class) {
+    case FaultClass::kProgrammingError: return "programming-error";
+    case FaultClass::kPolicyConflict: return "policy-conflict";
+    case FaultClass::kOperatorMistake: return "operator-mistake";
+  }
+  return "?";
+}
+
+std::string FaultReport::to_string() const {
+  std::string out = util::format("[%s%s] %s @node%u ep%llu",
+                                 std::string(core::to_string(fault_class)).c_str(),
+                                 potential ? ", potential" : "", check.c_str(), node,
+                                 static_cast<unsigned long long>(episode));
+  out.append(": ").append(description);
+  if (!input.empty()) {
+    out.append(" input=").append(util::to_hex(input).substr(0, 48));
+    if (input.size() > 24) out.append("...");
+  }
+  return out;
+}
+
+std::uint64_t fault_key(const FaultReport& report) {
+  std::uint64_t h = util::fnv1a(report.check);
+  h = util::hash_mix(h, static_cast<std::uint64_t>(report.fault_class));
+  h = util::hash_mix(h, report.node);
+  h = util::fnv1a(report.description, h);
+  return util::hash_finalize(h);
+}
+
+std::string render_fault_table(const std::vector<FaultReport>& reports) {
+  if (reports.empty()) return "no faults detected\n";
+  std::string out;
+  for (const FaultReport& report : reports) {
+    out.append(report.to_string());
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace dice::core

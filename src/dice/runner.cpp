@@ -1,0 +1,40 @@
+#include "dice/runner.hpp"
+
+#include <chrono>
+
+namespace dice::core {
+
+ContinuousRunner::ContinuousRunner(Orchestrator& orchestrator, InputStrategy& strategy,
+                                   RunnerOptions options)
+    : orchestrator_(orchestrator), strategy_(strategy), options_(options) {}
+
+std::size_t ContinuousRunner::run(double wall_budget_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_ms = [&start] {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     start)
+        .count();
+  };
+
+  while (elapsed_ms() < wall_budget_ms) {
+    if (options_.max_episodes != 0 && episodes_ >= options_.max_episodes) break;
+
+    // Let the live system serve for one period. Background timers
+    // (keepalives, hold timers) and any in-progress convergence run here —
+    // exploration never freezes the deployment.
+    System& live = orchestrator_.live();
+    live.simulator().run_until(live.simulator().now() + options_.episode_period);
+
+    const EpisodeResult episode = orchestrator_.run_episode(strategy_);
+    ++episodes_;
+    faults_ += episode.faults.size();
+    if (on_episode_) on_episode_(episode);
+    if (on_fault_) {
+      for (const FaultReport& fault : episode.faults) on_fault_(fault);
+    }
+    if (options_.stop_on_fault && !episode.faults.empty()) break;
+  }
+  return episodes_;
+}
+
+}  // namespace dice::core

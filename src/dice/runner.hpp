@@ -1,0 +1,57 @@
+// ContinuousRunner: the *online* in "online testing". The paper's DiCE
+// "continuously and automatically explores the system behavior" — this
+// component schedules exploration episodes periodically in simulated time,
+// interleaved with whatever the live system is doing, and streams fault
+// reports to a listener as they are found.
+//
+// The runner also demonstrates the intended deployment loop:
+//   converge -> [serve ... episode ... serve ... episode ...]
+// where each episode's snapshot captures whatever state the live system
+// happens to be in (including mid-churn after failures — see
+// examples/session_reset.cpp).
+#pragma once
+
+#include <functional>
+
+#include "dice/orchestrator.hpp"
+
+namespace dice::core {
+
+struct RunnerOptions {
+  sim::Time episode_period = 30 * sim::kSecond;  ///< sim-time between episodes
+  std::size_t max_episodes = 0;                  ///< 0 = unbounded
+  bool stop_on_fault = false;                    ///< stop after first faulty episode
+};
+
+class ContinuousRunner {
+ public:
+  /// Invoked for every newly discovered fault (already deduplicated).
+  using FaultListener = std::function<void(const FaultReport&)>;
+  /// Invoked after every episode with its result.
+  using EpisodeListener = std::function<void(const EpisodeResult&)>;
+
+  ContinuousRunner(Orchestrator& orchestrator, InputStrategy& strategy,
+                   RunnerOptions options = {});
+
+  void set_fault_listener(FaultListener listener) { on_fault_ = std::move(listener); }
+  void set_episode_listener(EpisodeListener listener) { on_episode_ = std::move(listener); }
+
+  /// Runs the online loop: advances the live simulation by episode_period,
+  /// runs one episode, repeats — until max_episodes, stop_on_fault, or
+  /// `wall_budget_ms` of host time elapses. Returns episodes run.
+  std::size_t run(double wall_budget_ms = 10'000.0);
+
+  [[nodiscard]] std::size_t episodes_run() const noexcept { return episodes_; }
+  [[nodiscard]] std::size_t faults_found() const noexcept { return faults_; }
+
+ private:
+  Orchestrator& orchestrator_;
+  InputStrategy& strategy_;
+  RunnerOptions options_;
+  FaultListener on_fault_;
+  EpisodeListener on_episode_;
+  std::size_t episodes_ = 0;
+  std::size_t faults_ = 0;
+};
+
+}  // namespace dice::core

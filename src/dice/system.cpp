@@ -1,0 +1,126 @@
+#include "dice/system.hpp"
+
+#include <set>
+
+#include "util/log.hpp"
+
+namespace dice::core {
+
+namespace {
+const util::Logger& logger() {
+  static util::Logger instance("dice.system");
+  return instance;
+}
+}  // namespace
+
+System::System(bgp::SystemBlueprint blueprint)
+    : blueprint_(std::move(blueprint)), net_(sim_), coordinator_(store_) {
+  const auto book = blueprint_.address_book();
+  std::set<sim::NodeId> members;
+  routers_.reserve(blueprint_.size());
+  for (std::size_t i = 0; i < blueprint_.size(); ++i) {
+    const sim::NodeId id = static_cast<sim::NodeId>(i);
+    routers_.push_back(
+        std::make_unique<bgp::BgpRouter>(net_, id, blueprint_.configs[i], book));
+    net_.attach(id, *routers_.back());
+    routers_.back()->set_coordinator(&coordinator_);
+    members.insert(id);
+  }
+  coordinator_.set_members(std::move(members));
+  for (const bgp::LinkSpec& link : blueprint_.links) {
+    net_.connect(link.a, link.b, link.latency);
+  }
+}
+
+System::~System() = default;
+
+void System::start() {
+  for (auto& router : routers_) router->start();
+}
+
+bool System::converge(std::size_t max_events, sim::Time max_time) {
+  return sim_.run_until_quiescent(max_events, sim_.now() + max_time);
+}
+
+snapshot::SnapshotId System::take_snapshot(sim::NodeId initiator) {
+  const snapshot::SnapshotId id = store_.next_id();
+  bool complete = false;
+  coordinator_.set_on_complete([&complete](const snapshot::Snapshot&) { complete = true; });
+  routers_.at(initiator)->initiate_snapshot(id);
+  // Drive the simulation until markers have swept the system. Markers are
+  // foreground events, so quiescence implies snapshot completion in a
+  // connected topology; a bounded run guards against partitions.
+  std::size_t steps = 0;
+  while (!complete && steps < 1'000'000 && sim_.step()) ++steps;
+  coordinator_.set_on_complete(nullptr);
+  if (!complete) {
+    logger().warn() << "snapshot " << id << " did not complete (partition?)";
+    // Clean up so later snapshots are not blocked by the stuck attempt.
+    for (auto& router : routers_) router->abort_snapshot();
+    coordinator_.reset();
+    return 0;
+  }
+  return id;
+}
+
+std::unique_ptr<System> System::clone_from(const bgp::SystemBlueprint& blueprint,
+                                           const snapshot::Snapshot& snap) {
+  auto clone = std::make_unique<System>(blueprint);
+  // Restore node states. Sessions re-arm their own timers.
+  for (const auto& [node, checkpoint] : snap.nodes) {
+    util::ByteReader reader(checkpoint.state);
+    if (auto status = clone->routers_.at(node)->restore(reader); !status) {
+      logger().error() << "clone restore failed for node " << node << ": "
+                       << status.error().to_string();
+      return nullptr;
+    }
+  }
+  // Re-originate local networks into restored Loc-RIBs (the checkpoint
+  // already contains them; restore is state-complete, so nothing to do).
+  // Re-inject in-flight frames in recorded order with small staggered
+  // delays to preserve per-channel ordering.
+  for (const auto& [key, payloads] : snap.channels) {
+    sim::Time offset = 0;
+    for (const util::Bytes& payload : payloads) {
+      sim::Frame frame;
+      frame.kind = sim::FrameKind::kData;
+      frame.payload = payload;
+      clone->net_.inject(key.from, key.to, std::move(frame), offset);
+      offset += 1;  // one microsecond apart keeps ordering deterministic
+    }
+  }
+  return clone;
+}
+
+void System::inject_message(sim::NodeId from, sim::NodeId target, util::Bytes message) {
+  sim::Frame frame;
+  frame.kind = sim::FrameKind::kData;
+  frame.payload = std::move(message);
+  net_.inject(from, target, std::move(frame));
+}
+
+std::size_t System::total_loc_rib_routes() const {
+  std::size_t total = 0;
+  for (const auto& router : routers_) total += router->loc_rib().size();
+  return total;
+}
+
+std::size_t System::established_sessions() const {
+  std::size_t total = 0;
+  for (const auto& router : routers_) {
+    for (const auto& [peer, session] : router->sessions()) {
+      if (session->established()) ++total;
+    }
+  }
+  return total;
+}
+
+std::map<sim::NodeId, bgp::Asn> System::node_asns() const {
+  std::map<sim::NodeId, bgp::Asn> out;
+  for (std::size_t i = 0; i < blueprint_.size(); ++i) {
+    out[static_cast<sim::NodeId>(i)] = blueprint_.configs[i].asn;
+  }
+  return out;
+}
+
+}  // namespace dice::core

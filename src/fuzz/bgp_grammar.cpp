@@ -1,0 +1,212 @@
+#include "fuzz/bgp_grammar.hpp"
+
+#include "bgp/codec.hpp"
+#include "bgp/sym_update.hpp"
+#include "bgp/types.hpp"
+
+namespace dice::fuzz {
+
+using bgp::AttrType;
+
+BgpGrammarSeeds BgpGrammarSeeds::from_config(const bgp::RouterConfig& config) {
+  BgpGrammarSeeds seeds;
+  seeds.known_asns.push_back(config.asn);
+  for (const util::IpPrefix& p : config.networks) seeds.known_prefixes.push_back(p);
+  for (const bgp::NeighborConfig& n : config.neighbors) {
+    seeds.known_asns.push_back(n.asn);
+    seeds.known_next_hops.push_back(n.address);
+    for (const bgp::Policy* policy : {&n.import_policy, &n.export_policy}) {
+      for (const bgp::PolicyRule& rule : policy->rules) {
+        for (const bgp::Match& m : rule.matches) {
+          switch (m.kind) {
+            case bgp::Match::Kind::kPrefixExact:
+            case bgp::Match::Kind::kPrefixOrLonger:
+              seeds.known_prefixes.push_back(m.prefix);
+              break;
+            case bgp::Match::Kind::kAsPathContains:
+            case bgp::Match::Kind::kOriginatedBy:
+              seeds.known_asns.push_back(m.asn);
+              break;
+            case bgp::Match::Kind::kCommunity:
+              seeds.known_communities.push_back(m.community);
+              break;
+            default:
+              break;
+          }
+        }
+        for (const bgp::Action& a : rule.actions) {
+          if (a.kind == bgp::Action::Kind::kAddCommunity ||
+              a.kind == bgp::Action::Kind::kRemoveCommunity) {
+            seeds.known_communities.push_back(a.value);
+          }
+        }
+      }
+    }
+  }
+  if (seeds.known_prefixes.empty()) {
+    seeds.known_prefixes.push_back(
+        util::IpPrefix{util::IpAddress{10, 1, 0, 0}, 16});
+  }
+  if (seeds.known_communities.empty()) {
+    seeds.known_communities.push_back(bgp::make_community(65000, 1));
+  }
+  return seeds;
+}
+
+namespace {
+
+[[nodiscard]] util::Bytes wire_prefix(const util::IpPrefix& prefix) {
+  util::ByteWriter w;
+  bgp::encode_prefix(w, prefix);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+BgpUpdateGrammar::BgpUpdateGrammar(BgpGrammarSeeds seeds, bool strict) {
+  Grammar& g = grammar_;
+
+  // --- prefixes -------------------------------------------------------------
+  std::vector<NodeRef> prefix_variants;
+  for (const util::IpPrefix& p : seeds.known_prefixes) {
+    prefix_variants.push_back(g.literal(wire_prefix(p)));
+    // More-specific of a known prefix (hijack-shaped announcements).
+    if (p.length() <= 24) {
+      prefix_variants.push_back(g.literal(
+          wire_prefix(util::IpPrefix{p.address(), static_cast<std::uint8_t>(p.length() + 8)})));
+    }
+  }
+  // Random short prefixes: len in {0,8,16,24,32} with matching body bytes.
+  prefix_variants.push_back(g.seq({g.byte(0)}));
+  prefix_variants.push_back(g.seq({g.byte(8), g.random_bytes(1)}));
+  prefix_variants.push_back(g.seq({g.byte(16), g.random_bytes(2)}));
+  prefix_variants.push_back(g.seq({g.byte(24), g.random_bytes(3)}));
+  prefix_variants.push_back(g.seq({g.byte(32), g.random_bytes(4)}));
+  std::vector<std::uint32_t> prefix_weights(prefix_variants.size(), 10);
+  if (!strict) {
+    // Invalid length (> 32) — the decoder must reject these. Thin tail.
+    prefix_variants.push_back(g.seq({g.byte_range(33, 255), g.random_bytes(4)}));
+    prefix_weights.push_back(2);
+  }
+  const NodeRef prefix_node = g.choice(prefix_variants, std::move(prefix_weights));
+
+  // --- ASNs / communities / next hops -----------------------------------------
+  std::vector<std::uint16_t> asn_values;
+  for (bgp::Asn asn : seeds.known_asns) {
+    asn_values.push_back(static_cast<std::uint16_t>(asn));
+  }
+  asn_values.push_back(64512);
+  asn_values.push_back(1);
+  const NodeRef asn_node = g.pick_u16(asn_values);
+
+  std::vector<std::uint32_t> community_values;
+  for (bgp::Community c : seeds.known_communities) community_values.push_back(c);
+  community_values.push_back(bgp::well_known::kNoExport);
+  const NodeRef community_node = g.pick_u32(community_values);
+
+  std::vector<std::uint32_t> next_hop_values;
+  for (const util::IpAddress& addr : seeds.known_next_hops) {
+    next_hop_values.push_back(addr.value());
+  }
+  if (next_hop_values.empty()) next_hop_values.push_back(util::IpAddress{10, 0, 0, 1}.value());
+  const NodeRef known_next_hop = g.pick_u32(next_hop_values);
+
+  // --- attributes -------------------------------------------------------------
+  const auto attr = [&](std::uint8_t flags, AttrType type, NodeRef value) {
+    return g.seq({g.byte(flags), g.byte(static_cast<std::uint8_t>(type)), g.len8(value)});
+  };
+
+  const NodeRef origin_attr =
+      attr(bgp::attr_flags::kTransitive, AttrType::kOrigin, g.byte_range(0, 2));
+
+  std::vector<NodeRef> segment_variants{
+      g.seq({g.byte(2), g.byte(1), asn_node}),                      // SEQ of 1
+      g.seq({g.byte(2), g.byte(2), asn_node, asn_node}),            // SEQ of 2
+      g.seq({g.byte(2), g.byte(3), asn_node, asn_node, asn_node}),  // SEQ of 3
+      g.seq({g.byte(1), g.byte(2), asn_node, asn_node})};           // SET of 2
+  std::vector<std::uint32_t> segment_weights{30, 30, 20, 15};
+  if (!strict) {
+    segment_variants.push_back(g.seq({g.byte(2), g.byte(0)}));  // empty SEQ (invalid)
+    segment_weights.push_back(5);
+  }
+  const NodeRef as_segment = g.choice(std::move(segment_variants), std::move(segment_weights));
+  // Strict announcements always carry a non-empty AS_PATH (eBGP reality).
+  const NodeRef as_path_attr = attr(bgp::attr_flags::kTransitive, AttrType::kAsPath,
+                                    g.repeat(as_segment, strict ? 1 : 0, 2));
+
+  const NodeRef next_hop_attr =
+      attr(bgp::attr_flags::kTransitive, AttrType::kNextHop,
+           strict ? known_next_hop
+                  : g.choice({known_next_hop, g.seq({g.byte(10), g.random_bytes(3)}),
+                              g.random_bytes(4)},
+                             {50, 30, 20}));
+
+  const NodeRef med_attr =
+      attr(bgp::attr_flags::kOptional, AttrType::kMed,
+           strict ? g.pick_u32({0, 1, 50, 100, 4096})
+                  : g.choice({g.pick_u32({0, 1, 100, 0xffffffffU}), g.random_bytes(4)},
+                             {70, 30}));
+
+  const NodeRef local_pref_attr =
+      attr(bgp::attr_flags::kTransitive, AttrType::kLocalPref,
+           g.pick_u32({50, 100, 150, 200, 300}));
+
+  const NodeRef community_attr =
+      attr(bgp::attr_flags::kOptional | bgp::attr_flags::kTransitive, AttrType::kCommunity,
+           g.repeat(community_node, 1, 3));
+
+  // Unknown optional transitive attribute (carried opaquely; valid per RFC).
+  const NodeRef unknown_attr = attr(
+      bgp::attr_flags::kOptional | bgp::attr_flags::kTransitive,
+      static_cast<AttrType>(200), g.random_bytes(3));
+
+  const NodeRef mandatory_attrs = g.seq({origin_attr, as_path_attr, next_hop_attr});
+  const NodeRef optional_attrs =
+      g.seq({g.choice({med_attr, g.literal({})}, {40, 60}),
+             g.choice({local_pref_attr, g.literal({})}, {30, 70}),
+             g.choice({community_attr, g.literal({})}, {50, 50}),
+             g.choice({unknown_attr, g.literal({})}, {15, 85})});
+  const NodeRef attrs_valid = g.seq({mandatory_attrs, optional_attrs});
+
+  NodeRef attrs = attrs_valid;
+  if (!strict) {
+    // Occasionally an out-of-range origin value.
+    const NodeRef bad_origin_attr =
+        attr(bgp::attr_flags::kTransitive, AttrType::kOrigin, g.byte_range(3, 255));
+    // Truncated community payload (length not a multiple of 4).
+    const NodeRef bad_community_attr =
+        attr(bgp::attr_flags::kOptional | bgp::attr_flags::kTransitive, AttrType::kCommunity,
+             g.seq({community_node, g.random_bytes(1)}));
+    // Flag corruption: well-known attribute with optional bit set.
+    const NodeRef bad_flags_attr =
+        attr(bgp::attr_flags::kOptional | bgp::attr_flags::kTransitive, AttrType::kOrigin,
+             g.byte_range(0, 2));
+    const NodeRef attrs_invalid =
+        g.choice({g.seq({bad_origin_attr, as_path_attr, next_hop_attr}),
+                  g.seq({bad_flags_attr, as_path_attr, next_hop_attr}),
+                  g.seq({mandatory_attrs, bad_community_attr}),
+                  as_path_attr},  // missing mandatory attrs
+                 {25, 25, 25, 25});
+    attrs = g.choice({attrs_valid, attrs_invalid}, {85, 15});
+  }
+
+  // --- whole body -------------------------------------------------------------
+  const NodeRef withdrawn = g.len16(g.repeat(prefix_node, 0, 2));
+  const NodeRef nlri = g.repeat(prefix_node, strict ? 1 : 0, 3);
+  // Pure withdrawals carry no attributes.
+  const NodeRef with_announce = g.seq({withdrawn, g.len16(attrs), nlri});
+  const NodeRef withdraw_only = g.seq({withdrawn, g.literal({0x00, 0x00})});
+  body_root_ = g.choice({with_announce, withdraw_only}, {85, 15});
+}
+
+util::Bytes BgpUpdateGrammar::generate_body(util::Rng& rng, double corruption_rate) const {
+  GenerateOptions options;
+  options.corruption_rate = corruption_rate;
+  return grammar_.generate(body_root_, rng, options);
+}
+
+util::Bytes BgpUpdateGrammar::generate_message(util::Rng& rng, double corruption_rate) const {
+  return bgp::wrap_update_body(generate_body(rng, corruption_rate));
+}
+
+}  // namespace dice::fuzz

@@ -1,0 +1,53 @@
+// The BGP UPDATE grammar instance: generates message *bodies* (the region
+// after the 19-byte header — the same region sym_update treats as the
+// symbolic input). Values are biased toward the constants that appear in
+// deployed configurations (Gao-Rexford community tags, topology prefixes)
+// so fuzzed inputs exercise policy paths, mirroring how the paper derives
+// inputs from "existing protocol messages to the extent possible".
+#pragma once
+
+#include <vector>
+
+#include "bgp/config.hpp"
+#include "fuzz/grammar.hpp"
+
+namespace dice::fuzz {
+
+struct BgpGrammarSeeds {
+  /// Prefixes that exist in the deployment (announced targets).
+  std::vector<util::IpPrefix> known_prefixes;
+  /// ASNs present in the topology (for plausible AS_PATHs).
+  std::vector<bgp::Asn> known_asns;
+  /// Community values referenced by policies.
+  std::vector<bgp::Community> known_communities;
+  /// Neighbor addresses (plausible NEXT_HOP values that pass import).
+  std::vector<util::IpAddress> known_next_hops;
+
+  /// Harvests seeds from a router's configuration (its own view of the
+  /// world: networks, neighbor ASNs, policy constants).
+  [[nodiscard]] static BgpGrammarSeeds from_config(const bgp::RouterConfig& config);
+};
+
+class BgpUpdateGrammar {
+ public:
+  /// `strict` drops every intentionally-invalid production (bad flags,
+  /// out-of-range values, truncated payloads): the generator then emits
+  /// only protocol-valid messages, modeling "existing protocol messages"
+  /// as exploration seeds. The default grammar keeps a thin invalid tail
+  /// for robustness fuzzing.
+  explicit BgpUpdateGrammar(BgpGrammarSeeds seeds, bool strict = false);
+
+  /// One UPDATE body (withdrawn section + attributes + NLRI).
+  [[nodiscard]] util::Bytes generate_body(util::Rng& rng,
+                                          double corruption_rate = 0.0) const;
+
+  /// A full wire message (header prepended).
+  [[nodiscard]] util::Bytes generate_message(util::Rng& rng,
+                                             double corruption_rate = 0.0) const;
+
+ private:
+  Grammar grammar_;
+  NodeRef body_root_ = 0;
+};
+
+}  // namespace dice::fuzz

@@ -1,0 +1,178 @@
+#include "fuzz/grammar.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace dice::fuzz {
+
+NodeRef Grammar::add(Node node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeRef>(nodes_.size() - 1);
+}
+
+NodeRef Grammar::literal(util::Bytes bytes) {
+  Node n;
+  n.kind = Kind::kLiteral;
+  n.literal = std::move(bytes);
+  return add(std::move(n));
+}
+
+NodeRef Grammar::byte_range(std::uint8_t lo, std::uint8_t hi) {
+  assert(lo <= hi);
+  Node n;
+  n.kind = Kind::kByteRange;
+  n.lo = lo;
+  n.hi = hi;
+  return add(std::move(n));
+}
+
+NodeRef Grammar::random_bytes(std::size_t count) {
+  Node n;
+  n.kind = Kind::kRandomBytes;
+  n.count = count;
+  return add(std::move(n));
+}
+
+NodeRef Grammar::pick_u16(std::vector<std::uint16_t> values) {
+  assert(!values.empty());
+  Node n;
+  n.kind = Kind::kPickU16;
+  n.u16s = std::move(values);
+  return add(std::move(n));
+}
+
+NodeRef Grammar::pick_u32(std::vector<std::uint32_t> values) {
+  assert(!values.empty());
+  Node n;
+  n.kind = Kind::kPickU32;
+  n.u32s = std::move(values);
+  return add(std::move(n));
+}
+
+NodeRef Grammar::seq(std::vector<NodeRef> children) {
+  Node n;
+  n.kind = Kind::kSeq;
+  n.children = std::move(children);
+  return add(std::move(n));
+}
+
+NodeRef Grammar::choice(std::vector<NodeRef> children, std::vector<std::uint32_t> weights) {
+  assert(!children.empty());
+  assert(weights.empty() || weights.size() == children.size());
+  Node n;
+  n.kind = Kind::kChoice;
+  n.children = std::move(children);
+  n.weights = std::move(weights);
+  return add(std::move(n));
+}
+
+NodeRef Grammar::repeat(NodeRef child, std::size_t min, std::size_t max) {
+  assert(min <= max);
+  Node n;
+  n.kind = Kind::kRepeat;
+  n.children = {child};
+  n.min = min;
+  n.max = max;
+  return add(std::move(n));
+}
+
+NodeRef Grammar::len8(NodeRef child) {
+  Node n;
+  n.kind = Kind::kLen8;
+  n.children = {child};
+  return add(std::move(n));
+}
+
+NodeRef Grammar::len16(NodeRef child) {
+  Node n;
+  n.kind = Kind::kLen16;
+  n.children = {child};
+  return add(std::move(n));
+}
+
+util::Bytes Grammar::generate(NodeRef root, util::Rng& rng,
+                              const GenerateOptions& options) const {
+  util::Bytes out;
+  emit(root, rng, options, 0, out);
+  if (out.size() > options.max_output) out.resize(options.max_output);
+  return out;
+}
+
+void Grammar::emit(NodeRef ref, util::Rng& rng, const GenerateOptions& options,
+                   std::size_t depth, util::Bytes& out) const {
+  if (depth > options.max_depth || out.size() >= options.max_output) return;
+  const Node& n = nodes_[ref];
+  switch (n.kind) {
+    case Kind::kLiteral:
+      out.insert(out.end(), n.literal.begin(), n.literal.end());
+      break;
+    case Kind::kByteRange:
+      out.push_back(static_cast<std::uint8_t>(rng.range(n.lo, n.hi)));
+      break;
+    case Kind::kRandomBytes:
+      for (std::size_t i = 0; i < n.count; ++i) out.push_back(rng.byte());
+      break;
+    case Kind::kPickU16: {
+      const std::uint16_t v = n.u16s[rng.below(n.u16s.size())];
+      out.push_back(static_cast<std::uint8_t>(v >> 8));
+      out.push_back(static_cast<std::uint8_t>(v));
+      break;
+    }
+    case Kind::kPickU32: {
+      const std::uint32_t v = n.u32s[rng.below(n.u32s.size())];
+      out.push_back(static_cast<std::uint8_t>(v >> 24));
+      out.push_back(static_cast<std::uint8_t>(v >> 16));
+      out.push_back(static_cast<std::uint8_t>(v >> 8));
+      out.push_back(static_cast<std::uint8_t>(v));
+      break;
+    }
+    case Kind::kSeq:
+      for (NodeRef child : n.children) emit(child, rng, options, depth + 1, out);
+      break;
+    case Kind::kChoice: {
+      std::size_t index = 0;
+      if (n.weights.empty()) {
+        index = rng.below(n.children.size());
+      } else {
+        const std::uint64_t total =
+            std::accumulate(n.weights.begin(), n.weights.end(), std::uint64_t{0});
+        std::uint64_t pick = rng.below(total);
+        while (index + 1 < n.weights.size() && pick >= n.weights[index]) {
+          pick -= n.weights[index];
+          ++index;
+        }
+      }
+      emit(n.children[index], rng, options, depth + 1, out);
+      break;
+    }
+    case Kind::kRepeat: {
+      const std::size_t count =
+          n.min + static_cast<std::size_t>(rng.below(n.max - n.min + 1));
+      for (std::size_t i = 0; i < count; ++i) {
+        emit(n.children[0], rng, options, depth + 1, out);
+      }
+      break;
+    }
+    case Kind::kLen8:
+    case Kind::kLen16: {
+      util::Bytes body;
+      emit(n.children[0], rng, options, depth + 1, body);
+      std::uint32_t length = static_cast<std::uint32_t>(body.size());
+      if (options.corruption_rate > 0 && rng.chance(options.corruption_rate)) {
+        const std::int64_t delta = rng.range(1, 2) * (rng.chance(0.5) ? 1 : -1);
+        length = static_cast<std::uint32_t>(
+            std::max<std::int64_t>(0, static_cast<std::int64_t>(length) + delta));
+      }
+      if (n.kind == Kind::kLen8) {
+        out.push_back(static_cast<std::uint8_t>(length));
+      } else {
+        out.push_back(static_cast<std::uint8_t>(length >> 8));
+        out.push_back(static_cast<std::uint8_t>(length));
+      }
+      out.insert(out.end(), body.begin(), body.end());
+      break;
+    }
+  }
+}
+
+}  // namespace dice::fuzz

@@ -1,0 +1,80 @@
+#include "fuzz/mutator.hpp"
+
+#include <algorithm>
+
+namespace dice::fuzz {
+
+namespace {
+constexpr std::uint8_t kInteresting[] = {0x00, 0x01, 0x02, 0x04, 0x10, 0x20, 0x40,
+                                         0x7f, 0x80, 0xc0, 0xfe, 0xff};
+}
+
+util::Bytes Mutator::mutate(const util::Bytes& input, util::Rng& rng) const {
+  util::Bytes out = input;
+  const std::size_t rounds = static_cast<std::size_t>(
+      rng.range(static_cast<std::int64_t>(options_.min_mutations),
+                static_cast<std::int64_t>(options_.max_mutations)));
+  for (std::size_t round = 0; round < rounds; ++round) {
+    if (out.empty()) {
+      out.push_back(rng.byte());
+      continue;
+    }
+    switch (rng.below(6)) {
+      case 0: {  // bit flip
+        const std::size_t i = rng.below(out.size());
+        out[i] ^= static_cast<std::uint8_t>(1U << rng.below(8));
+        break;
+      }
+      case 1: {  // interesting byte
+        out[rng.below(out.size())] = kInteresting[rng.below(std::size(kInteresting))];
+        break;
+      }
+      case 2: {  // arithmetic nudge
+        const std::size_t i = rng.below(out.size());
+        out[i] = static_cast<std::uint8_t>(out[i] + rng.range(-8, 8));
+        break;
+      }
+      case 3: {  // insert random byte
+        if (out.size() < options_.max_size) {
+          out.insert(out.begin() + static_cast<std::ptrdiff_t>(rng.below(out.size() + 1)),
+                     rng.byte());
+        }
+        break;
+      }
+      case 4: {  // delete byte
+        if (out.size() > 1) {
+          out.erase(out.begin() + static_cast<std::ptrdiff_t>(rng.below(out.size())));
+        }
+        break;
+      }
+      default: {  // duplicate a short block
+        if (out.size() >= 2 && out.size() < options_.max_size - 8) {
+          const std::size_t len = 1 + rng.below(std::min<std::size_t>(8, out.size()));
+          const std::size_t src = rng.below(out.size() - len + 1);
+          const std::size_t dst = rng.below(out.size() + 1);
+          util::Bytes block(out.begin() + static_cast<std::ptrdiff_t>(src),
+                            out.begin() + static_cast<std::ptrdiff_t>(src + len));
+          out.insert(out.begin() + static_cast<std::ptrdiff_t>(dst), block.begin(),
+                     block.end());
+        }
+        break;
+      }
+    }
+  }
+  if (out.size() > options_.max_size) out.resize(options_.max_size);
+  return out;
+}
+
+util::Bytes Mutator::splice(const util::Bytes& a, const util::Bytes& b,
+                            util::Rng& rng) const {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  const std::size_t cut_a = rng.below(a.size());
+  const std::size_t cut_b = rng.below(b.size());
+  util::Bytes out(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(cut_a));
+  out.insert(out.end(), b.begin() + static_cast<std::ptrdiff_t>(cut_b), b.end());
+  if (out.size() > options_.max_size) out.resize(options_.max_size);
+  return out;
+}
+
+}  // namespace dice::fuzz

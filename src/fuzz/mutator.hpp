@@ -1,0 +1,33 @@
+// Byte-level mutation of existing inputs (AFL-style havoc). Used to derive
+// neighbors of concolic-generated seeds and as the pure-random baseline in
+// the exploration benches (E5: concolic vs grammar-fuzz vs random).
+#pragma once
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace dice::fuzz {
+
+struct MutatorOptions {
+  std::size_t min_mutations = 1;
+  std::size_t max_mutations = 6;
+  std::size_t max_size = 4096;
+};
+
+class Mutator {
+ public:
+  explicit Mutator(MutatorOptions options = {}) : options_(options) {}
+
+  /// Returns a mutated copy of `input` (never the identical input unless
+  /// it is empty and growth is capped).
+  [[nodiscard]] util::Bytes mutate(const util::Bytes& input, util::Rng& rng) const;
+
+  /// Splices a random prefix of `a` with a random suffix of `b`.
+  [[nodiscard]] util::Bytes splice(const util::Bytes& a, const util::Bytes& b,
+                                   util::Rng& rng) const;
+
+ private:
+  MutatorOptions options_;
+};
+
+}  // namespace dice::fuzz

@@ -1,0 +1,129 @@
+#include "sim/network.hpp"
+
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace dice::sim {
+
+namespace {
+const util::Logger& logger() {
+  static util::Logger instance("sim.net");
+  return instance;
+}
+}  // namespace
+
+void Network::attach(NodeId id, Node& node) {
+  assert(!nodes_.contains(id));
+  nodes_[id] = &node;
+}
+
+void Network::detach(NodeId id) { nodes_.erase(id); }
+
+void Network::connect(NodeId a, NodeId b, Time latency) {
+  assert(a != b);
+  for (auto [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+    Channel& ch = channels_[{from, to}];
+    ch.state.from = from;
+    ch.state.to = to;
+    ch.state.latency = latency;
+    ch.state.up = true;
+  }
+}
+
+bool Network::linked(NodeId a, NodeId b) const {
+  return channels_.contains({a, b});
+}
+
+std::vector<NodeId> Network::neighbors(NodeId id) const {
+  std::vector<NodeId> out;
+  for (const auto& [key, ch] : channels_) {
+    if (key.first == id) out.push_back(key.second);
+  }
+  return out;
+}
+
+Network::Channel* Network::channel(NodeId from, NodeId to) {
+  auto it = channels_.find({from, to});
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+const Network::Channel* Network::channel(NodeId from, NodeId to) const {
+  auto it = channels_.find({from, to});
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+bool Network::send(NodeId from, NodeId to, Frame frame) {
+  Channel* ch = channel(from, to);
+  if (ch == nullptr || !ch->state.up) {
+    if (ch != nullptr) ++ch->state.dropped;
+    logger().trace() << "drop " << from << "->" << to << " (no channel or link down)";
+    return false;
+  }
+  ++total_sent_;
+  const bool background = frame.background;
+  // Ordered delivery: never before a previously sent frame on this channel.
+  Time deliver_at = sim_.now() + ch->state.latency;
+  if (deliver_at < ch->last_delivery) deliver_at = ch->last_delivery;
+  ch->last_delivery = deliver_at;
+  const std::uint64_t flight_id = next_flight_id_++;
+  ch->queue.push_back(InFlight{flight_id, deliver_at, std::move(frame)});
+  sim_.schedule_at(
+      deliver_at, [this, from, to, flight_id] { deliver(from, to, flight_id); }, background);
+  return true;
+}
+
+void Network::inject(NodeId from, NodeId to, Frame frame, Time delay) {
+  auto it = nodes_.find(to);
+  if (it == nodes_.end()) return;
+  Node* node = it->second;
+  sim_.schedule_after(delay, [node, from, frame = std::move(frame)] {
+    node->on_frame(from, frame);
+  });
+}
+
+void Network::deliver(NodeId from, NodeId to, std::uint64_t flight_id) {
+  Channel* ch = channel(from, to);
+  if (ch == nullptr) return;
+  // The frame may have been flushed by a link-down event in the meantime.
+  auto it = ch->queue.begin();
+  while (it != ch->queue.end() && it->id != flight_id) ++it;
+  if (it == ch->queue.end()) return;
+  Frame frame = std::move(it->frame);
+  ch->queue.erase(it);
+  if (!ch->state.up) {
+    ++ch->state.dropped;
+    return;
+  }
+  ++ch->state.delivered;
+  ++total_delivered_;
+  auto node_it = nodes_.find(to);
+  if (node_it != nodes_.end()) node_it->second->on_frame(from, frame);
+}
+
+void Network::set_link_up(NodeId a, NodeId b, bool up) {
+  for (auto [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+    if (Channel* ch = channel(from, to)) {
+      ch->state.up = up;
+      if (!up) {
+        ch->state.dropped += ch->queue.size();
+        ch->queue.clear();
+      }
+    }
+  }
+}
+
+std::vector<Frame> Network::in_flight(NodeId from, NodeId to) const {
+  std::vector<Frame> out;
+  if (const Channel* ch = channel(from, to)) {
+    out.reserve(ch->queue.size());
+    for (const InFlight& f : ch->queue) out.push_back(f.frame);
+  }
+  return out;
+}
+
+void Network::for_each_channel(const std::function<void(const ChannelState&)>& fn) const {
+  for (const auto& [key, ch] : channels_) fn(ch.state);
+}
+
+}  // namespace dice::sim

@@ -1,0 +1,116 @@
+// Simulated network: nodes exchange frames over reliable, ordered,
+// latency-modeled duplex links (TCP-like semantics, which is what BGP
+// assumes from its transport). The network exposes per-channel in-flight
+// frame inspection so the snapshot subsystem can capture channel state, and
+// supports taking links down to model session resets and partitions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/bytes.hpp"
+
+namespace dice::sim {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xffffffffU;
+
+/// What travels on the wire. kData carries protocol bytes; kMarker carries
+/// snapshot-protocol markers (Chandy-Lamport) identified by snapshot_id.
+enum class FrameKind : std::uint8_t { kData, kMarker };
+
+struct Frame {
+  FrameKind kind = FrameKind::kData;
+  util::Bytes payload;
+  std::uint64_t snapshot_id = 0;  ///< meaningful for kMarker only
+  bool background = false;        ///< keepalives etc.; see Simulator docs
+};
+
+/// Interface every network endpoint implements.
+class Node {
+ public:
+  virtual ~Node() = default;
+  virtual void on_frame(NodeId from, const Frame& frame) = 0;
+};
+
+/// Directed channel statistics and queued in-flight frames.
+struct ChannelState {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  Time latency = kMillisecond;
+  bool up = true;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+};
+
+class Network {
+ public:
+  explicit Network(Simulator& sim) : sim_(sim) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a node under a caller-chosen id (ids must be unique).
+  void attach(NodeId id, Node& node);
+  void detach(NodeId id);
+
+  /// Creates a duplex link (two directed channels) with symmetric latency.
+  void connect(NodeId a, NodeId b, Time latency = kMillisecond);
+
+  [[nodiscard]] bool linked(NodeId a, NodeId b) const;
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId id) const;
+
+  /// Sends a frame; returns false when no channel exists or the link is down
+  /// (the frame is counted as dropped, like a broken TCP connection).
+  bool send(NodeId from, NodeId to, Frame frame);
+
+  /// Takes a directed pair of channels up/down. Frames already in flight
+  /// when a link goes down are lost (connection reset semantics).
+  void set_link_up(NodeId a, NodeId b, bool up);
+
+  /// In-flight frames currently queued on the directed channel from->to,
+  /// oldest first. Used by snapshot cloning to reconstruct channel state.
+  [[nodiscard]] std::vector<Frame> in_flight(NodeId from, NodeId to) const;
+
+  /// Visits every directed channel (state only, no payloads).
+  void for_each_channel(const std::function<void(const ChannelState&)>& fn) const;
+
+  /// Injects a frame for immediate local delivery to `to` as if sent by
+  /// `from` — the input-subjection hook DiCE uses on clones (§2: "subjecting
+  /// system nodes to many possible inputs").
+  void inject(NodeId from, NodeId to, Frame frame, Time delay = 0);
+
+  [[nodiscard]] Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] std::uint64_t total_sent() const noexcept { return total_sent_; }
+  [[nodiscard]] std::uint64_t total_delivered() const noexcept { return total_delivered_; }
+
+ private:
+  struct InFlight {
+    std::uint64_t id;
+    Time deliver_at;
+    Frame frame;
+  };
+  struct Channel {
+    ChannelState state;
+    std::deque<InFlight> queue;
+    Time last_delivery = 0;  // enforces ordered delivery
+  };
+
+  [[nodiscard]] Channel* channel(NodeId from, NodeId to);
+  [[nodiscard]] const Channel* channel(NodeId from, NodeId to) const;
+  void deliver(NodeId from, NodeId to, std::uint64_t flight_id);
+
+  Simulator& sim_;
+  std::map<NodeId, Node*> nodes_;
+  std::map<std::pair<NodeId, NodeId>, Channel> channels_;
+  std::uint64_t next_flight_id_ = 1;
+  std::uint64_t total_sent_ = 0;
+  std::uint64_t total_delivered_ = 0;
+};
+
+}  // namespace dice::sim

@@ -1,0 +1,54 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace dice::sim {
+
+TimerHandle Simulator::schedule_at(Time at, Action action, bool background) {
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Event{at < now_ ? now_ : at, next_seq_++, background, flag, std::move(action)});
+  if (!background) ++foreground_pending_;
+  return TimerHandle{std::move(flag)};
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    if (!event.background) --foreground_pending_;
+    if (*event.cancelled) continue;
+    now_ = event.at;
+    ++executed_;
+    event.action();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t count = 0;
+  while (count < max_events && step()) ++count;
+  return count;
+}
+
+std::size_t Simulator::run_until(Time deadline) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    if (!step()) break;
+    ++count;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+bool Simulator::run_until_quiescent(std::size_t max_events, Time max_time) {
+  std::size_t count = 0;
+  while (foreground_pending_ > 0) {
+    if (count >= max_events || now_ > max_time) return false;
+    if (!step()) break;
+    ++count;
+  }
+  return true;
+}
+
+}  // namespace dice::sim

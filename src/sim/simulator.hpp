@@ -1,0 +1,93 @@
+// Deterministic discrete-event simulator.
+//
+// Events run in (time, sequence) order, so identical seeds and inputs yield
+// identical executions — the property the snapshot/clone machinery relies on
+// (a clone restored from a snapshot replays deterministically).
+//
+// Events are either *foreground* (protocol work: UPDATE propagation, session
+// establishment) or *background* (periodic keepalives, hold timers).
+// run_until_quiescent() drains foreground work only: a converged BGP system
+// has no foreground events left even though keepalive timers keep ticking.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dice::sim {
+
+/// Cancellable handle for scheduled events (used for protocol timers).
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  void cancel() noexcept {
+    if (cancelled_) *cancelled_ = true;
+  }
+  [[nodiscard]] bool active() const noexcept { return cancelled_ && !*cancelled_; }
+
+ private:
+  friend class Simulator;
+  explicit TimerHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `action` at absolute time `at` (clamped to now).
+  TimerHandle schedule_at(Time at, Action action, bool background = false);
+  /// Schedules `action` after `delay` from now.
+  TimerHandle schedule_after(Time delay, Action action, bool background = false) {
+    return schedule_at(now_ + delay, std::move(action), background);
+  }
+
+  /// Runs the earliest event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue is empty or `max_events` executed; returns events run.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Runs until simulated time reaches `deadline`; returns events run.
+  std::size_t run_until(Time deadline);
+
+  /// Runs until no foreground events remain (or a budget trips). Returns
+  /// true when quiescence was reached within the budgets.
+  bool run_until_quiescent(std::size_t max_events = 2'000'000,
+                           Time max_time = 24ULL * 3600 * kSecond);
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t pending_foreground() const noexcept { return foreground_pending_; }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    bool background;
+    std::shared_ptr<bool> cancelled;
+    Action action;
+  };
+  struct Later {
+    [[nodiscard]] bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::size_t foreground_pending_ = 0;
+};
+
+}  // namespace dice::sim

@@ -1,0 +1,14 @@
+// Simulated time: unsigned microseconds since simulation start.
+#pragma once
+
+#include <cstdint>
+
+namespace dice::sim {
+
+using Time = std::uint64_t;
+
+inline constexpr Time kMicrosecond = 1;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+}  // namespace dice::sim

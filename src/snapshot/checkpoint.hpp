@@ -1,0 +1,36 @@
+// Lightweight node checkpoints (paper Fig. 2 step 2: "establish consistent
+// shadow snapshot of local node checkpoints"). A Checkpointable serializes
+// its *dynamic* state — configuration is part of the system blueprint and
+// is not duplicated into checkpoints, which is what keeps them lightweight.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace dice::snapshot {
+
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+
+  /// Serializes dynamic state (RIBs, session FSM states, counters).
+  virtual void checkpoint(util::ByteWriter& writer) const = 0;
+
+  /// Restores state previously produced by checkpoint(). Implementations
+  /// must re-arm any timers implied by the restored state.
+  [[nodiscard]] virtual util::Status restore(util::ByteReader& reader) = 0;
+
+  /// Content hash of the checkpointed state; clones must reproduce it.
+  [[nodiscard]] virtual std::uint64_t state_hash() const;
+};
+
+/// A captured node checkpoint.
+struct Checkpoint {
+  std::uint32_t node = 0;
+  util::Bytes state;
+  std::uint64_t hash = 0;
+};
+
+}  // namespace dice::snapshot

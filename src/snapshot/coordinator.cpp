@@ -1,0 +1,40 @@
+#include "snapshot/coordinator.hpp"
+
+#include "util/log.hpp"
+
+namespace dice::snapshot {
+
+namespace {
+const util::Logger& logger() {
+  static util::Logger instance("snapshot.coord");
+  return instance;
+}
+}  // namespace
+
+void SnapshotCoordinator::report(SnapshotId id, sim::Time now, Checkpoint checkpoint,
+                                 std::map<sim::NodeId, std::vector<util::Bytes>> incoming) {
+  if (!pending_ || pending_->id != id) {
+    pending_ = Snapshot{};
+    pending_->id = id;
+    pending_->taken_at = now;
+    reported_.clear();
+  }
+  const sim::NodeId node = checkpoint.node;
+  pending_->nodes[node] = std::move(checkpoint);
+  for (auto& [from, frames] : incoming) {
+    pending_->channels[ChannelKey{from, node}] = std::move(frames);
+  }
+  reported_.insert(node);
+
+  if (reported_ == members_) {
+    logger().debug() << "snapshot " << id << " complete: " << pending_->nodes.size()
+                     << " nodes, " << pending_->total_in_flight() << " in-flight frames";
+    Snapshot done = std::move(*pending_);
+    pending_.reset();
+    reported_.clear();
+    store_.put(done);
+    if (on_complete_) on_complete_(done);
+  }
+}
+
+}  // namespace dice::snapshot

@@ -1,0 +1,50 @@
+// Snapshot coordinator: collects per-node checkpoints and channel logs as
+// participants complete the marker protocol, assembles the consistent
+// Snapshot, and files it in the store. In a real federated deployment this
+// role is distributed; here it is the test-harness-visible aggregation
+// point (the narrow interface still only ever carries opaque state bytes
+// produced by each node itself).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "snapshot/store.hpp"
+
+namespace dice::snapshot {
+
+class SnapshotCoordinator {
+ public:
+  using CompletionCallback = std::function<void(const Snapshot&)>;
+
+  explicit SnapshotCoordinator(SnapshotStore& store) : store_(store) {}
+
+  /// Declares the nodes participating in snapshots (the system membership).
+  void set_members(std::set<sim::NodeId> members) { members_ = std::move(members); }
+
+  void set_on_complete(CompletionCallback cb) { on_complete_ = std::move(cb); }
+
+  /// Called by participants when their local protocol finishes.
+  void report(SnapshotId id, sim::Time now, Checkpoint checkpoint,
+              std::map<sim::NodeId, std::vector<util::Bytes>> incoming_channels);
+
+  [[nodiscard]] bool in_progress() const noexcept { return pending_.has_value(); }
+  [[nodiscard]] SnapshotStore& store() noexcept { return store_; }
+
+  /// Drops a partially assembled snapshot (failed/aborted attempt).
+  void reset() {
+    pending_.reset();
+    reported_.clear();
+  }
+
+ private:
+  SnapshotStore& store_;
+  std::set<sim::NodeId> members_;
+  CompletionCallback on_complete_;
+  std::optional<Snapshot> pending_;
+  std::set<sim::NodeId> reported_;
+};
+
+}  // namespace dice::snapshot

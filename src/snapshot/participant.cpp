@@ -1,0 +1,98 @@
+#include "snapshot/participant.hpp"
+
+#include "snapshot/coordinator.hpp"
+#include "util/hash.hpp"
+#include "util/log.hpp"
+
+namespace dice::snapshot {
+
+namespace {
+const util::Logger& logger() {
+  static util::Logger instance("snapshot");
+  return instance;
+}
+}  // namespace
+
+SnapshotParticipant::SnapshotParticipant(sim::Network& network, sim::NodeId id)
+    : net_(network), id_(id) {}
+
+void SnapshotParticipant::initiate_snapshot(SnapshotId id) {
+  if (snapshotting_) {
+    logger().warn() << "node " << id_ << " ignoring snapshot " << id
+                    << ": snapshot " << active_id_ << " in progress";
+    return;
+  }
+  begin_snapshot(id, sim::kInvalidNode);
+  finish_if_complete();  // degenerate case: node with no neighbors
+}
+
+void SnapshotParticipant::abort_snapshot() {
+  snapshotting_ = false;
+  active_id_ = 0;
+  local_checkpoint_ = Checkpoint{};
+  awaiting_marker_.clear();
+  channel_log_.clear();
+}
+
+void SnapshotParticipant::begin_snapshot(SnapshotId id, sim::NodeId skip_channel) {
+  snapshotting_ = true;
+  active_id_ = id;
+  channel_log_.clear();
+  awaiting_marker_.clear();
+
+  // Record local state at the cut.
+  util::ByteWriter writer;
+  checkpointable().checkpoint(writer);
+  local_checkpoint_.node = id_;
+  local_checkpoint_.hash = util::fnv1a(writer.span());
+  local_checkpoint_.state = std::move(writer).take();
+
+  // Emit markers on all outgoing channels; start recording all incoming
+  // channels except the one the first marker arrived on (its state is empty
+  // by the algorithm's construction).
+  for (sim::NodeId neighbor : net_.neighbors(id_)) {
+    sim::Frame marker;
+    marker.kind = sim::FrameKind::kMarker;
+    marker.snapshot_id = id;
+    net_.send(id_, neighbor, std::move(marker));
+    if (neighbor != skip_channel) {
+      awaiting_marker_[neighbor] = true;
+      channel_log_[neighbor] = {};
+    }
+  }
+  logger().debug() << "node " << id_ << " recorded state for snapshot " << id;
+}
+
+void SnapshotParticipant::on_frame(sim::NodeId from, const sim::Frame& frame) {
+  if (frame.kind == sim::FrameKind::kMarker) {
+    if (!snapshotting_) {
+      begin_snapshot(frame.snapshot_id, from);
+    } else if (frame.snapshot_id == active_id_) {
+      awaiting_marker_.erase(from);  // channel state for `from` is complete
+    }
+    finish_if_complete();
+    return;
+  }
+
+  // Data frame: record if this incoming channel is still being logged.
+  if (snapshotting_) {
+    auto it = awaiting_marker_.find(from);
+    if (it != awaiting_marker_.end() && it->second) {
+      channel_log_[from].push_back(frame.payload);
+    }
+  }
+  deliver_data(from, frame.payload);
+}
+
+void SnapshotParticipant::finish_if_complete() {
+  if (!snapshotting_ || !awaiting_marker_.empty()) return;
+  snapshotting_ = false;
+  if (coordinator_ != nullptr) {
+    coordinator_->report(active_id_, net_.simulator().now(), std::move(local_checkpoint_),
+                         std::move(channel_log_));
+  }
+  local_checkpoint_ = Checkpoint{};
+  channel_log_.clear();
+}
+
+}  // namespace dice::snapshot

@@ -1,0 +1,76 @@
+// Chandy-Lamport snapshot participant: a sim::Node adapter that sits
+// between the network and a protocol implementation (the BGP router).
+//
+// Marker frames drive the classic algorithm:
+//   - first marker (or local initiation): checkpoint local state, emit
+//     markers on every outgoing channel, start recording every incoming
+//     channel except the one the marker arrived on;
+//   - subsequent markers: stop recording that channel — everything recorded
+//     in between is the channel's in-flight state at the cut;
+//   - when all incoming channels have delivered their marker, report the
+//     checkpoint and channel logs to the coordinator.
+//
+// Data frames always flow through to the inner protocol handler; recording
+// is passive. This matches the paper's requirement that snapshots are
+// "lightweight" and taken while the system keeps running.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "snapshot/store.hpp"
+
+namespace dice::snapshot {
+
+class SnapshotCoordinator;
+
+class SnapshotParticipant : public sim::Node {
+ public:
+  SnapshotParticipant(sim::Network& network, sim::NodeId id);
+
+  [[nodiscard]] sim::NodeId node_id() const noexcept { return id_; }
+  [[nodiscard]] sim::Network& network() noexcept { return net_; }
+
+  void set_coordinator(SnapshotCoordinator* coordinator) noexcept {
+    coordinator_ = coordinator;
+  }
+
+  /// Starts a snapshot with this node as initiator (paper Fig. 2 step 1:
+  /// the chosen explorer triggers snapshot creation).
+  void initiate_snapshot(SnapshotId id);
+
+  /// Abandons an in-progress snapshot (markers lost to a partition). The
+  /// node discards its recorded state and is ready for the next snapshot.
+  void abort_snapshot();
+
+  // sim::Node
+  void on_frame(sim::NodeId from, const sim::Frame& frame) final;
+
+ protected:
+  /// Protocol payload delivery (BGP messages for the router subclass).
+  virtual void deliver_data(sim::NodeId from, const util::Bytes& payload) = 0;
+
+  /// The state being checkpointed.
+  [[nodiscard]] virtual Checkpointable& checkpointable() = 0;
+
+ private:
+  void begin_snapshot(SnapshotId id, sim::NodeId skip_channel);
+  void finish_if_complete();
+
+  sim::Network& net_;
+  sim::NodeId id_;
+  SnapshotCoordinator* coordinator_ = nullptr;
+
+  // Active snapshot bookkeeping (one snapshot at a time per the paper's
+  // episodic exploration; concurrent snapshots would need per-id state).
+  bool snapshotting_ = false;
+  SnapshotId active_id_ = 0;
+  Checkpoint local_checkpoint_;
+  std::map<sim::NodeId, bool> awaiting_marker_;  // incoming channel -> pending
+  std::map<sim::NodeId, std::vector<util::Bytes>> channel_log_;
+};
+
+}  // namespace dice::snapshot

@@ -1,0 +1,53 @@
+#include "snapshot/store.hpp"
+
+#include "util/hash.hpp"
+
+namespace dice::snapshot {
+
+std::uint64_t Checkpointable::state_hash() const {
+  util::ByteWriter writer;
+  checkpoint(writer);
+  return util::fnv1a(writer.span());
+}
+
+std::size_t Snapshot::total_state_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [node, cp] : nodes) total += cp.state.size();
+  return total;
+}
+
+std::size_t Snapshot::total_in_flight() const {
+  std::size_t total = 0;
+  for (const auto& [key, frames] : channels) total += frames.size();
+  return total;
+}
+
+std::uint64_t Snapshot::cut_hash() const {
+  std::uint64_t h = util::kFnvOffset;
+  for (const auto& [node, cp] : nodes) {
+    h = util::hash_mix(h, node);
+    h = util::hash_mix(h, cp.hash);
+  }
+  for (const auto& [key, frames] : channels) {
+    h = util::hash_mix(h, key.from);
+    h = util::hash_mix(h, key.to);
+    for (const util::Bytes& payload : frames) h = util::hash_mix(h, util::fnv1a(payload));
+  }
+  return util::hash_finalize(h);
+}
+
+void SnapshotStore::put(Snapshot snapshot) {
+  const SnapshotId id = snapshot.id;
+  snapshots_.insert_or_assign(id, std::move(snapshot));
+}
+
+const Snapshot* SnapshotStore::find(SnapshotId id) const {
+  auto it = snapshots_.find(id);
+  return it == snapshots_.end() ? nullptr : &it->second;
+}
+
+void SnapshotStore::trim(std::size_t keep) {
+  while (snapshots_.size() > keep) snapshots_.erase(snapshots_.begin());
+}
+
+}  // namespace dice::snapshot

@@ -1,0 +1,56 @@
+// Consistent snapshots and their store. A Snapshot is the Chandy-Lamport
+// cut: one checkpoint per node plus the frames in flight on each directed
+// channel at the cut. CloneFactory (dice module) rebuilds a shadow system
+// from a Snapshot; the store keeps them addressable by id.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "snapshot/checkpoint.hpp"
+
+namespace dice::snapshot {
+
+using SnapshotId = std::uint64_t;
+
+struct ChannelKey {
+  sim::NodeId from = sim::kInvalidNode;
+  sim::NodeId to = sim::kInvalidNode;
+  auto operator<=>(const ChannelKey&) const = default;
+};
+
+struct Snapshot {
+  SnapshotId id = 0;
+  sim::Time taken_at = 0;
+  std::map<sim::NodeId, Checkpoint> nodes;
+  /// Payloads recorded in flight on each directed channel, oldest first.
+  std::map<ChannelKey, std::vector<util::Bytes>> channels;
+
+  [[nodiscard]] std::size_t total_state_bytes() const;
+  [[nodiscard]] std::size_t total_in_flight() const;
+  /// Combined hash over all node checkpoints (consistency fingerprint).
+  [[nodiscard]] std::uint64_t cut_hash() const;
+};
+
+class SnapshotStore {
+ public:
+  /// Reserves a fresh snapshot id.
+  [[nodiscard]] SnapshotId next_id() noexcept { return next_id_++; }
+
+  void put(Snapshot snapshot);
+  [[nodiscard]] const Snapshot* find(SnapshotId id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return snapshots_.size(); }
+  void erase(SnapshotId id) { snapshots_.erase(id); }
+  /// Drops all but the most recent `keep` snapshots (bounded memory in
+  /// long-running online testing).
+  void trim(std::size_t keep);
+
+ private:
+  std::map<SnapshotId, Snapshot> snapshots_;
+  SnapshotId next_id_ = 1;
+};
+
+}  // namespace dice::snapshot

@@ -1,0 +1,56 @@
+// Small non-cryptographic hashing utilities: FNV-1a and hash combining.
+// Used for checkpoint content hashing and the narrow information-sharing
+// interface (nodes exchange hashes of evidence rather than raw state).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace dice::util {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// FNV-1a over a byte span; `seed` allows chaining across fields.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::span<const std::uint8_t> data,
+                                            std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view s,
+                                            std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t h = seed;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Mixes an integral value into a running hash (order-sensitive).
+[[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffU;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// 64->64 bit finalizer (splitmix64 finalization) for avalanche quality.
+[[nodiscard]] constexpr std::uint64_t hash_finalize(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace dice::util

@@ -1,0 +1,42 @@
+#include "util/ip.hpp"
+
+#include "util/strings.hpp"
+
+namespace dice::util {
+
+std::string IpAddress::to_string() const {
+  return format("%u.%u.%u.%u", (value_ >> 24) & 0xff, (value_ >> 16) & 0xff,
+                (value_ >> 8) & 0xff, value_ & 0xff);
+}
+
+Result<IpAddress> IpAddress::parse(std::string_view text) {
+  const auto parts = split(text, '.');
+  if (parts.size() != 4) return make_error("ip.parse.quad_count", std::string(text));
+  std::uint32_t value = 0;
+  for (const auto& part : parts) {
+    auto octet = parse_u64(part);
+    if (!octet) return make_error("ip.parse.bad_octet", std::string(text));
+    if (octet.value() > 255) return make_error("ip.parse.octet_range", std::string(text));
+    value = (value << 8) | static_cast<std::uint32_t>(octet.value());
+  }
+  return IpAddress{value};
+}
+
+std::string IpPrefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+Result<IpPrefix> IpPrefix::parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    return make_error("ip.prefix.missing_length", std::string(text));
+  }
+  auto addr = IpAddress::parse(text.substr(0, slash));
+  if (!addr) return addr.error();
+  auto len = parse_u64(text.substr(slash + 1));
+  if (!len) return make_error("ip.prefix.bad_length", std::string(text));
+  if (len.value() > 32) return make_error("ip.prefix.length_range", std::string(text));
+  return IpPrefix{addr.value(), static_cast<std::uint8_t>(len.value())};
+}
+
+}  // namespace dice::util

@@ -1,0 +1,212 @@
+// IPv4 address / prefix types and a binary prefix trie with longest-prefix
+// match. These are the base vocabulary of the BGP substrate: NLRI entries,
+// RIB keys, and policy prefix lists all build on IpPrefix.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace dice::util {
+
+/// IPv4 address stored host-order for arithmetic convenience.
+class IpAddress {
+ public:
+  constexpr IpAddress() = default;
+  explicit constexpr IpAddress(std::uint32_t value) noexcept : value_(value) {}
+  constexpr IpAddress(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) noexcept
+      : value_((static_cast<std::uint32_t>(a) << 24) | (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses dotted-quad notation ("10.0.0.1").
+  [[nodiscard]] static Result<IpAddress> parse(std::string_view text);
+
+  constexpr auto operator<=>(const IpAddress&) const noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// IPv4 prefix: address + mask length, with host bits always zeroed.
+class IpPrefix {
+ public:
+  constexpr IpPrefix() = default;
+  constexpr IpPrefix(IpAddress addr, std::uint8_t length) noexcept
+      : addr_(IpAddress{mask_off(addr.value(), length)}), length_(length > 32 ? 32 : length) {}
+
+  [[nodiscard]] constexpr IpAddress address() const noexcept { return addr_; }
+  [[nodiscard]] constexpr std::uint8_t length() const noexcept { return length_; }
+
+  /// True when `other` is equal to or more specific than this prefix.
+  [[nodiscard]] constexpr bool contains(const IpPrefix& other) const noexcept {
+    return other.length_ >= length_ &&
+           mask_off(other.addr_.value(), length_) == addr_.value();
+  }
+  [[nodiscard]] constexpr bool contains(IpAddress addr) const noexcept {
+    return mask_off(addr.value(), length_) == addr_.value();
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses "a.b.c.d/len".
+  [[nodiscard]] static Result<IpPrefix> parse(std::string_view text);
+
+  constexpr auto operator<=>(const IpPrefix&) const noexcept = default;
+
+ private:
+  [[nodiscard]] static constexpr std::uint32_t mask_off(std::uint32_t v,
+                                                        std::uint8_t len) noexcept {
+    if (len == 0) return 0;
+    if (len >= 32) return v;
+    return v & ~((1U << (32 - len)) - 1U);
+  }
+
+  IpAddress addr_;
+  std::uint8_t length_ = 0;
+};
+
+/// Hash functor so prefixes can key unordered containers.
+struct IpPrefixHash {
+  [[nodiscard]] std::size_t operator()(const IpPrefix& p) const noexcept {
+    const std::uint64_t x =
+        (static_cast<std::uint64_t>(p.address().value()) << 8) | p.length();
+    // splitmix64 finalizer for avalanche.
+    std::uint64_t z = x + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
+/// Binary trie keyed by prefix bits with longest-prefix-match lookups.
+/// T is the payload (e.g. a RIB entry pointer or a policy action).
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Inserts or overwrites the payload at `prefix`. Returns true when a new
+  /// entry was created (false = overwrite).
+  bool insert(const IpPrefix& prefix, T value) {
+    Node* node = descend_create(prefix);
+    const bool created = !node->value.has_value();
+    node->value = std::move(value);
+    if (created) ++size_;
+    return created;
+  }
+
+  /// Removes the exact prefix. Returns the removed payload if present.
+  std::optional<T> erase(const IpPrefix& prefix) {
+    Node* node = descend(prefix);
+    if (node == nullptr || !node->value.has_value()) return std::nullopt;
+    std::optional<T> out = std::move(node->value);
+    node->value.reset();
+    --size_;
+    return out;
+  }
+
+  /// Exact-match lookup.
+  [[nodiscard]] const T* find(const IpPrefix& prefix) const {
+    const Node* node = descend(prefix);
+    return (node != nullptr && node->value.has_value()) ? &*node->value : nullptr;
+  }
+  [[nodiscard]] T* find(const IpPrefix& prefix) {
+    Node* node = descend(prefix);
+    return (node != nullptr && node->value.has_value()) ? &*node->value : nullptr;
+  }
+
+  /// Longest-prefix match for a full address; nullptr when nothing covers it.
+  [[nodiscard]] const T* longest_match(IpAddress addr) const {
+    const Node* node = root_.get();
+    const T* best = node->value.has_value() ? &*node->value : nullptr;
+    std::uint32_t bits = addr.value();
+    for (int depth = 0; depth < 32 && node != nullptr; ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      node = node->child[bit].get();
+      if (node != nullptr && node->value.has_value()) best = &*node->value;
+    }
+    return best;
+  }
+
+  /// Longest *covering* prefix strictly shorter than or equal to `prefix`.
+  [[nodiscard]] const T* longest_match(const IpPrefix& prefix) const {
+    const Node* node = root_.get();
+    const T* best = node->value.has_value() ? &*node->value : nullptr;
+    const std::uint32_t bits = prefix.address().value();
+    for (int depth = 0; depth < prefix.length() && node != nullptr; ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      node = node->child[bit].get();
+      if (node != nullptr && node->value.has_value()) best = &*node->value;
+    }
+    return best;
+  }
+
+  /// Visits all (prefix, payload) pairs in lexicographic bit order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    walk(root_.get(), 0, 0, fn);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void clear() {
+    root_ = std::make_unique<Node>();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  [[nodiscard]] Node* descend_create(const IpPrefix& prefix) {
+    Node* node = root_.get();
+    const std::uint32_t bits = prefix.address().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      if (!node->child[bit]) node->child[bit] = std::make_unique<Node>();
+      node = node->child[bit].get();
+    }
+    return node;
+  }
+
+  [[nodiscard]] const Node* descend(const IpPrefix& prefix) const {
+    const Node* node = root_.get();
+    const std::uint32_t bits = prefix.address().value();
+    for (int depth = 0; depth < prefix.length() && node != nullptr; ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      node = node->child[bit].get();
+    }
+    return node;
+  }
+  [[nodiscard]] Node* descend(const IpPrefix& prefix) {
+    return const_cast<Node*>(std::as_const(*this).descend(prefix));
+  }
+
+  template <typename Fn>
+  void walk(const Node* node, std::uint32_t bits, int depth, Fn& fn) const {
+    if (node == nullptr) return;
+    if (node->value.has_value()) {
+      fn(IpPrefix(IpAddress{bits}, static_cast<std::uint8_t>(depth)), *node->value);
+    }
+    if (depth < 32) {
+      walk(node->child[0].get(), bits, depth + 1, fn);
+      walk(node->child[1].get(), bits | (1U << (31 - depth)), depth + 1, fn);
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dice::util

@@ -1,0 +1,70 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace dice::util {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+Log::Sink g_sink;  // empty => default stderr sink
+
+void default_sink(LogLevel level, std::string_view tag, std::string_view msg) {
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", to_string(level).data(),
+               static_cast<int>(tag.size()), tag.data(), static_cast<int>(msg.size()),
+               msg.data());
+}
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Log::set_level(LogLevel level) noexcept { g_level = level; }
+LogLevel Log::level() noexcept { return g_level; }
+bool Log::enabled(LogLevel level) noexcept {
+  return level >= g_level && g_level != LogLevel::kOff;
+}
+
+Log::Sink Log::set_sink(Sink sink) {
+  Sink previous = std::move(g_sink);
+  g_sink = std::move(sink);
+  return previous;
+}
+
+void Log::write(LogLevel level, std::string_view tag, std::string_view msg) {
+  if (!enabled(level)) return;
+  if (g_sink) {
+    g_sink(level, tag, msg);
+  } else {
+    default_sink(level, tag, msg);
+  }
+}
+
+LogCapture::LogCapture() : previous_level_(Log::level()) {
+  Log::set_level(LogLevel::kTrace);
+  previous_ = Log::set_sink([this](LogLevel level, std::string_view tag, std::string_view msg) {
+    text_.append(to_string(level));
+    text_.append(" ");
+    text_.append(tag);
+    text_.append(": ");
+    text_.append(msg);
+    text_.push_back('\n');
+  });
+}
+
+LogCapture::~LogCapture() {
+  Log::set_sink(std::move(previous_));
+  Log::set_level(previous_level_);
+}
+
+}  // namespace dice::util

@@ -1,0 +1,106 @@
+// Lightweight structured logging with levels and per-component tags.
+// A global sink keeps the API ergonomic; tests can capture output via
+// LogCapture. Not thread-safe by design: the simulator is single-threaded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dice::util {
+
+enum class LogLevel : std::uint8_t { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Process-wide logging configuration.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view tag, std::string_view msg)>;
+
+  static void set_level(LogLevel level) noexcept;
+  [[nodiscard]] static LogLevel level() noexcept;
+  [[nodiscard]] static bool enabled(LogLevel level) noexcept;
+
+  /// Replaces the output sink; returns the previous one. Pass nullptr to
+  /// restore the default stderr sink.
+  static Sink set_sink(Sink sink);
+
+  static void write(LogLevel level, std::string_view tag, std::string_view msg);
+};
+
+/// Builder-style log statement: Logger("bgp").info() << "converged in " << n;
+class Logger {
+ public:
+  explicit Logger(std::string tag) : tag_(std::move(tag)) {}
+
+  class Line {
+   public:
+    Line(LogLevel level, std::string_view tag) : level_(level), tag_(tag) {}
+    Line(const Line&) = delete;
+    Line& operator=(const Line&) = delete;
+    Line(Line&& other) noexcept
+        : level_(other.level_),
+          tag_(other.tag_),
+          stream_(std::move(other.stream_)),
+          active_(other.active_) {
+      other.active_ = false;
+    }
+    Line& operator=(Line&&) = delete;
+    ~Line() {
+      if (active_) Log::write(level_, tag_, stream_.str());
+    }
+
+    template <typename T>
+    Line& operator<<(const T& value) {
+      if (active_) stream_ << value;
+      return *this;
+    }
+
+    void disable() noexcept { active_ = false; }
+
+   private:
+    LogLevel level_;
+    std::string_view tag_;
+    std::ostringstream stream_;
+    bool active_ = true;
+  };
+
+  [[nodiscard]] Line trace() const { return make(LogLevel::kTrace); }
+  [[nodiscard]] Line debug() const { return make(LogLevel::kDebug); }
+  [[nodiscard]] Line info() const { return make(LogLevel::kInfo); }
+  [[nodiscard]] Line warn() const { return make(LogLevel::kWarn); }
+  [[nodiscard]] Line error() const { return make(LogLevel::kError); }
+
+ private:
+  [[nodiscard]] Line make(LogLevel level) const {
+    Line line(level, tag_);
+    if (!Log::enabled(level)) line.disable();
+    return line;
+  }
+
+  std::string tag_;
+};
+
+/// RAII helper that redirects log output into a buffer for test assertions.
+class LogCapture {
+ public:
+  LogCapture();
+  ~LogCapture();
+  LogCapture(const LogCapture&) = delete;
+  LogCapture& operator=(const LogCapture&) = delete;
+
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+  [[nodiscard]] bool contains(std::string_view needle) const noexcept {
+    return text_.find(needle) != std::string::npos;
+  }
+
+ private:
+  std::string text_;
+  Log::Sink previous_;
+  LogLevel previous_level_;
+};
+
+}  // namespace dice::util

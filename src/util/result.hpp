@@ -1,0 +1,84 @@
+// Minimal expected-like result type used across the codebase for fallible
+// operations (codec, parsing, solving). Keeps error paths explicit without
+// exceptions on hot paths, per the project error-handling policy.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dice::util {
+
+/// Error payload: a short machine-readable code plus human-readable detail.
+struct Error {
+  std::string code;    ///< stable identifier, e.g. "bgp.decode.truncated"
+  std::string detail;  ///< free-form context for logs / debugging
+
+  [[nodiscard]] std::string to_string() const {
+    return detail.empty() ? code : code + ": " + detail;
+  }
+};
+
+/// Result<T> holds either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error err) : storage_(std::move(err)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(storage_);
+  }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Result specialization for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error err) : err_(std::move(err)), failed_(true) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static Status success() { return Status{}; }
+
+  [[nodiscard]] bool ok() const noexcept { return !failed_; }
+  explicit operator bool() const noexcept { return ok(); }
+  [[nodiscard]] const Error& error() const {
+    assert(failed_);
+    return err_;
+  }
+
+ private:
+  Error err_;
+  bool failed_ = false;
+};
+
+/// Convenience factory for error results.
+inline Error make_error(std::string code, std::string detail = {}) {
+  return Error{std::move(code), std::move(detail)};
+}
+
+}  // namespace dice::util

@@ -1,0 +1,134 @@
+// Deterministic random number generation (xoshiro256** + splitmix64 seeding).
+// All randomized components (fuzzer, solver search, workload generators) take
+// an explicit Rng so experiments are reproducible from a single seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace dice::util {
+
+/// splitmix64: used to expand a single seed into xoshiro state.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Small, fast, and deterministic across platforms.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x5eedc0de) noexcept { reseed(seed); }
+
+  constexpr void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept { return next(); }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound==0 yields 0.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Debiased multiply-shift (Lemire); bias is negligible for our bounds.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    if (hi <= lo) return lo;
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Random byte.
+  constexpr std::uint8_t byte() noexcept { return static_cast<std::uint8_t>(next() & 0xff); }
+
+  /// Derives an independent child generator (for per-component streams).
+  [[nodiscard]] constexpr Rng fork() noexcept { return Rng{next() ^ 0x9e3779b97f4a7c15ULL}; }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// Zipf-like sampler over [0, n): rank r drawn with probability ~ 1/(r+1)^s.
+/// Used by the workload generator to skew prefix popularity.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : n_(n), s_(s) {
+    cumulative_.reserve(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += 1.0 / pow_s(static_cast<double>(i + 1));
+      cumulative_.push_back(sum);
+    }
+    total_ = sum;
+  }
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const {
+    if (n_ == 0) return 0;
+    const double target = rng.uniform() * total_;
+    // Binary search for the first cumulative weight >= target.
+    std::size_t lo = 0;
+    std::size_t hi = n_ - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cumulative_[mid] < target) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  [[nodiscard]] double pow_s(double x) const {
+    // Cheap pow for the common s values; falls back to exp/log.
+    if (s_ == 1.0) return x;
+    return __builtin_exp(s_ * __builtin_log(x));
+  }
+
+  std::size_t n_;
+  double s_;
+  double total_ = 0.0;
+  std::vector<double> cumulative_;
+};
+
+}  // namespace dice::util

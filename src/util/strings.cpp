@@ -1,0 +1,72 @@
+#include "util/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace dice::util {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t at = s.find(delim, start);
+    if (at == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, at - start));
+    start = at + 1;
+  }
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  };
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+Result<std::uint64_t> parse_u64(std::string_view s) noexcept {
+  if (s.empty()) return make_error("strings.parse_u64.empty");
+  std::uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return make_error("strings.parse_u64.bad_digit");
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return make_error("strings.parse_u64.overflow");
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out.append(sep);
+    out.append(items[i]);
+  }
+  return out;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace dice::util

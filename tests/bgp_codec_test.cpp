@@ -1,0 +1,370 @@
+#include <gtest/gtest.h>
+
+#include "bgp/codec.hpp"
+#include "concolic/context.hpp"
+#include "util/rng.hpp"
+
+namespace dice::bgp {
+namespace {
+
+using util::Bytes;
+using util::IpAddress;
+using util::IpPrefix;
+
+[[nodiscard]] UpdateMessage sample_update() {
+  UpdateMessage m;
+  m.withdrawn.push_back(IpPrefix{IpAddress{192, 168, 0, 0}, 16});
+  m.attrs.origin = Origin::kIgp;
+  m.attrs.as_path = AsPath{{65001, 65002}};
+  m.attrs.next_hop = IpAddress{10, 0, 0, 1};
+  m.attrs.med = 50;
+  m.attrs.local_pref = 200;
+  m.attrs.atomic_aggregate = true;
+  m.attrs.aggregator = Aggregator{65001, IpAddress{10, 0, 0, 9}};
+  m.attrs.add_community(make_community(65001, 100));
+  m.attrs.add_community(well_known::kNoExport);
+  m.nlri.push_back(IpPrefix{IpAddress{10, 1, 0, 0}, 16});
+  m.nlri.push_back(IpPrefix{IpAddress{10, 2, 3, 0}, 24});
+  return m;
+}
+
+TEST(CodecTest, OpenRoundTrip) {
+  OpenMessage open;
+  open.my_asn = 65010;
+  open.hold_time = 180;
+  open.router_id = IpAddress{1, 2, 3, 4}.value();
+  open.opt_params = {1, 2, 3};
+  auto encoded = encode(Message{open});
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = decode(encoded.value());
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(std::get<OpenMessage>(decoded.value()), open);
+}
+
+TEST(CodecTest, KeepaliveRoundTrip) {
+  auto encoded = encode(Message{KeepaliveMessage{}});
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded.value().size(), kHeaderLength);
+  auto decoded = decode(encoded.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(std::holds_alternative<KeepaliveMessage>(decoded.value()));
+}
+
+TEST(CodecTest, NotificationRoundTrip) {
+  NotificationMessage notif;
+  notif.code = NotifCode::kUpdateMessageError;
+  notif.subcode = 5;
+  notif.data = {0xde, 0xad};
+  auto encoded = encode(Message{notif});
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = decode(encoded.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(std::get<NotificationMessage>(decoded.value()), notif);
+}
+
+TEST(CodecTest, UpdateRoundTrip) {
+  const UpdateMessage m = sample_update();
+  auto encoded = encode(Message{m});
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = decode(encoded.value());
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(std::get<UpdateMessage>(decoded.value()), m);
+}
+
+TEST(CodecTest, WithdrawOnlyUpdate) {
+  UpdateMessage m;
+  m.withdrawn.push_back(IpPrefix{IpAddress{10, 5, 0, 0}, 16});
+  auto encoded = encode(Message{m});
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = decode(encoded.value());
+  ASSERT_TRUE(decoded.ok());
+  const auto& out = std::get<UpdateMessage>(decoded.value());
+  EXPECT_EQ(out.withdrawn, m.withdrawn);
+  EXPECT_TRUE(out.nlri.empty());
+}
+
+TEST(CodecTest, PrefixWireFormatPacksBytes) {
+  util::ByteWriter w;
+  encode_prefix(w, IpPrefix{IpAddress{10, 1, 2, 0}, 24});
+  // 1 length byte + 3 address bytes only.
+  EXPECT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 24);
+  encode_prefix(w, IpPrefix{IpAddress{0}, 0});
+  EXPECT_EQ(w.size(), 5u);  // default route: single length byte
+}
+
+TEST(CodecTest, PrefixDecodeRejectsBadLength) {
+  const Bytes raw{40, 1, 2, 3, 4, 5};
+  util::ByteReader r(raw);
+  EXPECT_FALSE(decode_prefix(r).ok());
+}
+
+TEST(CodecTest, BadMarkerRejected) {
+  auto encoded = encode(Message{KeepaliveMessage{}});
+  ASSERT_TRUE(encoded.ok());
+  Bytes tampered = encoded.value();
+  tampered[3] = 0x00;
+  auto decoded = decode(tampered);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "bgp.header.connection_not_synchronized");
+  EXPECT_EQ(error_to_notification(decoded.error()).code, NotifCode::kMessageHeaderError);
+}
+
+TEST(CodecTest, LengthMismatchRejected) {
+  auto encoded = encode(Message{KeepaliveMessage{}});
+  Bytes tampered = encoded.value();
+  tampered.push_back(0x00);  // actual size no longer matches header length
+  auto decoded = decode(tampered);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "bgp.header.bad_message_length");
+}
+
+TEST(CodecTest, BadTypeRejected) {
+  auto encoded = encode(Message{KeepaliveMessage{}});
+  Bytes tampered = encoded.value();
+  tampered[18] = 9;
+  auto decoded = decode(tampered);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "bgp.header.bad_message_type");
+}
+
+// --- attribute validation ---------------------------------------------------
+
+/// Builds a raw UPDATE with the given attribute bytes and one NLRI entry.
+[[nodiscard]] Bytes raw_update_with_attrs(const Bytes& attr_bytes) {
+  util::ByteWriter w;
+  for (std::size_t i = 0; i < kMarkerLength; ++i) w.u8(0xff);
+  const std::size_t len_at = w.placeholder(2);
+  w.u8(static_cast<std::uint8_t>(MessageType::kUpdate));
+  w.u16(0);  // no withdrawn
+  w.u16(static_cast<std::uint16_t>(attr_bytes.size()));
+  w.raw(attr_bytes);
+  w.u8(16);  // NLRI 10.9.0.0/16
+  w.u8(10);
+  w.u8(9);
+  w.patch_u16(len_at, static_cast<std::uint16_t>(w.size()));
+  return std::move(w).take();
+}
+
+[[nodiscard]] Bytes mandatory_attrs() {
+  util::ByteWriter w;
+  w.u8(attr_flags::kTransitive);
+  w.u8(1);  // ORIGIN
+  w.u8(1);
+  w.u8(0);
+  w.u8(attr_flags::kTransitive);
+  w.u8(2);  // AS_PATH: one SEQUENCE of one ASN
+  w.u8(4);
+  w.u8(2);
+  w.u8(1);
+  w.u16(65001);
+  w.u8(attr_flags::kTransitive);
+  w.u8(3);  // NEXT_HOP
+  w.u8(4);
+  w.u32(IpAddress{10, 0, 0, 2}.value());
+  return std::move(w).take();
+}
+
+TEST(CodecTest, MissingMandatoryAttrRejected) {
+  util::ByteWriter w;  // only ORIGIN present
+  w.u8(attr_flags::kTransitive);
+  w.u8(1);
+  w.u8(1);
+  w.u8(0);
+  auto decoded = decode(raw_update_with_attrs(std::move(w).take()));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "bgp.update.missing_well_known");
+  EXPECT_EQ(error_to_notification(decoded.error()).subcode,
+            static_cast<std::uint8_t>(UpdateError::kMissingWellKnownAttribute));
+}
+
+TEST(CodecTest, DuplicateAttributeRejected) {
+  Bytes attrs = mandatory_attrs();
+  const Bytes dup = mandatory_attrs();
+  attrs.insert(attrs.end(), dup.begin(), dup.begin() + 4);  // second ORIGIN
+  auto decoded = decode(raw_update_with_attrs(attrs));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "bgp.update.malformed_attribute_list");
+}
+
+TEST(CodecTest, BadOriginValueRejected) {
+  Bytes attrs = mandatory_attrs();
+  attrs[3] = 9;  // ORIGIN value
+  auto decoded = decode(raw_update_with_attrs(attrs));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "bgp.update.invalid_origin");
+}
+
+TEST(CodecTest, BadOriginFlagsRejected) {
+  Bytes attrs = mandatory_attrs();
+  attrs[0] = attr_flags::kOptional | attr_flags::kTransitive;  // well-known must not be optional
+  auto decoded = decode(raw_update_with_attrs(attrs));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "bgp.update.attribute_flags");
+}
+
+TEST(CodecTest, BadAttrLengthRejected) {
+  Bytes attrs = mandatory_attrs();
+  attrs[2] = 2;  // ORIGIN length must be 1 — also shifts parsing
+  auto decoded = decode(raw_update_with_attrs(attrs));
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(CodecTest, EmptyAsSegmentRejected) {
+  util::ByteWriter w;
+  w.u8(attr_flags::kTransitive);
+  w.u8(1);
+  w.u8(1);
+  w.u8(0);
+  w.u8(attr_flags::kTransitive);
+  w.u8(2);
+  w.u8(2);
+  w.u8(2);  // SEQUENCE
+  w.u8(0);  // zero ASNs: invalid
+  w.u8(attr_flags::kTransitive);
+  w.u8(3);
+  w.u8(4);
+  w.u32(IpAddress{10, 0, 0, 2}.value());
+  auto decoded = decode(raw_update_with_attrs(std::move(w).take()));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "bgp.update.malformed_as_path");
+}
+
+TEST(CodecTest, CommunityNotMultipleOf4Rejected) {
+  Bytes attrs = mandatory_attrs();
+  attrs.push_back(attr_flags::kOptional | attr_flags::kTransitive);
+  attrs.push_back(8);  // COMMUNITY
+  attrs.push_back(3);  // length 3: invalid
+  attrs.push_back(0xff);
+  attrs.push_back(0xff);
+  attrs.push_back(0x01);
+  auto decoded = decode(raw_update_with_attrs(attrs));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "bgp.update.attribute_length");
+}
+
+TEST(CodecTest, UnknownOptionalTransitivePreservedWithPartialBit) {
+  Bytes attrs = mandatory_attrs();
+  attrs.push_back(attr_flags::kOptional | attr_flags::kTransitive);
+  attrs.push_back(222);
+  attrs.push_back(2);
+  attrs.push_back(0xca);
+  attrs.push_back(0xfe);
+  auto decoded = decode(raw_update_with_attrs(attrs));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  const auto& update = std::get<UpdateMessage>(decoded.value());
+  ASSERT_EQ(update.attrs.unknown.size(), 1u);
+  EXPECT_EQ(update.attrs.unknown[0].type, 222);
+  EXPECT_NE(update.attrs.unknown[0].flags & attr_flags::kPartial, 0);
+  EXPECT_EQ(update.attrs.unknown[0].value, (Bytes{0xca, 0xfe}));
+}
+
+TEST(CodecTest, UnknownWellKnownRejected) {
+  Bytes attrs = mandatory_attrs();
+  attrs.push_back(attr_flags::kTransitive);  // well-known (not optional)
+  attrs.push_back(99);
+  attrs.push_back(0);
+  auto decoded = decode(raw_update_with_attrs(attrs));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "bgp.update.unrecognized_well_known");
+}
+
+// --- injected bugs ------------------------------------------------------------
+
+TEST(CodecTest, CommunityLengthBugCrashesWhenEnabled) {
+  Bytes attrs = mandatory_attrs();
+  attrs.push_back(attr_flags::kOptional | attr_flags::kTransitive);
+  attrs.push_back(8);
+  attrs.push_back(5);
+  for (int i = 0; i < 5; ++i) attrs.push_back(0x01);
+  const Bytes raw = raw_update_with_attrs(attrs);
+  // Without the bug: clean RFC error.
+  EXPECT_FALSE(decode(raw).ok());
+  // With the bug: crash signal.
+  DecodeOptions buggy;
+  buggy.bug_mask = bugs::kCommunityLength;
+  EXPECT_THROW((void)decode(raw, buggy), concolic::CrashSignal);
+}
+
+TEST(CodecTest, MedOverflowBugCrashesWhenEnabled) {
+  Bytes attrs = mandatory_attrs();
+  attrs.push_back(attr_flags::kOptional);
+  attrs.push_back(4);  // MED
+  attrs.push_back(4);
+  for (int i = 0; i < 4; ++i) attrs.push_back(0xff);
+  const Bytes raw = raw_update_with_attrs(attrs);
+  EXPECT_TRUE(decode(raw).ok());  // 0xffffffff is a legal MED
+  DecodeOptions buggy;
+  buggy.bug_mask = bugs::kMedOverflow;
+  EXPECT_THROW((void)decode(raw, buggy), concolic::CrashSignal);
+}
+
+TEST(CodecTest, AsPathZeroSegmentBugCrashesWhenEnabled) {
+  util::ByteWriter w;
+  w.u8(attr_flags::kTransitive);
+  w.u8(1);
+  w.u8(1);
+  w.u8(0);
+  w.u8(attr_flags::kTransitive);
+  w.u8(2);
+  w.u8(2);
+  w.u8(2);
+  w.u8(0);
+  w.u8(attr_flags::kTransitive);
+  w.u8(3);
+  w.u8(4);
+  w.u32(IpAddress{10, 0, 0, 2}.value());
+  const Bytes raw = raw_update_with_attrs(std::move(w).take());
+  EXPECT_FALSE(decode(raw).ok());
+  DecodeOptions buggy;
+  buggy.bug_mask = bugs::kAsPathZeroSegment;
+  EXPECT_THROW((void)decode(raw, buggy), concolic::CrashSignal);
+}
+
+// --- randomized round-trip property -------------------------------------------
+
+class CodecRoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecRoundTripProperty, RandomUpdatesRoundTrip) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    UpdateMessage m;
+    const std::size_t withdrawn = rng.below(3);
+    for (std::size_t i = 0; i < withdrawn; ++i) {
+      m.withdrawn.push_back(IpPrefix{IpAddress{static_cast<std::uint32_t>(rng.next())},
+                                     static_cast<std::uint8_t>(rng.below(33))});
+    }
+    const std::size_t nlri = rng.below(4);
+    if (nlri > 0) {
+      m.attrs.origin = static_cast<Origin>(rng.below(3));
+      std::vector<Asn> path;
+      for (std::size_t i = 0; i < 1 + rng.below(4); ++i) {
+        path.push_back(static_cast<Asn>(1 + rng.below(65534)));
+      }
+      m.attrs.as_path = AsPath{path};
+      m.attrs.next_hop = IpAddress{static_cast<std::uint32_t>(rng.range(1, 0x7fffffff))};
+      if (rng.chance(0.5)) m.attrs.med = static_cast<std::uint32_t>(rng.next());
+      if (rng.chance(0.3)) m.attrs.local_pref = static_cast<std::uint32_t>(rng.below(1000));
+      if (rng.chance(0.2)) m.attrs.atomic_aggregate = true;
+      const std::size_t communities = rng.below(4);
+      for (std::size_t i = 0; i < communities; ++i) {
+        m.attrs.add_community(static_cast<Community>(rng.below(0xfffffffe)));
+      }
+      for (std::size_t i = 0; i < nlri; ++i) {
+        m.nlri.push_back(IpPrefix{IpAddress{static_cast<std::uint32_t>(rng.next())},
+                                  static_cast<std::uint8_t>(rng.below(33))});
+      }
+    }
+    auto encoded = encode(Message{m});
+    ASSERT_TRUE(encoded.ok());
+    auto decoded = decode(encoded.value());
+    ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+    EXPECT_EQ(std::get<UpdateMessage>(decoded.value()), m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundTripProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace dice::bgp

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "bgp/config.hpp"
+#include "bgp/topology.hpp"
+
+namespace dice::bgp {
+namespace {
+
+constexpr const char* kSample = R"(
+# edge router of AS 65001
+router {
+  name r1;
+  id 10.0.0.1;
+  as 65001;
+  address 10.0.0.1;
+  hold 90;
+  network 10.101.0.0/16;
+  network 10.102.0.0/16;
+  neighbor 10.0.0.2 {
+    as 65002;
+    description "transit provider";
+    import {
+      if prefix in 192.168.0.0/16+ then reject;
+      if community (65001,666) then reject;
+      if aspath ~ 65099 and originated 65098 then { prepend 1; accept; }
+      then { localpref 120; community add (65001,100); accept; }
+    }
+    export {
+      if community (65001,100) then accept;
+      then reject;
+    }
+  }
+  neighbor 10.0.0.3 {
+    as 65003;
+    import {
+      then { localpref 200; accept; }
+    }
+    export {
+      if nexthop 10.0.0.9 then reject;
+      then accept;
+    }
+  }
+}
+)";
+
+TEST(ConfigTest, ParsesFullExample) {
+  auto parsed = parse_config(kSample);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const RouterConfig& config = parsed.value();
+  EXPECT_EQ(config.name, "r1");
+  EXPECT_EQ(config.asn, 65001u);
+  EXPECT_EQ(config.router_id, util::IpAddress(10, 0, 0, 1).value());
+  EXPECT_EQ(config.hold_time, 90);
+  ASSERT_EQ(config.networks.size(), 2u);
+  EXPECT_EQ(config.networks[0].to_string(), "10.101.0.0/16");
+  ASSERT_EQ(config.neighbors.size(), 2u);
+
+  const NeighborConfig& n0 = config.neighbors[0];
+  EXPECT_EQ(n0.asn, 65002u);
+  EXPECT_EQ(n0.description, "transit provider");
+  ASSERT_EQ(n0.import_policy.rules.size(), 4u);
+  EXPECT_EQ(n0.import_policy.rules[0].matches[0].kind, Match::Kind::kPrefixOrLonger);
+  EXPECT_EQ(n0.import_policy.rules[0].verdict, Verdict::kReject);
+  EXPECT_EQ(n0.import_policy.rules[1].matches[0].kind, Match::Kind::kCommunity);
+  // Conjunction rule.
+  ASSERT_EQ(n0.import_policy.rules[2].matches.size(), 2u);
+  EXPECT_EQ(n0.import_policy.rules[2].matches[0].asn, 65099u);
+  EXPECT_EQ(n0.import_policy.rules[2].matches[1].kind, Match::Kind::kOriginatedBy);
+  // Default rule with actions.
+  EXPECT_EQ(n0.import_policy.rules[3].actions.size(), 2u);
+  ASSERT_EQ(n0.export_policy.rules.size(), 2u);
+
+  EXPECT_EQ(config.neighbors[1].export_policy.rules[0].matches[0].kind,
+            Match::Kind::kNextHop);
+}
+
+TEST(ConfigTest, RenderParseRoundTrip) {
+  auto parsed = parse_config(kSample);
+  ASSERT_TRUE(parsed.ok());
+  const std::string rendered = render_config(parsed.value());
+  auto reparsed = parse_config(rendered);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().to_string() << "\n" << rendered;
+  EXPECT_EQ(reparsed.value(), parsed.value()) << rendered;
+}
+
+TEST(ConfigTest, TopologyConfigsRoundTrip) {
+  // Every config the topology builders emit must round-trip through the
+  // text format (the blueprint is deployable as files).
+  for (const SystemBlueprint& bp :
+       {make_internet({2, 3, 4}), make_bad_gadget(), make_line(3)}) {
+    for (const RouterConfig& config : bp.configs) {
+      const std::string rendered = render_config(config);
+      auto reparsed = parse_config(rendered);
+      ASSERT_TRUE(reparsed.ok()) << reparsed.error().to_string() << "\n" << rendered;
+      EXPECT_EQ(reparsed.value(), config) << rendered;
+    }
+  }
+}
+
+TEST(ConfigTest, RejectsSyntaxErrors) {
+  EXPECT_FALSE(parse_config("router { id 10.0.0.1 }").ok());          // missing ;
+  EXPECT_FALSE(parse_config("router { bogus 1; }").ok());             // unknown key
+  EXPECT_FALSE(parse_config("nope { }").ok());                        // wrong top
+  EXPECT_FALSE(parse_config("router { as x; }").ok());                // bad number
+  EXPECT_FALSE(parse_config("router { network 10.0.0.0/40; }").ok()); // bad prefix
+  EXPECT_FALSE(parse_config("router { neighbor 10.0.0.2 { import { if then accept; } } }").ok());
+  EXPECT_FALSE(parse_config("router { name \"unterminated; }").ok());
+}
+
+TEST(ConfigTest, CommunityRangeChecked) {
+  EXPECT_FALSE(parse_config(
+      "router { neighbor 10.0.0.2 { as 1; import { if community (70000,1) then reject; } } }")
+      .ok());
+}
+
+TEST(ConfigTest, BugMaskRoundTrips) {
+  RouterConfig config;
+  config.name = "r9";
+  config.router_id = 9;
+  config.asn = 9;
+  config.bug_mask = 5;
+  auto reparsed = parse_config(render_config(config));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().bug_mask, 5u);
+}
+
+TEST(ConfigTest, ValidateCatchesMistakes) {
+  auto parsed = parse_config(kSample);
+  ASSERT_TRUE(parsed.ok());
+  RouterConfig config = parsed.value();
+  EXPECT_TRUE(validate_config(config).ok());
+
+  RouterConfig zero_asn = config;
+  zero_asn.asn = 0;
+  EXPECT_FALSE(validate_config(zero_asn).ok());
+
+  RouterConfig zero_id = config;
+  zero_id.router_id = 0;
+  EXPECT_FALSE(validate_config(zero_id).ok());
+
+  RouterConfig dup = config;
+  dup.neighbors.push_back(dup.neighbors[0]);
+  EXPECT_FALSE(validate_config(dup).ok());
+
+  RouterConfig bad_neighbor = config;
+  bad_neighbor.neighbors[0].asn = 0;
+  EXPECT_FALSE(validate_config(bad_neighbor).ok());
+}
+
+TEST(ConfigTest, NeighborLookups) {
+  auto parsed = parse_config(kSample);
+  ASSERT_TRUE(parsed.ok());
+  const RouterConfig& config = parsed.value();
+  ASSERT_NE(config.neighbor_by_address(util::IpAddress{10, 0, 0, 3}), nullptr);
+  EXPECT_EQ(config.neighbor_by_address(util::IpAddress{10, 0, 0, 3})->asn, 65003u);
+  EXPECT_EQ(config.neighbor_by_address(util::IpAddress{9, 9, 9, 9}), nullptr);
+  ASSERT_NE(config.neighbor_by_asn(65002), nullptr);
+  EXPECT_EQ(config.neighbor_by_asn(64000), nullptr);
+}
+
+TEST(ConfigTest, CommentsAndWhitespaceIgnored) {
+  auto parsed = parse_config("router {\n  # comment\n  id 1.2.3.4;\tas 7;\n}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().asn, 7u);
+}
+
+}  // namespace
+}  // namespace dice::bgp

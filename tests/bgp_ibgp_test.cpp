@@ -1,0 +1,106 @@
+// iBGP behaviors: LOCAL_PREF propagation, no prepending, and the
+// no-reflection rule (iBGP-learned routes are not re-advertised to other
+// iBGP peers without a route reflector).
+#include <gtest/gtest.h>
+
+#include "dice/system.hpp"
+
+namespace dice::bgp {
+namespace {
+
+using core::System;
+
+/// r0 -(eBGP)- r1 -(iBGP)- r2 -(iBGP)- r3, where r1, r2, r3 share AS 65100.
+/// r1-r3 are NOT directly connected (the broken full-mesh case).
+SystemBlueprint make_ibgp_chain() {
+  SystemBlueprint bp = make_line(4);
+  for (sim::NodeId i = 1; i <= 3; ++i) {
+    bp.configs[i].asn = 65100;
+  }
+  // Fix neighbor ASNs to match.
+  for (RouterConfig& config : bp.configs) {
+    for (NeighborConfig& neighbor : config.neighbors) {
+      for (sim::NodeId i = 1; i <= 3; ++i) {
+        if (neighbor.address == node_address(i)) neighbor.asn = 65100;
+      }
+    }
+  }
+  return bp;
+}
+
+TEST(IbgpTest, LocalPrefCrossesIbgpButNotEbgp) {
+  SystemBlueprint bp = make_ibgp_chain();
+  // r1 sets LOCAL_PREF 250 on import from eBGP peer r0.
+  PolicyRule rule;
+  rule.actions.push_back(Action{Action::Kind::kSetLocalPref, 250});
+  rule.verdict = Verdict::kAccept;
+  bp.configs[1].neighbors[0].import_policy.rules.insert(
+      bp.configs[1].neighbors[0].import_policy.rules.begin(), rule);
+
+  System system(std::move(bp));
+  system.start();
+  ASSERT_TRUE(system.converge());
+
+  // r2 (iBGP peer of r1) sees r0's prefix with LOCAL_PREF 250 preserved.
+  const Route* at_r2 = system.router(2).loc_rib().find(node_prefix(0));
+  ASSERT_NE(at_r2, nullptr);
+  EXPECT_EQ(at_r2->attrs.local_pref, 250u);
+  EXPECT_FALSE(at_r2->source.ebgp);
+}
+
+TEST(IbgpTest, NoAsPrependingWithinAs) {
+  System system(make_ibgp_chain());
+  system.start();
+  ASSERT_TRUE(system.converge());
+  // r2's route to r0's prefix crossed one eBGP hop (r0->r1) and one iBGP
+  // hop (r1->r2): AS path contains only r0's ASN.
+  const Route* at_r2 = system.router(2).loc_rib().find(node_prefix(0));
+  ASSERT_NE(at_r2, nullptr);
+  EXPECT_EQ(at_r2->attrs.as_path.to_string(), std::to_string(node_asn(0)));
+  // NEXT_HOP is preserved across iBGP: still r0's address (the original
+  // eBGP next hop), resolved recursively rather than rewritten.
+  EXPECT_EQ(at_r2->attrs.next_hop, node_address(0));
+}
+
+TEST(IbgpTest, NoIbgpReflection) {
+  System system(make_ibgp_chain());
+  system.start();
+  ASSERT_TRUE(system.converge());
+  // r3 must NOT have r0's prefix: r2 learned it via iBGP and cannot
+  // re-advertise to another iBGP peer (no route reflection).
+  EXPECT_EQ(system.router(3).loc_rib().find(node_prefix(0)), nullptr);
+  // But r3 does have r2's own (locally originated) prefix.
+  EXPECT_NE(system.router(3).loc_rib().find(node_prefix(2)), nullptr);
+  // And r1's prefix also cannot reach r3 (one iBGP hop too far).
+  EXPECT_EQ(system.router(3).loc_rib().find(node_prefix(1)), nullptr);
+}
+
+TEST(IbgpTest, EbgpLearnedPropagatesToAllIbgpPeers) {
+  System system(make_ibgp_chain());
+  system.start();
+  ASSERT_TRUE(system.converge());
+  // r1 learned r0's prefix over eBGP, so its direct iBGP peer r2 gets it.
+  EXPECT_NE(system.router(2).loc_rib().find(node_prefix(0)), nullptr);
+  // r0 gets AS65100's prefixes that are reachable: r1's own (eBGP export
+  // of local route) and r2's (iBGP-learned at r1 -> eBGP export allowed).
+  EXPECT_NE(system.router(0).loc_rib().find(node_prefix(1)), nullptr);
+  EXPECT_NE(system.router(0).loc_rib().find(node_prefix(2)), nullptr);
+  const Route* r2_prefix_at_r0 = system.router(0).loc_rib().find(node_prefix(2));
+  // One AS hop (65100) despite two router hops.
+  EXPECT_EQ(r2_prefix_at_r0->attrs.as_path.to_string(), "65100");
+}
+
+TEST(IbgpTest, DefaultLocalPrefFilledOnIbgpExport) {
+  System system(make_ibgp_chain());
+  system.start();
+  ASSERT_TRUE(system.converge());
+  // §5.1.5: LOCAL_PREF must be present on iBGP sessions; r1 fills the
+  // default when none was assigned at import.
+  const Route* at_r2 = system.router(2).loc_rib().find(node_prefix(0));
+  ASSERT_NE(at_r2, nullptr);
+  ASSERT_TRUE(at_r2->attrs.local_pref.has_value());
+  EXPECT_EQ(*at_r2->attrs.local_pref, PathAttributes::kDefaultLocalPref);
+}
+
+}  // namespace
+}  // namespace dice::bgp

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "bgp/policy.hpp"
+
+namespace dice::bgp {
+namespace {
+
+using util::IpAddress;
+using util::IpPrefix;
+
+[[nodiscard]] Route make_route(const IpPrefix& prefix, std::vector<Asn> path = {65002}) {
+  Route r;
+  r.prefix = prefix;
+  r.attrs.as_path = AsPath{std::move(path)};
+  r.attrs.next_hop = IpAddress{10, 0, 0, 2};
+  r.source.peer_asn = 65002;
+  return r;
+}
+
+const IpPrefix kPrefix{IpAddress{10, 1, 0, 0}, 16};
+
+TEST(MatchTest, Any) {
+  EXPECT_TRUE(Match{}.matches(make_route(kPrefix)));
+}
+
+TEST(MatchTest, PrefixExact) {
+  Match m;
+  m.kind = Match::Kind::kPrefixExact;
+  m.prefix = kPrefix;
+  EXPECT_TRUE(m.matches(make_route(kPrefix)));
+  EXPECT_FALSE(m.matches(make_route(IpPrefix{IpAddress{10, 1, 0, 0}, 24})));
+  EXPECT_FALSE(m.matches(make_route(IpPrefix{IpAddress{10, 2, 0, 0}, 16})));
+}
+
+TEST(MatchTest, PrefixOrLonger) {
+  Match m;
+  m.kind = Match::Kind::kPrefixOrLonger;
+  m.prefix = kPrefix;
+  EXPECT_TRUE(m.matches(make_route(kPrefix)));
+  EXPECT_TRUE(m.matches(make_route(IpPrefix{IpAddress{10, 1, 128, 0}, 24})));
+  EXPECT_FALSE(m.matches(make_route(IpPrefix{IpAddress{10, 0, 0, 0}, 8})));
+}
+
+TEST(MatchTest, AsPathContains) {
+  Match m;
+  m.kind = Match::Kind::kAsPathContains;
+  m.asn = 65005;
+  EXPECT_FALSE(m.matches(make_route(kPrefix, {65001, 65002})));
+  EXPECT_TRUE(m.matches(make_route(kPrefix, {65001, 65005, 65002})));
+}
+
+TEST(MatchTest, OriginatedBy) {
+  Match m;
+  m.kind = Match::Kind::kOriginatedBy;
+  m.asn = 65002;
+  EXPECT_TRUE(m.matches(make_route(kPrefix, {65001, 65002})));   // rightmost
+  EXPECT_FALSE(m.matches(make_route(kPrefix, {65002, 65001})));
+}
+
+TEST(MatchTest, Community) {
+  Match m;
+  m.kind = Match::Kind::kCommunity;
+  m.community = make_community(65000, 7);
+  Route r = make_route(kPrefix);
+  EXPECT_FALSE(m.matches(r));
+  r.attrs.add_community(make_community(65000, 7));
+  EXPECT_TRUE(m.matches(r));
+}
+
+TEST(MatchTest, NextHop) {
+  Match m;
+  m.kind = Match::Kind::kNextHop;
+  m.address = IpAddress{10, 0, 0, 2};
+  EXPECT_TRUE(m.matches(make_route(kPrefix)));
+  m.address = IpAddress{10, 0, 0, 9};
+  EXPECT_FALSE(m.matches(make_route(kPrefix)));
+}
+
+TEST(PolicyTest, FirstMatchWins) {
+  Policy policy;
+  PolicyRule reject_specific;
+  reject_specific.matches.push_back(Match{Match::Kind::kPrefixExact, kPrefix, 0, 0, {}});
+  reject_specific.verdict = Verdict::kReject;
+  policy.rules.push_back(reject_specific);
+  PolicyRule accept_all;
+  accept_all.verdict = Verdict::kAccept;
+  policy.rules.push_back(accept_all);
+
+  EXPECT_FALSE(evaluate(policy, make_route(kPrefix), 65001).accepted);
+  const auto other = evaluate(policy, make_route(IpPrefix{IpAddress{10, 9, 0, 0}, 16}), 65001);
+  EXPECT_TRUE(other.accepted);
+  EXPECT_EQ(other.matched_rule, 1u);
+}
+
+TEST(PolicyTest, ConjunctionRequiresAllMatches) {
+  PolicyRule rule;
+  rule.matches.push_back(Match{Match::Kind::kPrefixOrLonger, kPrefix, 0, 0, {}});
+  rule.matches.push_back(Match{Match::Kind::kAsPathContains, {}, 65009, 0, {}});
+  rule.verdict = Verdict::kAccept;
+  Policy policy;
+  policy.rules.push_back(rule);
+
+  EXPECT_FALSE(evaluate(policy, make_route(kPrefix, {65002}), 65001).accepted);
+  EXPECT_TRUE(evaluate(policy, make_route(kPrefix, {65009}), 65001).accepted);
+}
+
+TEST(PolicyTest, ActionsApplyOnAccept) {
+  PolicyRule rule;
+  rule.actions.push_back(Action{Action::Kind::kSetLocalPref, 250});
+  rule.actions.push_back(Action{Action::Kind::kSetMed, 30});
+  rule.actions.push_back(Action{Action::Kind::kAddCommunity, make_community(1, 2)});
+  rule.actions.push_back(Action{Action::Kind::kPrepend, 2});
+  rule.verdict = Verdict::kAccept;
+  Policy policy;
+  policy.rules.push_back(rule);
+
+  const auto outcome = evaluate(policy, make_route(kPrefix, {65002}), 65001);
+  ASSERT_TRUE(outcome.accepted);
+  EXPECT_EQ(outcome.route.attrs.local_pref, 250u);
+  EXPECT_EQ(outcome.route.attrs.med, 30u);
+  EXPECT_TRUE(outcome.route.attrs.has_community(make_community(1, 2)));
+  // Prepend inserts the evaluator's ASN twice at the front.
+  EXPECT_EQ(outcome.route.attrs.as_path.to_string(), "65001 65001 65002");
+}
+
+TEST(PolicyTest, ClearMedAndRemoveCommunity) {
+  Route r = make_route(kPrefix);
+  r.attrs.med = 77;
+  r.attrs.add_community(make_community(9, 9));
+  PolicyRule rule;
+  rule.actions.push_back(Action{Action::Kind::kClearMed, 0});
+  rule.actions.push_back(Action{Action::Kind::kRemoveCommunity, make_community(9, 9)});
+  rule.verdict = Verdict::kAccept;
+  Policy policy;
+  policy.rules.push_back(rule);
+
+  const auto outcome = evaluate(policy, std::move(r), 65001);
+  ASSERT_TRUE(outcome.accepted);
+  EXPECT_FALSE(outcome.route.attrs.med.has_value());
+  EXPECT_FALSE(outcome.route.attrs.has_community(make_community(9, 9)));
+}
+
+TEST(PolicyTest, NextVerdictFallsThroughWithActions) {
+  // Rule 1 tags but continues; rule 2 accepts. Both effects visible.
+  PolicyRule tag;
+  tag.actions.push_back(Action{Action::Kind::kAddCommunity, make_community(7, 7)});
+  tag.verdict = Verdict::kNext;
+  PolicyRule accept;
+  accept.verdict = Verdict::kAccept;
+  Policy policy;
+  policy.rules.push_back(tag);
+  policy.rules.push_back(accept);
+
+  const auto outcome = evaluate(policy, make_route(kPrefix), 65001);
+  ASSERT_TRUE(outcome.accepted);
+  EXPECT_TRUE(outcome.route.attrs.has_community(make_community(7, 7)));
+  EXPECT_EQ(outcome.matched_rule, 1u);
+}
+
+TEST(PolicyTest, DefaultVerdicts) {
+  EXPECT_FALSE(evaluate(Policy::reject_all(), make_route(kPrefix), 65001).accepted);
+  EXPECT_TRUE(evaluate(Policy::accept_all(), make_route(kPrefix), 65001).accepted);
+}
+
+TEST(PolicyTest, ToStringIsReadable) {
+  PolicyRule rule;
+  rule.matches.push_back(Match{Match::Kind::kPrefixOrLonger, kPrefix, 0, 0, {}});
+  rule.actions.push_back(Action{Action::Kind::kSetLocalPref, 200});
+  rule.verdict = Verdict::kAccept;
+  const std::string text = rule.to_string();
+  EXPECT_NE(text.find("prefix in 10.1.0.0/16+"), std::string::npos);
+  EXPECT_NE(text.find("localpref 200"), std::string::npos);
+  EXPECT_NE(text.find("accept"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dice::bgp

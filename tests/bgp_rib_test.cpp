@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "bgp/rib.hpp"
+#include "util/rng.hpp"
+
+namespace dice::bgp {
+namespace {
+
+using util::IpAddress;
+using util::IpPrefix;
+
+[[nodiscard]] Route make_route(std::uint8_t octet, std::uint32_t local_pref = 100) {
+  Route r;
+  r.prefix = IpPrefix{IpAddress{10, octet, 0, 0}, 16};
+  r.attrs.origin = Origin::kIgp;
+  r.attrs.as_path = AsPath{{65001, 65002}};
+  r.attrs.next_hop = IpAddress{10, 0, 0, 2};
+  r.attrs.local_pref = local_pref;
+  r.source.peer_node = 1;
+  r.source.peer_asn = 65001;
+  r.source.peer_router_id = 11;
+  r.source.peer_address = IpAddress{10, 0, 0, 2};
+  return r;
+}
+
+TEST(RibTest, UpsertReportsChanges) {
+  Rib rib;
+  EXPECT_TRUE(rib.upsert(make_route(1)));          // insert
+  EXPECT_FALSE(rib.upsert(make_route(1)));         // identical: no change
+  EXPECT_TRUE(rib.upsert(make_route(1, 200)));     // modified: change
+  EXPECT_EQ(rib.size(), 1u);
+  EXPECT_TRUE(rib.upsert(make_route(2)));
+  EXPECT_EQ(rib.size(), 2u);
+}
+
+TEST(RibTest, EraseAndFind) {
+  Rib rib;
+  const Route r = make_route(1);
+  rib.upsert(r);
+  ASSERT_NE(rib.find(r.prefix), nullptr);
+  EXPECT_EQ(*rib.find(r.prefix), r);
+  EXPECT_TRUE(rib.erase(r.prefix));
+  EXPECT_FALSE(rib.erase(r.prefix));
+  EXPECT_EQ(rib.find(r.prefix), nullptr);
+}
+
+TEST(RibTest, ContentHashTracksContent) {
+  Rib a;
+  Rib b;
+  a.upsert(make_route(1));
+  b.upsert(make_route(1));
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  b.upsert(make_route(2));
+  EXPECT_NE(a.content_hash(), b.content_hash());
+  b.erase(make_route(2).prefix);
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+}
+
+TEST(RibTest, SerializeDeserializeRoundTrip) {
+  Rib rib;
+  for (std::uint8_t i = 1; i <= 20; ++i) rib.upsert(make_route(i, 50u + i));
+  util::ByteWriter writer;
+  rib.serialize(writer);
+  util::ByteReader reader(writer.bytes());
+  auto restored = Rib::deserialize(reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().size(), 20u);
+  EXPECT_EQ(restored.value().content_hash(), rib.content_hash());
+  EXPECT_EQ(restored.value().table(), rib.table());
+}
+
+TEST(RibTest, DeserializeRejectsTruncation) {
+  Rib rib;
+  rib.upsert(make_route(1));
+  util::ByteWriter writer;
+  rib.serialize(writer);
+  util::Bytes bytes = writer.bytes();
+  bytes.resize(bytes.size() / 2);
+  util::ByteReader reader(bytes);
+  EXPECT_FALSE(Rib::deserialize(reader).ok());
+}
+
+/// Property: attribute serialization round-trips over randomized attrs.
+class AttrSerializeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AttrSerializeProperty, RoundTrip) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 100; ++round) {
+    PathAttributes attrs;
+    attrs.origin = static_cast<Origin>(rng.below(3));
+    if (rng.chance(0.8)) {
+      AsSegment seg;
+      seg.type = rng.chance(0.8) ? AsSegmentType::kSequence : AsSegmentType::kSet;
+      for (std::size_t i = 0; i < 1 + rng.below(4); ++i) {
+        seg.asns.push_back(static_cast<Asn>(rng.below(70000)));  // 4-byte ok internally
+      }
+      attrs.as_path.segments().push_back(std::move(seg));
+    }
+    attrs.next_hop = IpAddress{static_cast<std::uint32_t>(rng.next())};
+    if (rng.chance(0.5)) attrs.med = static_cast<std::uint32_t>(rng.next());
+    if (rng.chance(0.5)) attrs.local_pref = static_cast<std::uint32_t>(rng.next());
+    attrs.atomic_aggregate = rng.chance(0.2);
+    if (rng.chance(0.3)) {
+      attrs.aggregator =
+          Aggregator{static_cast<Asn>(rng.below(65536)),
+                     IpAddress{static_cast<std::uint32_t>(rng.next())}};
+    }
+    for (std::size_t i = rng.below(4); i > 0; --i) {
+      attrs.add_community(static_cast<Community>(rng.next()));
+    }
+    if (rng.chance(0.3)) {
+      UnknownAttr ua;
+      ua.flags = 0xc0;
+      ua.type = static_cast<std::uint8_t>(128 + rng.below(100));
+      for (std::size_t i = rng.below(8); i > 0; --i) ua.value.push_back(rng.byte());
+      attrs.unknown.push_back(std::move(ua));
+    }
+
+    util::ByteWriter writer;
+    serialize_attrs(writer, attrs);
+    util::ByteReader reader(writer.bytes());
+    auto restored = deserialize_attrs(reader);
+    ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+    EXPECT_EQ(restored.value(), attrs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AttrSerializeProperty, ::testing::Values(3, 6, 9));
+
+TEST(AttrTest, CommunitySetSemantics) {
+  PathAttributes attrs;
+  attrs.add_community(5);
+  attrs.add_community(1);
+  attrs.add_community(5);  // duplicate ignored
+  attrs.add_community(3);
+  EXPECT_EQ(attrs.communities, (std::vector<Community>{1, 3, 5}));  // sorted
+  EXPECT_TRUE(attrs.has_community(3));
+  attrs.remove_community(3);
+  EXPECT_FALSE(attrs.has_community(3));
+  attrs.remove_community(99);  // absent: no-op
+  EXPECT_EQ(attrs.communities.size(), 2u);
+}
+
+TEST(AttrTest, EffectiveDefaults) {
+  PathAttributes attrs;
+  EXPECT_EQ(attrs.effective_local_pref(), PathAttributes::kDefaultLocalPref);
+  EXPECT_EQ(attrs.effective_med(), 0u);
+  attrs.local_pref = 7;
+  attrs.med = 9;
+  EXPECT_EQ(attrs.effective_local_pref(), 7u);
+  EXPECT_EQ(attrs.effective_med(), 9u);
+}
+
+TEST(RouteTest, ToStringMentionsKeyFields) {
+  const Route r = make_route(1);
+  const std::string text = r.to_string();
+  EXPECT_NE(text.find("10.1.0.0/16"), std::string::npos);
+  EXPECT_NE(text.find("10.0.0.2"), std::string::npos);
+  EXPECT_NE(text.find("65001"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dice::bgp

@@ -1,0 +1,205 @@
+// Differential tests between the concrete UPDATE decoder (bgp/codec.cpp)
+// and the instrumented symbolic handler (bgp/sym_update.cpp). DESIGN.md
+// commits to keeping the two in lock-step; these properties are the lock.
+#include <gtest/gtest.h>
+
+#include "bgp/codec.hpp"
+#include "bgp/sym_update.hpp"
+#include "bgp/topology.hpp"
+#include "fuzz/bgp_grammar.hpp"
+
+namespace dice::bgp {
+namespace {
+
+using concolic::SymCtx;
+using util::Bytes;
+
+[[nodiscard]] RouterConfig test_config() {
+  SystemBlueprint bp = make_internet({2, 3, 4});
+  return bp.configs[3];  // a tier-2 router: has Gao-Rexford policies
+}
+
+/// Runs the symbolic handler on a body (no recording context assertions).
+[[nodiscard]] SymHandlerResult run_sym(const RouterConfig& config, const Bytes& body) {
+  SymHandlerEnv env;
+  env.config = &config;
+  env.neighbor_index = 0;
+  SymCtx ctx(body);
+  concolic::SymScope scope(ctx);
+  return sym_handle_update(ctx, env);
+}
+
+TEST(SymDiffTest, WrapUnwrapRoundTrip) {
+  const Bytes body{0x00, 0x00, 0x00, 0x00};
+  const Bytes message = wrap_update_body(body);
+  EXPECT_EQ(message.size(), kHeaderLength + body.size());
+  auto back = unwrap_update_body(message);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, body);
+  EXPECT_FALSE(unwrap_update_body({1, 2, 3}).has_value());
+}
+
+TEST(SymDiffTest, EmptyUpdateAgrees) {
+  const RouterConfig config = test_config();
+  const Bytes body{0x00, 0x00, 0x00, 0x00};  // no withdrawn, no attrs, no nlri
+  const SymHandlerResult sym = run_sym(config, body);
+  EXPECT_TRUE(sym.decode_ok);
+  auto concrete = decode(wrap_update_body(body));
+  EXPECT_TRUE(concrete.ok());
+}
+
+TEST(SymDiffTest, RecordsConstraintsFromCodeAndConfig) {
+  const RouterConfig config = test_config();
+  // A valid single-announcement update built with the concrete encoder.
+  UpdateMessage update;
+  update.attrs.origin = Origin::kIgp;
+  update.attrs.as_path = AsPath{{65001}};
+  update.attrs.next_hop = util::IpAddress{10, 0, 9, 1};
+  update.nlri.push_back(node_prefix(0));
+  auto encoded = encode(Message{update});
+  ASSERT_TRUE(encoded.ok());
+  auto body = unwrap_update_body(encoded.value());
+  ASSERT_TRUE(body.has_value());
+
+  SymHandlerEnv env;
+  env.config = &config;
+  env.neighbor_index = 0;
+  SymCtx ctx(*body);
+  SymHandlerResult result;
+  {
+    concolic::SymScope scope(ctx);
+    result = sym_handle_update(ctx, env);
+  }
+  EXPECT_TRUE(result.decode_ok);
+  EXPECT_EQ(result.announced, 1u);
+  // The path condition holds constraints from BOTH dimensions the paper
+  // names: parsing (flags/lengths) and interpreted configuration (policy).
+  EXPECT_GT(ctx.path().size(), 10u);
+}
+
+/// The core differential property, over grammar-fuzzed near-valid inputs:
+/// decode success/failure AND the first error code agree between the
+/// concrete codec and the symbolic twin.
+class SymDiffProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SymDiffProperty, DecodeOutcomeAgreesOnFuzzedBodies) {
+  const RouterConfig config = test_config();
+  util::Rng rng(GetParam());
+  const fuzz::BgpUpdateGrammar grammar(fuzz::BgpGrammarSeeds::from_config(config));
+
+  std::size_t checked = 0;
+  for (int round = 0; round < 300; ++round) {
+    const Bytes body = grammar.generate_body(rng, /*corruption_rate=*/0.08);
+    const SymHandlerResult sym = run_sym(config, body);
+    auto concrete = decode(wrap_update_body(body));
+    ++checked;
+
+    ASSERT_EQ(sym.decode_ok, concrete.ok())
+        << "divergence on body " << util::to_hex(body) << "\n concrete: "
+        << (concrete.ok() ? "ok" : concrete.error().to_string())
+        << "\n symbolic: " << (sym.decode_ok ? "ok" : sym.error_code);
+    if (!concrete.ok()) {
+      EXPECT_EQ(sym.error_code, concrete.error().code)
+          << "error-code divergence on body " << util::to_hex(body);
+    } else {
+      const auto& update = std::get<UpdateMessage>(concrete.value());
+      EXPECT_EQ(sym.withdrawn, update.withdrawn.size());
+      EXPECT_EQ(sym.announced, update.nlri.size());
+    }
+  }
+  EXPECT_EQ(checked, 300u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymDiffProperty,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+/// Accept/reject agreement: the symbolic policy interpreter must agree
+/// with the concrete policy engine on fuzzed *valid* updates.
+class SymPolicyDiffProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SymPolicyDiffProperty, ImportVerdictAgrees) {
+  const RouterConfig config = test_config();
+  const NeighborConfig& neighbor = config.neighbors[0];
+  util::Rng rng(GetParam());
+  const fuzz::BgpUpdateGrammar grammar(fuzz::BgpGrammarSeeds::from_config(config));
+
+  std::size_t compared = 0;
+  for (int round = 0; round < 300; ++round) {
+    const Bytes body = grammar.generate_body(rng, /*corruption_rate=*/0.0);
+    auto concrete = decode(wrap_update_body(body));
+    if (!concrete.ok()) continue;
+    const auto& update = std::get<UpdateMessage>(concrete.value());
+    if (update.nlri.empty()) continue;
+    if (update.attrs.as_path.contains(config.asn)) continue;  // loop path
+
+    const SymHandlerResult sym = run_sym(config, body);
+    ASSERT_TRUE(sym.decode_ok);
+
+    std::uint32_t accepted = 0;
+    for (const util::IpPrefix& prefix : update.nlri) {
+      Route route;
+      route.prefix = prefix;
+      route.attrs = update.attrs;
+      route.attrs.local_pref.reset();  // eBGP import semantics
+      route.source.peer_asn = neighbor.asn;
+      if (evaluate(neighbor.import_policy, std::move(route), config.asn).accepted) {
+        ++accepted;
+      }
+    }
+    EXPECT_EQ(sym.accepted, accepted)
+        << "policy divergence on body " << util::to_hex(body);
+    ++compared;
+  }
+  EXPECT_GT(compared, 100u);  // the grammar must produce mostly valid inputs
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymPolicyDiffProperty, ::testing::Values(7, 14, 21));
+
+TEST(SymDiffTest, InjectedBugsFireIdentically) {
+  RouterConfig config = test_config();
+  config.bug_mask = bugs::kCommunityLength;
+  // Craft a community attribute with length 5 via raw bytes.
+  util::ByteWriter attrs;
+  attrs.u8(attr_flags::kTransitive);
+  attrs.u8(1);
+  attrs.u8(1);
+  attrs.u8(0);
+  attrs.u8(attr_flags::kTransitive);
+  attrs.u8(2);
+  attrs.u8(4);
+  attrs.u8(2);
+  attrs.u8(1);
+  attrs.u16(65001);
+  attrs.u8(attr_flags::kTransitive);
+  attrs.u8(3);
+  attrs.u8(4);
+  attrs.u32(util::IpAddress{10, 0, 0, 2}.value());
+  attrs.u8(attr_flags::kOptional | attr_flags::kTransitive);
+  attrs.u8(8);
+  attrs.u8(5);
+  for (int i = 0; i < 5; ++i) attrs.u8(0x01);
+
+  util::ByteWriter body;
+  body.u16(0);
+  body.u16(static_cast<std::uint16_t>(attrs.size()));
+  body.raw(attrs.span());
+  body.u8(16);
+  body.u8(10);
+  body.u8(9);
+  const Bytes body_bytes = std::move(body).take();
+
+  // Concrete: crash.
+  EXPECT_THROW((void)decode(wrap_update_body(body_bytes), DecodeOptions{config.bug_mask}),
+               concolic::CrashSignal);
+  // Symbolic: crash too (CrashSignal escapes sym_handle_update).
+  SymHandlerEnv env;
+  env.config = &config;
+  env.neighbor_index = 0;
+  SymCtx ctx(body_bytes);
+  concolic::SymScope scope(ctx);
+  EXPECT_THROW((void)sym_handle_update(ctx, env), concolic::CrashSignal);
+  EXPECT_TRUE(ctx.crashed());
+}
+
+}  // namespace
+}  // namespace dice::bgp

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "bgp/message.hpp"
+#include "bgp/types.hpp"
+
+namespace dice::bgp {
+namespace {
+
+TEST(AsPathTest, SelectionLengthCountsSetsOnce) {
+  AsPath path{{1, 2, 3}};
+  EXPECT_EQ(path.selection_length(), 3u);
+  path.segments().push_back(AsSegment{AsSegmentType::kSet, {4, 5, 6, 7}});
+  EXPECT_EQ(path.selection_length(), 4u);  // 3 + 1
+  EXPECT_EQ(path.asn_count(), 7u);
+}
+
+TEST(AsPathTest, OriginAndFirstAsn) {
+  const AsPath path{{10, 20, 30}};
+  EXPECT_EQ(path.first_asn(), 10u);
+  EXPECT_EQ(path.origin_asn(), 30u);
+  EXPECT_FALSE(AsPath{}.origin_asn().has_value());
+  EXPECT_FALSE(AsPath{}.first_asn().has_value());
+}
+
+TEST(AsPathTest, OriginSkipsTrailingSets) {
+  AsPath path{{10, 20}};
+  path.segments().push_back(AsSegment{AsSegmentType::kSet, {30, 40}});
+  // Origin is the last ASN of the last SEQUENCE, not the SET.
+  EXPECT_EQ(path.origin_asn(), 20u);
+}
+
+TEST(AsPathTest, Contains) {
+  AsPath path{{10, 20}};
+  path.segments().push_back(AsSegment{AsSegmentType::kSet, {30}});
+  EXPECT_TRUE(path.contains(10));
+  EXPECT_TRUE(path.contains(30));  // sets count for loop detection
+  EXPECT_FALSE(path.contains(99));
+}
+
+TEST(AsPathTest, PrependOntoEmptyAndSequence) {
+  AsPath path;
+  path.prepend(7, 2);
+  EXPECT_EQ(path.to_string(), "7 7");
+  path.prepend(8);
+  EXPECT_EQ(path.to_string(), "8 7 7");
+  path.prepend(9, 0);  // zero count: no-op
+  EXPECT_EQ(path.to_string(), "8 7 7");
+}
+
+TEST(AsPathTest, PrependBeforeLeadingSet) {
+  AsPath path;
+  path.segments().push_back(AsSegment{AsSegmentType::kSet, {5}});
+  path.prepend(7);
+  ASSERT_EQ(path.segments().size(), 2u);
+  EXPECT_EQ(path.segments()[0].type, AsSegmentType::kSequence);
+  EXPECT_EQ(path.to_string(), "7 {5}");
+}
+
+TEST(AsPathTest, ToStringFormats) {
+  EXPECT_EQ(AsPath{}.to_string(), "<empty>");
+  AsPath path{{1, 2}};
+  path.segments().push_back(AsSegment{AsSegmentType::kSet, {3, 4}});
+  EXPECT_EQ(path.to_string(), "1 2 {3,4}");
+}
+
+TEST(CommunityTest, MakeAndFormat) {
+  const Community c = make_community(65001, 300);
+  EXPECT_EQ(c >> 16, 65001u);
+  EXPECT_EQ(c & 0xffff, 300u);
+  EXPECT_EQ(community_to_string(c), "(65001,300)");
+  EXPECT_EQ(community_to_string(well_known::kNoExport), "(65535,65281)");
+}
+
+TEST(TypesTest, OriginNames) {
+  EXPECT_EQ(to_string(Origin::kIgp), "IGP");
+  EXPECT_EQ(to_string(Origin::kEgp), "EGP");
+  EXPECT_EQ(to_string(Origin::kIncomplete), "INCOMPLETE");
+}
+
+TEST(TypesTest, RouterIdRendering) {
+  EXPECT_EQ(router_id_to_string(util::IpAddress{10, 0, 3, 1}.value()), "10.0.3.1");
+}
+
+TEST(MessageTest, TypeOfVariant) {
+  EXPECT_EQ(type_of(Message{OpenMessage{}}), MessageType::kOpen);
+  EXPECT_EQ(type_of(Message{UpdateMessage{}}), MessageType::kUpdate);
+  EXPECT_EQ(type_of(Message{NotificationMessage{}}), MessageType::kNotification);
+  EXPECT_EQ(type_of(Message{KeepaliveMessage{}}), MessageType::kKeepalive);
+}
+
+TEST(MessageTest, ToStringCoversAll) {
+  OpenMessage open;
+  open.my_asn = 65001;
+  EXPECT_NE(to_string(Message{open}).find("OPEN"), std::string::npos);
+  EXPECT_NE(to_string(Message{open}).find("65001"), std::string::npos);
+
+  UpdateMessage update;
+  update.withdrawn.push_back(util::IpPrefix{util::IpAddress{10, 1, 0, 0}, 16});
+  update.attrs.as_path = AsPath{{1}};
+  update.nlri.push_back(util::IpPrefix{util::IpAddress{10, 2, 0, 0}, 16});
+  const std::string text = to_string(Message{update});
+  EXPECT_NE(text.find("withdraw"), std::string::npos);
+  EXPECT_NE(text.find("announce"), std::string::npos);
+  EXPECT_NE(text.find("10.2.0.0/16"), std::string::npos);
+
+  NotificationMessage notif;
+  notif.code = NotifCode::kHoldTimerExpired;
+  EXPECT_NE(to_string(Message{notif}).find("HoldTimerExpired"), std::string::npos);
+
+  EXPECT_EQ(to_string(Message{KeepaliveMessage{}}), "KEEPALIVE");
+}
+
+}  // namespace
+}  // namespace dice::bgp

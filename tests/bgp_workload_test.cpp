@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "bgp/codec.hpp"
+#include "bgp/workload.hpp"
+#include "dice/system.hpp"
+
+namespace dice::bgp {
+namespace {
+
+TEST(WorkloadTest, EventsAreWellFormed) {
+  RouteFeedGenerator feed({}, /*seed=*/1);
+  const util::IpAddress next_hop{10, 0, 0, 2};
+  for (int i = 0; i < 500; ++i) {
+    const FeedEvent event = feed.next(next_hop);
+    if (event.announce) {
+      EXPECT_FALSE(event.attrs.as_path.empty());
+      EXPECT_EQ(event.attrs.next_hop, next_hop);
+      EXPECT_GE(event.attrs.as_path.selection_length(), 1u);
+      EXPECT_LE(event.attrs.as_path.selection_length(), 6u);
+    }
+    // Every event encodes to a valid wire message.
+    auto encoded = encode(Message{event.to_update()});
+    ASSERT_TRUE(encoded.ok());
+    EXPECT_TRUE(decode(encoded.value()).ok());
+  }
+}
+
+TEST(WorkloadTest, WithdrawalsOnlyTargetAnnouncedPrefixes) {
+  WorkloadOptions options;
+  options.withdraw_ratio = 0.5;
+  options.prefix_universe = 50;
+  RouteFeedGenerator feed(options, 2);
+  std::set<util::IpPrefix> announced;
+  for (int i = 0; i < 2000; ++i) {
+    const FeedEvent event = feed.next(util::IpAddress{10, 0, 0, 2});
+    if (event.announce) {
+      announced.insert(event.prefix);
+    } else {
+      EXPECT_TRUE(announced.contains(event.prefix))
+          << "withdrew never-announced " << event.prefix.to_string();
+      announced.erase(event.prefix);
+    }
+    EXPECT_EQ(feed.announced_count(), announced.size());
+  }
+}
+
+TEST(WorkloadTest, StableOriginPerPrefix) {
+  RouteFeedGenerator feed({}, 3);
+  std::map<util::IpPrefix, Asn> origins;
+  for (int i = 0; i < 2000; ++i) {
+    const FeedEvent event = feed.next(util::IpAddress{10, 0, 0, 2});
+    if (!event.announce) continue;
+    const Asn origin = event.attrs.as_path.origin_asn().value();
+    auto [it, inserted] = origins.emplace(event.prefix, origin);
+    EXPECT_EQ(it->second, origin) << "origin flapped for " << event.prefix.to_string();
+  }
+}
+
+TEST(WorkloadTest, ZipfSkewsPopularity) {
+  WorkloadOptions options;
+  options.prefix_universe = 200;
+  options.withdraw_ratio = 0.0;
+  RouteFeedGenerator feed(options, 4);
+  std::map<util::IpPrefix, int> counts;
+  for (int i = 0; i < 5000; ++i) {
+    ++counts[feed.next(util::IpAddress{10, 0, 0, 2}).prefix];
+  }
+  // The most popular prefix should dominate the median one by a wide margin.
+  int max_count = 0;
+  for (const auto& [prefix, count] : counts) max_count = std::max(max_count, count);
+  EXPECT_GT(max_count, 200);
+  EXPECT_LT(counts.size(), 201u);
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  RouteFeedGenerator a({}, 42);
+  RouteFeedGenerator b({}, 42);
+  for (int i = 0; i < 100; ++i) {
+    const FeedEvent ea = a.next(util::IpAddress{10, 0, 0, 2});
+    const FeedEvent eb = b.next(util::IpAddress{10, 0, 0, 2});
+    EXPECT_EQ(ea.announce, eb.announce);
+    EXPECT_EQ(ea.prefix, eb.prefix);
+    EXPECT_EQ(ea.attrs, eb.attrs);
+  }
+}
+
+TEST(WorkloadTest, FeedFillsRouterRib) {
+  // Stream a feed into a 2-router system and verify the consumer's RIB
+  // tracks the feed's announced set.
+  core::System system(make_line(2));
+  system.start();
+  ASSERT_TRUE(system.converge());
+
+  WorkloadOptions options;
+  options.prefix_universe = 300;
+  RouteFeedGenerator feed(options, 5);
+  for (const util::Bytes& message : feed.encoded_batch(1500, node_address(1))) {
+    system.inject_message(1, 0, message);
+  }
+  ASSERT_TRUE(system.converge());
+  // Loc-RIB = own prefix + peer prefix + announced feed prefixes.
+  EXPECT_EQ(system.router(0).loc_rib().size(), feed.announced_count() + 2);
+}
+
+}  // namespace
+}  // namespace dice::bgp

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "concolic/engine.hpp"
+#include "concolic/sym.hpp"
+
+namespace dice::concolic {
+namespace {
+
+/// Classic concolic litmus test: a nested magic-byte check that random
+/// testing essentially never penetrates but path negation walks straight
+/// through.
+void magic_target(SymCtx& ctx) {
+  if (ctx.input_size() < 4) return;
+  const SymU8 a = input_byte(0);
+  if (!branch(a == SymU8{0xde})) return;
+  const SymU8 b = input_byte(1);
+  if (!branch(b == SymU8{0xad})) return;
+  const SymU8 c = input_byte(2);
+  if (!branch(c == SymU8{0xbe})) return;
+  const SymU8 d = input_byte(3);
+  sym_assert(d != SymU8{0xef}, "magic bomb reached");
+}
+
+TEST(EngineTest, FindsNestedMagicCrash) {
+  EngineOptions options;
+  options.max_executions = 300;
+  ConcolicEngine engine(magic_target, options);
+  engine.add_seed({0, 0, 0, 0});
+  const RunResult result = engine.run();
+  ASSERT_EQ(result.crashes.size(), 1u);
+  const util::Bytes& input = result.crashes[0].input;
+  EXPECT_EQ(input[0], 0xde);
+  EXPECT_EQ(input[1], 0xad);
+  EXPECT_EQ(input[2], 0xbe);
+  EXPECT_EQ(input[3], 0xef);
+  EXPECT_EQ(result.crashes[0].reason, "magic bomb reached");
+  // Far fewer executions than the 2^32 random expectation.
+  EXPECT_LE(result.stats.executions, 300u);
+}
+
+TEST(EngineTest, ExploresBothDirectionsOfABranch) {
+  auto target = [](SymCtx& ctx) {
+    if (ctx.input_size() < 1) return;
+    (void)branch(input_byte(0) < SymU8{128});
+  };
+  EngineOptions options;
+  options.max_executions = 10;
+  ConcolicEngine engine(target, options);
+  engine.add_seed({0});
+  const RunResult result = engine.run();
+  // One branch site, two directions discovered.
+  EXPECT_EQ(result.stats.branch_points, 2u);
+  EXPECT_GE(result.stats.unique_paths, 2u);
+}
+
+TEST(EngineTest, DeduplicatesInputsAndPaths) {
+  auto target = [](SymCtx& ctx) {
+    if (ctx.input_size() < 1) return;
+    (void)branch(input_byte(0) == SymU8{1});
+  };
+  EngineOptions options;
+  options.max_executions = 50;
+  ConcolicEngine engine(target, options);
+  engine.add_seed({0});
+  engine.add_seed({0});  // duplicate seed ignored
+  const RunResult result = engine.run();
+  EXPECT_LE(result.stats.unique_paths, 2u);
+  EXPECT_LE(result.stats.executions, 3u);  // 0, 1, maybe one more
+}
+
+TEST(EngineTest, StopOnFirstCrash) {
+  auto target = [](SymCtx& ctx) {
+    if (ctx.input_size() < 1) return;
+    sym_assert(input_byte(0) != SymU8{7}, "seven");
+  };
+  EngineOptions options;
+  options.max_executions = 100;
+  options.stop_on_first_crash = true;
+  ConcolicEngine engine(target, options);
+  engine.add_seed({0});
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.crashes.size(), 1u);
+}
+
+TEST(EngineTest, GenerationalBoundPreventsRedundantFlips) {
+  // A chain of comparisons: generational search should scale linearly in
+  // path depth, not exponentially.
+  auto target = [](SymCtx& ctx) {
+    if (ctx.input_size() < 6) return;
+    for (std::size_t i = 0; i < 6; ++i) {
+      if (!branch(input_byte(i) < SymU8{100})) return;  // early exit on flip
+    }
+  };
+  EngineOptions options;
+  options.max_executions = 400;
+  ConcolicEngine engine(target, options);
+  engine.add_seed({0, 0, 0, 0, 0, 0});
+  const RunResult result = engine.run();
+  // One source site, two directions; and one distinct path per early exit
+  // depth plus the all-true path: exactly 7 paths, found in ~7 executions
+  // (not 2^6 — that is the generational-search point).
+  EXPECT_EQ(result.stats.branch_points, 2u);
+  EXPECT_EQ(result.stats.unique_paths, 7u);
+  EXPECT_LE(result.stats.executions, 20u);
+}
+
+TEST(EngineTest, IncrementalRunsPreserveState) {
+  auto target = [](SymCtx& ctx) {
+    if (ctx.input_size() < 2) return;
+    if (branch(input_byte(0) == SymU8{9})) {
+      sym_assert(input_byte(1) != SymU8{9}, "nines");
+    }
+  };
+  EngineOptions options;
+  options.max_executions = 1000;
+  ConcolicEngine engine(target, options);
+  engine.add_seed({0, 0});
+  std::size_t crashes = 0;
+  for (int batch = 0; batch < 10 && crashes == 0; ++batch) {
+    const RunResult result = engine.run(3);  // tiny per-call budget
+    crashes += result.crashes.size();
+    if (engine.queue_empty()) break;
+  }
+  EXPECT_EQ(crashes, 1u);
+}
+
+TEST(EngineTest, ObserverSeesEveryExecution) {
+  auto target = [](SymCtx& ctx) {
+    if (ctx.input_size() < 1) return;
+    (void)branch(input_byte(0) < SymU8{50});
+  };
+  EngineOptions options;
+  options.max_executions = 20;
+  ConcolicEngine engine(target, options);
+  std::size_t observed = 0;
+  engine.set_observer([&observed](const SymCtx&, const util::Bytes&) { ++observed; });
+  engine.add_seed({0});
+  const RunResult result = engine.run();
+  EXPECT_EQ(observed, result.stats.executions);
+}
+
+TEST(EngineTest, CrashInputsAreDistinctPerReason) {
+  auto target = [](SymCtx& ctx) {
+    if (ctx.input_size() < 1) return;
+    const SymU8 x = input_byte(0);
+    if (branch(x == SymU8{1})) sym_assert(SymBool{false}, "bug-one");
+    if (branch(x == SymU8{2})) sym_assert(SymBool{false}, "bug-two");
+  };
+  EngineOptions options;
+  options.max_executions = 100;
+  ConcolicEngine engine(target, options);
+  engine.add_seed({0});
+  const RunResult result = engine.run();
+  ASSERT_EQ(result.crashes.size(), 2u);
+  EXPECT_NE(result.crashes[0].reason, result.crashes[1].reason);
+}
+
+}  // namespace
+}  // namespace dice::concolic

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "concolic/expr.hpp"
+
+namespace dice::concolic {
+namespace {
+
+TEST(ExprPoolTest, ConstantsAreInterned) {
+  ExprPool pool;
+  const ExprRef a = pool.constant(7, 8);
+  const ExprRef b = pool.constant(7, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, pool.constant(7, 16));  // width participates in identity
+}
+
+TEST(ExprPoolTest, ConstantFolding) {
+  ExprPool pool;
+  const ExprRef sum = pool.binary(Op::kAdd, pool.constant(200, 8), pool.constant(100, 8));
+  EXPECT_EQ(pool.node(sum).op, Op::kConst);
+  EXPECT_EQ(pool.node(sum).value, (200 + 100) & 0xff);  // wraps at width
+}
+
+TEST(ExprPoolTest, AlgebraicIdentities) {
+  ExprPool pool;
+  const ExprRef x = pool.sym_byte(0);
+  EXPECT_EQ(pool.binary(Op::kAdd, x, pool.constant(0, 8)), x);
+  EXPECT_EQ(pool.binary(Op::kOr, pool.constant(0, 8), x), x);
+  // BoolAnd with constant true collapses to the other side.
+  const ExprRef cond = pool.binary(Op::kEq, x, pool.constant(1, 8));
+  EXPECT_EQ(pool.binary(Op::kBoolAnd, pool.constant(1, 1), cond), cond);
+  EXPECT_EQ(pool.node(pool.binary(Op::kBoolAnd, pool.constant(0, 1), cond)).value, 0u);
+}
+
+TEST(ExprPoolTest, EvalSymAndArith) {
+  ExprPool pool;
+  const ExprRef x = pool.sym_byte(0);
+  const ExprRef y = pool.sym_byte(1);
+  const ExprRef expr = pool.binary(Op::kAdd, x, pool.binary(Op::kMul, y, pool.constant(2, 8)));
+  const std::vector<std::uint8_t> input{5, 10};
+  EXPECT_EQ(pool.eval(expr, input), 25u);
+}
+
+TEST(ExprPoolTest, EvalOutOfRangeSymReadsZero) {
+  ExprPool pool;
+  const ExprRef x = pool.sym_byte(9);
+  const std::vector<std::uint8_t> input{1};
+  EXPECT_EQ(pool.eval(x, input), 0u);
+}
+
+TEST(ExprPoolTest, ZextTruncConcatExtract) {
+  ExprPool pool;
+  const ExprRef x = pool.sym_byte(0);
+  const ExprRef wide = pool.zext(x, 16);
+  EXPECT_EQ(pool.node(wide).width, 16);
+  const ExprRef back = pool.trunc(wide, 8);
+  // trunc(zext(x)) is not structurally simplified, but evaluates equal.
+  const std::vector<std::uint8_t> input{0xcd};
+  EXPECT_EQ(pool.eval(back, input), 0xcdU);
+
+  const ExprRef hi = pool.sym_byte(0);
+  const ExprRef lo = pool.sym_byte(1);
+  const ExprRef cat = pool.concat(hi, lo);
+  const std::vector<std::uint8_t> in2{0x12, 0x34};
+  EXPECT_EQ(pool.eval(cat, in2), 0x1234u);
+  EXPECT_EQ(pool.eval(pool.extract(cat, 8, 8), in2), 0x12u);
+  EXPECT_EQ(pool.eval(pool.extract(cat, 0, 8), in2), 0x34u);
+}
+
+TEST(ExprPoolTest, ComparisonsAndBools) {
+  ExprPool pool;
+  const ExprRef x = pool.sym_byte(0);
+  const ExprRef lt = pool.binary(Op::kUlt, x, pool.constant(10, 8));
+  const ExprRef eq = pool.binary(Op::kEq, x, pool.constant(5, 8));
+  const ExprRef both = pool.binary(Op::kBoolAnd, lt, eq);
+  const std::vector<std::uint8_t> five{5};
+  const std::vector<std::uint8_t> nine{9};
+  EXPECT_EQ(pool.eval(both, five), 1u);
+  EXPECT_EQ(pool.eval(both, nine), 0u);
+}
+
+TEST(ExprPoolTest, BoolNotPushesThroughComparisons) {
+  ExprPool pool;
+  const ExprRef x = pool.sym_byte(0);
+  const ExprRef lt = pool.binary(Op::kUlt, x, pool.constant(10, 8));
+  const ExprRef not_lt = pool.bool_not(lt);
+  // !(x < 10) becomes (10 <= x).
+  EXPECT_EQ(pool.node(not_lt).op, Op::kUle);
+  const std::vector<std::uint8_t> ten{10};
+  EXPECT_EQ(pool.eval(not_lt, ten), 1u);
+  // Double negation returns the original node.
+  const ExprRef raw = pool.binary(Op::kBoolAnd, lt, lt);
+  EXPECT_EQ(pool.bool_not(pool.bool_not(raw)), raw);
+}
+
+TEST(ExprPoolTest, IteSelectsBranch) {
+  ExprPool pool;
+  const ExprRef x = pool.sym_byte(0);
+  const ExprRef cond = pool.binary(Op::kUlt, x, pool.constant(5, 8));
+  const ExprRef ite = pool.ite(cond, pool.constant(1, 8), pool.constant(2, 8));
+  const std::vector<std::uint8_t> lo{0};
+  const std::vector<std::uint8_t> hi{200};
+  EXPECT_EQ(pool.eval(ite, lo), 1u);
+  EXPECT_EQ(pool.eval(ite, hi), 2u);
+}
+
+TEST(ExprPoolTest, CollectSyms) {
+  ExprPool pool;
+  const ExprRef expr = pool.binary(
+      Op::kAdd, pool.binary(Op::kXor, pool.sym_byte(3), pool.sym_byte(7)), pool.sym_byte(3));
+  std::unordered_set<std::uint32_t> syms;
+  pool.collect_syms(expr, syms);
+  EXPECT_EQ(syms.size(), 2u);
+  EXPECT_TRUE(syms.contains(3));
+  EXPECT_TRUE(syms.contains(7));
+}
+
+TEST(ExprPoolTest, ShiftSemantics) {
+  ExprPool pool;
+  const ExprRef x = pool.sym_byte(0);
+  const std::vector<std::uint8_t> input{0x81};
+  EXPECT_EQ(pool.eval(pool.binary(Op::kShl, x, pool.constant(1, 8)), input), 0x02u);
+  EXPECT_EQ(pool.eval(pool.binary(Op::kLshr, x, pool.constant(7, 8)), input), 0x01u);
+  // Shift >= width yields 0 (defined semantics, no UB).
+  EXPECT_EQ(pool.eval(pool.binary(Op::kShl, x, pool.constant(8, 8)), input), 0u);
+}
+
+TEST(ExprPoolTest, DivRemByZeroDefined) {
+  ExprPool pool;
+  const ExprRef x = pool.sym_byte(0);
+  const std::vector<std::uint8_t> input{42};
+  EXPECT_EQ(pool.eval(pool.binary(Op::kUDiv, x, pool.constant(0, 8)), input), 0xffu);
+  EXPECT_EQ(pool.eval(pool.binary(Op::kURem, x, pool.constant(0, 8)), input), 42u);
+}
+
+TEST(ExprPoolTest, ToStringRendersStructure) {
+  ExprPool pool;
+  const ExprRef expr =
+      pool.binary(Op::kEq, pool.sym_byte(1), pool.constant(66, 8));
+  const std::string text = pool.to_string(expr);
+  EXPECT_NE(text.find("in[1]"), std::string::npos);
+  EXPECT_NE(text.find("66"), std::string::npos);
+  EXPECT_NE(text.find("eq"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dice::concolic

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "concolic/solver.hpp"
+#include "concolic/sym.hpp"
+
+namespace dice::concolic {
+namespace {
+
+/// Helper: run `body` under a recording context on `input`, then return
+/// (pool, constraints) where constraints require the SAME path.
+struct Recorded {
+  SymCtx ctx;
+  std::vector<Constraint> constraints;
+
+  explicit Recorded(util::Bytes input, const std::function<void()>& body)
+      : ctx(std::move(input)) {
+    SymScope scope(ctx);
+    body();
+    for (const BranchRecord& r : ctx.path().records()) {
+      constraints.push_back(Constraint{r.cond, r.taken});
+    }
+  }
+};
+
+TEST(SolverTest, HintAlreadySatisfies) {
+  Recorded rec({42}, [] { (void)branch(input_byte(0) == SymU8{42}); });
+  Solver solver;
+  auto solution = solver.solve(rec.ctx.pool(), rec.constraints, rec.ctx.input());
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_EQ((*solution)[0], 42);
+  EXPECT_EQ(solver.stats().hint_hits, 1u);
+}
+
+TEST(SolverTest, DirectInversionOnEquality) {
+  // Record path for input 0 (x != 66), then ask for the flipped branch.
+  Recorded rec({0}, [] { (void)branch(input_byte(0) == SymU8{66}); });
+  ASSERT_EQ(rec.constraints.size(), 1u);
+  rec.constraints[0].require = !rec.constraints[0].require;  // demand x == 66
+
+  Solver solver;
+  auto solution = solver.solve(rec.ctx.pool(), rec.constraints, rec.ctx.input());
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_EQ((*solution)[0], 66);
+}
+
+TEST(SolverTest, ExhaustiveTwoBytes) {
+  // Constraint couples two bytes: in[0] + in[1] == 99 with in[0] < 10.
+  Recorded rec({200, 200}, [] {
+    const SymU8 a = input_byte(0);
+    const SymU8 b = input_byte(1);
+    (void)branch(a + b == SymU8{99});
+    (void)branch(a < SymU8{10});
+  });
+  // Flip both to required-true.
+  for (Constraint& c : rec.constraints) c.require = true;
+
+  Solver solver;
+  auto solution = solver.solve(rec.ctx.pool(), rec.constraints, rec.ctx.input());
+  ASSERT_TRUE(solution.has_value());
+  const std::uint8_t a = (*solution)[0];
+  const std::uint8_t b = (*solution)[1];
+  EXPECT_LT(a, 10);
+  EXPECT_EQ(static_cast<std::uint8_t>(a + b), 99);
+}
+
+TEST(SolverTest, UnsatisfiableDetectedByExhaustion) {
+  Recorded rec({5}, [] {
+    const SymU8 x = input_byte(0);
+    (void)branch(x < SymU8{10});
+    (void)branch(x > SymU8{20});
+  });
+  rec.constraints[0].require = true;
+  rec.constraints[1].require = true;  // x < 10 && x > 20: impossible
+
+  Solver solver;
+  EXPECT_FALSE(solver.solve(rec.ctx.pool(), rec.constraints, rec.ctx.input()).has_value());
+  EXPECT_EQ(solver.stats().unsat_or_unknown, 1u);
+}
+
+TEST(SolverTest, SearchSolvesMultiByte) {
+  // 4 coupled bytes: the 32-bit big-endian word must be < 1000 while each
+  // byte participates; exhaustive (<=2 bytes) cannot apply.
+  Recorded rec({0xff, 0xff, 0xff, 0xff}, [] {
+    const SymU32 word = input_u32(0);
+    (void)branch(word < SymU32{1000});
+  });
+  rec.constraints[0].require = true;
+
+  Solver solver;
+  auto solution = solver.solve(rec.ctx.pool(), rec.constraints, rec.ctx.input());
+  ASSERT_TRUE(solution.has_value());
+  const std::uint32_t word = (static_cast<std::uint32_t>((*solution)[0]) << 24) |
+                             (static_cast<std::uint32_t>((*solution)[1]) << 16) |
+                             (static_cast<std::uint32_t>((*solution)[2]) << 8) |
+                             (*solution)[3];
+  EXPECT_LT(word, 1000u);
+}
+
+TEST(SolverTest, SolutionPreservesLength) {
+  Recorded rec({1, 2, 3, 4, 5}, [] { (void)branch(input_byte(2) == SymU8{77}); });
+  rec.constraints[0].require = true;
+  Solver solver;
+  auto solution = solver.solve(rec.ctx.pool(), rec.constraints, rec.ctx.input());
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_EQ(solution->size(), 5u);
+  EXPECT_EQ((*solution)[2], 77);
+  // Untouched bytes keep hint values.
+  EXPECT_EQ((*solution)[0], 1);
+  EXPECT_EQ((*solution)[4], 5);
+}
+
+/// Soundness property: whatever the solver returns satisfies ALL
+/// constraints under concrete evaluation — across many random systems.
+TEST(SolverTest, SoundnessProperty) {
+  util::Rng rng(77);
+  Solver solver;
+  std::size_t solved = 0;
+  for (int round = 0; round < 60; ++round) {
+    util::Bytes input(6);
+    for (auto& b : input) b = rng.byte();
+    const std::uint8_t t0 = rng.byte();
+    const std::uint8_t t1 = rng.byte();
+    const std::uint8_t t2 = static_cast<std::uint8_t>(rng.byte() | 1);
+
+    Recorded rec(input, [&] {
+      const SymU8 a = input_byte(0);
+      const SymU8 b = input_byte(1);
+      const SymU8 c = input_byte(2);
+      (void)branch((a ^ SymU8{t0}) < SymU8{t2});
+      (void)branch(b == SymU8{t1});
+      (void)branch((a + c) > SymU8{t0});
+    });
+    // Randomly flip required directions.
+    for (Constraint& c : rec.constraints) c.require = rng.chance(0.5);
+
+    auto solution = solver.solve(rec.ctx.pool(), rec.constraints, input);
+    if (!solution) continue;  // incompleteness is allowed; wrongness is not
+    ++solved;
+    for (const Constraint& c : rec.constraints) {
+      EXPECT_EQ(rec.ctx.pool().eval(c.cond, *solution) != 0, c.require)
+          << "solver returned a non-satisfying assignment";
+    }
+  }
+  EXPECT_GT(solved, 20u);  // sanity: the solver is not vacuously incomplete
+}
+
+TEST(SolverTest, IntervalPropagationProvesUnsatWithoutSearch) {
+  // x < 10 && x > 20 over one byte: interval intersection is empty; the
+  // solver must prove unsat with zero enumeration work.
+  Recorded rec({5}, [] {
+    const SymU8 x = input_byte(0);
+    (void)branch(x < SymU8{10});
+    (void)branch(x > SymU8{20});
+  });
+  rec.constraints[0].require = true;
+  rec.constraints[1].require = true;
+  Solver solver;
+  const std::uint64_t evals_before = solver.stats().evaluations;
+  EXPECT_FALSE(solver.solve(rec.ctx.pool(), rec.constraints, rec.ctx.input()).has_value());
+  EXPECT_EQ(solver.stats().interval_unsat, 1u);
+  // Only the initial check + unsat scan evaluated; no 256-way enumeration.
+  EXPECT_LT(solver.stats().evaluations - evals_before, 16u);
+}
+
+TEST(SolverTest, IntervalPropagationBoundsEnumeration) {
+  // 200 <= x <= 210 && x != 205: feasible; enumeration is clamped to the
+  // 11-value interval instead of 256.
+  Recorded rec({0}, [] {
+    const SymU8 x = input_byte(0);
+    (void)branch(x >= SymU8{200});
+    (void)branch(x <= SymU8{210});
+    (void)branch(x == SymU8{205});
+  });
+  rec.constraints[0].require = true;
+  rec.constraints[1].require = true;
+  rec.constraints[2].require = false;
+  Solver solver;
+  auto solution = solver.solve(rec.ctx.pool(), rec.constraints, rec.ctx.input());
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_GE((*solution)[0], 200);
+  EXPECT_LE((*solution)[0], 210);
+  EXPECT_NE((*solution)[0], 205);
+}
+
+TEST(SolverTest, IntervalHandlesConstantOnLeft) {
+  // Recorded as (k < x) when written x > k — both operand orders narrow.
+  Recorded rec({0}, [] {
+    const SymU8 x = input_byte(0);
+    (void)branch(SymU8{250} < x);   // x > 250
+    (void)branch(SymU8{254} == x);  // x == 254... taken=false on hint 0
+  });
+  rec.constraints[0].require = true;
+  rec.constraints[1].require = true;
+  Solver solver;
+  auto solution = solver.solve(rec.ctx.pool(), rec.constraints, rec.ctx.input());
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_EQ((*solution)[0], 254);
+}
+
+TEST(SolverTest, StatsAccumulate) {
+  Recorded rec({1}, [] { (void)branch(input_byte(0) == SymU8{1}); });
+  Solver solver;
+  (void)solver.solve(rec.ctx.pool(), rec.constraints, rec.ctx.input());
+  (void)solver.solve(rec.ctx.pool(), rec.constraints, rec.ctx.input());
+  EXPECT_EQ(solver.stats().queries, 2u);
+  EXPECT_EQ(solver.stats().sat, 2u);
+  solver.reset_stats();
+  EXPECT_EQ(solver.stats().queries, 0u);
+}
+
+}  // namespace
+}  // namespace dice::concolic

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "concolic/sym.hpp"
+
+namespace dice::concolic {
+namespace {
+
+TEST(SymTest, ConcreteWithoutContext) {
+  ASSERT_EQ(SymCtx::current(), nullptr);
+  const SymU8 a{10};
+  const SymU8 b{20};
+  const SymU8 c = a + b;
+  EXPECT_EQ(c.concrete(), 30);
+  EXPECT_FALSE(c.symbolic());
+  EXPECT_EQ(c.expr(), kNullExpr);
+  EXPECT_TRUE(branch(a < b));  // records nothing, returns concrete truth
+}
+
+TEST(SymTest, InputBytesAreSymbolicUnderContext) {
+  SymCtx ctx({0x11, 0x22});
+  SymScope scope(ctx);
+  const SymU8 b0 = input_byte(0);
+  EXPECT_EQ(b0.concrete(), 0x11);
+  EXPECT_TRUE(b0.symbolic());
+  const SymU16 word = input_u16(0);
+  EXPECT_EQ(word.concrete(), 0x1122);
+  EXPECT_TRUE(word.symbolic());
+}
+
+TEST(SymTest, InputU32BigEndian) {
+  SymCtx ctx({0x01, 0x02, 0x03, 0x04});
+  SymScope scope(ctx);
+  EXPECT_EQ(input_u32(0).concrete(), 0x01020304u);
+}
+
+TEST(SymTest, ArithmeticTracksBothViews) {
+  SymCtx ctx({100});
+  SymScope scope(ctx);
+  const SymU8 x = input_byte(0);
+  const SymU8 y = x + SymU8{28};
+  EXPECT_EQ(y.concrete(), 128);
+  ASSERT_TRUE(y.symbolic());
+  // The symbolic expression evaluates to the same value.
+  EXPECT_EQ(ctx.pool().eval(y.expr(), ctx.input()), 128u);
+}
+
+TEST(SymTest, BranchRecordsConstraint) {
+  SymCtx ctx({5});
+  SymScope scope(ctx);
+  const SymU8 x = input_byte(0);
+  EXPECT_TRUE(branch(x < SymU8{10}));
+  EXPECT_FALSE(branch(x == SymU8{9}));
+  ASSERT_EQ(ctx.path().size(), 2u);
+  EXPECT_TRUE(ctx.path().records()[0].taken);
+  EXPECT_FALSE(ctx.path().records()[1].taken);
+  // Sites differ (different source lines).
+  EXPECT_NE(ctx.path().records()[0].site, ctx.path().records()[1].site);
+}
+
+TEST(SymTest, ConcreteComparisonsNotRecorded) {
+  SymCtx ctx({5});
+  SymScope scope(ctx);
+  EXPECT_TRUE(branch(SymU8{1} < SymU8{2}));  // both concrete
+  EXPECT_EQ(ctx.path().size(), 0u);
+}
+
+TEST(SymTest, WideningPreservesSymbolism) {
+  SymCtx ctx({0xff});
+  SymScope scope(ctx);
+  const SymU32 wide = input_byte(0).to<std::uint32_t>();
+  EXPECT_EQ(wide.concrete(), 0xffu);
+  EXPECT_TRUE(wide.symbolic());
+  const SymU8 narrow = wide.to<std::uint8_t>();
+  EXPECT_EQ(narrow.concrete(), 0xff);
+  EXPECT_TRUE(narrow.symbolic());
+}
+
+TEST(SymTest, ShiftAndMaskSemantics) {
+  SymCtx ctx({0x80});
+  SymScope scope(ctx);
+  const SymU8 x = input_byte(0);
+  EXPECT_EQ((x >> SymU8{7}).concrete(), 1);
+  EXPECT_EQ((x << SymU8{1}).concrete(), 0);    // wraps at 8 bits
+  EXPECT_EQ((x & SymU8{0xc0}).concrete(), 0x80);
+  EXPECT_EQ((x | SymU8{0x01}).concrete(), 0x81);
+  EXPECT_EQ((x ^ SymU8{0xff}).concrete(), 0x7f);
+}
+
+TEST(SymTest, BoolCombinators) {
+  SymCtx ctx({5, 20});
+  SymScope scope(ctx);
+  const SymU8 a = input_byte(0);
+  const SymU8 b = input_byte(1);
+  const SymBool both = (a < SymU8{10}) && (b > SymU8{10});
+  EXPECT_TRUE(both.concrete());
+  EXPECT_TRUE(both.symbolic());
+  const SymBool either = (a > SymU8{100}) || (b == SymU8{20});
+  EXPECT_TRUE(either.concrete());
+  const SymBool negated = !either;
+  EXPECT_FALSE(negated.concrete());
+}
+
+TEST(SymTest, SymAssertThrowsAndFlags) {
+  SymCtx ctx({1});
+  SymScope scope(ctx);
+  const SymU8 x = input_byte(0);
+  EXPECT_NO_THROW(sym_assert(x == SymU8{1}, "fine"));
+  EXPECT_FALSE(ctx.crashed());
+  EXPECT_THROW(sym_assert(x == SymU8{2}, "boom"), CrashSignal);
+  EXPECT_TRUE(ctx.crashed());
+  EXPECT_EQ(ctx.crash_reason(), "boom");
+}
+
+TEST(SymTest, ScopeRestoresPrevious) {
+  SymCtx outer({1});
+  {
+    SymScope outer_scope(outer);
+    EXPECT_EQ(SymCtx::current(), &outer);
+    SymCtx inner({2});
+    {
+      SymScope inner_scope(inner);
+      EXPECT_EQ(SymCtx::current(), &inner);
+    }
+    EXPECT_EQ(SymCtx::current(), &outer);
+  }
+  EXPECT_EQ(SymCtx::current(), nullptr);
+}
+
+TEST(SymTest, PathSignatureDistinguishesPaths) {
+  std::uint64_t sig_a = 0;
+  std::uint64_t sig_b = 0;
+  {
+    SymCtx ctx({5});
+    SymScope scope(ctx);
+    (void)branch(input_byte(0) < SymU8{10});
+    sig_a = ctx.path().signature();
+  }
+  {
+    SymCtx ctx({50});
+    SymScope scope(ctx);
+    (void)branch(input_byte(0) < SymU8{10});
+    sig_b = ctx.path().signature();
+  }
+  EXPECT_NE(sig_a, sig_b);  // same site, different direction
+}
+
+}  // namespace
+}  // namespace dice::concolic

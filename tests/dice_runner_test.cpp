@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "dice/runner.hpp"
+
+namespace dice::core {
+namespace {
+
+using bgp::inject_hijack;
+using bgp::make_internet;
+using bgp::make_line;
+
+DiceOptions small_options() {
+  DiceOptions options;
+  options.inputs_per_episode = 4;
+  return options;
+}
+
+TEST(RunnerTest, RunsRequestedEpisodesAndAdvancesSimTime) {
+  Orchestrator dice(make_line(3), small_options());
+  ASSERT_TRUE(dice.bootstrap());
+  const sim::Time start = dice.live().simulator().now();
+
+  GrammarStrategy strategy;
+  RunnerOptions options;
+  options.episode_period = 10 * sim::kSecond;
+  options.max_episodes = 3;
+  ContinuousRunner runner(dice, strategy, options);
+
+  std::size_t episode_callbacks = 0;
+  runner.set_episode_listener([&](const EpisodeResult&) { ++episode_callbacks; });
+  EXPECT_EQ(runner.run(), 3u);
+  EXPECT_EQ(episode_callbacks, 3u);
+  EXPECT_EQ(dice.episodes_run(), 3u);
+  // The live clock advanced by >= 3 periods (serving between episodes).
+  EXPECT_GE(dice.live().simulator().now(), start + 30 * sim::kSecond);
+}
+
+TEST(RunnerTest, StreamsFaultsToListener) {
+  bgp::SystemBlueprint bp = make_internet({2, 3, 4});
+  inject_hijack(bp, 5, 8);
+  Orchestrator dice(std::move(bp), small_options());
+  ASSERT_TRUE(dice.bootstrap());
+
+  GrammarStrategy strategy;
+  RunnerOptions options;
+  options.episode_period = sim::kSecond;
+  options.max_episodes = 2;
+  options.stop_on_fault = true;
+  ContinuousRunner runner(dice, strategy, options);
+
+  std::vector<FaultReport> streamed;
+  runner.set_fault_listener([&](const FaultReport& fault) { streamed.push_back(fault); });
+  runner.run();
+  ASSERT_FALSE(streamed.empty());
+  EXPECT_EQ(streamed[0].check, "route-origin");
+  EXPECT_EQ(runner.faults_found(), streamed.size());
+  // stop_on_fault: the first faulty episode ended the loop.
+  EXPECT_EQ(runner.episodes_run(), 1u);
+}
+
+TEST(RunnerTest, WallBudgetBoundsTheLoop) {
+  Orchestrator dice(make_line(2), small_options());
+  ASSERT_TRUE(dice.bootstrap());
+  GrammarStrategy strategy;
+  RunnerOptions options;
+  options.episode_period = sim::kSecond;
+  // Unbounded episodes, tiny wall budget: must stop promptly on budget.
+  ContinuousRunner runner(dice, strategy, options);
+  const std::size_t ran = runner.run(/*wall_budget_ms=*/50.0);
+  EXPECT_GT(ran, 0u);
+  EXPECT_LT(ran, 10'000u);
+}
+
+TEST(RunnerTest, LiveSystemStateSurvivesOnlineLoop) {
+  Orchestrator dice(make_line(3), small_options());
+  ASSERT_TRUE(dice.bootstrap());
+  const std::size_t routes = dice.live().total_loc_rib_routes();
+
+  GrammarStrategy strategy;
+  RunnerOptions options;
+  options.episode_period = 60 * sim::kSecond;  // several keepalive rounds
+  options.max_episodes = 4;
+  ContinuousRunner runner(dice, strategy, options);
+  runner.run();
+  ASSERT_TRUE(dice.live().converge());
+  EXPECT_EQ(dice.live().total_loc_rib_routes(), routes);
+  EXPECT_EQ(dice.live().established_sessions(), 4u);
+}
+
+}  // namespace
+}  // namespace dice::core

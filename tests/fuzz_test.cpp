@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "bgp/codec.hpp"
+#include "bgp/sym_update.hpp"
+#include "bgp/topology.hpp"
+#include "fuzz/bgp_grammar.hpp"
+#include "fuzz/grammar.hpp"
+#include "fuzz/mutator.hpp"
+
+namespace dice::fuzz {
+namespace {
+
+TEST(GrammarTest, LiteralAndSeq) {
+  Grammar g;
+  const NodeRef root = g.seq({g.literal({1, 2}), g.byte(3)});
+  util::Rng rng(1);
+  EXPECT_EQ(g.generate(root, rng), (util::Bytes{1, 2, 3}));
+}
+
+TEST(GrammarTest, ByteRangeStaysInRange) {
+  Grammar g;
+  const NodeRef root = g.byte_range(10, 20);
+  util::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const util::Bytes out = g.generate(root, rng);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_GE(out[0], 10);
+    EXPECT_LE(out[0], 20);
+  }
+}
+
+TEST(GrammarTest, ChoiceRespectsWeights) {
+  Grammar g;
+  const NodeRef root = g.choice({g.byte(1), g.byte(2)}, {95, 5});
+  util::Rng rng(3);
+  int ones = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (g.generate(root, rng)[0] == 1) ++ones;
+  }
+  EXPECT_GT(ones, 850);
+}
+
+TEST(GrammarTest, RepeatBounds) {
+  Grammar g;
+  const NodeRef root = g.repeat(g.byte(7), 2, 5);
+  util::Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t n = g.generate(root, rng).size();
+    EXPECT_GE(n, 2u);
+    EXPECT_LE(n, 5u);
+  }
+}
+
+TEST(GrammarTest, LengthPrefixesAreCorrect) {
+  Grammar g;
+  const NodeRef root = g.len16(g.repeat(g.byte(9), 3, 3));
+  util::Rng rng(5);
+  const util::Bytes out = g.generate(root, rng);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 3);
+}
+
+TEST(GrammarTest, CorruptionPerturbsLengths) {
+  Grammar g;
+  const NodeRef root = g.len8(g.repeat(g.byte(9), 4, 4));
+  util::Rng rng(6);
+  GenerateOptions options;
+  options.corruption_rate = 1.0;  // always corrupt
+  int corrupted = 0;
+  for (int i = 0; i < 100; ++i) {
+    const util::Bytes out = g.generate(root, rng, options);
+    if (out[0] != 4) ++corrupted;
+  }
+  EXPECT_GT(corrupted, 90);
+}
+
+TEST(GrammarTest, DeterministicPerSeed) {
+  Grammar g;
+  const NodeRef root = g.repeat(g.byte_range(0, 255), 1, 8);
+  util::Rng a(42);
+  util::Rng b(42);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(g.generate(root, a), g.generate(root, b));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BGP grammar
+// ---------------------------------------------------------------------------
+
+TEST(BgpGrammarTest, SeedsHarvestConfigConstants) {
+  const bgp::SystemBlueprint bp = bgp::make_internet({2, 3, 4});
+  const BgpGrammarSeeds seeds = BgpGrammarSeeds::from_config(bp.configs[3]);
+  EXPECT_FALSE(seeds.known_prefixes.empty());
+  EXPECT_FALSE(seeds.known_asns.empty());
+  // The Gao-Rexford community tags must be visible to the fuzzer.
+  EXPECT_TRUE(std::find(seeds.known_communities.begin(), seeds.known_communities.end(),
+                        bgp::gao_rexford::kCustomerRoute) != seeds.known_communities.end());
+}
+
+TEST(BgpGrammarTest, MostGeneratedBodiesDecode) {
+  // Paper §2 insight (iii): grammar fuzzing yields a high valid-input rate.
+  const bgp::SystemBlueprint bp = bgp::make_internet({2, 3, 4});
+  const BgpUpdateGrammar grammar(BgpGrammarSeeds::from_config(bp.configs[3]));
+  util::Rng rng(7);
+  int valid = 0;
+  const int total = 500;
+  for (int i = 0; i < total; ++i) {
+    const util::Bytes body = grammar.generate_body(rng, /*corruption_rate=*/0.0);
+    if (bgp::decode(bgp::wrap_update_body(body)).ok()) ++valid;
+  }
+  // The grammar intentionally keeps a small invalid tail (weights in
+  // bgp_grammar.cpp); "most" means a strong majority.
+  EXPECT_GT(valid, total / 2);
+}
+
+TEST(BgpGrammarTest, GeneratesFullMessagesWithHeader) {
+  const bgp::SystemBlueprint bp = bgp::make_line(2);
+  const BgpUpdateGrammar grammar(BgpGrammarSeeds::from_config(bp.configs[0]));
+  util::Rng rng(8);
+  const util::Bytes msg = grammar.generate_message(rng);
+  ASSERT_GE(msg.size(), bgp::kHeaderLength);
+  EXPECT_EQ(msg[0], 0xff);
+  EXPECT_EQ(msg[bgp::kHeaderLength - 1],
+            static_cast<std::uint8_t>(bgp::MessageType::kUpdate));
+}
+
+TEST(BgpGrammarTest, DefaultSeedsWhenConfigEmpty) {
+  bgp::RouterConfig empty;
+  const BgpGrammarSeeds seeds = BgpGrammarSeeds::from_config(empty);
+  EXPECT_FALSE(seeds.known_prefixes.empty());
+  EXPECT_FALSE(seeds.known_communities.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Mutator
+// ---------------------------------------------------------------------------
+
+TEST(MutatorTest, ProducesDifferentBytes) {
+  Mutator mutator;
+  util::Rng rng(9);
+  const util::Bytes input{1, 2, 3, 4, 5, 6, 7, 8};
+  int changed = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (mutator.mutate(input, rng) != input) ++changed;
+  }
+  EXPECT_GT(changed, 95);
+}
+
+TEST(MutatorTest, DeterministicPerSeed) {
+  Mutator mutator;
+  util::Rng a(10);
+  util::Rng b(10);
+  const util::Bytes input{9, 9, 9, 9};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(mutator.mutate(input, a), mutator.mutate(input, b));
+  }
+}
+
+TEST(MutatorTest, RespectsMaxSize) {
+  MutatorOptions options;
+  options.max_size = 16;
+  options.min_mutations = 8;
+  options.max_mutations = 8;
+  Mutator mutator(options);
+  util::Rng rng(11);
+  util::Bytes input(16, 0xaa);
+  for (int i = 0; i < 200; ++i) {
+    input = mutator.mutate(input, rng);
+    EXPECT_LE(input.size(), 16u);
+    EXPECT_FALSE(input.empty());
+  }
+}
+
+TEST(MutatorTest, EmptyInputGrows) {
+  Mutator mutator;
+  util::Rng rng(12);
+  EXPECT_FALSE(mutator.mutate({}, rng).empty());
+}
+
+TEST(MutatorTest, SpliceCombinesBothParents) {
+  Mutator mutator;
+  util::Rng rng(13);
+  const util::Bytes a(8, 0x11);
+  const util::Bytes b(8, 0x22);
+  bool saw_both = false;
+  for (int i = 0; i < 50 && !saw_both; ++i) {
+    const util::Bytes child = mutator.splice(a, b, rng);
+    const bool has_a = std::find(child.begin(), child.end(), 0x11) != child.end();
+    const bool has_b = std::find(child.begin(), child.end(), 0x22) != child.end();
+    saw_both = has_a && has_b;
+  }
+  EXPECT_TRUE(saw_both);
+}
+
+}  // namespace
+}  // namespace dice::fuzz

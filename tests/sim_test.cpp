@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace dice::sim {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(SimulatorTest, SameTimeFifoBySequence) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(7, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, CancelledEventDoesNotRun) {
+  Simulator sim;
+  bool ran = false;
+  TimerHandle handle = sim.schedule_after(5, [&] { ran = true; });
+  handle.cancel();
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) sim.schedule_after(10, tick);
+  };
+  sim.schedule_after(0, tick);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 40u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  for (Time t = 10; t <= 100; t += 10) {
+    sim.schedule_at(t, [&] { ++count; });
+  }
+  sim.run_until(50);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 50u);
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimulatorTest, QuiescenceIgnoresBackgroundEvents) {
+  Simulator sim;
+  int background_fired = 0;
+  // A self-rescheduling background timer must not block quiescence.
+  std::function<void()> keepalive = [&] {
+    ++background_fired;
+    if (background_fired < 100) sim.schedule_after(10, keepalive, /*background=*/true);
+  };
+  sim.schedule_after(10, keepalive, /*background=*/true);
+  bool work_done = false;
+  sim.schedule_after(25, [&] { work_done = true; });
+  EXPECT_TRUE(sim.run_until_quiescent());
+  EXPECT_TRUE(work_done);
+  EXPECT_LT(background_fired, 100);  // did not drain the background chain
+}
+
+TEST(SimulatorTest, QuiescenceBudgetTripsOnLivelock) {
+  Simulator sim;
+  // Foreground event that reschedules itself forever: a dispute wheel in
+  // miniature. The budget must trip and report non-quiescence.
+  std::function<void()> churn = [&] { sim.schedule_after(1, churn); };
+  sim.schedule_after(1, churn);
+  EXPECT_FALSE(sim.run_until_quiescent(/*max_events=*/1000));
+}
+
+// ---------------------------------------------------------------------------
+// Network
+// ---------------------------------------------------------------------------
+
+class Recorder : public Node {
+ public:
+  void on_frame(NodeId from, const Frame& frame) override {
+    frames.emplace_back(from, frame);
+  }
+  std::vector<std::pair<NodeId, Frame>> frames;
+};
+
+TEST(NetworkTest, DeliversWithLatency) {
+  Simulator sim;
+  Network net(sim);
+  Recorder a;
+  Recorder b;
+  net.attach(1, a);
+  net.attach(2, b);
+  net.connect(1, 2, 5 * kMillisecond);
+
+  Frame frame;
+  frame.payload = {0xaa};
+  EXPECT_TRUE(net.send(1, 2, frame));
+  sim.run();
+  ASSERT_EQ(b.frames.size(), 1u);
+  EXPECT_EQ(b.frames[0].first, 1u);
+  EXPECT_EQ(b.frames[0].second.payload[0], 0xaa);
+  EXPECT_EQ(sim.now(), 5 * kMillisecond);
+}
+
+TEST(NetworkTest, NoChannelMeansNoDelivery) {
+  Simulator sim;
+  Network net(sim);
+  Recorder a;
+  net.attach(1, a);
+  EXPECT_FALSE(net.send(1, 9, Frame{}));
+}
+
+TEST(NetworkTest, OrderedDeliveryPerChannel) {
+  Simulator sim;
+  Network net(sim);
+  Recorder a;
+  Recorder b;
+  net.attach(1, a);
+  net.attach(2, b);
+  net.connect(1, 2, kMillisecond);
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    Frame frame;
+    frame.payload = {i};
+    net.send(1, 2, std::move(frame));
+  }
+  sim.run();
+  ASSERT_EQ(b.frames.size(), 10u);
+  for (std::uint8_t i = 0; i < 10; ++i) EXPECT_EQ(b.frames[i].second.payload[0], i);
+}
+
+TEST(NetworkTest, InFlightInspection) {
+  Simulator sim;
+  Network net(sim);
+  Recorder a;
+  Recorder b;
+  net.attach(1, a);
+  net.attach(2, b);
+  net.connect(1, 2, 10 * kMillisecond);
+  Frame frame;
+  frame.payload = {0x42};
+  net.send(1, 2, frame);
+  // Before delivery the frame is visible in flight.
+  EXPECT_EQ(net.in_flight(1, 2).size(), 1u);
+  EXPECT_EQ(net.in_flight(2, 1).size(), 0u);
+  sim.run();
+  EXPECT_EQ(net.in_flight(1, 2).size(), 0u);
+}
+
+TEST(NetworkTest, LinkDownDropsInFlightAndBlocksSends) {
+  Simulator sim;
+  Network net(sim);
+  Recorder a;
+  Recorder b;
+  net.attach(1, a);
+  net.attach(2, b);
+  net.connect(1, 2, 10 * kMillisecond);
+  net.send(1, 2, Frame{});
+  net.set_link_up(1, 2, false);
+  EXPECT_FALSE(net.send(1, 2, Frame{}));
+  sim.run();
+  EXPECT_TRUE(b.frames.empty());
+  net.set_link_up(1, 2, true);
+  EXPECT_TRUE(net.send(1, 2, Frame{}));
+  sim.run();
+  EXPECT_EQ(b.frames.size(), 1u);
+}
+
+TEST(NetworkTest, InjectBypassesChannels) {
+  Simulator sim;
+  Network net(sim);
+  Recorder b;
+  net.attach(2, b);
+  Frame frame;
+  frame.payload = {0x99};
+  net.inject(7, 2, std::move(frame));  // 7 is not even attached
+  sim.run();
+  ASSERT_EQ(b.frames.size(), 1u);
+  EXPECT_EQ(b.frames[0].first, 7u);
+}
+
+TEST(NetworkTest, NeighborsAndStats) {
+  Simulator sim;
+  Network net(sim);
+  Recorder a;
+  Recorder b;
+  Recorder c;
+  net.attach(1, a);
+  net.attach(2, b);
+  net.attach(3, c);
+  net.connect(1, 2, kMillisecond);
+  net.connect(1, 3, kMillisecond);
+  const auto neighbors = net.neighbors(1);
+  EXPECT_EQ(neighbors.size(), 2u);
+  EXPECT_TRUE(net.linked(1, 2));
+  EXPECT_TRUE(net.linked(2, 1));
+  EXPECT_FALSE(net.linked(2, 3));
+  net.send(1, 2, Frame{});
+  sim.run();
+  EXPECT_EQ(net.total_sent(), 1u);
+  EXPECT_EQ(net.total_delivered(), 1u);
+}
+
+}  // namespace
+}  // namespace dice::sim
