@@ -1,0 +1,125 @@
+// E8 — parallel exploration scaling (explore::ExplorePool).
+//
+// Part 1 runs the same grammar-strategy episodes over the paper's
+// 27-router Figure 1 topology (with its latent hijack + parser bug) at
+// increasing worker counts, verifying the fault set stays byte-identical
+// while wall clock drops. Expected shape on a multi-core machine: ~linear
+// speedup until clone cost stops dominating (clones share nothing, so
+// exploration is embarrassingly parallel); on a single hardware thread the
+// pool degrades gracefully to ~1x. The fault-set hash printed per row is
+// the determinism receipt: every row must show the same value.
+//
+// Part 2 fans the ScenarioMatrix (bench topologies x strategies x seeds)
+// onto the same pool — the "as many scenarios as you can imagine" soak.
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "dice/orchestrator.hpp"
+#include "explore/matrix.hpp"
+#include "util/hash.hpp"
+
+namespace {
+
+using namespace dice;
+
+struct ScaleResult {
+  double wall_ms = 0.0;
+  std::size_t clones = 0;
+  std::size_t faults = 0;
+  std::uint64_t fault_hash = 0;
+  std::uint64_t steals = 0;
+};
+
+ScaleResult run_at(std::size_t workers, std::size_t episodes) {
+  bgp::SystemBlueprint blueprint = bgp::make_internet();  // 27 routers
+  bgp::inject_hijack(blueprint, /*victim=*/12, /*attacker=*/20, /*more_specific=*/true);
+  bgp::inject_bug(blueprint, /*node=*/5, bgp::bugs::kCommunityLength);
+
+  core::DiceOptions options;
+  options.inputs_per_episode = 32;
+  options.parallelism = workers;
+  core::Orchestrator dice(std::move(blueprint), options);
+  (void)dice.bootstrap();
+
+  core::GrammarStrategy strategy(/*corruption_rate=*/0.05, /*rng_seed=*/0xf1f1);
+  ScaleResult result;
+  bench::Stopwatch watch;
+  for (std::size_t i = 0; i < episodes; ++i) {
+    const core::EpisodeResult episode = dice.run_episode(strategy);
+    result.clones += episode.clones_run;
+  }
+  result.wall_ms = watch.ms();
+  result.faults = dice.all_faults().size();
+  std::uint64_t h = util::kFnvOffset;
+  for (const core::FaultReport& fault : dice.all_faults()) {
+    h = util::fnv1a(fault.to_string(), h);
+  }
+  result.fault_hash = util::hash_finalize(h);
+  if (dice.pool() != nullptr) result.steals = dice.pool()->stats().steals;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using bench::fmt;
+
+  std::printf("== E8: parallel exploration scaling (topology27, %u hardware threads) ==\n\n",
+              std::thread::hardware_concurrency());
+
+  constexpr std::size_t kEpisodes = 2;
+  bench::Table table({"workers", "episodes", "clones", "faults", "fault-set hash",
+                      "steals", "wall ms", "speedup"});
+  double serial_ms = 0.0;
+  std::uint64_t serial_hash = 0;
+  bool identical = true;
+  for (const std::size_t workers : {1UL, 2UL, 4UL, 8UL}) {
+    const ScaleResult r = run_at(workers, kEpisodes);
+    if (workers == 1) {
+      serial_ms = r.wall_ms;
+      serial_hash = r.fault_hash;
+    }
+    identical &= r.fault_hash == serial_hash;
+    char hash_text[32];
+    std::snprintf(hash_text, sizeof(hash_text), "%016llx",
+                  static_cast<unsigned long long>(r.fault_hash));
+    table.row({std::to_string(workers), std::to_string(kEpisodes),
+               std::to_string(r.clones), std::to_string(r.faults), hash_text,
+               std::to_string(r.steals), fmt(r.wall_ms, 1), fmt(serial_ms / r.wall_ms, 2)});
+  }
+  table.print();
+  std::printf("\nfault sets byte-identical across worker counts: %s\n",
+              identical ? "YES" : "NO (determinism bug!)");
+
+  std::puts("\n== scenario-matrix soak: bench topologies x strategies x seeds ==\n");
+  explore::MatrixOptions options;
+  options.strategies = {explore::StrategyKind::kGrammar, explore::StrategyKind::kConcolic};
+  options.seeds = {1, 2};
+  options.episodes_per_cell = 1;
+  options.dice.inputs_per_episode = 16;
+  explore::ScenarioMatrix matrix(explore::default_bench_scenarios(), options);
+  explore::ExplorePool pool(4);
+  bench::Stopwatch soak;
+  const explore::MatrixResult result = matrix.run(pool);
+  const double soak_ms = soak.ms();
+
+  bench::Table cells({"scenario", "strategy", "seed", "boot", "clones", "faults", "ms"});
+  for (const explore::CellResult& cell : result.cells) {
+    cells.row({cell.scenario, std::string(to_string(cell.strategy)),
+               std::to_string(cell.seed), cell.bootstrap_converged ? "ok" : "osc",
+               std::to_string(cell.clones_run), std::to_string(cell.faults),
+               fmt(cell.wall_ms, 1)});
+  }
+  cells.print();
+  std::printf(
+      "\nmatrix: %zu cells, %zu distinct faults, %.1f ms wall; pool steals=%llu\n",
+      result.cells.size(), result.faults.size(), soak_ms,
+      static_cast<unsigned long long>(result.pool.steals));
+  std::printf("solver cache: %llu hits / %llu misses (%llu entries, %llu models)\n",
+              static_cast<unsigned long long>(result.solver_cache.hits),
+              static_cast<unsigned long long>(result.solver_cache.misses),
+              static_cast<unsigned long long>(result.solver_cache.entries),
+              static_cast<unsigned long long>(result.solver_cache.sat_entries));
+  return identical ? 0 : 1;
+}

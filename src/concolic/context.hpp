@@ -82,13 +82,14 @@ class SymCtx {
   [[nodiscard]] const std::string& crash_reason() const noexcept { return crash_reason_; }
 
   /// The active context for instrumented code, or nullptr when the code is
-  /// running concretely (live node). Single-threaded by design — the
-  /// simulator and engine never run instrumented code concurrently.
+  /// running concretely (live node). Thread-local: each exploration worker
+  /// (explore::ExplorePool, ScenarioMatrix cells) activates its own context
+  /// without seeing — or disturbing — any other worker's recording.
   [[nodiscard]] static SymCtx* current() noexcept { return current_; }
 
  private:
   friend class SymScope;
-  inline static SymCtx* current_ = nullptr;
+  inline static thread_local SymCtx* current_ = nullptr;
 
   ExprPool pool_;
   PathCondition path_;

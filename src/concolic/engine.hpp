@@ -73,6 +73,10 @@ class ConcolicEngine {
   void add_seed(util::Bytes seed);
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
+  /// Attaches a solver memo (explore::SolverCache) so identical branch
+  /// negations are solved once across executions, episodes and clones.
+  void set_solver_memo(SolverMemo* memo) noexcept { solver_.set_memo(memo); }
+
   /// Runs until budgets are exhausted or the queue drains.
   [[nodiscard]] RunResult run();
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 #include <unordered_set>
+
+#include "util/hash.hpp"
 
 namespace dice::concolic {
 
@@ -27,7 +30,41 @@ constexpr std::uint8_t kInterestingBytes[] = {0, 1, 2, 4, 7, 8, 15, 16, 24, 31, 
   return std::nullopt;
 }
 
+/// Pool-independent structural hash of an expression DAG. `memo` collapses
+/// shared subtrees so the walk is linear in distinct nodes.
+std::uint64_t structural_hash(const ExprPool& pool, ExprRef ref,
+                              std::unordered_map<ExprRef, std::uint64_t>& memo) {
+  if (ref == kNullExpr) return 0x9e3779b97f4a7c15ULL;
+  if (auto it = memo.find(ref); it != memo.end()) return it->second;
+  const ExprNode& node = pool.node(ref);
+  std::uint64_t h = util::hash_mix(util::kFnvOffset, static_cast<std::uint64_t>(node.op));
+  h = util::hash_mix(h, node.width);
+  // `value` is semantic for constants, input-byte leaves and extract
+  // offsets; for kIte it is a third child reference and must be hashed
+  // structurally; for everything else it is unused.
+  if (node.op == Op::kConst || node.op == Op::kSym || node.op == Op::kExtract) {
+    h = util::hash_mix(h, node.value);
+  }
+  h = util::hash_mix(h, structural_hash(pool, node.a, memo));
+  h = util::hash_mix(h, structural_hash(pool, node.b, memo));
+  if (node.op == Op::kIte) {
+    h = util::hash_mix(h, structural_hash(pool, static_cast<ExprRef>(node.value), memo));
+  }
+  memo.emplace(ref, h);
+  return h;
+}
+
 }  // namespace
+
+std::uint64_t constraints_key(const ExprPool& pool, std::span<const Constraint> constraints) {
+  std::unordered_map<ExprRef, std::uint64_t> memo;
+  std::uint64_t h = util::kFnvOffset;
+  for (const Constraint& c : constraints) {
+    h = util::hash_mix(h, structural_hash(pool, c.cond, memo));
+    h = util::hash_mix(h, c.require ? 1 : 0);
+  }
+  return util::hash_finalize(h);
+}
 
 bool Solver::propagate_intervals(
     const ExprPool& pool, std::span<const Constraint> constraints,
@@ -157,6 +194,34 @@ std::optional<util::Bytes> Solver::solve(const ExprPool& pool,
                                          std::span<const Constraint> constraints,
                                          const util::Bytes& hint) {
   ++stats_.queries;
+  if (memo_ == nullptr) {
+    bool definitive = false;
+    return solve_impl(pool, constraints, hint, definitive);
+  }
+  const std::uint64_t key = constraints_key(pool, constraints);
+  std::optional<util::Bytes> cached;
+  if (memo_->lookup(key, cached)) {
+    ++stats_.cache_hits;
+    if (cached) {
+      ++stats_.sat;
+    } else {
+      ++stats_.unsat_or_unknown;
+    }
+    return cached;
+  }
+  bool definitive = false;
+  std::optional<util::Bytes> result = solve_impl(pool, constraints, hint, definitive);
+  if (result || definitive) {
+    memo_->store(key, result);
+    ++stats_.cache_stores;
+  }
+  return result;
+}
+
+std::optional<util::Bytes> Solver::solve_impl(const ExprPool& pool,
+                                              std::span<const Constraint> constraints,
+                                              const util::Bytes& hint, bool& definitive) {
+  definitive = false;
 
   if (satisfied(pool, constraints, hint)) {
     ++stats_.sat;
@@ -183,8 +248,12 @@ std::optional<util::Bytes> Solver::solve(const ExprPool& pool,
   }
   std::vector<std::uint32_t> involved(involved_set.begin(), involved_set.end());
   std::sort(involved.begin(), involved.end());
-  // Bytes beyond the hint length read as zero and cannot be assigned.
+  // Bytes beyond the hint length read as zero and cannot be assigned. A
+  // longer hint could still reach them, so length-truncated failures are
+  // never definitive (memoizable) UNSAT proofs.
+  const std::size_t involved_before_truncation = involved.size();
   std::erase_if(involved, [&](std::uint32_t i) { return i >= hint.size(); });
+  const bool truncated = involved.size() != involved_before_truncation;
   if (involved.empty()) {
     ++stats_.unsat_or_unknown;
     return std::nullopt;
@@ -192,11 +261,12 @@ std::optional<util::Bytes> Solver::solve(const ExprPool& pool,
 
   // Interval pre-pass: each derived bound is a necessary condition, so an
   // empty intersection proves the conjunction unsatisfiable without any
-  // candidate evaluation.
+  // candidate evaluation — for every assignment, of any length.
   std::unordered_map<std::uint32_t, ByteInterval> intervals;
   if (!propagate_intervals(pool, constraints, intervals)) {
     ++stats_.interval_unsat;
     ++stats_.unsat_or_unknown;
+    definitive = true;
     return std::nullopt;
   }
 
@@ -206,10 +276,21 @@ std::optional<util::Bytes> Solver::solve(const ExprPool& pool,
       ++stats_.exhaustive_hits;
       return found;
     }
-    // Exhaustive over the involved bytes is complete w.r.t. those bytes:
-    // if nothing satisfies the conjunction, widening to other bytes cannot
-    // help (they do not appear in the failing constraints).
     ++stats_.unsat_or_unknown;
+    // Enumeration varied only the failing constraints' bytes, pinning every
+    // other byte to this hint's value. That is a proof of unsatisfiability
+    // (memoizable across hints) only when the *whole* conjunction depends
+    // on nothing but the enumerated bytes — a currently-satisfied
+    // constraint over an un-enumerated byte could flip under a different
+    // assignment and open a solution this enumeration never visited.
+    if (!truncated) {
+      std::unordered_set<std::uint32_t> all_syms;
+      for (const Constraint& c : constraints) pool.collect_syms(c.cond, all_syms);
+      const auto enumerated = [&](std::uint32_t sym) {
+        return std::binary_search(involved.begin(), involved.end(), sym);
+      };
+      definitive = std::all_of(all_syms.begin(), all_syms.end(), enumerated);
+    }
     return std::nullopt;
   }
 

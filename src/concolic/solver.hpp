@@ -54,7 +54,29 @@ struct SolverStats {
   std::uint64_t search_hits = 0;      ///< solved by local search
   std::uint64_t evaluations = 0;      ///< candidate evaluations performed
   std::uint64_t interval_unsat = 0;   ///< proven unsat by interval propagation
+  std::uint64_t cache_hits = 0;       ///< answered by the attached SolverMemo
+  std::uint64_t cache_stores = 0;     ///< results published to the memo
 };
+
+/// Memoization hook for solver queries (implemented by explore::SolverCache).
+/// Keys are structural hashes of the constraint conjunction, independent of
+/// the ExprPool instance that built the expressions — two clones negating
+/// the same branch in different episodes produce the same key. Stored
+/// models were concretely verified against exactly those constraints, so a
+/// hit is sound for any hint; UNSAT is only stored when proven (interval
+/// contradiction or complete enumeration), never for search give-ups.
+class SolverMemo {
+ public:
+  virtual ~SolverMemo() = default;
+  /// Returns true when `key` is known; fills `result` (nullopt = proven UNSAT).
+  [[nodiscard]] virtual bool lookup(std::uint64_t key, std::optional<util::Bytes>& result) = 0;
+  virtual void store(std::uint64_t key, const std::optional<util::Bytes>& result) = 0;
+};
+
+/// Structural (pool-independent) hash of a constraint conjunction — the
+/// SolverMemo key. Exposed for cache tests and external key computation.
+[[nodiscard]] std::uint64_t constraints_key(const ExprPool& pool,
+                                            std::span<const Constraint> constraints);
 
 /// Per-byte feasible interval derived from single-byte comparisons against
 /// constants. Each derived interval is a *necessary* condition of the
@@ -70,16 +92,27 @@ class Solver {
  public:
   explicit Solver(SolverOptions options = {}) : options_(options), rng_(options.seed) {}
 
-  /// Finds an assignment satisfying all constraints, or nullopt. The result
-  /// always has the same size as `hint`.
+  /// Finds an assignment satisfying all constraints, or nullopt. Without a
+  /// memo the result always has the same size as `hint`; with one attached,
+  /// a hit may return a verified model cached from a different hint (and so
+  /// of a different length).
   [[nodiscard]] std::optional<util::Bytes> solve(const ExprPool& pool,
                                                  std::span<const Constraint> constraints,
                                                  const util::Bytes& hint);
+
+  /// Attaches (or detaches, with nullptr) a query memo. Not owned.
+  void set_memo(SolverMemo* memo) noexcept { memo_ = memo; }
 
   [[nodiscard]] const SolverStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = SolverStats{}; }
 
  private:
+  /// The uncached pipeline. `definitive` is set when a nullopt result is a
+  /// proof of unsatisfiability (safe to memoize) rather than a give-up.
+  [[nodiscard]] std::optional<util::Bytes> solve_impl(const ExprPool& pool,
+                                                      std::span<const Constraint> constraints,
+                                                      const util::Bytes& hint,
+                                                      bool& definitive);
   [[nodiscard]] bool satisfied(const ExprPool& pool, std::span<const Constraint> constraints,
                                const util::Bytes& candidate);
   /// Branch distance of one constraint: 0 iff satisfied; smaller is closer.
@@ -107,6 +140,7 @@ class Solver {
   SolverOptions options_;
   util::Rng rng_;
   SolverStats stats_;
+  SolverMemo* memo_ = nullptr;
 };
 
 }  // namespace dice::concolic

@@ -34,6 +34,7 @@ void ConcolicStrategy::on_episode(const System& live, sim::NodeId explorer) {
   engine_ = std::make_unique<concolic::ConcolicEngine>(
       [this](concolic::SymCtx& ctx) { (void)bgp::sym_handle_update(ctx, env_); },
       options_.engine);
+  engine_->set_solver_memo(options_.solver_memo);
 
   // Seeds are strictly valid protocol messages (paper: DiCE "reuses
   // existing protocol messages to the extent possible"); everything

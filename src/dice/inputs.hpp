@@ -44,6 +44,10 @@ class ConcolicStrategy final : public InputStrategy {
     std::size_t grammar_seeds = 6;     ///< fresh seeds per episode
     double seed_corruption = 0.02;
     std::uint64_t rng_seed = 0xc0c0;
+    /// Optional shared solver memo (explore::SolverCache). The engine is
+    /// rebuilt every episode, but memoized constraint solutions survive —
+    /// identical negations are never re-solved across episodes or clones.
+    concolic::SolverMemo* solver_memo = nullptr;
   };
 
   ConcolicStrategy();

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "explore/ledger.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -25,7 +26,11 @@ using Clock = std::chrono::steady_clock;
 Orchestrator::Orchestrator(bgp::SystemBlueprint blueprint, DiceOptions options)
     : blueprint_(std::move(blueprint)),
       options_(options),
-      live_(std::make_unique<System>(blueprint_)) {}
+      live_(std::make_unique<System>(blueprint_)) {
+  if (options_.parallelism > 1) {
+    pool_ = std::make_unique<explore::ExplorePool>(options_.parallelism);
+  }
+}
 
 bool Orchestrator::bootstrap(std::size_t max_events) {
   live_->start();
@@ -125,74 +130,105 @@ EpisodeResult Orchestrator::run_episode(InputStrategy& strategy) {
   // different episodes exercise different import policies.
   const std::vector<sim::NodeId> neighbors = live_->network().neighbors(result.explorer);
 
-  std::unordered_set<std::uint64_t> seen_faults;
-  const auto record_faults = [&](std::vector<FaultReport> faults) {
-    for (FaultReport& fault : faults) {
-      const std::uint64_t key = fault_key(fault);
-      if (seen_faults.insert(key).second) {
-        logger().info() << "episode " << result.episode << ": " << fault.to_string();
-        result.faults.push_back(fault);
-        // The global list deduplicates across episodes (a standing fault
-        // would otherwise be re-reported every episode).
-        if (known_fault_keys_.insert(key).second) {
-          all_faults_.push_back(std::move(fault));
+  // Steps 3..5 as a task batch: input generation stays serial (strategies
+  // are stateful); clone execution fans out. Task order is the serial
+  // encounter order — the baseline clone first, then one task per input —
+  // and doubles as the fault-merge priority.
+  const util::Rng episode_rng(options_.rng_seed ^ result.episode);
+  std::vector<explore::CloneTask> tasks;
+  const auto make_task = [&] {
+    explore::CloneTask task;
+    task.index = tasks.size();
+    task.blueprint = &blueprint_;
+    task.snap = snap;
+    task.explorer = result.explorer;
+    task.episode = result.episode;
+    task.rng = episode_rng.fork(task.index);
+    task.event_budget = options_.clone_event_budget;
+    task.time_budget = options_.clone_time_budget;
+    return task;
+  };
+  if (options_.include_baseline_clone) {
+    // Baseline clone: checks the *current* system state with no new input
+    // (catches faults already manifest, e.g. a deployed hijack).
+    explore::CloneTask task = make_task();
+    task.baseline = true;
+    tasks.push_back(std::move(task));
+  }
+
+  const explore::CheckFn check = [this](System& system, const explore::CloneTask& task,
+                                        bool quiesced) {
+    return check_system(system, task.episode, task.explorer, task.input, quiesced);
+  };
+
+  // Workers push raw faults into the shared episode ledger as they finish;
+  // the ledger deduplicates by signature and keeps serial-order evidence.
+  explore::FaultLedger ledger;
+  std::vector<explore::CloneOutcome> outcomes;
+  const auto execute = [&](std::size_t index, std::size_t /*worker*/) {
+    outcomes[index] = explore::run_clone_task(tasks[index], check);
+    ledger.record_all(std::move(outcomes[index].faults),
+                      static_cast<std::uint64_t>(index) << 16);
+  };
+
+  std::size_t executed = 0;
+  if (options_.stop_on_first_fault) {
+    // Serial early-exit contract: the baseline clone runs — and can end the
+    // episode — before any input is generated, so a standing fault never
+    // pays for (or advances) the strategy's generation state.
+    outcomes.resize(tasks.size());
+    for (; executed < tasks.size() && ledger.empty(); ++executed) {
+      execute(executed, 0);
+    }
+  }
+  if (!options_.stop_on_first_fault || ledger.empty()) {
+    const std::vector<util::Bytes> batch = strategy.next_batch(options_.inputs_per_episode);
+    tasks.reserve(tasks.size() + batch.size());
+    for (std::size_t input_index = 0; input_index < batch.size(); ++input_index) {
+      explore::CloneTask task = make_task();
+      task.input = batch[input_index];
+      if (!neighbors.empty()) {
+        task.inject_from = neighbors[input_index % neighbors.size()];
+      }
+      tasks.push_back(std::move(task));
+    }
+    outcomes.resize(tasks.size());
+    const bool parallel =
+        pool_ != nullptr && pool_->workers() > 1 && !options_.stop_on_first_fault;
+    if (parallel) {
+      pool_->run_batch(tasks.size(), execute);
+    } else {
+      for (; executed < tasks.size(); ++executed) {
+        execute(executed, 0);
+        if (options_.stop_on_first_fault && !ledger.empty()) {
+          ++executed;
+          break;
         }
       }
     }
-  };
-
-  // Baseline clone: checks the *current* system state with no new input
-  // (catches faults already manifest, e.g. a deployed hijack).
-  if (options_.include_baseline_clone) {
-    const auto clone_start = Clock::now();
-    std::unique_ptr<System> clone = System::clone_from(blueprint_, *snap);
-    result.clone_ms += ms_since(clone_start);
-    if (clone) {
-      ++result.clones_run;
-      for (std::size_t i = 0; i < clone->size(); ++i) {
-        clone->router(static_cast<sim::NodeId>(i)).reset_flip_counters();
-      }
-      const auto explore_start = Clock::now();
-      const bool quiesced =
-          clone->converge(options_.clone_event_budget, options_.clone_time_budget);
-      result.explore_ms += ms_since(explore_start);
-      if (!quiesced) ++result.clones_non_quiescent;
-      const auto check_start = Clock::now();
-      record_faults(check_system(*clone, result.episode, result.explorer, {}, quiesced));
-      result.check_ms += ms_since(check_start);
-    }
   }
 
-  // Steps 3..5: one cloned snapshot per input.
-  if (options_.stop_on_first_fault && !result.faults.empty()) return result;
-  const std::vector<util::Bytes> batch = strategy.next_batch(options_.inputs_per_episode);
-  for (std::size_t input_index = 0; input_index < batch.size(); ++input_index) {
-    const util::Bytes& body = batch[input_index];
-    const auto clone_start = Clock::now();
-    std::unique_ptr<System> clone = System::clone_from(blueprint_, *snap);
-    result.clone_ms += ms_since(clone_start);
-    if (!clone) continue;
+  // Serial merge, in task order: counters, timings, then the deduplicated
+  // fault list (canonical order — identical for any worker count).
+  for (std::size_t index = 0; index < outcomes.size(); ++index) {
+    const explore::CloneOutcome& outcome = outcomes[index];
+    result.clone_ms += outcome.clone_ms;
+    if (!outcome.ran) continue;
     ++result.clones_run;
-    ++result.inputs_subjected;
-    for (std::size_t i = 0; i < clone->size(); ++i) {
-      clone->router(static_cast<sim::NodeId>(i)).reset_flip_counters();
+    if (!tasks[index].baseline) ++result.inputs_subjected;
+    result.explore_ms += outcome.explore_ms;
+    result.check_ms += outcome.check_ms;
+    if (!outcome.quiesced) ++result.clones_non_quiescent;
+  }
+  for (FaultReport& fault : ledger.snapshot_sorted()) {
+    const std::uint64_t key = fault_key(fault);
+    logger().info() << "episode " << result.episode << ": " << fault.to_string();
+    result.faults.push_back(fault);
+    // The global list deduplicates across episodes (a standing fault
+    // would otherwise be re-reported every episode).
+    if (known_fault_keys_.insert(key).second) {
+      all_faults_.push_back(std::move(fault));
     }
-
-    const auto explore_start = Clock::now();
-    if (!neighbors.empty()) {
-      const sim::NodeId from = neighbors[input_index % neighbors.size()];
-      clone->inject_message(from, result.explorer, bgp::wrap_update_body(body));
-    }
-    const bool quiesced =
-        clone->converge(options_.clone_event_budget, options_.clone_time_budget);
-    result.explore_ms += ms_since(explore_start);
-    if (!quiesced) ++result.clones_non_quiescent;
-
-    const auto check_start = Clock::now();
-    record_faults(check_system(*clone, result.episode, result.explorer, body, quiesced));
-    result.check_ms += ms_since(check_start);
-
-    if (options_.stop_on_first_fault && !result.faults.empty()) break;
   }
   return result;
 }

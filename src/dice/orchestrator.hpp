@@ -19,6 +19,7 @@
 #include "dice/inputs.hpp"
 #include "dice/report.hpp"
 #include "dice/system.hpp"
+#include "explore/pool.hpp"
 
 namespace dice::core {
 
@@ -29,6 +30,19 @@ struct DiceOptions {
   std::uint32_t oscillation_threshold = 8;
   bool include_baseline_clone = true;  ///< also check a no-input clone
   bool stop_on_first_fault = false;
+  /// Worker threads for clone exploration (explore::ExplorePool). 1 keeps
+  /// the strictly serial compatibility path (no threads are spawned);
+  /// any value produces a bit-identical fault set — clone runs depend only
+  /// on their own task, and faults merge through a priority-ordered
+  /// FaultLedger that reproduces serial encounter order.
+  /// `stop_on_first_fault` forces the serial path (its early-exit contract
+  /// is inherently sequential).
+  std::size_t parallelism = 1;
+  /// Root seed for the per-task RNG streams handed to CloneTasks
+  /// (util::Rng::fork(stream_id)). Clone runs draw nothing from them yet
+  /// (see explore::CloneTask::rng); the knob exists so future randomized
+  /// clone behavior has a deterministic, scheduling-independent source.
+  std::uint64_t rng_seed = 0xd1ce5eed;
 };
 
 struct EpisodeResult {
@@ -68,6 +82,8 @@ class Orchestrator {
     return all_faults_;
   }
   [[nodiscard]] std::uint64_t episodes_run() const noexcept { return episode_counter_; }
+  /// The clone-execution pool, or nullptr on the serial path (parallelism <= 1).
+  [[nodiscard]] explore::ExplorePool* pool() noexcept { return pool_.get(); }
 
   /// Round-robin explorer election (step 1 of Fig. 2). Deterministic so
   /// experiments are reproducible; real deployments can plug any policy.
@@ -84,6 +100,7 @@ class Orchestrator {
   bgp::SystemBlueprint blueprint_;
   DiceOptions options_;
   std::unique_ptr<System> live_;
+  std::unique_ptr<explore::ExplorePool> pool_;  ///< created when parallelism > 1
   sim::NodeId next_explorer_ = 0;
   std::uint64_t episode_counter_ = 0;
   std::vector<FaultReport> all_faults_;  ///< globally deduplicated

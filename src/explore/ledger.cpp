@@ -1,0 +1,78 @@
+#include "explore/ledger.hpp"
+
+#include <algorithm>
+
+namespace dice::explore {
+
+FaultLedger::FaultLedger(std::size_t shards) {
+  shards_.reserve(std::max<std::size_t>(shards, 1));
+  for (std::size_t i = 0; i < std::max<std::size_t>(shards, 1); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool FaultLedger::record(core::FaultReport report, std::uint64_t priority,
+                         std::uint64_t key_salt) {
+  const std::uint64_t key = core::fault_key(report) ^ (key_salt * 0x9e3779b97f4a7c15ULL);
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    shard.entries.emplace(key, Entry{std::move(report), priority});
+    return true;
+  }
+  if (priority < it->second.priority) {
+    // A lower-priority (earlier in serial order) duplicate replaces the
+    // incumbent so the surviving evidence is scheduling-independent.
+    it->second = Entry{std::move(report), priority};
+  }
+  return false;
+}
+
+std::size_t FaultLedger::record_all(std::vector<core::FaultReport> reports,
+                                    std::uint64_t base_priority, std::uint64_t key_salt) {
+  std::size_t fresh = 0;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (record(std::move(reports[i]), base_priority + i, key_salt)) ++fresh;
+  }
+  return fresh;
+}
+
+bool FaultLedger::contains(std::uint64_t fault_key, std::uint64_t key_salt) const {
+  const std::uint64_t key = fault_key ^ (key_salt * 0x9e3779b97f4a7c15ULL);
+  const Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.entries.contains(key);
+}
+
+std::size_t FaultLedger::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+std::vector<core::FaultReport> FaultLedger::snapshot_sorted() const {
+  std::vector<Entry> entries;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [key, entry] : shard->entries) entries.push_back(entry);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.priority < b.priority; });
+  std::vector<core::FaultReport> reports;
+  reports.reserve(entries.size());
+  for (Entry& entry : entries) reports.push_back(std::move(entry.report));
+  return reports;
+}
+
+void FaultLedger::clear() {
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->entries.clear();
+  }
+}
+
+}  // namespace dice::explore

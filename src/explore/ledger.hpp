@@ -1,0 +1,68 @@
+// FaultLedger: concurrent fault deduplication shared by exploration workers.
+//
+// Every worker pushes the raw FaultReports of its clone run; the ledger
+// collapses them by fault signature (core::fault_key — class+check+node+
+// description) behind a lock-striped hash map, so N workers reporting the
+// same standing fault produce one entry.
+//
+// Determinism: each record carries a priority — the serial encounter order
+// (task index, fault index within the task). When two reports share a key,
+// the lowest priority wins, and snapshot_sorted() returns entries in
+// ascending priority. The resulting fault list is therefore byte-identical
+// to what a strictly serial run would report, regardless of worker count
+// or stealing order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "dice/report.hpp"
+
+namespace dice::explore {
+
+class FaultLedger {
+ public:
+  explicit FaultLedger(std::size_t shards = 16);
+
+  /// Records one report under its fault_key. Returns true when the key was
+  /// new; on a duplicate key the entry with the lower priority is kept.
+  /// `key_salt` partitions the dedup space (ScenarioMatrix salts by cell:
+  /// the same signature in two scenarios is two distinct findings).
+  bool record(core::FaultReport report, std::uint64_t priority, std::uint64_t key_salt = 0);
+
+  /// Records a clone run's faults with priorities base, base+1, ...
+  /// Returns how many keys were new.
+  std::size_t record_all(std::vector<core::FaultReport> reports, std::uint64_t base_priority,
+                         std::uint64_t key_salt = 0);
+
+  /// Whether `fault_key` was recorded under the same `key_salt`.
+  [[nodiscard]] bool contains(std::uint64_t fault_key, std::uint64_t key_salt = 0) const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// All entries in ascending priority — the canonical serial order.
+  [[nodiscard]] std::vector<core::FaultReport> snapshot_sorted() const;
+
+  void clear();
+
+ private:
+  struct Entry {
+    core::FaultReport report;
+    std::uint64_t priority = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, Entry> entries;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t key) const {
+    return *shards_[key % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace dice::explore

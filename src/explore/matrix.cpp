@@ -1,0 +1,172 @@
+#include "explore/matrix.hpp"
+
+#include <chrono>
+#include <memory>
+
+#include "bgp/bugs.hpp"
+#include "util/log.hpp"
+
+namespace dice::explore {
+
+namespace {
+
+const util::Logger& logger() {
+  static util::Logger instance("explore.matrix");
+  return instance;
+}
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] std::unique_ptr<core::InputStrategy> make_strategy(
+    StrategyKind kind, std::uint64_t strategy_seed, concolic::SolverMemo* memo) {
+  switch (kind) {
+    case StrategyKind::kConcolic: {
+      core::ConcolicStrategy::Options options;
+      options.rng_seed = strategy_seed;
+      options.solver_memo = memo;
+      return std::make_unique<core::ConcolicStrategy>(options);
+    }
+    case StrategyKind::kGrammar:
+      return std::make_unique<core::GrammarStrategy>(/*corruption_rate=*/0.05, strategy_seed,
+                                                     /*strict=*/false);
+    case StrategyKind::kGrammarStrict:
+      return std::make_unique<core::GrammarStrategy>(/*corruption_rate=*/0.0, strategy_seed,
+                                                     /*strict=*/true);
+    case StrategyKind::kRandom:
+      return std::make_unique<core::RandomStrategy>(strategy_seed);
+  }
+  return std::make_unique<core::RandomStrategy>(strategy_seed);
+}
+
+}  // namespace
+
+std::string_view to_string(StrategyKind kind) noexcept {
+  switch (kind) {
+    case StrategyKind::kConcolic: return "concolic";
+    case StrategyKind::kGrammar: return "grammar";
+    case StrategyKind::kGrammarStrict: return "grammar-strict";
+    case StrategyKind::kRandom: return "random";
+  }
+  return "?";
+}
+
+std::vector<ScenarioSpec> default_bench_scenarios() {
+  std::vector<ScenarioSpec> scenarios;
+  scenarios.push_back({"internet9-clean", bgp::make_internet({2, 3, 4})});
+
+  bgp::SystemBlueprint hijack = bgp::make_internet({2, 3, 4});
+  bgp::inject_hijack(hijack, /*victim=*/5, /*attacker=*/8);
+  scenarios.push_back({"internet9-hijack", std::move(hijack)});
+
+  scenarios.push_back({"bad-gadget", bgp::make_bad_gadget()});
+  scenarios.push_back({"ring6", bgp::make_ring(6)});
+
+  bgp::SystemBlueprint fig1 = bgp::make_internet();  // 27 routers (paper Fig. 1)
+  bgp::inject_hijack(fig1, /*victim=*/12, /*attacker=*/20, /*more_specific=*/true);
+  bgp::inject_bug(fig1, /*node=*/5, bgp::bugs::kCommunityLength);
+  scenarios.push_back({"topology27", std::move(fig1)});
+  return scenarios;
+}
+
+ScenarioMatrix::ScenarioMatrix(std::vector<ScenarioSpec> scenarios, MatrixOptions options)
+    : scenarios_(std::move(scenarios)), options_(std::move(options)) {}
+
+MatrixResult ScenarioMatrix::run(ExplorePool& pool) {
+  struct Cell {
+    std::size_t scenario = 0;
+    StrategyKind strategy = StrategyKind::kGrammar;
+    std::uint64_t seed = 0;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(cell_count());
+  for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+    for (const StrategyKind kind : options_.strategies) {
+      for (const std::uint64_t seed : options_.seeds) {
+        cells.push_back(Cell{s, kind, seed});
+      }
+    }
+  }
+
+  MatrixResult result;
+  result.cells.resize(cells.size());
+  const ExplorePool::Stats pool_before = pool.stats();
+
+  // One shared cache maximizes cross-cell reuse; per-cell caches keep every
+  // cell's solving history independent of scheduling.
+  SolverCache shared_cache;
+  std::vector<std::unique_ptr<SolverCache>> cell_caches;
+  if (!options_.share_solver_cache) {
+    cell_caches.resize(cells.size());
+    for (auto& cache : cell_caches) cache = std::make_unique<SolverCache>();
+  }
+
+  // Cells push their (already per-cell deduplicated) faults here as they
+  // finish. Keys are salted with the cell index: the same signature in two
+  // scenarios is two distinct findings.
+  FaultLedger ledger;
+
+  pool.run_batch(cells.size(), [&](std::size_t index, std::size_t) {
+    const Cell& cell = cells[index];
+    const ScenarioSpec& spec = scenarios_[cell.scenario];
+    CellResult& out = result.cells[index];
+    out.scenario = spec.name;
+    out.strategy = cell.strategy;
+    out.seed = cell.seed;
+
+    const auto start = Clock::now();
+    core::DiceOptions dice = options_.dice;
+    dice.parallelism = 1;  // cells are the parallel unit
+    // Disjoint stream ids (2i, 2i+1) keep every cell's clone-RNG root and
+    // strategy stream distinct from every other cell's, even when cells
+    // share the same matrix seed.
+    dice.rng_seed = util::Rng(cell.seed).fork(2 * index).next();
+    core::Orchestrator orchestrator(spec.blueprint, dice);
+    out.bootstrap_converged = orchestrator.bootstrap(options_.bootstrap_events);
+
+    // Every cell derives its own independent deterministic stream: the
+    // strategy seed depends only on (seed, cell index), never on which
+    // worker picked the cell up or when.
+    const std::uint64_t strategy_seed = util::Rng(cell.seed).fork(2 * index + 1).next();
+    SolverCache* cache =
+        options_.share_solver_cache ? &shared_cache : cell_caches[index].get();
+    const std::unique_ptr<core::InputStrategy> strategy =
+        make_strategy(cell.strategy, strategy_seed, cache);
+
+    for (std::size_t episode = 0; episode < options_.episodes_per_cell; ++episode) {
+      const core::EpisodeResult episode_result = orchestrator.run_episode(*strategy);
+      ++out.episodes;
+      out.clones_run += episode_result.clones_run;
+      out.inputs_subjected += episode_result.inputs_subjected;
+    }
+    const std::vector<core::FaultReport>& faults = orchestrator.all_faults();
+    out.faults = faults.size();
+    ledger.record_all(faults, static_cast<std::uint64_t>(index) << 20,
+                      /*key_salt=*/index + 1);
+    out.wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    logger().info() << "cell " << spec.name << "/" << to_string(cell.strategy) << "/s"
+                    << cell.seed << ": " << out.faults << " fault(s), "
+                    << out.clones_run << " clones";
+  });
+
+  result.faults = ledger.snapshot_sorted();
+  if (options_.share_solver_cache) {
+    result.solver_cache = shared_cache.stats();
+  } else {
+    for (const auto& cache : cell_caches) {
+      const SolverCache::Stats stats = cache->stats();
+      result.solver_cache.hits += stats.hits;
+      result.solver_cache.misses += stats.misses;
+      result.solver_cache.stores += stats.stores;
+      result.solver_cache.entries += stats.entries;
+      result.solver_cache.sat_entries += stats.sat_entries;
+    }
+  }
+  const ExplorePool::Stats pool_after = pool.stats();
+  result.pool.batches = pool_after.batches - pool_before.batches;
+  result.pool.tasks_run = pool_after.tasks_run - pool_before.tasks_run;
+  result.pool.steals = pool_after.steals - pool_before.steals;
+  return result;
+}
+
+}  // namespace dice::explore

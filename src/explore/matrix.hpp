@@ -1,0 +1,89 @@
+// ScenarioMatrix: the diverse-soak driver. Fans the cross-product of
+// blueprints x input strategies x seeds out onto an ExplorePool — each cell
+// boots its own live system, runs DiCE episodes serially inside the cell
+// (cells are the parallel unit; nested clone parallelism would oversubscribe
+// the pool), and merges its deduplicated faults into one matrix-wide ledger
+// keyed by cell order, so the aggregate fault list is deterministic for any
+// worker count.
+//
+// This turns the bench topologies (hijack, policy conflict, cycle,
+// topology27) into one soak run covering many scenarios per unit time —
+// the throughput-and-diversity route the distributed-testing literature
+// (Dfuntest; multi-agent online testing) takes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/topology.hpp"
+#include "dice/orchestrator.hpp"
+#include "explore/ledger.hpp"
+#include "explore/pool.hpp"
+#include "explore/solver_cache.hpp"
+
+namespace dice::explore {
+
+/// One topology under test, with the name used in reports.
+struct ScenarioSpec {
+  std::string name;
+  bgp::SystemBlueprint blueprint;
+};
+
+/// The bench topologies as matrix rows: a clean internet, the YouTube-style
+/// hijack, the BAD GADGET policy conflict, a ring, and the paper's
+/// 27-router Figure 1 topology (with its latent hijack + parser bug).
+[[nodiscard]] std::vector<ScenarioSpec> default_bench_scenarios();
+
+enum class StrategyKind : std::uint8_t { kConcolic, kGrammar, kGrammarStrict, kRandom };
+[[nodiscard]] std::string_view to_string(StrategyKind kind) noexcept;
+
+struct MatrixOptions {
+  std::vector<StrategyKind> strategies{StrategyKind::kGrammar, StrategyKind::kRandom};
+  std::vector<std::uint64_t> seeds{1};
+  std::size_t episodes_per_cell = 1;
+  std::size_t bootstrap_events = 500'000;
+  core::DiceOptions dice;  ///< per-cell episode options (parallelism forced to 1)
+  /// Share one SolverCache across all concolic cells. Maximizes reuse but
+  /// lets concurrent cells observe each other's (sound, verified) models;
+  /// keep false when byte-stable repeat runs matter more than throughput.
+  bool share_solver_cache = false;
+};
+
+struct CellResult {
+  std::string scenario;
+  StrategyKind strategy = StrategyKind::kGrammar;
+  std::uint64_t seed = 0;
+  bool bootstrap_converged = false;
+  std::size_t episodes = 0;
+  std::size_t clones_run = 0;
+  std::size_t inputs_subjected = 0;
+  std::size_t faults = 0;  ///< deduplicated within the cell
+  double wall_ms = 0.0;
+};
+
+struct MatrixResult {
+  std::vector<CellResult> cells;            ///< cross-product order
+  std::vector<core::FaultReport> faults;    ///< all cells, canonical cell order
+  SolverCache::Stats solver_cache;          ///< aggregate over all cells
+  ExplorePool::Stats pool;                  ///< pool stats delta for this run
+};
+
+class ScenarioMatrix {
+ public:
+  ScenarioMatrix(std::vector<ScenarioSpec> scenarios, MatrixOptions options);
+
+  /// Runs every (scenario, strategy, seed) cell on the pool and blocks
+  /// until all complete.
+  [[nodiscard]] MatrixResult run(ExplorePool& pool);
+
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return scenarios_.size() * options_.strategies.size() * options_.seeds.size();
+  }
+
+ private:
+  std::vector<ScenarioSpec> scenarios_;
+  MatrixOptions options_;
+};
+
+}  // namespace dice::explore

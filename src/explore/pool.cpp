@@ -1,0 +1,183 @@
+#include "explore/pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "bgp/sym_update.hpp"
+
+namespace dice::explore {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+CloneOutcome run_clone_task(const CloneTask& task, const CheckFn& check) {
+  CloneOutcome outcome;
+  const auto clone_start = Clock::now();
+  std::unique_ptr<core::System> clone = core::System::clone_from(*task.blueprint, *task.snap);
+  outcome.clone_ms = ms_since(clone_start);
+  if (!clone) return outcome;
+  outcome.ran = true;
+  // Flip counters restart per clone: oscillation evidence must come from
+  // this clone's own convergence, not inherited live-system churn.
+  for (std::size_t i = 0; i < clone->size(); ++i) {
+    clone->router(static_cast<sim::NodeId>(i)).reset_flip_counters();
+  }
+
+  const auto explore_start = Clock::now();
+  if (!task.baseline && task.inject_from != sim::kInvalidNode) {
+    clone->inject_message(task.inject_from, task.explorer,
+                          bgp::wrap_update_body(task.input));
+  }
+  outcome.quiesced = clone->converge(task.event_budget, task.time_budget);
+  outcome.explore_ms = ms_since(explore_start);
+
+  const auto check_start = Clock::now();
+  outcome.faults = check(*clone, task, outcome.quiesced);
+  outcome.check_ms = ms_since(check_start);
+  return outcome;
+}
+
+ExplorePool::ExplorePool(std::size_t workers) : workers_(std::max<std::size_t>(workers, 1)) {
+  deques_.reserve(workers_);
+  for (std::size_t i = 0; i < workers_; ++i) {
+    deques_.push_back(std::make_unique<WorkerDeque>());
+  }
+  if (workers_ <= 1) return;  // threadless compatibility path
+  threads_.reserve(workers_);
+  for (std::size_t i = 0; i < workers_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ExplorePool::~ExplorePool() {
+  {
+    const std::lock_guard<std::mutex> lock(batch_mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+bool ExplorePool::next_task(std::size_t worker_id, std::size_t& task) {
+  {
+    WorkerDeque& own = *deques_[worker_id];
+    const std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      task = own.tasks.front();
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  // Steal from the back of the fullest victim, so the thief takes the work
+  // the owner would reach last (classic work-stealing order).
+  while (true) {
+    std::size_t victim = workers_;
+    std::size_t victim_depth = 0;
+    for (std::size_t v = 0; v < workers_; ++v) {
+      if (v == worker_id) continue;
+      const std::lock_guard<std::mutex> lock(deques_[v]->mutex);
+      if (deques_[v]->tasks.size() > victim_depth) {
+        victim_depth = deques_[v]->tasks.size();
+        victim = v;
+      }
+    }
+    if (victim == workers_) return false;  // everything drained
+    const std::lock_guard<std::mutex> lock(deques_[victim]->mutex);
+    if (deques_[victim]->tasks.empty()) continue;  // raced; rescan
+    task = deques_[victim]->tasks.back();
+    deques_[victim]->tasks.pop_back();
+    {
+      const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.steals;
+    }
+    return true;
+  }
+}
+
+void ExplorePool::worker_loop(std::size_t worker_id) {
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(batch_mutex_);
+      work_ready_.wait(lock, [&] { return shutdown_ || batch_epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = batch_epoch_;
+      fn = batch_fn_;
+    }
+    std::size_t completed = 0;
+    std::size_t task = 0;
+    while (next_task(worker_id, task)) {
+      (*fn)(task, worker_id);
+      ++completed;
+    }
+    if (completed > 0) {
+      const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      stats_.tasks_run += completed;
+    }
+    // Every worker acknowledges the epoch — including ones that found no
+    // work. run_batch returns only after all acks, so no worker can still
+    // be draining epoch N when epoch N+1's tasks (and function) appear.
+    bool done = false;
+    {
+      const std::lock_guard<std::mutex> lock(batch_mutex_);
+      ++workers_done_;
+      done = workers_done_ == workers_;
+    }
+    if (done) batch_done_.notify_all();
+  }
+}
+
+void ExplorePool::run_batch(std::size_t count,
+                            const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.batches;
+  }
+  if (workers_ <= 1) {
+    // Inline compatibility path: no threads, no queues — the exact serial loop.
+    for (std::size_t i = 0; i < count; ++i) fn(i, 0);
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.tasks_run += count;
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    WorkerDeque& deque = *deques_[i % workers_];
+    const std::lock_guard<std::mutex> lock(deque.mutex);
+    deque.tasks.push_back(i);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(batch_mutex_);
+    batch_fn_ = &fn;
+    workers_done_ = 0;
+    ++batch_epoch_;
+  }
+  work_ready_.notify_all();
+  std::unique_lock<std::mutex> lock(batch_mutex_);
+  batch_done_.wait(lock, [&] { return workers_done_ == workers_; });
+  batch_fn_ = nullptr;
+}
+
+std::vector<CloneOutcome> ExplorePool::explore(const std::vector<CloneTask>& tasks,
+                                               const CheckFn& check) {
+  std::vector<CloneOutcome> outcomes(tasks.size());
+  run_batch(tasks.size(), [&](std::size_t index, std::size_t) {
+    outcomes[index] = run_clone_task(tasks[index], check);
+  });
+  return outcomes;
+}
+
+ExplorePool::Stats ExplorePool::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace dice::explore

@@ -1,0 +1,136 @@
+// ExplorePool: the parallel clone-execution engine behind DiCE episodes.
+//
+// The paper's Figure 2 loop explores inputs over cloned systems that
+// "share nothing" with the live deployment — clone runs are therefore
+// embarrassingly parallel. The pool owns a fixed set of worker threads,
+// each with its own deque of task indices; a batch is distributed
+// round-robin and idle workers steal from the back of their victims'
+// deques, so skewed task costs (one clone hitting a near-oscillation,
+// the rest quiescing instantly) still saturate every worker.
+//
+// Determinism contract: a task's behavior depends only on the task itself
+// — the immutable snapshot, the pre-generated input, and (should a task
+// ever need randomness) its own forked Rng stream, never a worker-owned
+// one — and results land in a slot indexed by task id, so the outcome of
+// a batch is bit-identical for 1, 2 or N workers regardless of stealing
+// order.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dice/report.hpp"
+#include "dice/system.hpp"
+#include "util/rng.hpp"
+
+namespace dice::explore {
+
+/// One unit of exploration work: clone the snapshot, subject the input,
+/// converge, check. `index` doubles as the task's result slot and as the
+/// priority that reproduces serial encounter order during fault merging.
+struct CloneTask {
+  std::size_t index = 0;
+  const bgp::SystemBlueprint* blueprint = nullptr;
+  const snapshot::Snapshot* snap = nullptr;  ///< immutable, shared by all workers
+  util::Bytes input;                         ///< UPDATE body; empty for the baseline clone
+  bool baseline = false;                     ///< no-input clone checking current state
+  sim::NodeId explorer = sim::kInvalidNode;
+  sim::NodeId inject_from = sim::kInvalidNode;  ///< kInvalidNode: nothing to inject
+  std::uint64_t episode = 0;
+  /// Per-task deterministic stream (util::Rng::fork(task index)). Clone
+  /// execution itself is deterministic and draws nothing from it today;
+  /// it exists so any future randomized task behavior (perturbed event
+  /// timing, sampled checks) stays scheduling-independent by construction
+  /// — never reach for a worker-owned or shared generator instead.
+  util::Rng rng;
+  std::size_t event_budget = 200'000;
+  sim::Time time_budget = 120 * sim::kSecond;
+};
+
+/// What one clone run produced. Faults are raw (pre-deduplication); the
+/// caller merges them through a FaultLedger keyed by task index.
+struct CloneOutcome {
+  bool ran = false;       ///< clone reconstruction succeeded
+  bool quiesced = false;  ///< converged within budgets
+  std::vector<core::FaultReport> faults;
+  double clone_ms = 0.0;
+  double explore_ms = 0.0;
+  double check_ms = 0.0;
+};
+
+/// Property checks over a finished clone: (system, task, quiesced) -> faults.
+/// The orchestrator binds this to Orchestrator::check_system.
+using CheckFn = std::function<std::vector<core::FaultReport>(
+    core::System&, const CloneTask&, bool quiesced)>;
+
+/// Executes one CloneTask end to end (clone -> inject -> converge -> check).
+/// Pure with respect to shared state: reads the immutable snapshot and
+/// blueprint, owns everything else. Safe to call from any worker.
+[[nodiscard]] CloneOutcome run_clone_task(const CloneTask& task, const CheckFn& check);
+
+class ExplorePool {
+ public:
+  /// workers <= 1 builds a threadless pool: run_batch executes inline on
+  /// the caller (the `workers=1` compatibility path — no thread is ever
+  /// spawned, so single-worker behavior is exactly the serial loop).
+  explicit ExplorePool(std::size_t workers);
+  ~ExplorePool();
+  ExplorePool(const ExplorePool&) = delete;
+  ExplorePool& operator=(const ExplorePool&) = delete;
+
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
+
+  /// Runs fn(task_index, worker_id) for every index in [0, count) and
+  /// blocks until all complete. Indices are dealt round-robin onto the
+  /// worker deques; workers drain their own deque front-to-back and steal
+  /// from the back of the busiest victim when empty. One batch at a time;
+  /// not reentrant.
+  void run_batch(std::size_t count,
+                 const std::function<void(std::size_t task, std::size_t worker)>& fn);
+
+  /// Typed convenience: executes every CloneTask and returns outcomes in
+  /// task-index order (scheduling-independent).
+  [[nodiscard]] std::vector<CloneOutcome> explore(const std::vector<CloneTask>& tasks,
+                                                  const CheckFn& check);
+
+  struct Stats {
+    std::uint64_t batches = 0;
+    std::uint64_t tasks_run = 0;
+    std::uint64_t steals = 0;  ///< tasks executed by a non-owning worker
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct WorkerDeque {
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;
+  };
+
+  void worker_loop(std::size_t worker_id);
+  /// Pops the front of `worker_id`'s own deque, or steals from the back of
+  /// the fullest victim. Returns false when every deque is empty.
+  [[nodiscard]] bool next_task(std::size_t worker_id, std::size_t& task);
+
+  std::size_t workers_ = 1;
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  std::vector<std::thread> threads_;
+
+  std::mutex batch_mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  const std::function<void(std::size_t, std::size_t)>* batch_fn_ = nullptr;
+  std::uint64_t batch_epoch_ = 0;
+  std::size_t workers_done_ = 0;  ///< per-epoch acks; all must land before return
+  bool shutdown_ = false;
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+}  // namespace dice::explore

@@ -1,0 +1,67 @@
+#include "explore/solver_cache.hpp"
+
+#include <algorithm>
+
+namespace dice::explore {
+
+SolverCache::SolverCache(std::size_t shards) {
+  const std::size_t count = std::max<std::size_t>(shards, 1);
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+bool SolverCache::lookup(std::uint64_t key, std::optional<util::Bytes>& result) {
+  Shard& shard = shard_for(key);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (auto it = shard.entries.find(key); it != shard.entries.end()) {
+      result = it->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void SolverCache::store(std::uint64_t key, const std::optional<util::Bytes>& result) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  // First write wins: both a model and an UNSAT proof are sound, and
+  // keeping the incumbent makes concurrent racing stores commutative.
+  shard.entries.try_emplace(key, result);
+  stores_.fetch_add(1, std::memory_order_relaxed);
+}
+
+SolverCache::Stats SolverCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.stores = stores_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.entries += shard->entries.size();
+    for (const auto& [key, value] : shard->entries) {
+      if (value.has_value()) ++stats.sat_entries;
+    }
+  }
+  return stats;
+}
+
+std::size_t SolverCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+void SolverCache::clear() {
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->entries.clear();
+  }
+}
+
+}  // namespace dice::explore

@@ -1,0 +1,63 @@
+// SolverCache: concurrent memoization of path-constraint solving.
+//
+// Concolic episodes re-derive structurally identical branch negations over
+// and over — every episode rebuilds its ExprPool from scratch, and every
+// clone of the same explorer walks the same UPDATE-handler branches. The
+// cache keys queries by concolic::constraints_key (a pool-independent
+// structural hash of the conjunction) and stores either a concretely
+// verified model or a proven-UNSAT marker, so later episodes — possibly on
+// other workers — skip the whole solving pipeline.
+//
+// Lock-striped: keys shard onto independent mutex-guarded maps, so
+// concurrent ScenarioMatrix cells sharing one cache rarely contend.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "concolic/solver.hpp"
+#include "util/bytes.hpp"
+
+namespace dice::explore {
+
+class SolverCache final : public concolic::SolverMemo {
+ public:
+  explicit SolverCache(std::size_t shards = 16);
+
+  [[nodiscard]] bool lookup(std::uint64_t key, std::optional<util::Bytes>& result) override;
+  void store(std::uint64_t key, const std::optional<util::Bytes>& result) override;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t sat_entries = 0;  ///< entries holding a model (rest: proven UNSAT)
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::optional<util::Bytes>> entries;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t key) const {
+    return *shards_[key % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> stores_{0};
+};
+
+}  // namespace dice::explore

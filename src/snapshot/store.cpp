@@ -1,5 +1,7 @@
 #include "snapshot/store.hpp"
 
+#include <mutex>
+
 #include "util/hash.hpp"
 
 namespace dice::snapshot {
@@ -38,15 +40,28 @@ std::uint64_t Snapshot::cut_hash() const {
 
 void SnapshotStore::put(Snapshot snapshot) {
   const SnapshotId id = snapshot.id;
+  const std::unique_lock lock(mutex_);
   snapshots_.insert_or_assign(id, std::move(snapshot));
 }
 
 const Snapshot* SnapshotStore::find(SnapshotId id) const {
+  const std::shared_lock lock(mutex_);
   auto it = snapshots_.find(id);
   return it == snapshots_.end() ? nullptr : &it->second;
 }
 
+std::size_t SnapshotStore::size() const {
+  const std::shared_lock lock(mutex_);
+  return snapshots_.size();
+}
+
+void SnapshotStore::erase(SnapshotId id) {
+  const std::unique_lock lock(mutex_);
+  snapshots_.erase(id);
+}
+
 void SnapshotStore::trim(std::size_t keep) {
+  const std::unique_lock lock(mutex_);
   while (snapshots_.size() > keep) snapshots_.erase(snapshots_.begin());
 }
 

@@ -4,9 +4,11 @@
 // from a Snapshot; the store keeps them addressable by id.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <shared_mutex>
 #include <vector>
 
 #include "sim/network.hpp"
@@ -35,22 +37,32 @@ struct Snapshot {
   [[nodiscard]] std::uint64_t cut_hash() const;
 };
 
+/// Thread-safety: reads (find/size) take a shared lock; writes (put/erase/
+/// trim) take an exclusive lock. A found Snapshot* stays valid while other
+/// ids are inserted or erased (std::map node stability), which is exactly
+/// the pattern parallel exploration needs: the orchestrator publishes one
+/// immutable snapshot, then many workers clone from it concurrently.
+/// Callers must not erase/trim a snapshot while workers still hold its
+/// pointer — the orchestrator only trims between episodes.
 class SnapshotStore {
  public:
   /// Reserves a fresh snapshot id.
-  [[nodiscard]] SnapshotId next_id() noexcept { return next_id_++; }
+  [[nodiscard]] SnapshotId next_id() noexcept {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   void put(Snapshot snapshot);
   [[nodiscard]] const Snapshot* find(SnapshotId id) const;
-  [[nodiscard]] std::size_t size() const noexcept { return snapshots_.size(); }
-  void erase(SnapshotId id) { snapshots_.erase(id); }
+  [[nodiscard]] std::size_t size() const;
+  void erase(SnapshotId id);
   /// Drops all but the most recent `keep` snapshots (bounded memory in
   /// long-running online testing).
   void trim(std::size_t keep);
 
  private:
+  mutable std::shared_mutex mutex_;
   std::map<SnapshotId, Snapshot> snapshots_;
-  SnapshotId next_id_ = 1;
+  std::atomic<SnapshotId> next_id_{1};
 };
 
 }  // namespace dice::snapshot

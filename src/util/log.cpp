@@ -1,13 +1,26 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace dice::util {
 
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
-Log::Sink g_sink;  // empty => default stderr sink
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+/// Serializes sink replacement and every emission: concurrent workers each
+/// format their own line, then take this mutex for the single sink call.
+std::mutex& sink_mutex() {
+  static std::mutex instance;
+  return instance;
+}
+
+Log::Sink& sink_slot() {
+  static Log::Sink instance;  // empty => default stderr sink
+  return instance;
+}
 
 void default_sink(LogLevel level, std::string_view tag, std::string_view msg) {
   std::fprintf(stderr, "[%s] %.*s: %.*s\n", to_string(level).data(),
@@ -29,22 +42,27 @@ std::string_view to_string(LogLevel level) noexcept {
   return "?";
 }
 
-void Log::set_level(LogLevel level) noexcept { g_level = level; }
-LogLevel Log::level() noexcept { return g_level; }
+void Log::set_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel Log::level() noexcept { return g_level.load(std::memory_order_relaxed); }
 bool Log::enabled(LogLevel level) noexcept {
-  return level >= g_level && g_level != LogLevel::kOff;
+  const LogLevel current = g_level.load(std::memory_order_relaxed);
+  return level >= current && current != LogLevel::kOff;
 }
 
 Log::Sink Log::set_sink(Sink sink) {
-  Sink previous = std::move(g_sink);
-  g_sink = std::move(sink);
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  Sink previous = std::move(sink_slot());
+  sink_slot() = std::move(sink);
   return previous;
 }
 
 void Log::write(LogLevel level, std::string_view tag, std::string_view msg) {
   if (!enabled(level)) return;
-  if (g_sink) {
-    g_sink(level, tag, msg);
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  if (const Sink& sink = sink_slot()) {
+    sink(level, tag, msg);
   } else {
     default_sink(level, tag, msg);
   }

@@ -1,6 +1,10 @@
 // Lightweight structured logging with levels and per-component tags.
 // A global sink keeps the API ergonomic; tests can capture output via
-// LogCapture. Not thread-safe by design: the simulator is single-threaded.
+// LogCapture. Each simulator instance is single-threaded, but exploration
+// runs many cloned simulators on concurrent workers (explore::ExplorePool),
+// so emission is serialized behind a single sink mutex: concurrent workers
+// never interleave partial lines. Message formatting stays outside the
+// lock (each Line owns its stream); only the sink call is serialized.
 #pragma once
 
 #include <cstdint>

@@ -77,7 +77,23 @@ class Rng {
   constexpr std::uint8_t byte() noexcept { return static_cast<std::uint8_t>(next() & 0xff); }
 
   /// Derives an independent child generator (for per-component streams).
+  /// Advances this generator; successive calls yield distinct children.
   [[nodiscard]] constexpr Rng fork() noexcept { return Rng{next() ^ 0x9e3779b97f4a7c15ULL}; }
+
+  /// Splittable fork: derives the independent stream named `stream_id`
+  /// WITHOUT advancing this generator. fork(i) depends only on the current
+  /// state and i, so any subset of streams, taken in any order — or
+  /// concurrently by different workers — yields identical generators.
+  /// This is what makes parallel clone exploration bit-reproducible.
+  [[nodiscard]] constexpr Rng fork(std::uint64_t stream_id) const noexcept {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ stream_id;
+    for (const std::uint64_t word : state_) {
+      std::uint64_t s = h ^ word;
+      h = splitmix64_next(s);
+    }
+    std::uint64_t s = h ^ (stream_id * 0xff51afd7ed558ccdULL);
+    return Rng{splitmix64_next(s)};
+  }
 
  private:
   [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

@@ -1,0 +1,335 @@
+// Unit tests for the parallel exploration subsystem: work-stealing pool
+// mechanics, fault-ledger determinism, solver-cache accounting, and the
+// splittable RNG streams everything relies on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "concolic/solver.hpp"
+#include "explore/ledger.hpp"
+#include "explore/pool.hpp"
+#include "explore/solver_cache.hpp"
+#include "util/rng.hpp"
+
+namespace dice::explore {
+namespace {
+
+// ---------------------------------------------------------------------------
+// util::Rng::fork(stream_id) — the determinism primitive
+// ---------------------------------------------------------------------------
+
+TEST(RngForkTest, StreamForkIsConstAndOrderIndependent) {
+  const util::Rng root(42);
+  util::Rng a = root.fork(3);
+  util::Rng b = root.fork(7);
+  // Forking never advances the parent, so any order gives the same streams.
+  util::Rng b_again = root.fork(7);
+  util::Rng a_again = root.fork(3);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.next(), a_again.next());
+    EXPECT_EQ(b.next(), b_again.next());
+  }
+}
+
+TEST(RngForkTest, StreamsAreIndependent) {
+  const util::Rng root(42);
+  util::Rng a = root.fork(0);
+  util::Rng b = root.fork(1);
+  // Distinct ids must give distinct streams (first outputs already differ).
+  EXPECT_NE(a.next(), b.next());
+  // And differ from the advancing fork() of a copy.
+  util::Rng mut = root;
+  util::Rng child = mut.fork();
+  EXPECT_NE(root.fork(0).next(), child.next());
+}
+
+TEST(RngForkTest, DifferentRootsGiveDifferentStreams) {
+  EXPECT_NE(util::Rng(1).fork(5).next(), util::Rng(2).fork(5).next());
+}
+
+// ---------------------------------------------------------------------------
+// ExplorePool — batch execution and work stealing
+// ---------------------------------------------------------------------------
+
+TEST(ExplorePoolTest, SingleWorkerRunsInlineWithoutThreads) {
+  ExplorePool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<int> hits(8, 0);
+  pool.run_batch(8, [&](std::size_t task, std::size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);  // inline compatibility path
+    ++hits[task];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_EQ(pool.stats().tasks_run, 8u);
+  EXPECT_EQ(pool.stats().steals, 0u);
+}
+
+TEST(ExplorePoolTest, EveryTaskRunsExactlyOnceAcrossWorkers) {
+  ExplorePool pool(4);
+  constexpr std::size_t kTasks = 64;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.run_batch(kTasks, [&](std::size_t task, std::size_t) { ++hits[task]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(pool.stats().tasks_run, kTasks);
+}
+
+TEST(ExplorePoolTest, WorkStealingUnderSkewedTaskCosts) {
+  // Round-robin deals task i to worker i % 2. Every even task (worker 0's
+  // deque) is heavy, every odd task trivial — worker 1 drains instantly
+  // and must steal from worker 0's backlog to finish the batch.
+  ExplorePool pool(2);
+  constexpr std::size_t kTasks = 12;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.run_batch(kTasks, [&](std::size_t task, std::size_t) {
+    if (task % 2 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ++hits[task];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_GE(pool.stats().steals, 1u);
+  EXPECT_EQ(pool.stats().tasks_run, kTasks);
+}
+
+TEST(ExplorePoolTest, BackToBackBatchesDoNotLeakWork) {
+  ExplorePool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.run_batch(7, [&](std::size_t, std::size_t) { ++count; });
+    ASSERT_EQ(count.load(), 7);
+  }
+  EXPECT_EQ(pool.stats().tasks_run, 140u);
+  EXPECT_EQ(pool.stats().batches, 20u);
+}
+
+// ---------------------------------------------------------------------------
+// FaultLedger — concurrent dedup with serial-order evidence
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] core::FaultReport make_report(std::string check, sim::NodeId node,
+                                            std::string description) {
+  core::FaultReport report;
+  report.fault_class = core::FaultClass::kOperatorMistake;
+  report.check = std::move(check);
+  report.node = node;
+  report.description = std::move(description);
+  return report;
+}
+
+TEST(FaultLedgerTest, DeduplicatesBySignature) {
+  FaultLedger ledger;
+  EXPECT_TRUE(ledger.record(make_report("route-origin", 1, "stolen prefix"), 10));
+  EXPECT_FALSE(ledger.record(make_report("route-origin", 1, "stolen prefix"), 20));
+  EXPECT_TRUE(ledger.record(make_report("route-origin", 2, "stolen prefix"), 30));
+  EXPECT_EQ(ledger.size(), 2u);
+}
+
+TEST(FaultLedgerTest, LowestPriorityEvidenceWinsRegardlessOfArrivalOrder) {
+  // The same fault arriving from a later task first must still surface the
+  // earlier task's report (reports carry the triggering input as episode
+  // evidence — it must be scheduling-independent).
+  FaultLedger ledger;
+  core::FaultReport late = make_report("route-origin", 1, "stolen prefix");
+  late.input = {0xbb};
+  core::FaultReport early = make_report("route-origin", 1, "stolen prefix");
+  early.input = {0xaa};
+  ledger.record(std::move(late), /*priority=*/2 << 16);
+  ledger.record(std::move(early), /*priority=*/1 << 16);
+  const auto faults = ledger.snapshot_sorted();
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].input, util::Bytes{0xaa});
+}
+
+TEST(FaultLedgerTest, SnapshotSortedFollowsPriority) {
+  FaultLedger ledger;
+  ledger.record(make_report("b-check", 1, "second"), 200);
+  ledger.record(make_report("c-check", 1, "third"), 300);
+  ledger.record(make_report("a-check", 1, "first"), 100);
+  const auto faults = ledger.snapshot_sorted();
+  ASSERT_EQ(faults.size(), 3u);
+  EXPECT_EQ(faults[0].check, "a-check");
+  EXPECT_EQ(faults[1].check, "b-check");
+  EXPECT_EQ(faults[2].check, "c-check");
+}
+
+TEST(FaultLedgerTest, KeySaltPartitionsDedupSpace) {
+  FaultLedger ledger;
+  EXPECT_TRUE(ledger.record(make_report("route-origin", 1, "x"), 1, /*key_salt=*/1));
+  EXPECT_TRUE(ledger.record(make_report("route-origin", 1, "x"), 2, /*key_salt=*/2));
+  EXPECT_EQ(ledger.size(), 2u);
+  // contains() applies the same salt transformation as record().
+  const std::uint64_t key = core::fault_key(make_report("route-origin", 1, "x"));
+  EXPECT_TRUE(ledger.contains(key, /*key_salt=*/1));
+  EXPECT_TRUE(ledger.contains(key, /*key_salt=*/2));
+  EXPECT_FALSE(ledger.contains(key));  // never recorded unsalted
+  EXPECT_FALSE(ledger.contains(key, /*key_salt=*/3));
+}
+
+TEST(FaultLedgerTest, ConcurrentRecordingIsDeterministic) {
+  // 8 threads record overlapping fault sets; the surviving contents must be
+  // exactly the per-key priority minima, independent of interleaving.
+  FaultLedger ledger;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&ledger, t] {
+      for (int i = 0; i < 50; ++i) {
+        core::FaultReport report =
+            make_report("check", static_cast<sim::NodeId>(i % 5), "desc");
+        report.episode = static_cast<std::uint64_t>(t);
+        ledger.record(std::move(report), static_cast<std::uint64_t>(t * 1000 + i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto faults = ledger.snapshot_sorted();
+  ASSERT_EQ(faults.size(), 5u);  // 5 distinct nodes
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    // Thread 0 wrote priorities 0..49 first-by-priority for each node.
+    EXPECT_EQ(faults[i].episode, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SolverCache — memoized constraint solving with hit accounting
+// ---------------------------------------------------------------------------
+
+TEST(SolverCacheTest, SecondIdenticalQueryIsAHit) {
+  concolic::ExprPool pool;
+  // Constraint: input[0] == 0x42 (hint fails it; inversion solves it).
+  const concolic::ExprRef cond = pool.binary(
+      concolic::Op::kEq, pool.sym_byte(0), pool.constant(0x42, 8));
+  const std::vector<concolic::Constraint> constraints{{cond, true}};
+
+  SolverCache cache;
+  concolic::Solver solver;
+  solver.set_memo(&cache);
+
+  const util::Bytes hint{0x00, 0x01};
+  const auto first = solver.solve(pool, constraints, hint);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ((*first)[0], 0x42);
+  EXPECT_EQ(solver.stats().cache_hits, 0u);
+  EXPECT_EQ(solver.stats().cache_stores, 1u);
+
+  const auto second = solver.solve(pool, constraints, hint);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, *first);
+  EXPECT_EQ(solver.stats().cache_hits, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().sat_entries, 1u);
+}
+
+TEST(SolverCacheTest, KeysAreStructuralAcrossPools) {
+  // The same conjunction built in a fresh pool (fresh ExprRefs) must reuse
+  // the cached model — this is what makes the cache effective across
+  // episodes, which rebuild their pools from scratch.
+  SolverCache cache;
+  concolic::Solver solver;
+  solver.set_memo(&cache);
+
+  std::optional<util::Bytes> first;
+  {
+    concolic::ExprPool pool;
+    const auto cond = pool.binary(concolic::Op::kEq, pool.sym_byte(0),
+                                  pool.constant(0x42, 8));
+    const std::vector<concolic::Constraint> constraints{{cond, true}};
+    first = solver.solve(pool, constraints, util::Bytes{0x00});
+  }
+  {
+    concolic::ExprPool pool;
+    (void)pool.constant(0x99, 8);  // shift ref numbering in the new pool
+    const auto cond = pool.binary(concolic::Op::kEq, pool.sym_byte(0),
+                                  pool.constant(0x42, 8));
+    const std::vector<concolic::Constraint> constraints{{cond, true}};
+    const auto second = solver.solve(pool, constraints, util::Bytes{0x00});
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(*second, *first);
+  }
+  EXPECT_EQ(solver.stats().cache_hits, 1u);
+}
+
+TEST(SolverCacheTest, ProvenUnsatIsCachedButSearchGiveUpsAreNot) {
+  SolverCache cache;
+  concolic::Solver solver;
+  solver.set_memo(&cache);
+
+  concolic::ExprPool pool;
+  // input[0] == 1 AND input[0] == 2: interval propagation proves UNSAT.
+  const auto eq1 = pool.binary(concolic::Op::kEq, pool.sym_byte(0), pool.constant(1, 8));
+  const auto eq2 = pool.binary(concolic::Op::kEq, pool.sym_byte(0), pool.constant(2, 8));
+  const std::vector<concolic::Constraint> unsat{{eq1, true}, {eq2, true}};
+  EXPECT_FALSE(solver.solve(pool, unsat, util::Bytes{0x00}).has_value());
+  EXPECT_EQ(solver.stats().cache_stores, 1u);  // proof => memoized
+  EXPECT_FALSE(solver.solve(pool, unsat, util::Bytes{0x00}).has_value());
+  EXPECT_EQ(solver.stats().cache_hits, 1u);
+
+  // Constraint on a byte beyond the hint: unsolvable *for this hint* but
+  // not a proof — must not be memoized as UNSAT.
+  const auto far = pool.binary(concolic::Op::kEq, pool.sym_byte(9), pool.constant(7, 8));
+  const std::vector<concolic::Constraint> truncated{{far, true}};
+  EXPECT_FALSE(solver.solve(pool, truncated, util::Bytes{0x00}).has_value());
+  const auto stores_before = solver.stats().cache_stores;
+  EXPECT_EQ(stores_before, 1u);  // nothing new stored
+  // A longer hint CAN solve it — a cached UNSAT would have blocked this.
+  const auto solved =
+      solver.solve(pool, truncated, util::Bytes(10, 0x00));
+  ASSERT_TRUE(solved.has_value());
+  EXPECT_EQ((*solved)[9], 7);
+}
+
+TEST(SolverCacheTest, NonCoveringEnumerationGiveUpIsNotCachedAsUnsat) {
+  // C1: input[0] == 7 (fails under the hint); C2: input[0] + input[1] == 5
+  // (holds under the hint). Enumeration varies only C1's byte with byte 1
+  // pinned, finds nothing — but (7, 254) satisfies both (8-bit wrap), so
+  // the give-up must NOT be memoized as UNSAT for later hints.
+  SolverCache cache;
+  concolic::Solver solver;
+  solver.set_memo(&cache);
+
+  concolic::ExprPool pool;
+  const auto c1 = pool.binary(concolic::Op::kEq, pool.sym_byte(0), pool.constant(7, 8));
+  const auto sum = pool.binary(concolic::Op::kAdd, pool.sym_byte(0), pool.sym_byte(1));
+  const auto c2 = pool.binary(concolic::Op::kEq, sum, pool.constant(5, 8));
+  const std::vector<concolic::Constraint> constraints{{c1, true}, {c2, true}};
+
+  EXPECT_FALSE(solver.solve(pool, constraints, util::Bytes{5, 0}).has_value());
+  EXPECT_EQ(cache.size(), 0u) << "hint-dependent give-up was cached as a proof";
+
+  // A hint that fails both constraints involves both bytes; full
+  // enumeration then finds the wrap-around model a poisoned cache entry
+  // would have blocked.
+  const auto solved = solver.solve(pool, constraints, util::Bytes{5, 200});
+  ASSERT_TRUE(solved.has_value());
+  EXPECT_EQ((*solved)[0], 7);
+  EXPECT_EQ((*solved)[1], 254);
+}
+
+TEST(SolverCacheTest, ConcurrentLookupsAndStoresAreSafe) {
+  SolverCache cache;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (std::uint64_t i = 0; i < 200; ++i) {
+        const std::uint64_t key = i % 37;
+        std::optional<util::Bytes> result;
+        if (!cache.lookup(key, result)) {
+          cache.store(key, util::Bytes{static_cast<std::uint8_t>(key)});
+        } else if (result) {
+          // First-write-wins: the value is always the key's canonical byte.
+          EXPECT_EQ((*result)[0], static_cast<std::uint8_t>(key));
+        }
+        (void)t;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(cache.size(), 37u);
+}
+
+}  // namespace
+}  // namespace dice::explore
