@@ -31,7 +31,7 @@ struct ScaleResult {
   std::uint64_t steals = 0;
 };
 
-ScaleResult run_at(std::size_t workers, std::size_t episodes) {
+ScaleResult run_at(std::size_t workers, std::size_t episodes, bool prepared_clones = true) {
   bgp::SystemBlueprint blueprint = bgp::make_internet();  // 27 routers
   bgp::inject_hijack(blueprint, /*victim=*/12, /*attacker=*/20, /*more_specific=*/true);
   bgp::inject_bug(blueprint, /*node=*/5, bgp::bugs::kCommunityLength);
@@ -39,6 +39,7 @@ ScaleResult run_at(std::size_t workers, std::size_t episodes) {
   core::DiceOptions options;
   options.inputs_per_episode = 32;
   options.parallelism = workers;
+  options.prepared_clones = prepared_clones;
   core::Orchestrator dice(std::move(blueprint), options);
   (void)dice.bootstrap();
 
@@ -69,28 +70,37 @@ int main() {
               std::thread::hardware_concurrency());
 
   constexpr std::size_t kEpisodes = 2;
-  bench::Table table({"workers", "episodes", "clones", "faults", "fault-set hash",
-                      "steals", "wall ms", "speedup"});
+  bench::Table table({"clone path", "workers", "episodes", "clones", "faults",
+                      "fault-set hash", "steals", "wall ms", "speedup"});
   double serial_ms = 0.0;
   std::uint64_t serial_hash = 0;
   bool identical = true;
-  for (const std::size_t workers : {1UL, 2UL, 4UL, 8UL}) {
-    const ScaleResult r = run_at(workers, kEpisodes);
-    if (workers == 1) {
-      serial_ms = r.wall_ms;
-      serial_hash = r.fault_hash;
+  bool first = true;
+  // The legacy decode-per-clone row anchors the receipt: every prepared/
+  // arena row must reproduce its fault-set hash bit for bit.
+  for (const bool prepared : {false, true}) {
+    for (const std::size_t workers : {1UL, 2UL, 4UL, 8UL}) {
+      if (!prepared && workers > 1) continue;  // one legacy baseline row suffices
+      const ScaleResult r = run_at(workers, kEpisodes, prepared);
+      if (first) {
+        serial_ms = r.wall_ms;
+        serial_hash = r.fault_hash;
+        first = false;
+      }
+      identical &= r.fault_hash == serial_hash;
+      char hash_text[32];
+      std::snprintf(hash_text, sizeof(hash_text), "%016llx",
+                    static_cast<unsigned long long>(r.fault_hash));
+      table.row({prepared ? "prepared+arena" : "legacy", std::to_string(workers),
+                 std::to_string(kEpisodes), std::to_string(r.clones),
+                 std::to_string(r.faults), hash_text, std::to_string(r.steals),
+                 fmt(r.wall_ms, 1), fmt(serial_ms / r.wall_ms, 2)});
     }
-    identical &= r.fault_hash == serial_hash;
-    char hash_text[32];
-    std::snprintf(hash_text, sizeof(hash_text), "%016llx",
-                  static_cast<unsigned long long>(r.fault_hash));
-    table.row({std::to_string(workers), std::to_string(kEpisodes),
-               std::to_string(r.clones), std::to_string(r.faults), hash_text,
-               std::to_string(r.steals), fmt(r.wall_ms, 1), fmt(serial_ms / r.wall_ms, 2)});
   }
   table.print();
-  std::printf("\nfault sets byte-identical across worker counts: %s\n",
-              identical ? "YES" : "NO (determinism bug!)");
+  std::printf(
+      "\nfault sets byte-identical across clone paths and worker counts: %s\n",
+      identical ? "YES" : "NO (determinism bug!)");
 
   std::puts("\n== scenario-matrix soak: bench topologies x strategies x seeds ==\n");
   explore::MatrixOptions options;

@@ -38,11 +38,16 @@ int main() {
               dice.live().total_loc_rib_routes(), dice.live().established_sessions());
 
   core::ConcolicStrategy strategy;
-  bench::Table table({"episode", "explorer", "inputs", "clones", "snapshot ms", "explore ms",
-                      "check ms", "new faults"});
+  bench::Table table({"episode", "explorer", "inputs", "clones", "reused", "snap KB",
+                      "snapshot ms", "restore ms", "clone ms", "explore ms", "check ms",
+                      "new faults"});
 
   std::size_t found_classes = 0;
   bool seen[3] = {};
+  std::size_t clones_total = 0;
+  std::size_t reused_total = 0;
+  double restore_total_ms = 0.0;
+  double clone_total_ms = 0.0;
   Stopwatch total;
   for (int i = 0; i < 12 && found_classes < 2; ++i) {
     const core::EpisodeResult episode = dice.run_episode(strategy);
@@ -53,14 +58,25 @@ int main() {
         ++found_classes;
       }
     }
+    clones_total += episode.clones_run;
+    reused_total += episode.clones_reused;
+    restore_total_ms += episode.restore_ms;
+    clone_total_ms += episode.clone_ms;
     table.row({std::to_string(episode.episode), "r" + std::to_string(episode.explorer),
                std::to_string(episode.inputs_subjected), std::to_string(episode.clones_run),
-               fmt(episode.snapshot_ms), fmt(episode.explore_ms), fmt(episode.check_ms),
+               std::to_string(episode.clones_reused),
+               fmt(static_cast<double>(episode.snapshot_bytes) / 1024.0, 1),
+               fmt(episode.snapshot_ms), fmt(episode.restore_ms), fmt(episode.clone_ms),
+               fmt(episode.explore_ms), fmt(episode.check_ms),
                std::to_string(episode.faults.size())});
   }
   table.print();
 
   std::printf("\ntotal: %zu episodes, %.1f ms wall clock\n", dice.episodes_run(), total.ms());
+  std::printf(
+      "prepared pipeline: %zu/%zu clones served by arena reuse; decode-once %.1f ms, "
+      "per-clone setup %.1f ms total\n",
+      reused_total, clones_total, restore_total_ms, clone_total_ms);
   std::printf("concolic totals: %llu executions, %llu unique paths, %llu branch points\n",
               static_cast<unsigned long long>(strategy.stats().executions),
               static_cast<unsigned long long>(strategy.stats().unique_paths),

@@ -1,6 +1,7 @@
 #include "bgp/router.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "concolic/context.hpp"
 #include "util/log.hpp"
@@ -12,16 +13,22 @@ const util::Logger& logger() {
   static util::Logger instance("bgp.router");
   return instance;
 }
+
+std::atomic<std::uint64_t> g_checkpoint_decodes{0};
 }  // namespace
 
+std::uint64_t checkpoint_decode_count() noexcept {
+  return g_checkpoint_decodes.load(std::memory_order_relaxed);
+}
+
 BgpRouter::BgpRouter(sim::Network& network, sim::NodeId id, RouterConfig config,
-                     std::map<util::IpAddress, sim::NodeId> address_book)
+                     std::shared_ptr<const std::map<util::IpAddress, sim::NodeId>> address_book)
     : snapshot::SnapshotParticipant(network, id),
       config_(std::move(config)),
       address_book_(std::move(address_book)) {
   for (const NeighborConfig& neighbor : config_.neighbors) {
-    auto it = address_book_.find(neighbor.address);
-    if (it == address_book_.end()) {
+    auto it = address_book_->find(neighbor.address);
+    if (it == address_book_->end()) {
       logger().warn() << config_.name << ": neighbor " << neighbor.address.to_string()
                       << " has no node mapping; skipped";
       continue;
@@ -29,6 +36,12 @@ BgpRouter::BgpRouter(sim::Network& network, sim::NodeId id, RouterConfig config,
     sessions_.emplace(it->second, std::make_unique<Session>(*this, it->second, neighbor, config_));
   }
 }
+
+BgpRouter::BgpRouter(sim::Network& network, sim::NodeId id, RouterConfig config,
+                     std::map<util::IpAddress, sim::NodeId> address_book)
+    : BgpRouter(network, id, std::move(config),
+                std::make_shared<const std::map<util::IpAddress, sim::NodeId>>(
+                    std::move(address_book))) {}
 
 void BgpRouter::start() {
   originate_networks();
@@ -239,7 +252,7 @@ void BgpRouter::run_decision(const util::IpPrefix& prefix) {
   if (best == SIZE_MAX) {
     if (loc_rib_.erase(prefix)) {
       ++stats_.best_changes;
-      ++best_flips_[prefix];
+      max_best_flips_ = std::max(max_best_flips_, ++best_flips_[prefix]);
       propagate(prefix);
     }
     return;
@@ -247,7 +260,7 @@ void BgpRouter::run_decision(const util::IpPrefix& prefix) {
   if (current != nullptr && *current == candidates[best]) return;
   loc_rib_.upsert(candidates[best]);
   ++stats_.best_changes;
-  ++best_flips_[prefix];
+  max_best_flips_ = std::max(max_best_flips_, ++best_flips_[prefix]);
   propagate(prefix);
 }
 
@@ -360,18 +373,24 @@ void BgpRouter::checkpoint(util::ByteWriter& writer) const {
   }
 }
 
-util::Status BgpRouter::restore(util::ByteReader& reader) {
+util::Result<std::shared_ptr<const snapshot::DecodedCheckpoint>> BgpRouter::parse(
+    util::ByteReader& reader) const {
+  g_checkpoint_decodes.fetch_add(1, std::memory_order_relaxed);
+  auto decoded = std::make_shared<RouterCheckpoint>();
+
   auto session_count = reader.u32();
   if (!session_count) return util::make_error("router.restore.sessions");
   for (std::uint32_t i = 0; i < session_count.value(); ++i) {
     auto peer = reader.u32();
     if (!peer) return util::make_error("router.restore.peer");
-    Session* s = session(peer.value());
-    if (s == nullptr) return util::make_error("router.restore.unknown_peer");
-    if (auto status = s->restore(reader); !status) return status;
+    if (sessions_.find(peer.value()) == sessions_.end()) {
+      return util::make_error("router.restore.unknown_peer");
+    }
+    auto checkpoint = Session::parse_checkpoint(reader);
+    if (!checkpoint) return checkpoint.error();
+    decoded->sessions.emplace_back(peer.value(), checkpoint.value());
   }
 
-  adj_in_.clear();
   auto in_count = reader.u32();
   if (!in_count) return util::make_error("router.restore.adj_in");
   for (std::uint32_t i = 0; i < in_count.value(); ++i) {
@@ -379,14 +398,13 @@ util::Status BgpRouter::restore(util::ByteReader& reader) {
     if (!peer) return util::make_error("router.restore.adj_in_peer");
     auto rib = Rib::deserialize(reader);
     if (!rib) return util::make_error("router.restore.adj_in_rib", rib.error().to_string());
-    adj_in_[peer.value()] = std::move(rib).take();
+    decoded->adj_in.emplace_back(peer.value(), std::move(rib).take());
   }
 
   auto loc = Rib::deserialize(reader);
   if (!loc) return util::make_error("router.restore.loc_rib", loc.error().to_string());
-  loc_rib_ = std::move(loc).take();
+  decoded->loc_rib = std::move(loc).take();
 
-  adj_out_.clear();
   auto out_count = reader.u32();
   if (!out_count) return util::make_error("router.restore.adj_out");
   for (std::uint32_t i = 0; i < out_count.value(); ++i) {
@@ -394,10 +412,9 @@ util::Status BgpRouter::restore(util::ByteReader& reader) {
     if (!peer) return util::make_error("router.restore.adj_out_peer");
     auto rib = Rib::deserialize(reader);
     if (!rib) return util::make_error("router.restore.adj_out_rib", rib.error().to_string());
-    adj_out_[peer.value()] = std::move(rib).take();
+    decoded->adj_out.emplace_back(peer.value(), std::move(rib).take());
   }
 
-  best_flips_.clear();
   auto flip_count = reader.u32();
   if (!flip_count) return util::make_error("router.restore.flips");
   for (std::uint32_t i = 0; i < flip_count.value(); ++i) {
@@ -405,9 +422,48 @@ util::Status BgpRouter::restore(util::ByteReader& reader) {
     auto len = reader.u8();
     auto count = reader.u32();
     if (!addr || !len || !count) return util::make_error("router.restore.flip_entry");
-    best_flips_[util::IpPrefix{util::IpAddress{addr.value()}, len.value()}] = count.value();
+    decoded->best_flips.emplace_back(
+        util::IpPrefix{util::IpAddress{addr.value()}, len.value()}, count.value());
+  }
+  return std::shared_ptr<const snapshot::DecodedCheckpoint>(std::move(decoded));
+}
+
+util::Status BgpRouter::apply(const snapshot::DecodedCheckpoint& state) {
+  const auto* decoded = dynamic_cast<const RouterCheckpoint*>(&state);
+  if (decoded == nullptr) return util::make_error("router.apply.wrong_type");
+
+  for (const auto& [peer, checkpoint] : decoded->sessions) {
+    Session* s = session(peer);
+    if (s == nullptr) return util::make_error("router.restore.unknown_peer");
+    s->apply_checkpoint(checkpoint);
+  }
+
+  adj_in_.clear();
+  for (const auto& [peer, rib] : decoded->adj_in) adj_in_[peer] = rib;
+  loc_rib_ = decoded->loc_rib;
+  adj_out_.clear();
+  for (const auto& [peer, rib] : decoded->adj_out) adj_out_[peer] = rib;
+
+  best_flips_.clear();
+  max_best_flips_ = 0;
+  for (const auto& [prefix, count] : decoded->best_flips) {
+    best_flips_[prefix] = count;
+    max_best_flips_ = std::max(max_best_flips_, count);
   }
   return util::Status::success();
+}
+
+void BgpRouter::reset_for_reuse() {
+  abort_snapshot();
+  for (auto& [peer, session] : sessions_) session->reset_for_reuse();
+  adj_in_.clear();
+  loc_rib_.clear();
+  adj_out_.clear();
+  best_flips_.clear();
+  max_best_flips_ = 0;
+  stats_ = {};
+  auto_restart_ = true;
+  restart_delay_ = sim::kSecond;
 }
 
 }  // namespace dice::bgp

@@ -24,12 +24,32 @@
 
 namespace dice::bgp {
 
+/// Total number of checkpoint decodes (BgpRouter::parse calls) performed in
+/// this process — the receipt that the prepared pipeline decodes once, not
+/// once per clone (bench_clone_restore reads the deltas).
+[[nodiscard]] std::uint64_t checkpoint_decode_count() noexcept;
+
+/// Typed form of a router checkpoint: everything BgpRouter::checkpoint
+/// serializes, parsed once and shared read-only by all clones restoring
+/// from the same snapshot.
+struct RouterCheckpoint final : snapshot::DecodedCheckpoint {
+  std::vector<std::pair<sim::NodeId, SessionCheckpoint>> sessions;
+  std::vector<std::pair<sim::NodeId, Rib>> adj_in;
+  Rib loc_rib;
+  std::vector<std::pair<sim::NodeId, Rib>> adj_out;
+  std::vector<std::pair<util::IpPrefix, std::uint32_t>> best_flips;
+};
+
 class BgpRouter final : public snapshot::SnapshotParticipant,
                         public snapshot::Checkpointable,
                         public SessionHost {
  public:
   /// `address_book` maps neighbor IP addresses to sim node ids (the
-  /// topology's wiring); neighbors without an entry are ignored.
+  /// topology's wiring); neighbors without an entry are ignored. The shared
+  /// form lets every router of a system (and every clone of a blueprint)
+  /// reference one immutable book instead of copying it per router.
+  BgpRouter(sim::Network& network, sim::NodeId id, RouterConfig config,
+            std::shared_ptr<const std::map<util::IpAddress, sim::NodeId>> address_book);
   BgpRouter(sim::Network& network, sim::NodeId id, RouterConfig config,
             std::map<util::IpAddress, sim::NodeId> address_book);
 
@@ -61,7 +81,14 @@ class BgpRouter final : public snapshot::SnapshotParticipant,
     std::uint64_t handler_crashes = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
-  void reset_flip_counters() { best_flips_.clear(); }
+  void reset_flip_counters() {
+    best_flips_.clear();
+    max_best_flips_ = 0;
+  }
+  /// Highest per-prefix best-route flip count seen since the counters were
+  /// last reset — O(1), maintained incrementally so the oscillation
+  /// early-exit poll (System::converge_bounded) stays cheap.
+  [[nodiscard]] std::uint32_t max_best_flips() const noexcept { return max_best_flips_; }
 
   /// Administratively resets one session (the paper's "local session reset"
   /// emergent-behavior scenario); the session auto-restarts after a delay.
@@ -72,8 +99,18 @@ class BgpRouter final : public snapshot::SnapshotParticipant,
   void set_auto_restart(bool enabled) noexcept { auto_restart_ = enabled; }
 
   // --- Checkpointable -------------------------------------------------------
+  // restore() is inherited: parse (bytes -> RouterCheckpoint, const,
+  // shareable) + apply (RouterCheckpoint -> this, cheap).
   void checkpoint(util::ByteWriter& writer) const override;
-  [[nodiscard]] util::Status restore(util::ByteReader& reader) override;
+  [[nodiscard]] util::Result<std::shared_ptr<const snapshot::DecodedCheckpoint>> parse(
+      util::ByteReader& reader) const override;
+  [[nodiscard]] util::Status apply(const snapshot::DecodedCheckpoint& state) override;
+
+  /// Returns the router to its just-constructed state (empty RIBs, Idle
+  /// sessions, zeroed stats/flip counters, aborted snapshot bookkeeping) so
+  /// a clone-arena System can be re-seeded with apply() instead of being
+  /// reconstructed.
+  void reset_for_reuse();
 
   // --- SessionHost ----------------------------------------------------------
   void session_send(sim::NodeId peer, const Message& msg, bool background) override;
@@ -100,13 +137,14 @@ class BgpRouter final : public snapshot::SnapshotParticipant,
   void schedule_restart(sim::NodeId peer);
 
   RouterConfig config_;
-  std::map<util::IpAddress, sim::NodeId> address_book_;
+  std::shared_ptr<const std::map<util::IpAddress, sim::NodeId>> address_book_;
   std::map<sim::NodeId, std::unique_ptr<Session>> sessions_;
 
   std::map<sim::NodeId, Rib> adj_in_;
   Rib loc_rib_;
   std::map<sim::NodeId, Rib> adj_out_;
   std::map<util::IpPrefix, std::uint32_t> best_flips_;
+  std::uint32_t max_best_flips_ = 0;
 
   Stats stats_;
   bool auto_restart_ = true;

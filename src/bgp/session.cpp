@@ -192,7 +192,7 @@ void Session::checkpoint(util::ByteWriter& writer) const {
   writer.u16(negotiated_hold_);
 }
 
-util::Status Session::restore(util::ByteReader& reader) {
+util::Result<SessionCheckpoint> Session::parse_checkpoint(util::ByteReader& reader) {
   auto state = reader.u8();
   auto peer_id = reader.u32();
   auto hold = reader.u16();
@@ -200,10 +200,18 @@ util::Status Session::restore(util::ByteReader& reader) {
   if (state.value() > static_cast<std::uint8_t>(SessionState::kEstablished)) {
     return util::make_error("session.restore.bad_state");
   }
+  SessionCheckpoint checkpoint;
+  checkpoint.state = static_cast<SessionState>(state.value());
+  checkpoint.peer_router_id = peer_id.value();
+  checkpoint.negotiated_hold = hold.value();
+  return checkpoint;
+}
+
+void Session::apply_checkpoint(const SessionCheckpoint& checkpoint) {
   cancel_timers();
-  state_ = static_cast<SessionState>(state.value());
-  peer_router_id_ = peer_id.value();
-  negotiated_hold_ = hold.value();
+  state_ = checkpoint.state;
+  peer_router_id_ = checkpoint.peer_router_id;
+  negotiated_hold_ = checkpoint.negotiated_hold;
   // Re-arm timers implied by the restored state; elapsed fractions are not
   // preserved (documented approximation — fresh timers on the clone).
   if (state_ == SessionState::kEstablished) {
@@ -212,7 +220,21 @@ util::Status Session::restore(util::ByteReader& reader) {
   } else if (state_ != SessionState::kIdle) {
     arm_hold_timer();
   }
+}
+
+util::Status Session::restore(util::ByteReader& reader) {
+  auto checkpoint = parse_checkpoint(reader);
+  if (!checkpoint) return checkpoint.error();
+  apply_checkpoint(checkpoint.value());
   return util::Status::success();
+}
+
+void Session::reset_for_reuse() {
+  cancel_timers();
+  state_ = SessionState::kIdle;
+  peer_router_id_ = 0;
+  negotiated_hold_ = 0;
+  stats_ = {};
 }
 
 }  // namespace dice::bgp

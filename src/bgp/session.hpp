@@ -19,6 +19,14 @@ enum class SessionState : std::uint8_t { kIdle = 0, kOpenSent, kOpenConfirm, kEs
 
 [[nodiscard]] std::string_view to_string(SessionState state) noexcept;
 
+/// Typed form of a Session checkpoint: FSM state + negotiated values.
+/// Immutable once parsed; applying it to a Session is allocation-free.
+struct SessionCheckpoint {
+  SessionState state = SessionState::kIdle;
+  RouterId peer_router_id = 0;
+  std::uint16_t negotiated_hold = 0;
+};
+
 /// Callbacks a Session needs from its owning router.
 class SessionHost {
  public:
@@ -60,9 +68,18 @@ class Session {
   [[nodiscard]] bool ebgp() const noexcept { return neighbor_.asn != local_.asn; }
 
   // Checkpoint support: FSM state + negotiated values. Timers are re-armed
-  // on restore according to the restored state.
+  // on restore according to the restored state. restore() = parse + apply;
+  // the split lets one decode feed many clones (snapshot/prepared.hpp).
   void checkpoint(util::ByteWriter& writer) const;
+  [[nodiscard]] static util::Result<SessionCheckpoint> parse_checkpoint(
+      util::ByteReader& reader);
+  void apply_checkpoint(const SessionCheckpoint& checkpoint);
   [[nodiscard]] util::Status restore(util::ByteReader& reader);
+
+  /// Returns the session to its just-constructed state (Idle, timers
+  /// cancelled, stats zeroed) without notifying the host — clone-arena
+  /// reuse, not a protocol event.
+  void reset_for_reuse();
 
   struct Stats {
     std::uint64_t opens_sent = 0;

@@ -24,12 +24,23 @@ using Clock = std::chrono::steady_clock;
 }  // namespace
 
 Orchestrator::Orchestrator(bgp::SystemBlueprint blueprint, DiceOptions options)
-    : blueprint_(std::move(blueprint)),
+    : Orchestrator(std::make_shared<const SystemPrototype>(std::move(blueprint)), options) {}
+
+Orchestrator::Orchestrator(std::shared_ptr<const SystemPrototype> prototype,
+                           DiceOptions options, explore::CloneArena* external_arena)
+    : prototype_(std::move(prototype)),
       options_(options),
-      live_(std::make_unique<System>(blueprint_)) {
+      live_(std::make_unique<System>(prototype_)),
+      external_arena_(external_arena) {
   if (options_.parallelism > 1) {
     pool_ = std::make_unique<explore::ExplorePool>(options_.parallelism);
   }
+}
+
+explore::CloneArena* Orchestrator::arena_for(std::size_t worker) noexcept {
+  if (pool_ != nullptr) return &pool_->arena(worker);
+  if (external_arena_ != nullptr) return external_arena_;
+  return &serial_arena_;
 }
 
 bool Orchestrator::bootstrap(std::size_t max_events) {
@@ -43,7 +54,7 @@ bool Orchestrator::bootstrap(std::size_t max_events) {
 
 sim::NodeId Orchestrator::next_explorer() {
   const sim::NodeId explorer = next_explorer_;
-  next_explorer_ = static_cast<sim::NodeId>((next_explorer_ + 1) % blueprint_.size());
+  next_explorer_ = static_cast<sim::NodeId>((next_explorer_ + 1) % prototype_->size());
   return explorer;
 }
 
@@ -123,6 +134,21 @@ EpisodeResult Orchestrator::run_episode(InputStrategy& strategy) {
     return result;
   }
   const snapshot::Snapshot* snap = live_->snapshots().find(result.snapshot_id);
+  result.snapshot_bytes = snap->total_state_bytes();
+
+  // Decode-once: parse every checkpoint into the shared PreparedSnapshot
+  // here, on the orchestrator thread, before any clone task exists. Workers
+  // only ever apply the typed state.
+  std::shared_ptr<const snapshot::PreparedSnapshot> prepared;
+  if (options_.prepared_clones) {
+    const auto prepare_start = Clock::now();
+    prepared = live_->prepare_snapshot(result.snapshot_id);
+    result.restore_ms = ms_since(prepare_start);
+    if (prepared == nullptr) {
+      logger().warn() << "episode " << result.episode
+                      << ": snapshot preparation failed; using legacy clone path";
+    }
+  }
 
   strategy.on_episode(*live_, result.explorer);
 
@@ -139,13 +165,18 @@ EpisodeResult Orchestrator::run_episode(InputStrategy& strategy) {
   const auto make_task = [&] {
     explore::CloneTask task;
     task.index = tasks.size();
-    task.blueprint = &blueprint_;
+    task.blueprint = &prototype_->blueprint();
     task.snap = snap;
+    task.prototype = prototype_;
+    task.prepared = prepared;
     task.explorer = result.explorer;
     task.episode = result.episode;
     task.rng = episode_rng.fork(task.index);
     task.event_budget = options_.clone_event_budget;
     task.time_budget = options_.clone_time_budget;
+    if (options_.oscillation_early_exit) {
+      task.oscillation_exit_flips = options_.oscillation_threshold;
+    }
     return task;
   };
   if (options_.include_baseline_clone) {
@@ -165,8 +196,8 @@ EpisodeResult Orchestrator::run_episode(InputStrategy& strategy) {
   // the ledger deduplicates by signature and keeps serial-order evidence.
   explore::FaultLedger ledger;
   std::vector<explore::CloneOutcome> outcomes;
-  const auto execute = [&](std::size_t index, std::size_t /*worker*/) {
-    outcomes[index] = explore::run_clone_task(tasks[index], check);
+  const auto execute = [&](std::size_t index, std::size_t worker) {
+    outcomes[index] = explore::run_clone_task(tasks[index], check, arena_for(worker));
     ledger.record_all(std::move(outcomes[index].faults),
                       static_cast<std::uint64_t>(index) << 16);
   };
@@ -208,6 +239,13 @@ EpisodeResult Orchestrator::run_episode(InputStrategy& strategy) {
     }
   }
 
+  // Bounded memory for long-running online testing: every episode takes a
+  // fresh snapshot, so older raw + prepared entries are dead weight. All
+  // clone tasks have completed (workers hold no store pointers anymore;
+  // prepared state is shared_ptr-held regardless), so trimming here is the
+  // store contract's "between episodes" window.
+  live_->snapshots().trim(1);
+
   // Serial merge, in task order: counters, timings, then the deduplicated
   // fault list (canonical order — identical for any worker count).
   for (std::size_t index = 0; index < outcomes.size(); ++index) {
@@ -219,6 +257,8 @@ EpisodeResult Orchestrator::run_episode(InputStrategy& strategy) {
     result.explore_ms += outcome.explore_ms;
     result.check_ms += outcome.check_ms;
     if (!outcome.quiesced) ++result.clones_non_quiescent;
+    if (outcome.reused) ++result.clones_reused;
+    if (outcome.early_exit) ++result.clones_early_exit;
   }
   for (FaultReport& fault : ledger.snapshot_sorted()) {
     const std::uint64_t key = fault_key(fault);

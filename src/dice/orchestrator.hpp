@@ -43,6 +43,17 @@ struct DiceOptions {
   /// (see explore::CloneTask::rng); the knob exists so future randomized
   /// clone behavior has a deterministic, scheduling-independent source.
   std::uint64_t rng_seed = 0xd1ce5eed;
+  /// Decode-once clone pipeline: parse each snapshot into a
+  /// PreparedSnapshot once and reset per-worker arena Systems from it,
+  /// instead of constructing + re-decoding per clone. Off = the legacy
+  /// clone_from path (kept as the equivalence baseline; fault sets are
+  /// byte-identical either way).
+  bool prepared_clones = true;
+  /// Terminate a clone run as soon as its oscillation detector is
+  /// conclusive (any prefix's best-route flip count reaches
+  /// `oscillation_threshold`) instead of burning the full
+  /// clone_event_budget — a ~10x soak-time cut on dispute-wheel cells.
+  bool oscillation_early_exit = true;
 };
 
 struct EpisodeResult {
@@ -52,9 +63,13 @@ struct EpisodeResult {
   std::size_t inputs_subjected = 0;
   std::size_t clones_run = 0;
   std::size_t clones_non_quiescent = 0;
+  std::size_t clones_reused = 0;      ///< clones served by an arena reset
+  std::size_t clones_early_exit = 0;  ///< clone runs cut short by oscillation exit
+  std::size_t snapshot_bytes = 0;     ///< raw checkpoint bytes decoded once
   std::vector<FaultReport> faults;  ///< deduplicated within the episode
   double snapshot_ms = 0.0;         ///< wall-clock stage timings (Fig. 2)
-  double clone_ms = 0.0;
+  double restore_ms = 0.0;          ///< one-time PreparedSnapshot decode/build
+  double clone_ms = 0.0;            ///< per-clone setup total (construct or reset)
   double explore_ms = 0.0;
   double check_ms = 0.0;
 };
@@ -62,6 +77,13 @@ struct EpisodeResult {
 class Orchestrator {
  public:
   Orchestrator(bgp::SystemBlueprint blueprint, DiceOptions options = {});
+  /// Shared-prototype form: several orchestrators (ScenarioMatrix cells)
+  /// can share one SystemPrototype, which is what lets a worker's clone
+  /// arena survive across cells of the same scenario. `external_arena`,
+  /// when given, replaces the orchestrator's own serial-path arena — it
+  /// must outlive the orchestrator and belong to the calling worker.
+  Orchestrator(std::shared_ptr<const SystemPrototype> prototype, DiceOptions options = {},
+               explore::CloneArena* external_arena = nullptr);
 
   /// Starts the live system and converges it. Returns false when the live
   /// system fails to quiesce (e.g. an active dispute wheel) — exploration
@@ -97,10 +119,16 @@ class Orchestrator {
                                                       bool quiesced) const;
 
  private:
-  bgp::SystemBlueprint blueprint_;
+  /// The arena a task should run on: the executing pool worker's, else the
+  /// externally provided one, else this orchestrator's serial arena.
+  [[nodiscard]] explore::CloneArena* arena_for(std::size_t worker) noexcept;
+
+  std::shared_ptr<const SystemPrototype> prototype_;
   DiceOptions options_;
   std::unique_ptr<System> live_;
   std::unique_ptr<explore::ExplorePool> pool_;  ///< created when parallelism > 1
+  explore::CloneArena serial_arena_;
+  explore::CloneArena* external_arena_ = nullptr;
   sim::NodeId next_explorer_ = 0;
   std::uint64_t episode_counter_ = 0;
   std::vector<FaultReport> all_faults_;  ///< globally deduplicated

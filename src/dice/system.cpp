@@ -13,21 +13,31 @@ const util::Logger& logger() {
 }
 }  // namespace
 
-System::System(bgp::SystemBlueprint blueprint)
-    : blueprint_(std::move(blueprint)), net_(sim_), coordinator_(store_) {
-  const auto book = blueprint_.address_book();
-  std::set<sim::NodeId> members;
-  routers_.reserve(blueprint_.size());
+SystemPrototype::SystemPrototype(bgp::SystemBlueprint blueprint)
+    : blueprint_(std::move(blueprint)),
+      address_book_(std::make_shared<const std::map<util::IpAddress, sim::NodeId>>(
+          blueprint_.address_book())) {
   for (std::size_t i = 0; i < blueprint_.size(); ++i) {
+    members_.insert(static_cast<sim::NodeId>(i));
+  }
+}
+
+System::System(bgp::SystemBlueprint blueprint)
+    : System(std::make_shared<const SystemPrototype>(std::move(blueprint))) {}
+
+System::System(std::shared_ptr<const SystemPrototype> prototype)
+    : prototype_(std::move(prototype)), net_(sim_), coordinator_(store_) {
+  const bgp::SystemBlueprint& blueprint = prototype_->blueprint();
+  routers_.reserve(blueprint.size());
+  for (std::size_t i = 0; i < blueprint.size(); ++i) {
     const sim::NodeId id = static_cast<sim::NodeId>(i);
-    routers_.push_back(
-        std::make_unique<bgp::BgpRouter>(net_, id, blueprint_.configs[i], book));
+    routers_.push_back(std::make_unique<bgp::BgpRouter>(net_, id, blueprint.configs[i],
+                                                        prototype_->address_book()));
     net_.attach(id, *routers_.back());
     routers_.back()->set_coordinator(&coordinator_);
-    members.insert(id);
   }
-  coordinator_.set_members(std::move(members));
-  for (const bgp::LinkSpec& link : blueprint_.links) {
+  coordinator_.set_members(prototype_->members());
+  for (const bgp::LinkSpec& link : blueprint.links) {
     net_.connect(link.a, link.b, link.latency);
   }
 }
@@ -39,7 +49,38 @@ void System::start() {
 }
 
 bool System::converge(std::size_t max_events, sim::Time max_time) {
-  return sim_.run_until_quiescent(max_events, sim_.now() + max_time);
+  return converge_bounded(max_events, max_time, 0).quiesced;
+}
+
+System::ConvergeOutcome System::converge_bounded(std::size_t max_events, sim::Time max_time,
+                                                 std::uint32_t flip_exit_threshold) {
+  ConvergeOutcome outcome;
+  if (flip_exit_threshold == 0) {
+    // No early-exit: the simulator's own quiescence loop is authoritative.
+    outcome.quiesced = sim_.run_until_quiescent(max_events, sim_.now() + max_time);
+    return outcome;
+  }
+  // Poll the routers' flip-count caches every 512 events: cheap (O(nodes)
+  // against a cached counter) and deterministic (event-count based, never
+  // wall-clock based), so early exits reproduce bit-identically.
+  constexpr std::size_t kPollMask = 0x1FF;
+  const sim::Time deadline = sim_.now() + max_time;
+  std::size_t count = 0;
+  while (sim_.pending_foreground() > 0) {
+    if (count >= max_events || sim_.now() > deadline) return outcome;
+    if ((count & kPollMask) == kPollMask) {
+      for (const auto& router : routers_) {
+        if (router->max_best_flips() >= flip_exit_threshold) {
+          outcome.oscillation_exit = true;
+          return outcome;
+        }
+      }
+    }
+    if (!sim_.step()) break;
+    ++count;
+  }
+  outcome.quiesced = true;
+  return outcome;
 }
 
 snapshot::SnapshotId System::take_snapshot(sim::NodeId initiator) {
@@ -61,6 +102,51 @@ snapshot::SnapshotId System::take_snapshot(sim::NodeId initiator) {
     return 0;
   }
   return id;
+}
+
+std::shared_ptr<const snapshot::PreparedSnapshot> System::prepare_snapshot(
+    snapshot::SnapshotId id) {
+  if (auto existing = store_.find_prepared(id)) return existing;
+  const snapshot::Snapshot* snap = store_.find(id);
+  if (snap == nullptr) return nullptr;
+  auto prepared = snapshot::PreparedSnapshot::build(
+      *snap, [this](sim::NodeId node) -> const snapshot::Checkpointable* {
+        return node < routers_.size() ? routers_[node].get() : nullptr;
+      });
+  if (!prepared) {
+    logger().error() << "prepare_snapshot " << id
+                     << " failed: " << prepared.error().to_string();
+    return nullptr;
+  }
+  store_.put_prepared(prepared.value());
+  return std::move(prepared).take();
+}
+
+util::Status System::reset_from(const snapshot::PreparedSnapshot& prepared) {
+  // Rewind everything dynamic. The order mirrors fresh construction +
+  // clone_from exactly (same simulator sequence numbers, same timer
+  // scheduling order, same injection order), which is what makes an arena
+  // reset bit-identical to a freshly built clone.
+  sim_.reset();
+  net_.reset_dynamic();
+  coordinator_.reset();
+  for (auto& router : routers_) router->reset_for_reuse();
+
+  for (const auto& [node, entry] : prepared.nodes()) {
+    if (node >= routers_.size()) return util::make_error("system.reset.unknown_node");
+    if (auto status = routers_[node]->apply(*entry.state); !status) {
+      logger().error() << "reset_from failed for node " << node << ": "
+                       << status.error().to_string();
+      return status;
+    }
+  }
+  for (const snapshot::PreparedFrame& scheduled : prepared.schedule()) {
+    sim::Frame frame;
+    frame.kind = sim::FrameKind::kData;
+    frame.payload = scheduled.payload;
+    net_.inject(scheduled.from, scheduled.to, std::move(frame), scheduled.offset);
+  }
+  return util::Status::success();
 }
 
 std::unique_ptr<System> System::clone_from(const bgp::SystemBlueprint& blueprint,
@@ -117,8 +203,8 @@ std::size_t System::established_sessions() const {
 
 std::map<sim::NodeId, bgp::Asn> System::node_asns() const {
   std::map<sim::NodeId, bgp::Asn> out;
-  for (std::size_t i = 0; i < blueprint_.size(); ++i) {
-    out[static_cast<sim::NodeId>(i)] = blueprint_.configs[i].asn;
+  for (std::size_t i = 0; i < blueprint().size(); ++i) {
+    out[static_cast<sim::NodeId>(i)] = blueprint().configs[i].asn;
   }
   return out;
 }

@@ -9,20 +9,49 @@
 #pragma once
 
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "bgp/router.hpp"
 #include "bgp/topology.hpp"
 #include "snapshot/coordinator.hpp"
+#include "snapshot/prepared.hpp"
 #include "snapshot/store.hpp"
 
 namespace dice::core {
 
+/// Blueprint-derived immutables computed once and shared by every System
+/// instance of that blueprint: the live system, every legacy clone, and
+/// every clone-arena System. Building ~32 clones per episode used to redo
+/// this work (address book, membership set) 32 times.
+class SystemPrototype {
+ public:
+  explicit SystemPrototype(bgp::SystemBlueprint blueprint);
+
+  [[nodiscard]] const bgp::SystemBlueprint& blueprint() const noexcept {
+    return blueprint_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return blueprint_.size(); }
+  [[nodiscard]] const std::shared_ptr<const std::map<util::IpAddress, sim::NodeId>>&
+  address_book() const noexcept {
+    return address_book_;
+  }
+  [[nodiscard]] const std::set<sim::NodeId>& members() const noexcept { return members_; }
+
+ private:
+  bgp::SystemBlueprint blueprint_;
+  std::shared_ptr<const std::map<util::IpAddress, sim::NodeId>> address_book_;
+  std::set<sim::NodeId> members_;
+};
+
 class System {
  public:
   /// Builds a live system: routers attached, links connected, sessions
-  /// NOT yet started (call start()).
+  /// NOT yet started (call start()). The blueprint overload derives a
+  /// private prototype; the shared-prototype overload is the cheap path
+  /// (clone arenas construct many Systems from one prototype).
   explicit System(bgp::SystemBlueprint blueprint);
+  explicit System(std::shared_ptr<const SystemPrototype> prototype);
   ~System();
   System(const System&) = delete;
   System& operator=(const System&) = delete;
@@ -36,13 +65,43 @@ class System {
   bool converge(std::size_t max_events = 2'000'000,
                 sim::Time max_time = 3600 * sim::kSecond);
 
+  struct ConvergeOutcome {
+    bool quiesced = false;
+    bool oscillation_exit = false;  ///< stopped early: a prefix hit the flip limit
+  };
+  /// converge() with an optional oscillation early-exit: when
+  /// `flip_exit_threshold` > 0, the run stops as soon as any router's
+  /// per-prefix best-route flip count reaches it (polled every few hundred
+  /// events, deterministically). The oscillation evidence is already
+  /// conclusive at that point — burning the rest of the event budget on a
+  /// dispute wheel proves nothing more. Threshold 0 reproduces converge()
+  /// exactly.
+  [[nodiscard]] ConvergeOutcome converge_bounded(std::size_t max_events,
+                                                 sim::Time max_time,
+                                                 std::uint32_t flip_exit_threshold = 0);
+
   /// Takes a consistent snapshot with `initiator` running the marker
   /// protocol; drives the simulation until the snapshot completes.
   /// Returns the snapshot id, or 0 on failure (e.g. partitioned system).
   [[nodiscard]] snapshot::SnapshotId take_snapshot(sim::NodeId initiator);
 
+  /// Decode-once: parses every checkpoint of stored snapshot `id` into a
+  /// PreparedSnapshot, publishes it through the store (shared_ptr), and
+  /// returns it. Idempotent — a second call returns the published form.
+  /// nullptr when the snapshot is unknown or malformed.
+  [[nodiscard]] std::shared_ptr<const snapshot::PreparedSnapshot> prepare_snapshot(
+      snapshot::SnapshotId id);
+
+  /// Re-seeds THIS instance from pre-decoded state: rewinds simulator and
+  /// channels, resets every router, applies the typed checkpoints and
+  /// re-injects the prepared frame schedule. No byte decoding, no
+  /// construction — the restore-many half of decode-once/restore-many.
+  /// The result is bit-identical to a fresh clone_from of the same cut.
+  [[nodiscard]] util::Status reset_from(const snapshot::PreparedSnapshot& prepared);
+
   /// Builds a clone of `snapshot` (same blueprint, restored state,
-  /// re-injected in-flight frames) as a fresh isolated System.
+  /// re-injected in-flight frames) as a fresh isolated System — the legacy
+  /// decode-per-clone path, kept as the equivalence baseline.
   [[nodiscard]] static std::unique_ptr<System> clone_from(
       const bgp::SystemBlueprint& blueprint, const snapshot::Snapshot& snap);
 
@@ -55,7 +114,12 @@ class System {
   [[nodiscard]] const bgp::BgpRouter& router(sim::NodeId id) const { return *routers_.at(id); }
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
   [[nodiscard]] sim::Network& network() noexcept { return net_; }
-  [[nodiscard]] const bgp::SystemBlueprint& blueprint() const noexcept { return blueprint_; }
+  [[nodiscard]] const bgp::SystemBlueprint& blueprint() const noexcept {
+    return prototype_->blueprint();
+  }
+  [[nodiscard]] const std::shared_ptr<const SystemPrototype>& prototype() const noexcept {
+    return prototype_;
+  }
   [[nodiscard]] snapshot::SnapshotStore& snapshots() noexcept { return store_; }
 
   /// Sum of all routers' Loc-RIB sizes (progress metric for benches).
@@ -66,7 +130,7 @@ class System {
   [[nodiscard]] std::map<sim::NodeId, bgp::Asn> node_asns() const;
 
  private:
-  bgp::SystemBlueprint blueprint_;
+  std::shared_ptr<const SystemPrototype> prototype_;
   sim::Simulator sim_;
   sim::Network net_;
   snapshot::SnapshotStore store_;

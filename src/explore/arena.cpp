@@ -1,0 +1,25 @@
+#include "explore/arena.hpp"
+
+namespace dice::explore {
+
+core::System* CloneArena::acquire(
+    const std::shared_ptr<const core::SystemPrototype>& prototype,
+    const snapshot::PreparedSnapshot& prepared, bool& reused) {
+  ++stats_.acquires;
+  if (system_ == nullptr || prototype_.get() != prototype.get()) {
+    prototype_ = prototype;
+    system_ = std::make_unique<core::System>(prototype);
+    ++stats_.rebuilds;
+    reused = false;
+  } else {
+    ++stats_.reuses;
+    reused = true;
+  }
+  if (auto status = system_->reset_from(prepared); !status) {
+    clear();
+    return nullptr;
+  }
+  return system_.get();
+}
+
+}  // namespace dice::explore

@@ -1,0 +1,55 @@
+// CloneArena: one reusable shadow System per worker.
+//
+// The legacy clone path paid O(construct + decode) for every CloneTask:
+// build a full System from the blueprint, then re-parse every node
+// checkpoint from raw bytes. With PreparedSnapshot the decode happens once
+// per snapshot; the arena removes the construction too — each worker keeps
+// a single System alive and System::reset_from re-seeds it between tasks
+// (and, in ScenarioMatrix, between cells that share a SystemPrototype).
+//
+// Thread-safety: none by design. An arena belongs to exactly one worker at
+// a time — ExplorePool owns one per worker thread, the orchestrator's
+// serial path owns its own, and ScenarioMatrix hands pool arenas to the
+// cell bodies running on those same workers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "dice/system.hpp"
+
+namespace dice::explore {
+
+class CloneArena {
+ public:
+  struct Stats {
+    std::uint64_t acquires = 0;
+    std::uint64_t reuses = 0;   ///< acquires served without constructing a System
+    std::uint64_t rebuilds = 0; ///< constructions (first use or prototype switch)
+  };
+
+  /// Returns the arena's System reset to `prepared`'s state, constructing
+  /// one first when the arena is empty or was last used with a different
+  /// prototype (ScenarioMatrix reuses arenas across cells; same prototype
+  /// pointer = reusable). `reused` reports which path was taken. Returns
+  /// nullptr when the reset fails — the arena drops its (possibly half-
+  /// seeded) System so the next acquire rebuilds from scratch.
+  [[nodiscard]] core::System* acquire(
+      const std::shared_ptr<const core::SystemPrototype>& prototype,
+      const snapshot::PreparedSnapshot& prepared, bool& reused);
+
+  /// Drops the held System (tests; memory pressure between soaks).
+  void clear() noexcept {
+    system_.reset();
+    prototype_.reset();
+  }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  std::shared_ptr<const core::SystemPrototype> prototype_;
+  std::unique_ptr<core::System> system_;
+  Stats stats_;
+};
+
+}  // namespace dice::explore

@@ -91,6 +91,15 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool) {
   result.cells.resize(cells.size());
   const ExplorePool::Stats pool_before = pool.stats();
 
+  // One SystemPrototype per scenario, shared by every cell of that
+  // scenario: a worker's clone arena recognizes the shared prototype and
+  // keeps its System across cells instead of rebuilding it per cell.
+  std::vector<std::shared_ptr<const core::SystemPrototype>> prototypes;
+  prototypes.reserve(scenarios_.size());
+  for (const ScenarioSpec& spec : scenarios_) {
+    prototypes.push_back(std::make_shared<const core::SystemPrototype>(spec.blueprint));
+  }
+
   // One shared cache maximizes cross-cell reuse; per-cell caches keep every
   // cell's solving history independent of scheduling.
   SolverCache shared_cache;
@@ -105,7 +114,7 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool) {
   // scenarios is two distinct findings.
   FaultLedger ledger;
 
-  pool.run_batch(cells.size(), [&](std::size_t index, std::size_t) {
+  pool.run_batch(cells.size(), [&](std::size_t index, std::size_t worker) {
     const Cell& cell = cells[index];
     const ScenarioSpec& spec = scenarios_[cell.scenario];
     CellResult& out = result.cells[index];
@@ -120,7 +129,9 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool) {
     // strategy stream distinct from every other cell's, even when cells
     // share the same matrix seed.
     dice.rng_seed = util::Rng(cell.seed).fork(2 * index).next();
-    core::Orchestrator orchestrator(spec.blueprint, dice);
+    // The cell runs its clones serially on this worker's arena; the shared
+    // per-scenario prototype lets the arena's System survive across cells.
+    core::Orchestrator orchestrator(prototypes[cell.scenario], dice, &pool.arena(worker));
     out.bootstrap_converged = orchestrator.bootstrap(options_.bootstrap_events);
 
     // Every cell derives its own independent deterministic stream: the

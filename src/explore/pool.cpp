@@ -17,12 +17,26 @@ using Clock = std::chrono::steady_clock;
 
 }  // namespace
 
-CloneOutcome run_clone_task(const CloneTask& task, const CheckFn& check) {
+CloneOutcome run_clone_task(const CloneTask& task, const CheckFn& check, CloneArena* arena) {
   CloneOutcome outcome;
   const auto clone_start = Clock::now();
-  std::unique_ptr<core::System> clone = core::System::clone_from(*task.blueprint, *task.snap);
+  // Prepared path: reset the worker's arena System from pre-decoded state.
+  // Legacy path: construct a System and re-decode the snapshot bytes.
+  std::unique_ptr<core::System> owned;
+  core::System* clone = nullptr;
+  if (arena != nullptr && task.prepared != nullptr && task.prototype != nullptr) {
+    clone = arena->acquire(task.prototype, *task.prepared, outcome.reused);
+  }
+  if (clone == nullptr && task.blueprint != nullptr && task.snap != nullptr) {
+    // Legacy decode-per-clone path: no arena/prepared state, or the arena
+    // reset failed — the task must still run (a dropped clone is a lost
+    // fault, not just lost throughput).
+    outcome.reused = false;
+    owned = core::System::clone_from(*task.blueprint, *task.snap);
+    clone = owned.get();
+  }
   outcome.clone_ms = ms_since(clone_start);
-  if (!clone) return outcome;
+  if (clone == nullptr) return outcome;
   outcome.ran = true;
   // Flip counters restart per clone: oscillation evidence must come from
   // this clone's own convergence, not inherited live-system churn.
@@ -35,7 +49,10 @@ CloneOutcome run_clone_task(const CloneTask& task, const CheckFn& check) {
     clone->inject_message(task.inject_from, task.explorer,
                           bgp::wrap_update_body(task.input));
   }
-  outcome.quiesced = clone->converge(task.event_budget, task.time_budget);
+  const core::System::ConvergeOutcome converged = clone->converge_bounded(
+      task.event_budget, task.time_budget, task.oscillation_exit_flips);
+  outcome.quiesced = converged.quiesced;
+  outcome.early_exit = converged.oscillation_exit;
   outcome.explore_ms = ms_since(explore_start);
 
   const auto check_start = Clock::now();
@@ -49,6 +66,7 @@ ExplorePool::ExplorePool(std::size_t workers) : workers_(std::max<std::size_t>(w
   for (std::size_t i = 0; i < workers_; ++i) {
     deques_.push_back(std::make_unique<WorkerDeque>());
   }
+  arenas_ = std::vector<CloneArena>(workers_);
   if (workers_ <= 1) return;  // threadless compatibility path
   threads_.reserve(workers_);
   for (std::size_t i = 0; i < workers_; ++i) {
@@ -169,8 +187,8 @@ void ExplorePool::run_batch(std::size_t count,
 std::vector<CloneOutcome> ExplorePool::explore(const std::vector<CloneTask>& tasks,
                                                const CheckFn& check) {
   std::vector<CloneOutcome> outcomes(tasks.size());
-  run_batch(tasks.size(), [&](std::size_t index, std::size_t) {
-    outcomes[index] = run_clone_task(tasks[index], check);
+  run_batch(tasks.size(), [&](std::size_t index, std::size_t worker) {
+    outcomes[index] = run_clone_task(tasks[index], check, &arena(worker));
   });
   return outcomes;
 }

@@ -27,6 +27,7 @@
 
 #include "dice/report.hpp"
 #include "dice/system.hpp"
+#include "explore/arena.hpp"
 #include "util/rng.hpp"
 
 namespace dice::explore {
@@ -38,6 +39,13 @@ struct CloneTask {
   std::size_t index = 0;
   const bgp::SystemBlueprint* blueprint = nullptr;
   const snapshot::Snapshot* snap = nullptr;  ///< immutable, shared by all workers
+  /// Decode-once state (+ the prototype to build arena Systems from). When
+  /// both are set and the executing worker has an arena, the clone is an
+  /// arena reset instead of a construct+re-decode; results are
+  /// bit-identical either way. Shared_ptrs: a task in flight keeps the
+  /// prepared state alive even if the store trims it mid-batch.
+  std::shared_ptr<const core::SystemPrototype> prototype;
+  std::shared_ptr<const snapshot::PreparedSnapshot> prepared;
   util::Bytes input;                         ///< UPDATE body; empty for the baseline clone
   bool baseline = false;                     ///< no-input clone checking current state
   sim::NodeId explorer = sim::kInvalidNode;
@@ -51,6 +59,10 @@ struct CloneTask {
   util::Rng rng;
   std::size_t event_budget = 200'000;
   sim::Time time_budget = 120 * sim::kSecond;
+  /// When > 0: stop the clone run as soon as any prefix's best-route flip
+  /// count reaches this (DiceOptions::oscillation_early_exit). 0 = run the
+  /// full event budget.
+  std::uint32_t oscillation_exit_flips = 0;
 };
 
 /// What one clone run produced. Faults are raw (pre-deduplication); the
@@ -58,6 +70,8 @@ struct CloneTask {
 struct CloneOutcome {
   bool ran = false;       ///< clone reconstruction succeeded
   bool quiesced = false;  ///< converged within budgets
+  bool reused = false;    ///< served by an arena reset (no System construction)
+  bool early_exit = false;  ///< terminated by the oscillation early-exit
   std::vector<core::FaultReport> faults;
   double clone_ms = 0.0;
   double explore_ms = 0.0;
@@ -71,8 +85,10 @@ using CheckFn = std::function<std::vector<core::FaultReport>(
 
 /// Executes one CloneTask end to end (clone -> inject -> converge -> check).
 /// Pure with respect to shared state: reads the immutable snapshot and
-/// blueprint, owns everything else. Safe to call from any worker.
-[[nodiscard]] CloneOutcome run_clone_task(const CloneTask& task, const CheckFn& check);
+/// blueprint, owns everything else (the arena, when given, must belong to
+/// the calling worker). Safe to call from any worker.
+[[nodiscard]] CloneOutcome run_clone_task(const CloneTask& task, const CheckFn& check,
+                                          CloneArena* arena = nullptr);
 
 class ExplorePool {
  public:
@@ -95,9 +111,15 @@ class ExplorePool {
                  const std::function<void(std::size_t task, std::size_t worker)>& fn);
 
   /// Typed convenience: executes every CloneTask and returns outcomes in
-  /// task-index order (scheduling-independent).
+  /// task-index order (scheduling-independent). Tasks carrying prepared
+  /// state run on the executing worker's clone arena.
   [[nodiscard]] std::vector<CloneOutcome> explore(const std::vector<CloneTask>& tasks,
                                                   const CheckFn& check);
+
+  /// The worker's private clone arena. Only the worker executing a task may
+  /// touch its own arena during run_batch; between batches the caller may
+  /// inspect stats or clear them.
+  [[nodiscard]] CloneArena& arena(std::size_t worker) noexcept { return arenas_[worker]; }
 
   struct Stats {
     std::uint64_t batches = 0;
@@ -119,6 +141,7 @@ class ExplorePool {
 
   std::size_t workers_ = 1;
   std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  std::vector<CloneArena> arenas_;  ///< one per worker, touched only by its owner
   std::vector<std::thread> threads_;
 
   std::mutex batch_mutex_;

@@ -113,6 +113,19 @@ void Network::set_link_up(NodeId a, NodeId b, bool up) {
   }
 }
 
+void Network::reset_dynamic() {
+  for (auto& [key, ch] : channels_) {
+    ch.queue.clear();
+    ch.last_delivery = 0;
+    ch.state.up = true;
+    ch.state.delivered = 0;
+    ch.state.dropped = 0;
+  }
+  next_flight_id_ = 1;
+  total_sent_ = 0;
+  total_delivered_ = 0;
+}
+
 std::vector<Frame> Network::in_flight(NodeId from, NodeId to) const {
   std::vector<Frame> out;
   if (const Channel* ch = channel(from, to)) {

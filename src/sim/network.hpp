@@ -73,6 +73,12 @@ class Network {
   /// when a link goes down are lost (connection reset semantics).
   void set_link_up(NodeId a, NodeId b, bool up);
 
+  /// Returns every channel to its just-connected state (queues flushed,
+  /// links up, counters zeroed) while keeping the topology and attached
+  /// nodes — the clone-arena reuse hook. Callers must reset the simulator
+  /// in the same breath, or stale delivery events would fire.
+  void reset_dynamic();
+
   /// In-flight frames currently queued on the directed channel from->to,
   /// oldest first. Used by snapshot cloning to reconstruct channel state.
   [[nodiscard]] std::vector<Frame> in_flight(NodeId from, NodeId to) const;

@@ -41,6 +41,14 @@ std::size_t Simulator::run_until(Time deadline) {
   return count;
 }
 
+void Simulator::reset() {
+  queue_ = {};
+  now_ = 0;
+  next_seq_ = 0;
+  executed_ = 0;
+  foreground_pending_ = 0;
+}
+
 bool Simulator::run_until_quiescent(std::size_t max_events, Time max_time) {
   std::size_t count = 0;
   while (foreground_pending_ > 0) {

@@ -63,6 +63,11 @@ class Simulator {
   bool run_until_quiescent(std::size_t max_events = 2'000'000,
                            Time max_time = 24ULL * 3600 * kSecond);
 
+  /// Drops every pending event and rewinds the clock to zero — the clone-
+  /// arena reuse hook. Outstanding TimerHandles become inert (their events
+  /// are gone; cancelling them later is harmless).
+  void reset();
+
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
   [[nodiscard]] std::size_t pending_foreground() const noexcept { return foreground_pending_; }

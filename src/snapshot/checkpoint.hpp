@@ -5,11 +5,21 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "util/bytes.hpp"
 #include "util/result.hpp"
 
 namespace dice::snapshot {
+
+/// Typed, immutable result of decoding a checkpoint once. Concrete
+/// subclasses live with the protocol (bgp::RouterCheckpoint); the snapshot
+/// layer only needs an opaque, shareable handle so one decode can feed many
+/// clones (PreparedSnapshot holds these via shared_ptr<const>).
+class DecodedCheckpoint {
+ public:
+  virtual ~DecodedCheckpoint() = default;
+};
 
 class Checkpointable {
  public:
@@ -18,9 +28,20 @@ class Checkpointable {
   /// Serializes dynamic state (RIBs, session FSM states, counters).
   virtual void checkpoint(util::ByteWriter& writer) const = 0;
 
-  /// Restores state previously produced by checkpoint(). Implementations
-  /// must re-arm any timers implied by the restored state.
-  [[nodiscard]] virtual util::Status restore(util::ByteReader& reader) = 0;
+  /// Decodes bytes produced by checkpoint() into typed, immutable state.
+  /// Const and side-effect free: the result is shareable across any number
+  /// of clones (decode once, apply many).
+  [[nodiscard]] virtual util::Result<std::shared_ptr<const DecodedCheckpoint>> parse(
+      util::ByteReader& reader) const = 0;
+
+  /// Applies previously parsed state to this instance — the cheap half of
+  /// restore (no byte decoding). Implementations must re-arm any timers
+  /// implied by the applied state.
+  [[nodiscard]] virtual util::Status apply(const DecodedCheckpoint& state) = 0;
+
+  /// One-shot restore (parse + apply). Kept for callers that only restore
+  /// a checkpoint once and have no reason to share the decoded form.
+  [[nodiscard]] virtual util::Status restore(util::ByteReader& reader);
 
   /// Content hash of the checkpointed state; clones must reproduce it.
   [[nodiscard]] virtual std::uint64_t state_hash() const;

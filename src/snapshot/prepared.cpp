@@ -1,0 +1,35 @@
+#include "snapshot/prepared.hpp"
+
+namespace dice::snapshot {
+
+util::Result<std::shared_ptr<const PreparedSnapshot>> PreparedSnapshot::build(
+    const Snapshot& snap, const NodeResolver& resolver) {
+  std::shared_ptr<PreparedSnapshot> prepared(new PreparedSnapshot());
+  prepared->id_ = snap.id;
+  prepared->taken_at_ = snap.taken_at;
+  prepared->cut_hash_ = snap.cut_hash();
+  prepared->state_bytes_ = snap.total_state_bytes();
+
+  for (const auto& [node, checkpoint] : snap.nodes) {
+    const Checkpointable* target = resolver(node);
+    if (target == nullptr) {
+      return util::make_error("prepared.unknown_node", std::to_string(node));
+    }
+    util::ByteReader reader(checkpoint.state);
+    auto decoded = target->parse(reader);
+    if (!decoded) return decoded.error();
+    prepared->nodes_.emplace(node,
+                             NodeState{std::move(decoded).take(), checkpoint.hash});
+  }
+
+  for (const auto& [key, payloads] : snap.channels) {
+    sim::Time offset = 0;
+    for (const util::Bytes& payload : payloads) {
+      prepared->schedule_.push_back(PreparedFrame{key.from, key.to, payload, offset});
+      offset += 1;  // one microsecond apart keeps per-channel ordering deterministic
+    }
+  }
+  return std::shared_ptr<const PreparedSnapshot>(std::move(prepared));
+}
+
+}  // namespace dice::snapshot

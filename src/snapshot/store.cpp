@@ -2,9 +2,16 @@
 
 #include <mutex>
 
+#include "snapshot/prepared.hpp"
 #include "util/hash.hpp"
 
 namespace dice::snapshot {
+
+util::Status Checkpointable::restore(util::ByteReader& reader) {
+  auto decoded = parse(reader);
+  if (!decoded) return decoded.error();
+  return apply(*decoded.value());
+}
 
 std::uint64_t Checkpointable::state_hash() const {
   util::ByteWriter writer;
@@ -58,11 +65,35 @@ std::size_t SnapshotStore::size() const {
 void SnapshotStore::erase(SnapshotId id) {
   const std::unique_lock lock(mutex_);
   snapshots_.erase(id);
+  prepared_.erase(id);
 }
 
 void SnapshotStore::trim(std::size_t keep) {
   const std::unique_lock lock(mutex_);
-  while (snapshots_.size() > keep) snapshots_.erase(snapshots_.begin());
+  while (snapshots_.size() > keep) {
+    prepared_.erase(snapshots_.begin()->first);
+    snapshots_.erase(snapshots_.begin());
+  }
+  // Prepared entries can outnumber raw ones only if the raw snapshot was
+  // erased first; apply the same bound to them directly.
+  while (prepared_.size() > keep) prepared_.erase(prepared_.begin());
+}
+
+void SnapshotStore::put_prepared(std::shared_ptr<const PreparedSnapshot> prepared) {
+  const SnapshotId id = prepared->id();
+  const std::unique_lock lock(mutex_);
+  prepared_.insert_or_assign(id, std::move(prepared));
+}
+
+std::shared_ptr<const PreparedSnapshot> SnapshotStore::find_prepared(SnapshotId id) const {
+  const std::shared_lock lock(mutex_);
+  auto it = prepared_.find(id);
+  return it == prepared_.end() ? nullptr : it->second;
+}
+
+std::size_t SnapshotStore::prepared_size() const {
+  const std::shared_lock lock(mutex_);
+  return prepared_.size();
 }
 
 }  // namespace dice::snapshot

@@ -37,6 +37,8 @@ struct Snapshot {
   [[nodiscard]] std::uint64_t cut_hash() const;
 };
 
+class PreparedSnapshot;
+
 /// Thread-safety: reads (find/size) take a shared lock; writes (put/erase/
 /// trim) take an exclusive lock. A found Snapshot* stays valid while other
 /// ids are inserted or erased (std::map node stability), which is exactly
@@ -44,6 +46,12 @@ struct Snapshot {
 /// immutable snapshot, then many workers clone from it concurrently.
 /// Callers must not erase/trim a snapshot while workers still hold its
 /// pointer — the orchestrator only trims between episodes.
+///
+/// Prepared snapshots (the decode-once form) are published as
+/// shared_ptr<const PreparedSnapshot>: find_prepared hands out a reference-
+/// counted handle, so trim/erase may drop the store's entry at any time —
+/// workers still holding the pointer keep the decoded state alive until
+/// their clone run finishes (no between-episodes ordering constraint).
 class SnapshotStore {
  public:
   /// Reserves a fresh snapshot id.
@@ -56,12 +64,19 @@ class SnapshotStore {
   [[nodiscard]] std::size_t size() const;
   void erase(SnapshotId id);
   /// Drops all but the most recent `keep` snapshots (bounded memory in
-  /// long-running online testing).
+  /// long-running online testing). Prepared entries are trimmed in step.
   void trim(std::size_t keep);
+
+  /// Publishes the decode-once form of `prepared->id()`.
+  void put_prepared(std::shared_ptr<const PreparedSnapshot> prepared);
+  /// nullptr when `id` has no prepared form (never built, or trimmed).
+  [[nodiscard]] std::shared_ptr<const PreparedSnapshot> find_prepared(SnapshotId id) const;
+  [[nodiscard]] std::size_t prepared_size() const;
 
  private:
   mutable std::shared_mutex mutex_;
   std::map<SnapshotId, Snapshot> snapshots_;
+  std::map<SnapshotId, std::shared_ptr<const PreparedSnapshot>> prepared_;
   std::atomic<SnapshotId> next_id_{1};
 };
 
