@@ -116,10 +116,6 @@ int main() {
                 kClones, legacy.us_per_clone, prepared_fresh.us_per_clone,
                 arena_reset.us_per_clone, prepare_us, legacy.decodes_per_clone,
                 arena_reset.decodes_per_clone, speedup);
-  std::printf("\n%s\n", json);
-  if (FILE* out = std::fopen("BENCH_clone_restore.json", "w")) {
-    std::fprintf(out, "%s\n", json);
-    std::fclose(out);
-  }
+  bench::emit_json("clone_restore", json);
   return 0;
 }

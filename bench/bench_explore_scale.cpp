@@ -123,13 +123,29 @@ int main() {
   }
   cells.print();
   std::printf(
-      "\nmatrix: %zu cells, %zu distinct faults, %.1f ms wall; pool steals=%llu\n",
+      "\nmatrix: %zu cells, %zu distinct faults, %.1f ms wall; pool steals=%llu; "
+      "live-state cache %llu miss / %llu hit\n",
       result.cells.size(), result.faults.size(), soak_ms,
-      static_cast<unsigned long long>(result.pool.steals));
+      static_cast<unsigned long long>(result.pool.steals),
+      static_cast<unsigned long long>(result.live_cache.misses),
+      static_cast<unsigned long long>(result.live_cache.hits));
   std::printf("solver cache: %llu hits / %llu misses (%llu entries, %llu models)\n",
               static_cast<unsigned long long>(result.solver_cache.hits),
               static_cast<unsigned long long>(result.solver_cache.misses),
               static_cast<unsigned long long>(result.solver_cache.entries),
               static_cast<unsigned long long>(result.solver_cache.sat_entries));
+
+  char json[512];
+  std::snprintf(json, sizeof(json),
+                "{\"bench\":\"explore_scale\",\"topology\":\"internet27\","
+                "\"episodes\":%zu,\"fault_set_hash\":\"%016llx\","
+                "\"fault_sets_identical\":%s,\"serial_wall_ms\":%.1f,"
+                "\"matrix_cells\":%zu,\"matrix_faults\":%zu,\"matrix_wall_ms\":%.1f,"
+                "\"live_cache_hits\":%llu}",
+                kEpisodes, static_cast<unsigned long long>(serial_hash),
+                identical ? "true" : "false", serial_ms, result.cells.size(),
+                result.faults.size(), soak_ms,
+                static_cast<unsigned long long>(result.live_cache.hits));
+  bench::emit_json("explore_scale", json);
   return identical ? 0 : 1;
 }

@@ -61,6 +61,18 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// The machine-readable receipt every harness emits: prints the JSON line
+/// to stdout and mirrors it to BENCH_<name>.json for the perf-trajectory
+/// records (CI and later sessions diff these files, not the tables).
+inline void emit_json(const std::string& name, const std::string& json) {
+  std::printf("\n%s\n", json.c_str());
+  const std::string path = "BENCH_" + name + ".json";
+  if (FILE* out = std::fopen(path.c_str(), "w")) {
+    std::fprintf(out, "%s\n", json.c_str());
+    std::fclose(out);
+  }
+}
+
 [[nodiscard]] inline std::string fmt(double value, int precision = 2) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);

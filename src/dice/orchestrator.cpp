@@ -1,8 +1,10 @@
 #include "dice/orchestrator.hpp"
 
+#include <cassert>
 #include <unordered_set>
 
 #include "explore/ledger.hpp"
+#include "explore/live_cache.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -43,13 +45,70 @@ explore::CloneArena* Orchestrator::arena_for(std::size_t worker) noexcept {
   return &serial_arena_;
 }
 
+std::uint32_t Orchestrator::bootstrap_flip_exit() const noexcept {
+  // Shared by bootstrap() and the cache key: a donated state is only valid
+  // for consumers converging under the SAME early-exit point.
+  return options_.bootstrap_early_exit ? options_.oscillation_threshold : 0;
+}
+
 bool Orchestrator::bootstrap(std::size_t max_events) {
   live_->start();
-  const bool quiesced = live_->converge(max_events);
-  logger().info() << "live system " << (quiesced ? "converged" : "did NOT converge") << " ("
+  // Route through converge_bounded: with bootstrap_early_exit a dispute-
+  // wheel live system stops at the (deterministic, event-count-polled)
+  // flip threshold instead of exhausting the whole bootstrap budget.
+  last_bootstrap_ =
+      live_->converge_bounded(max_events, 3600 * sim::kSecond, bootstrap_flip_exit());
+  bootstrap_from_cache_ = false;
+  logger().info() << "live system "
+                  << (last_bootstrap_.quiesced ? "converged" : "did NOT converge")
+                  << (last_bootstrap_.oscillation_exit ? " (oscillation early-exit)" : "")
+                  << " (" << live_->total_loc_rib_routes() << " routes, "
+                  << live_->established_sessions() << " sessions)";
+  return last_bootstrap_.quiesced;
+}
+
+bool Orchestrator::bootstrap_cached(explore::LiveStateCache& cache, std::uint64_t seed,
+                                    std::size_t max_events) {
+  const explore::LiveStateCache::Key key{prototype_, seed, max_events,
+                                         bootstrap_flip_exit()};
+  const explore::LiveStateCache::Lookup lookup =
+      cache.get_or_compute(key, [&]() -> std::shared_ptr<const snapshot::PreparedLiveState> {
+        if (!bootstrap(max_events)) {
+          // Only a quiescent state is exactly reproducible from a cut:
+          // restoring a churning system re-injects its in-flight frames on
+          // a fresh schedule — a different interleaving — and verdicts must
+          // stay scheduling-independent. Mark the key uncacheable; replays
+          // are cheap now that the early-exit governs bootstrap too.
+          return nullptr;
+        }
+        auto state = live_->capture_live_state();
+        if (state != nullptr) {
+          state->quiesced = last_bootstrap_.quiesced;
+          state->oscillation_exit = last_bootstrap_.oscillation_exit;
+        }
+        return state;
+      });
+  if (!lookup.hit) {
+    // This orchestrator ran the bootstrap itself (and, when it quiesced,
+    // donated the capture — the marker sweep left its router state intact).
+    return last_bootstrap_.quiesced;
+  }
+  if (lookup.state == nullptr) return bootstrap(max_events);  // uncacheable key
+  if (auto status = live_->resume_from(*lookup.state); !status) {
+    logger().warn() << "live-state resume failed (" << status.error().to_string()
+                    << "); bootstrapping fresh";
+    // A mid-apply failure leaves the instance half-seeded with foreign
+    // state; rebuild it so the fallback bootstrap starts from the same
+    // blank System a fresh cell would.
+    live_ = std::make_unique<System>(prototype_);
+    return bootstrap(max_events);
+  }
+  last_bootstrap_ = {lookup.state->quiesced, lookup.state->oscillation_exit};
+  bootstrap_from_cache_ = true;
+  logger().info() << "live system resumed from cached bootstrap ("
                   << live_->total_loc_rib_routes() << " routes, "
                   << live_->established_sessions() << " sessions)";
-  return quiesced;
+  return last_bootstrap_.quiesced;
 }
 
 sim::NodeId Orchestrator::next_explorer() {
@@ -198,8 +257,11 @@ EpisodeResult Orchestrator::run_episode(InputStrategy& strategy) {
   std::vector<explore::CloneOutcome> outcomes;
   const auto execute = [&](std::size_t index, std::size_t worker) {
     outcomes[index] = explore::run_clone_task(tasks[index], check, arena_for(worker));
+    // 32-bit priority bands: a task would need 2^32 faults to bleed into
+    // the next task's band (the old 16-bit band left only 65k headroom).
+    assert(outcomes[index].faults.size() < (std::uint64_t{1} << 32));
     ledger.record_all(std::move(outcomes[index].faults),
-                      static_cast<std::uint64_t>(index) << 16);
+                      static_cast<std::uint64_t>(index) << 32);
   };
 
   std::size_t executed = 0;

@@ -21,6 +21,10 @@
 #include "dice/system.hpp"
 #include "explore/pool.hpp"
 
+namespace dice::explore {
+class LiveStateCache;
+}  // namespace dice::explore
+
 namespace dice::core {
 
 struct DiceOptions {
@@ -54,6 +58,14 @@ struct DiceOptions {
   /// `oscillation_threshold`) instead of burning the full
   /// clone_event_budget — a ~10x soak-time cut on dispute-wheel cells.
   bool oscillation_early_exit = true;
+  /// The same early-exit for the LIVE system: Orchestrator::bootstrap
+  /// routes through converge_bounded, so a dispute-wheel live system stops
+  /// deterministically at the flip threshold instead of exhausting the
+  /// bootstrap event budget (it was the last path still burning the full
+  /// budget per ScenarioMatrix cell). Shares `oscillation_threshold`.
+  /// Exploration proceeds from the early-exit state exactly as it did from
+  /// the budget-exhausted one: both are non-quiescent oscillation evidence.
+  bool bootstrap_early_exit = true;
 };
 
 struct EpisodeResult {
@@ -85,10 +97,30 @@ class Orchestrator {
   Orchestrator(std::shared_ptr<const SystemPrototype> prototype, DiceOptions options = {},
                explore::CloneArena* external_arena = nullptr);
 
-  /// Starts the live system and converges it. Returns false when the live
-  /// system fails to quiesce (e.g. an active dispute wheel) — exploration
-  /// can still proceed from whatever state the budget left behind.
+  /// Starts the live system and converges it (through converge_bounded, so
+  /// `bootstrap_early_exit` can stop a dispute wheel at the flip threshold).
+  /// Returns false when the live system fails to quiesce (oscillation exit
+  /// or budget) — exploration can still proceed from the state left behind.
   bool bootstrap(std::size_t max_events = 2'000'000);
+
+  /// Cache-aware bootstrap for repeated (prototype, seed) live systems
+  /// (ScenarioMatrix cells). On the key's first use this orchestrator
+  /// bootstraps normally and — when the live system quiesced — donates a
+  /// PreparedLiveState capture to `cache`; concurrent same-key callers
+  /// block on the key's once-latch meanwhile. On a hit the live system is
+  /// resume_from'd in microseconds instead of replaying bootstrap. Keys
+  /// that resolved non-quiescent (uncacheable) replay bootstrap, which the
+  /// bootstrap early-exit keeps cheap. Fault sets are byte-identical to
+  /// per-cell fresh bootstraps either way.
+  bool bootstrap_cached(explore::LiveStateCache& cache, std::uint64_t seed,
+                        std::size_t max_events = 2'000'000);
+
+  /// How the last bootstrap ended (quiesced / oscillation early-exit).
+  [[nodiscard]] const System::ConvergeOutcome& last_bootstrap() const noexcept {
+    return last_bootstrap_;
+  }
+  /// Whether the last bootstrap was served by a LiveStateCache resume.
+  [[nodiscard]] bool bootstrap_from_cache() const noexcept { return bootstrap_from_cache_; }
 
   /// Runs one full explore-and-check episode with the given strategy.
   [[nodiscard]] EpisodeResult run_episode(InputStrategy& strategy);
@@ -123,12 +155,18 @@ class Orchestrator {
   /// externally provided one, else this orchestrator's serial arena.
   [[nodiscard]] explore::CloneArena* arena_for(std::size_t worker) noexcept;
 
+  /// The flip threshold bootstrap converges under (0 = early-exit off) —
+  /// one definition for both converge_bounded and the LiveStateCache key.
+  [[nodiscard]] std::uint32_t bootstrap_flip_exit() const noexcept;
+
   std::shared_ptr<const SystemPrototype> prototype_;
   DiceOptions options_;
   std::unique_ptr<System> live_;
   std::unique_ptr<explore::ExplorePool> pool_;  ///< created when parallelism > 1
   explore::CloneArena serial_arena_;
   explore::CloneArena* external_arena_ = nullptr;
+  System::ConvergeOutcome last_bootstrap_;
+  bool bootstrap_from_cache_ = false;
   sim::NodeId next_explorer_ = 0;
   std::uint64_t episode_counter_ = 0;
   std::vector<FaultReport> all_faults_;  ///< globally deduplicated

@@ -76,7 +76,12 @@ System::ConvergeOutcome System::converge_bounded(std::size_t max_events, sim::Ti
         }
       }
     }
-    if (!sim_.step()) break;
+    if (!sim_.step()) {
+      // Drained queue with foreground work still accounted: a bookkeeping
+      // mismatch must read as non-quiescence, never as convergence.
+      outcome.quiesced = sim_.pending_foreground() == 0;
+      return outcome;
+    }
     ++count;
   }
   outcome.quiesced = true;
@@ -122,12 +127,15 @@ std::shared_ptr<const snapshot::PreparedSnapshot> System::prepare_snapshot(
   return std::move(prepared).take();
 }
 
-util::Status System::reset_from(const snapshot::PreparedSnapshot& prepared) {
+util::Status System::reset_from(const snapshot::PreparedSnapshot& prepared,
+                                sim::Time resume_at) {
   // Rewind everything dynamic. The order mirrors fresh construction +
   // clone_from exactly (same simulator sequence numbers, same timer
   // scheduling order, same injection order), which is what makes an arena
-  // reset bit-identical to a freshly built clone.
+  // reset bit-identical to a freshly built clone. The clock fast-forwards
+  // before apply so re-armed session timers land relative to resume_at.
   sim_.reset();
+  sim_.fast_forward(resume_at);
   net_.reset_dynamic();
   coordinator_.reset();
   for (auto& router : routers_) router->reset_for_reuse();
@@ -147,6 +155,32 @@ util::Status System::reset_from(const snapshot::PreparedSnapshot& prepared) {
     net_.inject(scheduled.from, scheduled.to, std::move(frame), scheduled.offset);
   }
   return util::Status::success();
+}
+
+std::shared_ptr<snapshot::PreparedLiveState> System::capture_live_state(
+    sim::NodeId initiator) {
+  // Record the bootstrap's own event count before the marker sweep below
+  // adds to it — the receipt is "work a resumed cell skips", and resumed
+  // cells do not skip the sweep.
+  const std::uint64_t bootstrap_executed = sim_.executed();
+  const snapshot::SnapshotId id = take_snapshot(initiator);
+  if (id == 0) return nullptr;
+  auto prepared = prepare_snapshot(id);
+  // The capture cut is standalone: drop it from the live store so the
+  // caller's per-episode take_snapshot/trim lifecycle sees nothing extra.
+  // The shared_ptr keeps the decoded state alive for every cache holder.
+  store_.erase(id);
+  if (prepared == nullptr) return nullptr;
+  auto state = std::make_shared<snapshot::PreparedLiveState>();
+  state->snapshot = std::move(prepared);
+  state->resume_at = sim_.now();
+  state->bootstrap_executed = bootstrap_executed;
+  return state;
+}
+
+util::Status System::resume_from(const snapshot::PreparedLiveState& state) {
+  if (state.snapshot == nullptr) return util::make_error("system.resume.empty_state");
+  return reset_from(*state.snapshot, state.resume_at);
 }
 
 std::unique_ptr<System> System::clone_from(const bgp::SystemBlueprint& blueprint,

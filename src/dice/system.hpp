@@ -15,6 +15,7 @@
 #include "bgp/router.hpp"
 #include "bgp/topology.hpp"
 #include "snapshot/coordinator.hpp"
+#include "snapshot/live_state.hpp"
 #include "snapshot/prepared.hpp"
 #include "snapshot/store.hpp"
 
@@ -97,7 +98,27 @@ class System {
   /// re-injects the prepared frame schedule. No byte decoding, no
   /// construction — the restore-many half of decode-once/restore-many.
   /// The result is bit-identical to a fresh clone_from of the same cut.
-  [[nodiscard]] util::Status reset_from(const snapshot::PreparedSnapshot& prepared);
+  /// `resume_at` fast-forwards the rewound clock before any timer re-arms
+  /// (live-state resume); clones keep the default 0.
+  [[nodiscard]] util::Status reset_from(const snapshot::PreparedSnapshot& prepared,
+                                        sim::Time resume_at = 0);
+
+  /// Captures this (converged, live) system's state as the cacheable
+  /// bootstrap artifact: takes a consistent snapshot, prepares it
+  /// (decode-once) and wraps it with the simulator resume point. The raw
+  /// snapshot is erased from the store again — the capture is standalone
+  /// and must not perturb the per-episode snapshot lifecycle. Marker
+  /// frames sweep the system but leave every router's protocol state
+  /// untouched, so the caller's own episodes are unaffected. nullptr when
+  /// the snapshot cannot complete (partition) or fails to prepare.
+  [[nodiscard]] std::shared_ptr<snapshot::PreparedLiveState> capture_live_state(
+      sim::NodeId initiator = 0);
+
+  /// Re-seeds THIS instance as a *live* system from a captured bootstrap
+  /// state: reset_from the embedded cut, with the clock resumed at the
+  /// donor's bootstrap end. Valid on a freshly constructed (never started)
+  /// System — the LiveStateCache fast path that replaces start()+converge.
+  [[nodiscard]] util::Status resume_from(const snapshot::PreparedLiveState& state);
 
   /// Builds a clone of `snapshot` (same blueprint, restored state,
   /// re-injected in-flight frames) as a fresh isolated System — the legacy

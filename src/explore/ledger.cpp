@@ -11,25 +11,30 @@ FaultLedger::FaultLedger(std::size_t shards) {
   }
 }
 
-bool FaultLedger::record(core::FaultReport report, std::uint64_t priority,
-                         std::uint64_t key_salt) {
-  const std::uint64_t key = core::fault_key(report) ^ (key_salt * 0x9e3779b97f4a7c15ULL);
+template <typename Report>
+bool FaultLedger::insert(std::uint64_t key, std::uint64_t priority, Report&& report) {
   Shard& shard = shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
-    shard.entries.emplace(key, Entry{std::move(report), priority});
+    shard.entries.emplace(key, Entry{std::forward<Report>(report), priority});
     return true;
   }
   if (priority < it->second.priority) {
     // A lower-priority (earlier in serial order) duplicate replaces the
     // incumbent so the surviving evidence is scheduling-independent.
-    it->second = Entry{std::move(report), priority};
+    it->second = Entry{std::forward<Report>(report), priority};
   }
   return false;
 }
 
-std::size_t FaultLedger::record_all(std::vector<core::FaultReport> reports,
+bool FaultLedger::record(core::FaultReport report, std::uint64_t priority,
+                         std::uint64_t key_salt) {
+  const std::uint64_t key = salted_fault_key(core::fault_key(report), key_salt);
+  return insert(key, priority, std::move(report));
+}
+
+std::size_t FaultLedger::record_all(std::vector<core::FaultReport>&& reports,
                                     std::uint64_t base_priority, std::uint64_t key_salt) {
   std::size_t fresh = 0;
   for (std::size_t i = 0; i < reports.size(); ++i) {
@@ -38,8 +43,19 @@ std::size_t FaultLedger::record_all(std::vector<core::FaultReport> reports,
   return fresh;
 }
 
+std::size_t FaultLedger::record_all(const std::vector<core::FaultReport>& reports,
+                                    std::uint64_t base_priority, std::uint64_t key_salt) {
+  // Copy-on-land: duplicates (the common case in long soaks) never copy.
+  std::size_t fresh = 0;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const std::uint64_t key = salted_fault_key(core::fault_key(reports[i]), key_salt);
+    if (insert(key, base_priority + i, reports[i])) ++fresh;
+  }
+  return fresh;
+}
+
 bool FaultLedger::contains(std::uint64_t fault_key, std::uint64_t key_salt) const {
-  const std::uint64_t key = fault_key ^ (key_salt * 0x9e3779b97f4a7c15ULL);
+  const std::uint64_t key = salted_fault_key(fault_key, key_salt);
   const Shard& shard = shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.mutex);
   return shard.entries.contains(key);

@@ -20,8 +20,20 @@
 #include <vector>
 
 #include "dice/report.hpp"
+#include "util/hash.hpp"
 
 namespace dice::explore {
+
+/// Mixes `key_salt` into a fault key non-linearly (splitmix64 finalizers
+/// over both words). The previous `key ^ (salt * golden)` mixing was linear
+/// in XOR: any two cells' salt difference mapped a fixed XOR mask over the
+/// whole key space, so distinct (fault, cell) pairs could collide and
+/// silently merge two findings into one. Exposed for the collision
+/// regression test.
+[[nodiscard]] constexpr std::uint64_t salted_fault_key(std::uint64_t key,
+                                                       std::uint64_t salt) noexcept {
+  return util::hash_finalize(key + util::hash_finalize(salt + 0x9e3779b97f4a7c15ULL));
+}
 
 class FaultLedger {
  public:
@@ -34,9 +46,14 @@ class FaultLedger {
   bool record(core::FaultReport report, std::uint64_t priority, std::uint64_t key_salt = 0);
 
   /// Records a clone run's faults with priorities base, base+1, ...
-  /// Returns how many keys were new.
-  std::size_t record_all(std::vector<core::FaultReport> reports, std::uint64_t base_priority,
-                         std::uint64_t key_salt = 0);
+  /// Returns how many keys were new. The rvalue form consumes the reports;
+  /// the lvalue form leaves the caller's vector intact and copies a report
+  /// only when it actually lands in the ledger (duplicates — the common
+  /// case in long soaks — never copy).
+  std::size_t record_all(std::vector<core::FaultReport>&& reports,
+                         std::uint64_t base_priority, std::uint64_t key_salt = 0);
+  std::size_t record_all(const std::vector<core::FaultReport>& reports,
+                         std::uint64_t base_priority, std::uint64_t key_salt = 0);
 
   /// Whether `fault_key` was recorded under the same `key_salt`.
   [[nodiscard]] bool contains(std::uint64_t fault_key, std::uint64_t key_salt = 0) const;
@@ -61,6 +78,13 @@ class FaultLedger {
   [[nodiscard]] Shard& shard_for(std::uint64_t key) const {
     return *shards_[key % shards_.size()];
   }
+
+  /// The one dedup-insert invariant both record paths share: emplace when
+  /// the key is absent, replace when strictly lower priority. `Report` is
+  /// a forwarding ref so the rvalue path moves and the lvalue path copies
+  /// — and only when the report actually lands.
+  template <typename Report>
+  bool insert(std::uint64_t key, std::uint64_t priority, Report&& report);
 
   std::vector<std::unique_ptr<Shard>> shards_;
 };

@@ -1,0 +1,66 @@
+#include "explore/live_cache.hpp"
+
+namespace dice::explore {
+
+LiveStateCache::Lookup LiveStateCache::get_or_compute(const Key& key,
+                                                      const Compute& compute) {
+  std::shared_ptr<Entry> entry;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_ptr<Entry>& slot = entries_[key];
+    if (slot == nullptr) slot = std::make_shared<Entry>();
+    entry = slot;
+  }
+  if (!entry->resolved.load(std::memory_order_acquire)) {
+    // The once-latch. Holding it across compute is the point: a second
+    // worker on the same key parks here for the duration of the first
+    // worker's bootstrap instead of duplicating it. The map lock is NOT
+    // held, so other keys proceed, and clear() may drop the map's entry
+    // while we wait — our shared_ptr keeps it alive.
+    const std::lock_guard<std::mutex> latch(entry->latch);
+    if (!entry->resolved.load(std::memory_order_relaxed)) {
+      entry->state = compute();
+      entry->resolved.store(true, std::memory_order_release);
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.misses;
+      if (entry->state == nullptr) ++stats_.uncacheable;
+      return Lookup{entry->state, false};
+    }
+  }
+  // Resolved entries are immutable: hits need no latch.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.hits;
+  if (entry->state == nullptr) ++stats_.uncacheable;
+  return Lookup{entry->state, true};
+}
+
+std::shared_ptr<const snapshot::PreparedLiveState> LiveStateCache::find(
+    const Key& key) const {
+  std::shared_ptr<Entry> entry;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return nullptr;
+    entry = it->second;
+  }
+  // Unresolved = a compute is in flight; report absent rather than block.
+  if (!entry->resolved.load(std::memory_order_acquire)) return nullptr;
+  return entry->state;
+}
+
+void LiveStateCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+std::size_t LiveStateCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+LiveStateCache::Stats LiveStateCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace dice::explore

@@ -1,0 +1,117 @@
+// LiveStateCache: bootstrap each (prototype, seed) live system ONCE.
+//
+// Every ScenarioMatrix cell used to replay its live system's bootstrap from
+// scratch — start() plus up to bootstrap_events of convergence — even when
+// another cell of the same (scenario, seed) had already converged the exact
+// same deterministic state. This cache closes that gap the same way the
+// clone pipeline's PreparedSnapshot closed the per-clone decode gap: the
+// first cell of a key converges, captures a PreparedLiveState (typed
+// checkpoints + frame schedule + simulator resume point), and publishes it;
+// every later cell System::resume_from's it in microseconds.
+//
+// Once-latch: each key owns a latch held for the duration of the first
+// caller's compute (the bootstrap + capture). Concurrent workers landing on
+// the same key BLOCK on the latch instead of duplicating the bootstrap,
+// then wake to the published state. Workers on different keys never
+// contend beyond the map lock.
+//
+// Lifetime: entries and states are shared_ptr-published, so trim/clear may
+// drop the cache's reference at any time — holders (including workers
+// still blocked on a latch) keep theirs alive until they are done,
+// mirroring the SnapshotStore prepared-entry contract.
+//
+// Uncacheable keys: a compute may return nullptr (non-quiescent bootstrap —
+// restoring a churning cut would re-order its in-flight frames, and
+// verdicts must be scheduling-independent). The null result is remembered
+// so later callers fall back to their own bootstrap immediately, outside
+// any latch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "snapshot/live_state.hpp"
+#include "util/hash.hpp"
+
+namespace dice::explore {
+
+class LiveStateCache {
+ public:
+  /// Cache identity: the shared SystemPrototype (pointer identity — the
+  /// matrix builds exactly one per scenario), the scenario seed, the
+  /// bootstrap budget (a different budget converges to a different state
+  /// on non-quiescing topologies), and the effective oscillation flip-exit
+  /// threshold (0 = exit disabled; a different threshold stops a churning
+  /// bootstrap at a different state). The key HOLDS the prototype: as long
+  /// as an entry lives, the address cannot be recycled by a later
+  /// prototype, so pointer identity stays sound even for a cache shared
+  /// across matrix lifetimes.
+  struct Key {
+    std::shared_ptr<const void> prototype;
+    std::uint64_t seed = 0;
+    std::size_t bootstrap_events = 0;
+    std::uint32_t flip_exit = 0;
+    [[nodiscard]] bool operator==(const Key& other) const noexcept {
+      return prototype.get() == other.prototype.get() && seed == other.seed &&
+             bootstrap_events == other.bootstrap_events && flip_exit == other.flip_exit;
+    }
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;         ///< served from a published state
+    std::uint64_t misses = 0;       ///< this caller ran the compute
+    std::uint64_t uncacheable = 0;  ///< lookups resolved to a null (non-quiescent) key
+  };
+
+  using Compute = std::function<std::shared_ptr<const snapshot::PreparedLiveState>()>;
+
+  struct Lookup {
+    std::shared_ptr<const snapshot::PreparedLiveState> state;  ///< null: uncacheable key
+    bool hit = false;  ///< true: resolved by an earlier compute (state may be null)
+  };
+
+  /// Returns the key's published state, invoking `compute` under the key's
+  /// once-latch when it has never resolved. Exactly one caller per key ever
+  /// computes; concurrent same-key callers block until it publishes.
+  [[nodiscard]] Lookup get_or_compute(const Key& key, const Compute& compute);
+
+  /// The published state, or nullptr when the key never resolved (or was
+  /// trimmed, or resolved uncacheable). Never blocks on a latch.
+  [[nodiscard]] std::shared_ptr<const snapshot::PreparedLiveState> find(const Key& key) const;
+
+  /// Drops every entry. Holders of returned states (and workers blocked on
+  /// a latch) are unaffected; the next lookup per key recomputes.
+  void clear();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Entry {
+    std::mutex latch;  ///< held by the first caller for the whole compute
+    /// Release-published after `state` is written; `state` never changes
+    /// again, so resolved readers take no latch (hits stay concurrent and
+    /// find() never confuses "being computed" with "mid-hit").
+    std::atomic<bool> resolved{false};
+    std::shared_ptr<const snapshot::PreparedLiveState> state;
+  };
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& key) const noexcept {
+      std::uint64_t h =
+          util::hash_finalize(reinterpret_cast<std::uintptr_t>(key.prototype.get()));
+      h = util::hash_finalize(h ^ key.seed);
+      h = util::hash_finalize(h ^ key.bootstrap_events);
+      return static_cast<std::size_t>(util::hash_finalize(h ^ key.flip_exit));
+    }
+  };
+
+  mutable std::mutex mutex_;  ///< guards the map and stats, never a compute
+  std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> entries_;
+  Stats stats_;
+};
+
+}  // namespace dice::explore

@@ -1,5 +1,6 @@
 #include "explore/matrix.hpp"
 
+#include <cassert>
 #include <chrono>
 #include <memory>
 
@@ -69,7 +70,16 @@ std::vector<ScenarioSpec> default_bench_scenarios() {
 }
 
 ScenarioMatrix::ScenarioMatrix(std::vector<ScenarioSpec> scenarios, MatrixOptions options)
-    : scenarios_(std::move(scenarios)), options_(std::move(options)) {}
+    : scenarios_(std::move(scenarios)), options_(std::move(options)) {
+  // One SystemPrototype per scenario for the MATRIX's lifetime (not per
+  // run): prototype identity is what lets worker arenas keep their System
+  // across cells and what keys the LiveStateCache — a shared cache serves
+  // repeat run() soaks only if the key survives between them.
+  prototypes_.reserve(scenarios_.size());
+  for (const ScenarioSpec& spec : scenarios_) {
+    prototypes_.push_back(std::make_shared<const core::SystemPrototype>(spec.blueprint));
+  }
+}
 
 MatrixResult ScenarioMatrix::run(ExplorePool& pool) {
   struct Cell {
@@ -91,15 +101,6 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool) {
   result.cells.resize(cells.size());
   const ExplorePool::Stats pool_before = pool.stats();
 
-  // One SystemPrototype per scenario, shared by every cell of that
-  // scenario: a worker's clone arena recognizes the shared prototype and
-  // keeps its System across cells instead of rebuilding it per cell.
-  std::vector<std::shared_ptr<const core::SystemPrototype>> prototypes;
-  prototypes.reserve(scenarios_.size());
-  for (const ScenarioSpec& spec : scenarios_) {
-    prototypes.push_back(std::make_shared<const core::SystemPrototype>(spec.blueprint));
-  }
-
   // One shared cache maximizes cross-cell reuse; per-cell caches keep every
   // cell's solving history independent of scheduling.
   SolverCache shared_cache;
@@ -113,6 +114,13 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool) {
   // finish. Keys are salted with the cell index: the same signature in two
   // scenarios is two distinct findings.
   FaultLedger ledger;
+
+  // Bootstrap-once: cells of the same (scenario, seed) share one converged
+  // live state through the cache (the first cell donates, the rest resume).
+  LiveStateCache private_cache;
+  LiveStateCache* live_cache =
+      options_.live_cache != nullptr ? options_.live_cache : &private_cache;
+  const LiveStateCache::Stats cache_before = live_cache->stats();
 
   pool.run_batch(cells.size(), [&](std::size_t index, std::size_t worker) {
     const Cell& cell = cells[index];
@@ -131,8 +139,16 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool) {
     dice.rng_seed = util::Rng(cell.seed).fork(2 * index).next();
     // The cell runs its clones serially on this worker's arena; the shared
     // per-scenario prototype lets the arena's System survive across cells.
-    core::Orchestrator orchestrator(prototypes[cell.scenario], dice, &pool.arena(worker));
-    out.bootstrap_converged = orchestrator.bootstrap(options_.bootstrap_events);
+    core::Orchestrator orchestrator(prototypes_[cell.scenario], dice, &pool.arena(worker));
+    if (options_.live_state_cache) {
+      out.bootstrap_converged = orchestrator.bootstrap_cached(
+          *live_cache, cell.seed, options_.bootstrap_events);
+      out.bootstrap_from_cache = orchestrator.bootstrap_from_cache();
+    } else {
+      out.bootstrap_converged = orchestrator.bootstrap(options_.bootstrap_events);
+    }
+    out.bootstrap_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
 
     // Every cell derives its own independent deterministic stream: the
     // strategy seed depends only on (seed, cell index), never on which
@@ -151,7 +167,12 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool) {
     }
     const std::vector<core::FaultReport>& faults = orchestrator.all_faults();
     out.faults = faults.size();
-    ledger.record_all(faults, static_cast<std::uint64_t>(index) << 20,
+    // 32-bit priority bands (was 20-bit: a cell recording 2^20 faults bled
+    // into the next cell's band and corrupted serial-order dedup). The
+    // const-ref record_all leaves the orchestrator's vector untouched and
+    // copies only reports that actually land in the ledger.
+    assert(faults.size() < (std::uint64_t{1} << 32));
+    ledger.record_all(faults, static_cast<std::uint64_t>(index) << 32,
                       /*key_salt=*/index + 1);
     out.wall_ms =
         std::chrono::duration<double, std::milli>(Clock::now() - start).count();
@@ -173,6 +194,10 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool) {
       result.solver_cache.sat_entries += stats.sat_entries;
     }
   }
+  const LiveStateCache::Stats cache_after = live_cache->stats();
+  result.live_cache.hits = cache_after.hits - cache_before.hits;
+  result.live_cache.misses = cache_after.misses - cache_before.misses;
+  result.live_cache.uncacheable = cache_after.uncacheable - cache_before.uncacheable;
   const ExplorePool::Stats pool_after = pool.stats();
   result.pool.batches = pool_after.batches - pool_before.batches;
   result.pool.tasks_run = pool_after.tasks_run - pool_before.tasks_run;

@@ -19,6 +19,7 @@
 #include "bgp/topology.hpp"
 #include "dice/orchestrator.hpp"
 #include "explore/ledger.hpp"
+#include "explore/live_cache.hpp"
 #include "explore/pool.hpp"
 #include "explore/solver_cache.hpp"
 
@@ -48,6 +49,15 @@ struct MatrixOptions {
   /// lets concurrent cells observe each other's (sound, verified) models;
   /// keep false when byte-stable repeat runs matter more than throughput.
   bool share_solver_cache = false;
+  /// Bootstrap each (scenario, seed) live system ONCE: the first cell of a
+  /// key converges and donates a PreparedLiveState; later cells resume
+  /// from it in microseconds (LiveStateCache). Fault sets are byte-
+  /// identical to per-cell fresh bootstraps — off is the equivalence
+  /// baseline, not a different verdict.
+  bool live_state_cache = true;
+  /// External cache to share across matrix runs (long soaks re-running the
+  /// same scenarios); nullptr = one private cache per run() call.
+  LiveStateCache* live_cache = nullptr;
 };
 
 struct CellResult {
@@ -55,10 +65,12 @@ struct CellResult {
   StrategyKind strategy = StrategyKind::kGrammar;
   std::uint64_t seed = 0;
   bool bootstrap_converged = false;
+  bool bootstrap_from_cache = false;  ///< served by a LiveStateCache resume
   std::size_t episodes = 0;
   std::size_t clones_run = 0;
   std::size_t inputs_subjected = 0;
-  std::size_t faults = 0;  ///< deduplicated within the cell
+  std::size_t faults = 0;    ///< deduplicated within the cell
+  double bootstrap_ms = 0.0; ///< live-system startup (fresh bootstrap or resume)
   double wall_ms = 0.0;
 };
 
@@ -66,6 +78,7 @@ struct MatrixResult {
   std::vector<CellResult> cells;            ///< cross-product order
   std::vector<core::FaultReport> faults;    ///< all cells, canonical cell order
   SolverCache::Stats solver_cache;          ///< aggregate over all cells
+  LiveStateCache::Stats live_cache;         ///< bootstrap-once cache traffic
   ExplorePool::Stats pool;                  ///< pool stats delta for this run
 };
 
@@ -84,6 +97,10 @@ class ScenarioMatrix {
  private:
   std::vector<ScenarioSpec> scenarios_;
   MatrixOptions options_;
+  /// One per scenario, for the matrix's lifetime: arena reuse across cells
+  /// and LiveStateCache keys both hang off prototype identity, including
+  /// across repeat run() calls on the same matrix.
+  std::vector<std::shared_ptr<const core::SystemPrototype>> prototypes_;
 };
 
 }  // namespace dice::explore

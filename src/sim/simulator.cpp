@@ -53,7 +53,13 @@ bool Simulator::run_until_quiescent(std::size_t max_events, Time max_time) {
   std::size_t count = 0;
   while (foreground_pending_ > 0) {
     if (count >= max_events || now_ > max_time) return false;
-    if (!step()) break;
+    if (!step()) {
+      // The queue drained (possibly of cancelled events only) — quiescence
+      // holds only if the foreground accounting drained with it. An empty
+      // queue with foreground work still accounted is a bookkeeping
+      // mismatch, not convergence.
+      return foreground_pending_ == 0;
+    }
     ++count;
   }
   return true;

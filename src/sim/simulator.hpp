@@ -68,6 +68,14 @@ class Simulator {
   /// are gone; cancelling them later is harmless).
   void reset();
 
+  /// Advances the clock to `at` without running anything (never rewinds).
+  /// Live-state resume hook: a System restored from a PreparedLiveState
+  /// re-arms its timers relative to the donor's bootstrap-end clock, so
+  /// later snapshot timestamps line up with a fresh bootstrap's.
+  void fast_forward(Time at) noexcept {
+    if (at > now_) now_ = at;
+  }
+
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
   [[nodiscard]] std::size_t pending_foreground() const noexcept { return foreground_pending_; }
@@ -88,11 +96,24 @@ class Simulator {
     }
   };
 
+  friend struct SimulatorTestPeer;
+
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t foreground_pending_ = 0;
+};
+
+/// Test-only backdoor: fabricates the foreground-accounting mismatch
+/// (pending_foreground() > 0 with an empty queue) that run_until_quiescent
+/// and System::converge_bounded must report as NON-quiescence. No public
+/// API can reach that state — cancelled events still decrement the counter
+/// when popped — so the regression tests need a seam.
+struct SimulatorTestPeer {
+  static void add_phantom_foreground(Simulator& sim, std::size_t n) noexcept {
+    sim.foreground_pending_ += n;
+  }
 };
 
 }  // namespace dice::sim

@@ -1,0 +1,380 @@
+// LiveStateCache + bootstrap-once equivalence: cells that resume a cached
+// live state must be indistinguishable — byte-identical fault sets — from
+// cells that replay bootstrap from scratch, at every worker count and on
+// both clone paths (prepared/arena and legacy clone_from). Plus the cache's
+// concurrency contracts: once-latch (one bootstrap per key, ever),
+// trim-while-held lifetimes, and uncacheable-key fallback.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "dice/orchestrator.hpp"
+#include "explore/live_cache.hpp"
+#include "explore/matrix.hpp"
+
+namespace dice::explore {
+namespace {
+
+using core::DiceOptions;
+using core::FaultReport;
+using core::Orchestrator;
+using core::System;
+using core::SystemPrototype;
+
+// ---------------------------------------------------------------------------
+// System-level capture/resume receipt
+// ---------------------------------------------------------------------------
+
+TEST(LiveStateCaptureTest, ResumedSystemMatchesDonorStateAndCutHash) {
+  auto prototype =
+      std::make_shared<const SystemPrototype>(bgp::make_internet({2, 3, 4}));
+  System donor(prototype);
+  donor.start();
+  ASSERT_TRUE(donor.converge());
+  const auto state = donor.capture_live_state(/*initiator=*/0);
+  ASSERT_NE(state, nullptr);
+  ASSERT_NE(state->snapshot, nullptr);
+  EXPECT_GT(state->resume_at, 0u);
+  EXPECT_GT(state->bootstrap_executed, 0u);
+  // The capture is standalone: its raw cut must not linger in the donor's
+  // store and perturb the per-episode snapshot lifecycle.
+  EXPECT_EQ(donor.snapshots().size(), 0u);
+
+  System resumed(prototype);  // never started — resume replaces bootstrap
+  ASSERT_TRUE(resumed.resume_from(*state).ok());
+  EXPECT_EQ(resumed.simulator().now(), state->resume_at);
+  EXPECT_EQ(resumed.total_loc_rib_routes(), donor.total_loc_rib_routes());
+  EXPECT_EQ(resumed.established_sessions(), donor.established_sessions());
+  for (std::size_t i = 0; i < donor.size(); ++i) {
+    const sim::NodeId node = static_cast<sim::NodeId>(i);
+    EXPECT_EQ(resumed.router(node).state_hash(), donor.router(node).state_hash())
+        << "node " << i;
+  }
+  // Going forward the two systems snapshot identically (what episode
+  // equivalence ultimately rests on).
+  const snapshot::SnapshotId donor_snap = donor.take_snapshot(1);
+  const snapshot::SnapshotId resumed_snap = resumed.take_snapshot(1);
+  ASSERT_NE(donor_snap, 0u);
+  ASSERT_NE(resumed_snap, 0u);
+  EXPECT_EQ(resumed.snapshots().find(resumed_snap)->cut_hash(),
+            donor.snapshots().find(donor_snap)->cut_hash());
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap oscillation early-exit (the live-system side of the clone exit)
+// ---------------------------------------------------------------------------
+
+TEST(BootstrapEarlyExitTest, DisputeWheelBootstrapStopsAtFlipThreshold) {
+  constexpr std::size_t kBudget = 200'000;
+  const auto boot = [&](bool early_exit) {
+    DiceOptions options;
+    options.bootstrap_early_exit = early_exit;
+    Orchestrator dice(bgp::make_bad_gadget(), options);
+    EXPECT_FALSE(dice.bootstrap(kBudget)) << "a dispute wheel must not quiesce";
+    return std::pair{dice.live().simulator().executed(), dice.last_bootstrap()};
+  };
+
+  const auto [fast_events, fast_outcome] = boot(/*early_exit=*/true);
+  EXPECT_TRUE(fast_outcome.oscillation_exit);
+  EXPECT_LT(fast_events, kBudget / 4)
+      << "oscillation evidence is conclusive long before the budget";
+
+  const auto [slow_events, slow_outcome] = boot(/*early_exit=*/false);
+  EXPECT_FALSE(slow_outcome.oscillation_exit);
+  EXPECT_GE(slow_events, static_cast<std::uint64_t>(kBudget))
+      << "without the exit, bootstrap burns the full event budget";
+  EXPECT_GT(slow_events, fast_events * 4);
+}
+
+// ---------------------------------------------------------------------------
+// Quiescence verdict hardening (System::converge_bounded)
+// ---------------------------------------------------------------------------
+
+TEST(ConvergeBoundedTest, EmptyQueueWithPendingForegroundIsNotQuiescence) {
+  // Regression: converge_bounded used to `break` when step() drained the
+  // queue and fall through to quiesced=true even with foreground work
+  // still accounted — a bookkeeping mismatch misreported as convergence
+  // (and, downstream, a missing non-quiescence fault). Both the early-exit
+  // and plain paths must report non-quiescence.
+  System plain(bgp::make_line(2));  // never started: queue genuinely empty
+  sim::SimulatorTestPeer::add_phantom_foreground(plain.simulator(), 1);
+  EXPECT_FALSE(plain.converge(/*max_events=*/1000));
+
+  System polled(bgp::make_line(2));
+  sim::SimulatorTestPeer::add_phantom_foreground(polled.simulator(), 1);
+  const System::ConvergeOutcome outcome =
+      polled.converge_bounded(/*max_events=*/1000, 3600 * sim::kSecond,
+                              /*flip_exit_threshold=*/8);
+  EXPECT_FALSE(outcome.quiesced);
+  EXPECT_FALSE(outcome.oscillation_exit);
+}
+
+// ---------------------------------------------------------------------------
+// LiveStateCache mechanics
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] LiveStateCache::Compute make_state(sim::Time resume_at) {
+  return [resume_at]() -> std::shared_ptr<const snapshot::PreparedLiveState> {
+    auto state = std::make_shared<snapshot::PreparedLiveState>();
+    state->resume_at = resume_at;
+    state->quiesced = true;
+    return state;
+  };
+}
+
+TEST(LiveStateCacheTest, OnceLatchComputesExactlyOncePerKey) {
+  LiveStateCache cache;
+  const auto anchor = std::make_shared<int>(0);
+  const LiveStateCache::Key key{anchor, 1, 100};
+  std::atomic<int> computes{0};
+  std::atomic<int> hits{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      const LiveStateCache::Lookup lookup = cache.get_or_compute(key, [&] {
+        ++computes;
+        // Make the race window wide: every other worker must PARK on the
+        // once-latch for the duration, not bootstrap its own copy.
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        return make_state(7)();
+      });
+      EXPECT_NE(lookup.state, nullptr);
+      EXPECT_EQ(lookup.state->resume_at, 7u);
+      if (lookup.hit) ++hits;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(hits.load(), 7);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 7u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LiveStateCacheTest, DistinctKeysResolveIndependently) {
+  LiveStateCache cache;
+  const auto anchor_a = std::make_shared<int>(0);
+  const auto anchor_b = std::make_shared<int>(0);
+  const LiveStateCache::Key base{anchor_a, 1, 100};
+  LiveStateCache::Key other_proto = base;
+  other_proto.prototype = anchor_b;
+  LiveStateCache::Key other_seed = base;
+  other_seed.seed = 2;
+  LiveStateCache::Key other_budget = base;
+  other_budget.bootstrap_events = 200;
+  LiveStateCache::Key other_flip_exit = base;
+  other_flip_exit.flip_exit = 8;
+  for (const auto& key :
+       {base, other_proto, other_seed, other_budget, other_flip_exit}) {
+    EXPECT_FALSE(cache.get_or_compute(key, make_state(1)).hit);
+  }
+  EXPECT_EQ(cache.size(), 5u);
+  EXPECT_TRUE(cache.get_or_compute(base, make_state(2)).hit);
+}
+
+TEST(LiveStateCacheTest, ClearWhileHeldKeepsStateAliveAndRecomputes) {
+  LiveStateCache cache;
+  const auto anchor = std::make_shared<int>(0);
+  const LiveStateCache::Key key{anchor, 1, 100};
+  const LiveStateCache::Lookup first = cache.get_or_compute(key, make_state(42));
+  ASSERT_NE(first.state, nullptr);
+  const std::shared_ptr<const snapshot::PreparedLiveState> held = first.state;
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find(key), nullptr);
+  // The holder's state outlives the trim (shared_ptr contract, mirroring
+  // SnapshotStore's prepared entries).
+  EXPECT_EQ(held->resume_at, 42u);
+  EXPECT_TRUE(held->quiesced);
+
+  const LiveStateCache::Lookup second = cache.get_or_compute(key, make_state(43));
+  EXPECT_FALSE(second.hit);
+  EXPECT_EQ(second.state->resume_at, 43u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(held->resume_at, 42u);  // old holders are never retargeted
+}
+
+TEST(LiveStateCacheTest, ConcurrentLookupsAndClearsAreSafe) {
+  // Sanitizer-targeted churn: readers hammer a small key space while a
+  // trimmer clears the cache underneath them. Correctness bar: every
+  // lookup yields a usable state and nothing races (TSan/ASan verdict).
+  LiveStateCache cache;
+  const auto anchor = std::make_shared<int>(0);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        const LiveStateCache::Key key{anchor, (i + t) % 8, 100};
+        const auto lookup = cache.get_or_compute(key, make_state(key.seed + 1));
+        ASSERT_NE(lookup.state, nullptr);
+        ASSERT_EQ(lookup.state->resume_at, key.seed + 1);
+      }
+    });
+  }
+  std::thread trimmer([&] {
+    for (int i = 0; i < 20; ++i) {
+      cache.clear();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    stop.store(true);
+  });
+  trimmer.join();
+  for (auto& reader : readers) reader.join();
+}
+
+TEST(LiveStateCacheTest, UncacheableKeyIsRememberedWithoutRecompute) {
+  LiveStateCache cache;
+  const auto anchor = std::make_shared<int>(0);
+  const LiveStateCache::Key key{anchor, 3, 100};
+  int computes = 0;
+  const auto decline = [&]() -> std::shared_ptr<const snapshot::PreparedLiveState> {
+    ++computes;
+    return nullptr;  // e.g. a non-quiescent bootstrap
+  };
+  const LiveStateCache::Lookup miss = cache.get_or_compute(key, decline);
+  EXPECT_FALSE(miss.hit);
+  EXPECT_EQ(miss.state, nullptr);
+  // Later callers learn "uncacheable" instantly — the compute never reruns.
+  const LiveStateCache::Lookup hit = cache.get_or_compute(key, decline);
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(hit.state, nullptr);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(cache.find(key), nullptr);
+  const LiveStateCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.uncacheable, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Matrix equivalence: cached bootstrap vs fresh bootstrap
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::vector<ScenarioSpec> equivalence_scenarios() {
+  std::vector<ScenarioSpec> scenarios;
+  bgp::SystemBlueprint hijack = bgp::make_internet({2, 3, 4});
+  bgp::inject_hijack(hijack, /*victim=*/5, /*attacker=*/8);
+  scenarios.push_back({"internet9-hijack", std::move(hijack)});
+  scenarios.push_back({"bad-gadget", bgp::make_bad_gadget()});  // uncacheable key
+  scenarios.push_back({"line3", bgp::make_line(3)});
+  return scenarios;
+}
+
+struct MatrixOutput {
+  std::string faults;                     ///< canonical cell-order fault list
+  std::vector<std::string> cell_lines;    ///< per-cell counters
+  std::size_t cells_from_cache = 0;
+  LiveStateCache::Stats cache;
+};
+
+[[nodiscard]] MatrixOutput run_matrix(std::size_t workers, bool cached,
+                                      bool prepared_clones) {
+  MatrixOptions options;
+  options.strategies = {StrategyKind::kGrammar, StrategyKind::kRandom};
+  options.seeds = {1, 2};
+  options.episodes_per_cell = 1;
+  options.bootstrap_events = 300'000;
+  options.live_state_cache = cached;
+  options.dice.inputs_per_episode = 4;
+  options.dice.clone_event_budget = 60'000;
+  options.dice.prepared_clones = prepared_clones;
+  ScenarioMatrix matrix(equivalence_scenarios(), options);
+  ExplorePool pool(workers);
+  const MatrixResult result = matrix.run(pool);
+
+  MatrixOutput output;
+  std::ostringstream faults;
+  for (const FaultReport& fault : result.faults) faults << fault.to_string() << "\n";
+  output.faults = faults.str();
+  for (const CellResult& cell : result.cells) {
+    std::ostringstream line;
+    line << cell.scenario << "/" << to_string(cell.strategy) << "/s" << cell.seed
+         << " boot=" << cell.bootstrap_converged << " episodes=" << cell.episodes
+         << " clones=" << cell.clones_run << " faults=" << cell.faults;
+    output.cell_lines.push_back(line.str());
+    if (cell.bootstrap_from_cache) ++output.cells_from_cache;
+  }
+  output.cache = result.live_cache;
+  return output;
+}
+
+TEST(MatrixLiveCacheEquivalenceTest, CachedBootstrapFaultSetsMatchFreshAtWorkers1And2And8) {
+  // The acceptance property: a matrix run that bootstraps every (scenario,
+  // seed) once and resumes the rest must be byte-identical to one that
+  // bootstraps every cell from scratch — for any worker count.
+  const MatrixOutput fresh = run_matrix(/*workers=*/1, /*cached=*/false,
+                                        /*prepared_clones=*/true);
+  ASSERT_FALSE(fresh.faults.empty()) << "hijack + dispute wheel must produce faults";
+  EXPECT_EQ(fresh.cells_from_cache, 0u);
+  EXPECT_EQ(fresh.cache.misses, 0u) << "cache must stay untouched when disabled";
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    const MatrixOutput cached = run_matrix(workers, /*cached=*/true,
+                                           /*prepared_clones=*/true);
+    EXPECT_EQ(cached.faults, fresh.faults) << "workers=" << workers;
+    EXPECT_EQ(cached.cell_lines, fresh.cell_lines) << "workers=" << workers;
+    // 6 keys (3 scenarios x 2 seeds), 2 cells each: exactly one bootstrap
+    // per key ever runs; the second cell of every cacheable key resumes.
+    // bad-gadget never quiesces, so its 2 keys resolve uncacheable and
+    // their second cells replay bootstrap (cheap via the early exit).
+    EXPECT_EQ(cached.cache.misses, 6u) << "workers=" << workers;
+    EXPECT_EQ(cached.cache.hits, 6u) << "workers=" << workers;
+    EXPECT_EQ(cached.cache.uncacheable, 4u) << "workers=" << workers;
+    EXPECT_EQ(cached.cells_from_cache, 4u) << "workers=" << workers;
+  }
+}
+
+TEST(MatrixLiveCacheEquivalenceTest, LegacyClonePathMatchesToo) {
+  // The cache composes with the legacy decode-per-clone path: same fault
+  // bytes whether clones are arena resets or fresh clone_from systems.
+  const MatrixOutput fresh = run_matrix(/*workers=*/1, /*cached=*/false,
+                                        /*prepared_clones=*/false);
+  const MatrixOutput cached = run_matrix(/*workers=*/2, /*cached=*/true,
+                                         /*prepared_clones=*/false);
+  ASSERT_FALSE(fresh.faults.empty());
+  EXPECT_EQ(cached.faults, fresh.faults);
+  EXPECT_EQ(cached.cell_lines, fresh.cell_lines);
+  // And the clone path itself never changes the verdict (cross-receipt
+  // against the prepared-path run in the test above).
+  const MatrixOutput prepared = run_matrix(/*workers=*/1, /*cached=*/false,
+                                           /*prepared_clones=*/true);
+  EXPECT_EQ(fresh.faults, prepared.faults);
+}
+
+TEST(MatrixLiveCacheEquivalenceTest, ExternalCacheServesAcrossRuns) {
+  // A shared cache turns a repeat soak's every cell into a resume (the
+  // long-soak mode bench_matrix_startup measures).
+  LiveStateCache shared;
+  MatrixOptions options;
+  options.strategies = {StrategyKind::kGrammar};
+  options.seeds = {1};
+  options.episodes_per_cell = 1;
+  options.bootstrap_events = 300'000;
+  options.live_cache = &shared;
+  options.dice.inputs_per_episode = 4;
+  options.dice.clone_event_budget = 60'000;
+  std::vector<ScenarioSpec> scenarios;
+  scenarios.push_back({"line3", bgp::make_line(3)});
+  ScenarioMatrix matrix(std::move(scenarios), options);
+  ExplorePool pool(1);
+
+  const MatrixResult first = matrix.run(pool);
+  ASSERT_EQ(first.cells.size(), 1u);
+  EXPECT_FALSE(first.cells[0].bootstrap_from_cache);
+  EXPECT_EQ(first.live_cache.misses, 1u);
+
+  const MatrixResult second = matrix.run(pool);
+  ASSERT_EQ(second.cells.size(), 1u);
+  EXPECT_TRUE(second.cells[0].bootstrap_from_cache);
+  EXPECT_EQ(second.live_cache.hits, 1u);
+  EXPECT_EQ(second.live_cache.misses, 0u);
+  EXPECT_EQ(second.cells[0].faults, first.cells[0].faults);
+}
+
+}  // namespace
+}  // namespace dice::explore

@@ -168,6 +168,64 @@ TEST(FaultLedgerTest, KeySaltPartitionsDedupSpace) {
   EXPECT_FALSE(ledger.contains(key, /*key_salt=*/3));
 }
 
+TEST(FaultLedgerTest, SaltMixingResistsCrossCellCollisions) {
+  // Regression: salting used to be `key ^ (key_salt * golden)` — linear in
+  // XOR, so any two cells' salts defined a fixed mask mapping one cell's
+  // keys onto the other's. Construct that exact historical collision and
+  // assert the splitmix64 mixing keeps the two findings distinct.
+  constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+  const std::uint64_t salt_a = 7;   // e.g. cell 6's salt (index + 1)
+  const std::uint64_t salt_b = 12;  // e.g. cell 11's salt
+  const core::FaultReport report = make_report("route-origin", 1, "finding A");
+  const std::uint64_t key_a = core::fault_key(report);
+  // Under the old scheme this distinct fault key in cell B collapsed onto
+  // (key_a, salt_a): key_b ^ salt_b*g == key_a ^ salt_a*g.
+  const std::uint64_t key_b = key_a ^ (salt_a * kGolden) ^ (salt_b * kGolden);
+  ASSERT_NE(key_b, key_a);
+  ASSERT_EQ(key_b ^ (salt_b * kGolden), key_a ^ (salt_a * kGolden));
+
+  EXPECT_NE(salted_fault_key(key_b, salt_b), salted_fault_key(key_a, salt_a))
+      << "cross-cell collision would silently merge two findings into one";
+
+  FaultLedger ledger;
+  EXPECT_TRUE(ledger.record(report, 1, salt_a));
+  EXPECT_TRUE(ledger.contains(key_a, salt_a));
+  EXPECT_FALSE(ledger.contains(key_b, salt_b));
+}
+
+TEST(FaultLedgerTest, WidePriorityBandsKeepCellOrder) {
+  // The matrix salts per cell AND bands priorities per cell (index << 32);
+  // a cell with more faults than the old 20-bit band (2^20) must not bleed
+  // into the next cell's band.
+  FaultLedger ledger;
+  const std::uint64_t band = std::uint64_t{1} << 32;
+  core::FaultReport cell1 = make_report("check", 1, "cell 1's finding");
+  core::FaultReport cell0 = make_report("check", 2, "cell 0's late finding");
+  ledger.record(std::move(cell1), /*priority=*/1 * band, /*key_salt=*/2);
+  // Far beyond the old band, still strictly inside cell 0's 32-bit one.
+  ledger.record(std::move(cell0), /*priority=*/0 * band + (1 << 21), /*key_salt=*/1);
+  const auto faults = ledger.snapshot_sorted();
+  ASSERT_EQ(faults.size(), 2u);
+  EXPECT_EQ(faults[0].description, "cell 0's late finding");
+  EXPECT_EQ(faults[1].description, "cell 1's finding");
+}
+
+TEST(FaultLedgerTest, LvalueRecordAllLeavesCallerVectorIntact) {
+  // The matrix records a cell's deduplicated faults from a const ref (the
+  // orchestrator keeps ownership); record_all must not consume — or force a
+  // wholesale copy of — the source vector.
+  FaultLedger ledger;
+  std::vector<core::FaultReport> faults;
+  faults.push_back(make_report("route-origin", 1, "finding A"));
+  faults.push_back(make_report("route-origin", 2, "finding B"));
+  faults.push_back(make_report("route-origin", 1, "finding A"));  // duplicate: no copy
+  EXPECT_EQ(ledger.record_all(faults, /*base_priority=*/0, /*key_salt=*/1), 2u);
+  ASSERT_EQ(faults.size(), 3u);
+  EXPECT_EQ(faults[0].description, "finding A");
+  EXPECT_EQ(faults[2].description, "finding A");
+  EXPECT_EQ(ledger.size(), 2u);
+}
+
 TEST(FaultLedgerTest, ConcurrentRecordingIsDeterministic) {
   // 8 threads record overlapping fault sets; the surviving contents must be
   // exactly the per-key priority minima, independent of interleaving.

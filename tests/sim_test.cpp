@@ -86,6 +86,29 @@ TEST(SimulatorTest, QuiescenceBudgetTripsOnLivelock) {
   EXPECT_FALSE(sim.run_until_quiescent(/*max_events=*/1000));
 }
 
+TEST(SimulatorTest, EmptyQueueWithPendingForegroundIsNotQuiescence) {
+  // Regression: run_until_quiescent used to `break` out of its loop when
+  // step() found the queue empty and then report quiescence — a queue/
+  // accounting mismatch (foreground still accounted, nothing runnable)
+  // read as convergence. The verdict must be non-quiescence.
+  Simulator sim;
+  SimulatorTestPeer::add_phantom_foreground(sim, 1);
+  EXPECT_EQ(sim.pending_foreground(), 1u);
+  EXPECT_FALSE(sim.run_until_quiescent(/*max_events=*/1000));
+}
+
+TEST(SimulatorTest, CancelledForegroundStillCountsAsQuiescence) {
+  // The benign flavor of a drained queue: the last foreground events were
+  // cancelled, so step() pops them (returning false) while the accounting
+  // reaches zero — that IS quiescence.
+  Simulator sim;
+  TimerHandle handle = sim.schedule_after(5, [] { FAIL() << "cancelled event ran"; });
+  handle.cancel();
+  EXPECT_EQ(sim.pending_foreground(), 1u);
+  EXPECT_TRUE(sim.run_until_quiescent(/*max_events=*/1000));
+  EXPECT_EQ(sim.pending_foreground(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Network
 // ---------------------------------------------------------------------------
