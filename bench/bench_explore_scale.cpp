@@ -16,7 +16,7 @@
 
 #include "bench_util.hpp"
 #include "dice/orchestrator.hpp"
-#include "explore/matrix.hpp"
+#include "explore/campaign.hpp"
 #include "util/hash.hpp"
 
 namespace {
@@ -103,15 +103,18 @@ int main() {
       identical ? "YES" : "NO (determinism bug!)");
 
   std::puts("\n== scenario-matrix soak: bench topologies x strategies x seeds ==\n");
-  explore::MatrixOptions options;
+  // Driven through the Campaign facade (the lowered options are identical
+  // to the old hand-built MatrixOptions, so the receipt below must not
+  // move): 4 workers, grammar + concolic, seeds {1, 2}.
+  explore::CampaignOptions options;
   options.strategies = {explore::StrategyKind::kGrammar, explore::StrategyKind::kConcolic};
-  options.seeds = {1, 2};
-  options.episodes_per_cell = 1;
-  options.dice.inputs_per_episode = 16;
-  explore::ScenarioMatrix matrix(explore::default_bench_scenarios(), options);
-  explore::ExplorePool pool(4);
+  options.determinism.seeds = {1, 2};
+  options.budgets.episodes_per_cell = 1;
+  options.budgets.inputs_per_episode = 16;
+  options.parallelism.workers = 4;
+  explore::Campaign campaign(explore::default_bench_scenarios(), options);
   bench::Stopwatch soak;
-  const explore::MatrixResult result = matrix.run(pool);
+  const explore::CampaignResult result = campaign.run();
   const double soak_ms = soak.ms();
 
   bench::Table cells({"scenario", "strategy", "seed", "boot", "clones", "faults", "ms"});

@@ -19,7 +19,7 @@
 
 #include "bench_util.hpp"
 #include "dice/orchestrator.hpp"
-#include "explore/matrix.hpp"
+#include "explore/campaign.hpp"
 
 namespace {
 
@@ -38,29 +38,32 @@ constexpr std::size_t kBootstrapBudget = 300'000;
 }
 
 struct RunOutput {
-  explore::MatrixResult result;
+  explore::CampaignResult result;
   std::string fault_lines;
 };
 
 [[nodiscard]] RunOutput run_matrix(bool cached, bool bootstrap_early_exit) {
-  explore::MatrixOptions options;
-  // Four strategies x one seed: every (scenario, seed) key is hit four
-  // times, so three of every four cells are "repeated" — the cells the
-  // cache is for.
+  // Driven through the Campaign facade (one object instead of the old
+  // ScenarioMatrix + ExplorePool wiring; the lowered options are
+  // identical, so fault sets and timings stay comparable to earlier
+  // receipts). Four strategies x one seed: every (scenario, seed) key is
+  // hit four times, so three of every four cells are "repeated" — the
+  // cells the cache is for.
+  explore::CampaignOptions options;
   options.strategies = {explore::StrategyKind::kGrammar, explore::StrategyKind::kRandom,
                         explore::StrategyKind::kGrammarStrict,
                         explore::StrategyKind::kConcolic};
-  options.seeds = {1};
-  options.episodes_per_cell = 1;
-  options.bootstrap_events = kBootstrapBudget;
-  options.live_state_cache = cached;
-  options.dice.inputs_per_episode = 4;
-  options.dice.clone_event_budget = 60'000;
-  options.dice.bootstrap_early_exit = bootstrap_early_exit;
-  explore::ScenarioMatrix matrix(scenarios(), options);
-  explore::ExplorePool pool(1);  // serial: per-cell timings stay comparable
+  options.determinism.seeds = {1};
+  options.budgets.episodes_per_cell = 1;
+  options.budgets.bootstrap_events = kBootstrapBudget;
+  options.caching.live_state_cache = cached;
+  options.budgets.inputs_per_episode = 4;
+  options.budgets.clone_event_budget = 60'000;
+  options.determinism.bootstrap_early_exit = bootstrap_early_exit;
+  options.parallelism.workers = 1;  // serial: per-cell timings stay comparable
+  explore::Campaign campaign(scenarios(), options);
   RunOutput output;
-  output.result = matrix.run(pool);
+  output.result = campaign.run();
   for (const core::FaultReport& fault : output.result.faults) {
     output.fault_lines += fault.to_string();
     output.fault_lines += "\n";
@@ -70,7 +73,7 @@ struct RunOutput {
 
 /// Mean startup of the cells a cache could serve: every cell of a key
 /// except its first encounter in cross-product order.
-[[nodiscard]] double repeated_cell_startup_ms(const explore::MatrixResult& result) {
+[[nodiscard]] double repeated_cell_startup_ms(const explore::CampaignResult& result) {
   std::map<std::pair<std::string, std::uint64_t>, bool> seen;
   double total = 0.0;
   std::size_t count = 0;

@@ -1,0 +1,115 @@
+// Campaign soak: the streaming, cancellable front door of the exploration
+// stack (explore::Campaign).
+//
+// Three short acts over the same scenarios:
+//   1. a streaming run — an observer prints every fault the moment its
+//      cell lands (canonical order, while later cells still execute);
+//   2. a cancelled run — the observer fires a StopSource after the first
+//      cell, and the campaign returns a well-formed partial result whose
+//      completed cells carry the exact same fault bytes as act 1;
+//   3. a time-boxed run — an already-expired deadline skips every cell,
+//      the "soak until the maintenance window closes" pattern.
+//
+//   ./campaign_soak
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "explore/campaign.hpp"
+
+using namespace dice;
+
+namespace {
+
+[[nodiscard]] std::vector<explore::ScenarioSpec> scenarios() {
+  std::vector<explore::ScenarioSpec> specs;
+  bgp::SystemBlueprint hijack = bgp::make_internet({2, 3, 4});
+  bgp::inject_hijack(hijack, /*victim=*/5, /*attacker=*/8);
+  specs.push_back({"internet9-hijack", std::move(hijack)});
+  specs.push_back({"ring6", bgp::make_ring(6)});
+  return specs;
+}
+
+[[nodiscard]] explore::CampaignOptions small_campaign(std::size_t workers) {
+  // Grouped knobs replace the old DiceOptions/MatrixOptions sprawl; the
+  // builder validates (try seeds({}) — build() returns an error instead of
+  // a silently empty matrix).
+  auto built = explore::CampaignOptions::builder()
+                   .strategies({explore::StrategyKind::kGrammar,
+                                explore::StrategyKind::kRandom})
+                   .seeds({1, 2})
+                   .budgets({.episodes_per_cell = 1,
+                             .inputs_per_episode = 4,
+                             .bootstrap_events = 300'000,
+                             .clone_event_budget = 60'000})
+                   .parallelism(workers)
+                   .build();
+  return std::move(built).take();
+}
+
+/// Streams findings as cells land: faults print mid-run, in canonical
+/// order, long before the whole matrix finishes.
+struct ConsolePrinter : explore::CampaignObserver {
+  void on_fault(const explore::CellDescriptor&,
+                const core::FaultReport& fault) override {
+    std::printf("    ! %s\n", fault.to_string().c_str());
+  }
+  void on_cell_done(const explore::CellDescriptor& cell,
+                    const explore::CellResult& result) override {
+    std::printf("  [%zu] %s/%s/s%llu: %s, %zu clones, %zu fault(s)\n", cell.index,
+                std::string(cell.scenario).c_str(), std::string(cell.strategy).c_str(),
+                static_cast<unsigned long long>(cell.seed),
+                result.completed ? "completed" : "CANCELLED", result.clones_run,
+                result.faults);
+  }
+};
+
+/// Act 2's controller: watches the stream and pulls the plug early.
+struct StopAfterFirstCell : ConsolePrinter {
+  explore::StopSource source;
+  void on_cell_done(const explore::CellDescriptor& cell,
+                    const explore::CellResult& result) override {
+    ConsolePrinter::on_cell_done(cell, result);
+    source.request_stop();  // cancel the rest of the soak, keep what landed
+  }
+};
+
+}  // namespace
+
+int main() {
+  // --- Act 1: stream a full run -------------------------------------------
+  std::puts("== streaming campaign (2 scenarios x 2 strategies x 2 seeds) ==");
+  explore::Campaign campaign(scenarios(), small_campaign(/*workers=*/2));
+  ConsolePrinter printer;
+  const explore::CampaignResult full = campaign.run(&printer);
+  std::printf("full run: %zu/%zu cells, %zu distinct fault(s), %.0f ms\n\n",
+              full.cells_completed, full.cells.size(), full.faults.size(),
+              full.wall_ms);
+
+  // --- Act 2: cancel mid-soak from the event stream -----------------------
+  std::puts("== cancelled campaign (stop requested after the first cell) ==");
+  explore::Campaign cancellable(scenarios(), small_campaign(/*workers=*/1));
+  StopAfterFirstCell stopper;
+  const explore::CampaignResult partial =
+      cancellable.run(&stopper, stopper.source.token());
+  std::printf("partial run: stopped=%s, %zu/%zu cells completed, %zu fault(s) kept\n\n",
+              partial.stopped ? "yes" : "no", partial.cells_completed,
+              partial.cells.size(), partial.faults.size());
+
+  // --- Act 3: time-boxed soak ---------------------------------------------
+  std::puts("== time-boxed campaign (deadline already expired) ==");
+  explore::CampaignOptions boxed = small_campaign(/*workers=*/2);
+  boxed.deadline = explore::StopToken::Clock::now();  // window already closed
+  explore::Campaign timeboxed(scenarios(), boxed);
+  const explore::CampaignResult skipped = timeboxed.run();
+  std::printf("time-boxed run: stopped=%s, %zu/%zu cells completed\n",
+              skipped.stopped ? "yes" : "no", skipped.cells_completed,
+              skipped.cells.size());
+
+  // Smoke contract (CI runs this binary): streaming found the hijack,
+  // cancellation kept a valid prefix, the deadline skipped everything.
+  const bool ok = !full.stopped && !full.faults.empty() && partial.stopped &&
+                  partial.cells_completed == 1 && skipped.cells_completed == 0;
+  std::printf("\n%s\n", ok ? "campaign soak OK" : "campaign soak FAILED");
+  return ok ? 0 : 1;
+}

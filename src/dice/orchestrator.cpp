@@ -255,7 +255,17 @@ EpisodeResult Orchestrator::run_episode(InputStrategy& strategy) {
   // the ledger deduplicates by signature and keeps serial-order evidence.
   explore::FaultLedger ledger;
   std::vector<explore::CloneOutcome> outcomes;
+  // Between-clone cancellation point (the only one inside an episode): a
+  // clone that started always finishes, so reported faults only ever come
+  // from whole clone runs. `stop_possible` keeps the no-token fast path an
+  // untaken branch.
+  std::atomic<bool> stop_observed{false};
+  const bool stoppable = options_.stop.stop_possible();
   const auto execute = [&](std::size_t index, std::size_t worker) {
+    if (stoppable && options_.stop.stop_requested()) {
+      stop_observed.store(true, std::memory_order_relaxed);
+      return;  // outcome stays !ran; the episode reports interrupted
+    }
     outcomes[index] = explore::run_clone_task(tasks[index], check, arena_for(worker));
     // 32-bit priority bands: a task would need 2^32 faults to bleed into
     // the next task's band (the old 16-bit band left only 65k headroom).
@@ -307,6 +317,8 @@ EpisodeResult Orchestrator::run_episode(InputStrategy& strategy) {
   // prepared state is shared_ptr-held regardless), so trimming here is the
   // store contract's "between episodes" window.
   live_->snapshots().trim(1);
+
+  result.interrupted = stop_observed.load(std::memory_order_relaxed);
 
   // Serial merge, in task order: counters, timings, then the deduplicated
   // fault list (canonical order — identical for any worker count).

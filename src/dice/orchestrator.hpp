@@ -19,6 +19,7 @@
 #include "dice/inputs.hpp"
 #include "dice/report.hpp"
 #include "dice/system.hpp"
+#include "explore/control.hpp"
 #include "explore/pool.hpp"
 
 namespace dice::explore {
@@ -66,6 +67,13 @@ struct DiceOptions {
   /// Exploration proceeds from the early-exit state exactly as it did from
   /// the budget-exhausted one: both are non-quiescent oscillation evidence.
   bool bootstrap_early_exit = true;
+  /// Cooperative cancellation (explore::Campaign plumbs its token through
+  /// here). Polled BETWEEN clones only — a clone that started always
+  /// finishes, so every fault that is reported came from a whole, checked
+  /// clone run. When the token fires mid-episode the episode returns with
+  /// `EpisodeResult::interrupted` set and a partial (well-formed, but not
+  /// canonical) fault list. The default token never fires.
+  explore::StopToken stop;
 };
 
 struct EpisodeResult {
@@ -78,6 +86,10 @@ struct EpisodeResult {
   std::size_t clones_reused = 0;      ///< clones served by an arena reset
   std::size_t clones_early_exit = 0;  ///< clone runs cut short by oscillation exit
   std::size_t snapshot_bytes = 0;     ///< raw checkpoint bytes decoded once
+  /// The stop token fired mid-episode: some clones were skipped, so
+  /// `faults` is a partial list. Callers aggregating canonical fault sets
+  /// (ScenarioMatrix) must treat the whole cell as incomplete.
+  bool interrupted = false;
   std::vector<FaultReport> faults;  ///< deduplicated within the episode
   double snapshot_ms = 0.0;         ///< wall-clock stage timings (Fig. 2)
   double restore_ms = 0.0;          ///< one-time PreparedSnapshot decode/build

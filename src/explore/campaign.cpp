@@ -1,0 +1,122 @@
+#include "explore/campaign.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace dice::explore {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] MatrixOptions lower(const CampaignOptions& options,
+                                  LiveStateCache* live_cache) {
+  MatrixOptions lowered = options.to_matrix_options();
+  lowered.live_cache = live_cache;
+  return lowered;
+}
+
+}  // namespace
+
+CampaignOptions::Builder CampaignOptions::builder() { return Builder{}; }
+
+util::Status CampaignOptions::validate() const {
+  if (strategies.empty()) {
+    return util::make_error("campaign.options.no_strategies",
+                            "at least one input strategy is required");
+  }
+  if (determinism.seeds.empty()) {
+    return util::make_error("campaign.options.no_seeds",
+                            "at least one seed is required");
+  }
+  if (budgets.episodes_per_cell == 0) {
+    return util::make_error("campaign.options.zero_episodes",
+                            "episodes_per_cell must be >= 1");
+  }
+  if (budgets.inputs_per_episode == 0) {
+    return util::make_error("campaign.options.zero_inputs",
+                            "inputs_per_episode must be >= 1");
+  }
+  if (budgets.bootstrap_events == 0) {
+    return util::make_error("campaign.options.zero_bootstrap_budget",
+                            "bootstrap_events must be >= 1");
+  }
+  if (budgets.clone_event_budget == 0) {
+    return util::make_error("campaign.options.zero_clone_budget",
+                            "clone_event_budget must be >= 1");
+  }
+  if (parallelism.workers == 0 && parallelism.pool == nullptr) {
+    return util::make_error("campaign.options.zero_workers",
+                            "workers must be >= 1 (or supply an external pool)");
+  }
+  if (caching.live_cache_max_entries == 0) {
+    return util::make_error("campaign.options.zero_cache_bound",
+                            "live_cache_max_entries must be >= 1");
+  }
+  if (deadline.has_value() && *deadline <= StopToken::Clock::now()) {
+    return util::make_error("campaign.options.deadline_in_past",
+                            "the campaign deadline has already passed");
+  }
+  return util::Status::success();
+}
+
+util::Result<CampaignOptions> CampaignOptions::Builder::build() const {
+  if (const util::Status status = options_.validate(); !status.ok()) {
+    return status.error();
+  }
+  return options_;
+}
+
+core::DiceOptions CampaignOptions::to_dice_options() const {
+  core::DiceOptions dice;
+  dice.inputs_per_episode = budgets.inputs_per_episode;
+  dice.clone_event_budget = budgets.clone_event_budget;
+  dice.clone_time_budget = budgets.clone_time_budget;
+  dice.include_baseline_clone = budgets.include_baseline_clone;
+  dice.oscillation_threshold = determinism.oscillation_threshold;
+  dice.parallelism = 1;  // cells are the parallel unit; the matrix enforces this
+  dice.rng_seed = determinism.rng_seed;
+  dice.prepared_clones = caching.prepared_clones;
+  dice.oscillation_early_exit = determinism.oscillation_early_exit;
+  dice.bootstrap_early_exit = determinism.bootstrap_early_exit;
+  return dice;
+}
+
+MatrixOptions CampaignOptions::to_matrix_options() const {
+  MatrixOptions matrix;
+  matrix.strategies = strategies;
+  matrix.seeds = determinism.seeds;
+  matrix.episodes_per_cell = budgets.episodes_per_cell;
+  matrix.bootstrap_events = budgets.bootstrap_events;
+  matrix.dice = to_dice_options();
+  matrix.share_solver_cache = caching.share_solver_cache;
+  matrix.live_state_cache = caching.live_state_cache;
+  matrix.live_cache = caching.live_cache;
+  return matrix;
+}
+
+Campaign::Campaign(std::vector<ScenarioSpec> scenarios, CampaignOptions options)
+    : options_(std::move(options)),
+      owned_live_cache_(options_.caching.live_cache_max_entries),
+      live_cache_(options_.caching.live_cache != nullptr ? options_.caching.live_cache
+                                                         : &owned_live_cache_),
+      owned_pool_(options_.parallelism.pool != nullptr
+                      ? nullptr
+                      : std::make_unique<ExplorePool>(options_.parallelism.workers)),
+      pool_(options_.parallelism.pool != nullptr ? options_.parallelism.pool
+                                                 : owned_pool_.get()),
+      matrix_(std::move(scenarios), lower(options_, live_cache_)) {}
+
+CampaignResult Campaign::run(CampaignObserver* observer, StopToken stop) {
+  StopToken token = stop;
+  if (options_.deadline.has_value()) token = token.with_deadline(*options_.deadline);
+
+  const auto start = Clock::now();
+  CampaignResult result;
+  static_cast<MatrixResult&>(result) = matrix_.run(*pool_, RunControl{observer, token});
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  return result;
+}
+
+}  // namespace dice::explore

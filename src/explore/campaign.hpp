@@ -1,0 +1,200 @@
+// explore::Campaign — the streaming, cancellable front door of the
+// exploration stack.
+//
+// The paper runs DiCE as a continuous online service beside the live
+// system, but the batch-shaped surface underneath (Orchestrator +
+// ScenarioMatrix + ExplorePool, with knobs smeared across DiceOptions and
+// MatrixOptions) made callers wire the layers by hand and wait for every
+// cell before seeing a single fault. Campaign is one object with one verb:
+//
+//   auto options = CampaignOptions::builder()
+//                      .strategies({StrategyKind::kGrammar})
+//                      .parallelism(8)
+//                      .time_box(std::chrono::minutes(10))
+//                      .build();            // validated; Result<CampaignOptions>
+//   Campaign campaign(default_bench_scenarios(), options.take());
+//   CampaignResult partial = campaign.run(&observer, source.token());
+//
+// - CampaignOptions layers the knob sprawl into coherent groups (Budgets,
+//   Caching, Parallelism, Determinism) and validates at build() time.
+// - A CampaignObserver streams every completed cell's faults in canonical
+//   order while the run is in flight (control.hpp).
+// - A StopToken (or the options deadline) cancels cooperatively: polled
+//   between cells, episodes and clones — never mid-clone — so a cancelled
+//   run returns a well-formed partial CampaignResult whose completed cells
+//   carry fault sets byte-identical to an uncancelled run's, at any worker
+//   count.
+//
+// The legacy entry points (ScenarioMatrix::run(pool), Orchestrator driven
+// by hand) remain as thin wrappers for one release; see the README
+// migration table.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "explore/control.hpp"
+#include "explore/matrix.hpp"
+#include "util/result.hpp"
+
+namespace dice::explore {
+
+/// All exploration knobs, grouped by what they govern. Aggregate-initialize
+/// freely or go through CampaignOptions::builder() for validation.
+struct CampaignOptions {
+  /// How much work a run does (per cell, per episode, per clone).
+  struct Budgets {
+    std::size_t episodes_per_cell = 1;        ///< was MatrixOptions::episodes_per_cell
+    std::size_t inputs_per_episode = 32;      ///< was DiceOptions::inputs_per_episode
+    std::size_t bootstrap_events = 500'000;   ///< was MatrixOptions::bootstrap_events
+    std::size_t clone_event_budget = 200'000; ///< was DiceOptions::clone_event_budget
+    sim::Time clone_time_budget = 120 * sim::kSecond;  ///< was DiceOptions::clone_time_budget
+    bool include_baseline_clone = true;       ///< was DiceOptions::include_baseline_clone
+  };
+  /// What is reused across cells and runs.
+  struct Caching {
+    bool live_state_cache = true;        ///< was MatrixOptions::live_state_cache
+    /// External bootstrap cache shared across campaigns; nullptr = the
+    /// campaign owns one for its lifetime (repeat run() soaks still hit).
+    LiveStateCache* live_cache = nullptr;  ///< was MatrixOptions::live_cache
+    /// LRU bound for the campaign-OWNED cache. An external `live_cache`
+    /// keeps the bound it was constructed with; this knob does not rebind
+    /// it.
+    std::size_t live_cache_max_entries = LiveStateCache::kDefaultMaxEntries;
+    bool share_solver_cache = false;     ///< was MatrixOptions::share_solver_cache
+    bool prepared_clones = true;         ///< was DiceOptions::prepared_clones
+  };
+  /// Where the work runs.
+  struct Parallelism {
+    std::size_t workers = 1;      ///< was DiceOptions::parallelism (cells in parallel)
+    /// External pool shared across campaigns (arena reuse); overrides
+    /// `workers`. nullptr = the campaign owns a pool for its lifetime.
+    ExplorePool* pool = nullptr;
+  };
+  /// Everything that pins the byte-identical receipt.
+  struct Determinism {
+    std::vector<std::uint64_t> seeds{1};   ///< was MatrixOptions::seeds
+    std::uint64_t rng_seed = 0xd1ce5eed;   ///< was DiceOptions::rng_seed
+    std::uint32_t oscillation_threshold = 8;  ///< was DiceOptions::oscillation_threshold
+    bool oscillation_early_exit = true;    ///< was DiceOptions::oscillation_early_exit
+    bool bootstrap_early_exit = true;      ///< was DiceOptions::bootstrap_early_exit
+  };
+
+  std::vector<StrategyKind> strategies{StrategyKind::kGrammar, StrategyKind::kRandom};
+  Budgets budgets;
+  Caching caching;
+  Parallelism parallelism;
+  Determinism determinism;
+  /// Time-box: run() behaves as if a stop were requested at this instant
+  /// (combined with any caller token; the earlier wins).
+  std::optional<StopToken::Clock::time_point> deadline;
+
+  class Builder;
+  [[nodiscard]] static Builder builder();
+
+  /// Rejects nonsense: no strategies, 0 seeds, 0-event budgets, 0 workers,
+  /// a deadline already in the past. Builder::build() calls this.
+  [[nodiscard]] util::Status validate() const;
+
+  /// The legacy option structs this facade lowers to — the migration
+  /// receipt: a Campaign drives exactly these underneath, so fault sets
+  /// match the old wiring byte for byte.
+  [[nodiscard]] core::DiceOptions to_dice_options() const;
+  [[nodiscard]] MatrixOptions to_matrix_options() const;
+};
+
+/// Fluent assembly with build-time validation.
+class CampaignOptions::Builder {
+ public:
+  Builder& strategies(std::vector<StrategyKind> value) {
+    options_.strategies = std::move(value);
+    return *this;
+  }
+  Builder& budgets(Budgets value) {
+    options_.budgets = value;
+    return *this;
+  }
+  Builder& caching(Caching value) {
+    options_.caching = value;
+    return *this;
+  }
+  Builder& parallelism(Parallelism value) {
+    options_.parallelism = value;
+    return *this;
+  }
+  /// Convenience: worker count only.
+  Builder& parallelism(std::size_t workers) {
+    options_.parallelism.workers = workers;
+    return *this;
+  }
+  Builder& determinism(Determinism value) {
+    options_.determinism = std::move(value);
+    return *this;
+  }
+  /// Convenience: seeds only.
+  Builder& seeds(std::vector<std::uint64_t> value) {
+    options_.determinism.seeds = std::move(value);
+    return *this;
+  }
+  Builder& deadline(StopToken::Clock::time_point value) {
+    options_.deadline = value;
+    return *this;
+  }
+  /// Deadline relative to now — the usual way to time-box a soak.
+  Builder& time_box(std::chrono::milliseconds duration) {
+    options_.deadline = StopToken::Clock::now() + duration;
+    return *this;
+  }
+
+  /// Validates and returns the options, or the first rejection
+  /// (code "campaign.options.*").
+  [[nodiscard]] util::Result<CampaignOptions> build() const;
+
+ private:
+  CampaignOptions options_;
+};
+
+/// What a run produced — complete, or well-formed-partial when cancelled.
+/// Extends MatrixResult (cells in canonical order, completed cells'
+/// deduplicated faults, cache/pool stats, cells_completed, stopped) rather
+/// than mirroring it field by field, so the facade can never silently drop
+/// a future MatrixResult field. For every completed cell the fault bytes
+/// are identical to an uncancelled run's at any worker count.
+struct CampaignResult : MatrixResult {
+  double wall_ms = 0.0;
+};
+
+class Campaign {
+ public:
+  /// `options` should come from CampaignOptions::builder() (validated);
+  /// hand-rolled options are taken as given. The campaign owns its pool,
+  /// bootstrap cache and per-scenario prototypes for its lifetime, so
+  /// repeat run() calls (soaks) reuse arenas and cached bootstraps.
+  Campaign(std::vector<ScenarioSpec> scenarios, CampaignOptions options);
+
+  /// Runs every cell, streaming events to `observer` (may be null) in
+  /// canonical order as cells land, honoring `stop` and the options
+  /// deadline between cells/episodes/clones. Blocks until all cells
+  /// completed or the remainder was cancelled.
+  [[nodiscard]] CampaignResult run(CampaignObserver* observer = nullptr,
+                                   StopToken stop = {});
+
+  [[nodiscard]] std::size_t cell_count() const noexcept { return matrix_.cell_count(); }
+  [[nodiscard]] const CampaignOptions& options() const noexcept { return options_; }
+  /// The bootstrap cache this campaign consults (owned unless an external
+  /// one was supplied) — soak loops may trim() it between runs.
+  [[nodiscard]] LiveStateCache& live_cache() noexcept { return *live_cache_; }
+  [[nodiscard]] ExplorePool& pool() noexcept { return *pool_; }
+
+ private:
+  CampaignOptions options_;
+  LiveStateCache owned_live_cache_;
+  LiveStateCache* live_cache_ = nullptr;  ///< external or &owned_live_cache_
+  std::unique_ptr<ExplorePool> owned_pool_;  ///< null when external
+  ExplorePool* pool_ = nullptr;
+  ScenarioMatrix matrix_;
+};
+
+}  // namespace dice::explore

@@ -8,8 +8,14 @@ LiveStateCache::Lookup LiveStateCache::get_or_compute(const Key& key,
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     std::shared_ptr<Entry>& slot = entries_[key];
-    if (slot == nullptr) slot = std::make_shared<Entry>();
+    const bool inserted = slot == nullptr;
+    if (inserted) slot = std::make_shared<Entry>();
     entry = slot;
+    entry->last_used = ++lru_clock_;
+    // LRU bound: a fresh key past the bound pushes out the least-recently-
+    // used resolved entry. The just-inserted entry is unresolved, so it
+    // can never evict itself.
+    if (inserted) evict_locked(max_entries_);
   }
   if (!entry->resolved.load(std::memory_order_acquire)) {
     // The once-latch. Holding it across compute is the point: a second
@@ -42,10 +48,34 @@ std::shared_ptr<const snapshot::PreparedLiveState> LiveStateCache::find(
     auto it = entries_.find(key);
     if (it == entries_.end()) return nullptr;
     entry = it->second;
+    it->second->last_used = ++lru_clock_;
   }
   // Unresolved = a compute is in flight; report absent rather than block.
   if (!entry->resolved.load(std::memory_order_acquire)) return nullptr;
   return entry->state;
+}
+
+void LiveStateCache::evict_locked(std::size_t max) {
+  while (entries_.size() > max) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      // In-flight computes are never evicted: their worker will publish
+      // into the entry, and same-key callers must keep finding the latch.
+      if (!it->second->resolved.load(std::memory_order_acquire)) continue;
+      if (victim == entries_.end() ||
+          it->second->last_used < victim->second->last_used) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // everything left is in flight
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+void LiveStateCache::trim(std::size_t keep) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  evict_locked(keep);
 }
 
 void LiveStateCache::clear() {

@@ -41,6 +41,18 @@ namespace dice::explore {
 
 class LiveStateCache {
  public:
+  /// Default LRU bound. Entries are small (shared_ptrs to typed state),
+  /// but a long multi-matrix soak over generated scenarios would otherwise
+  /// accumulate keys forever; generous so ordinary matrices never evict.
+  static constexpr std::size_t kDefaultMaxEntries = 4096;
+
+  /// `max_entries` bounds the cache LRU-style: inserting a fresh key past
+  /// the bound evicts the least-recently-used RESOLVED entry (in-flight
+  /// computes are never evicted — their keys are bounded by worker count).
+  /// Like SnapshotStore::trim, eviction only drops the cache's reference:
+  /// holders of returned states keep theirs alive.
+  explicit LiveStateCache(std::size_t max_entries = kDefaultMaxEntries)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
   /// Cache identity: the shared SystemPrototype (pointer identity — the
   /// matrix builds exactly one per scenario), the scenario seed, the
   /// bootstrap budget (a different budget converges to a different state
@@ -65,6 +77,7 @@ class LiveStateCache {
     std::uint64_t hits = 0;         ///< served from a published state
     std::uint64_t misses = 0;       ///< this caller ran the compute
     std::uint64_t uncacheable = 0;  ///< lookups resolved to a null (non-quiescent) key
+    std::uint64_t evictions = 0;    ///< entries dropped by the LRU bound or trim()
   };
 
   using Compute = std::function<std::shared_ptr<const snapshot::PreparedLiveState>()>;
@@ -87,7 +100,14 @@ class LiveStateCache {
   /// a latch) are unaffected; the next lookup per key recomputes.
   void clear();
 
+  /// Drops least-recently-used resolved entries until at most `keep`
+  /// remain (mirrors SnapshotStore::trim). Safe while entries are held —
+  /// shared_ptr publication means a trim never invalidates a holder, and
+  /// in-flight computes are skipped entirely.
+  void trim(std::size_t keep);
+
   [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t max_entries() const noexcept { return max_entries_; }
   [[nodiscard]] Stats stats() const;
 
  private:
@@ -98,6 +118,9 @@ class LiveStateCache {
     /// find() never confuses "being computed" with "mid-hit").
     std::atomic<bool> resolved{false};
     std::shared_ptr<const snapshot::PreparedLiveState> state;
+    /// LRU clock value of the entry's last lookup. Touched only under the
+    /// cache's map mutex (never the latch), unlike the fields above.
+    std::uint64_t last_used = 0;
   };
   struct KeyHash {
     [[nodiscard]] std::size_t operator()(const Key& key) const noexcept {
@@ -109,9 +132,16 @@ class LiveStateCache {
     }
   };
 
-  mutable std::mutex mutex_;  ///< guards the map and stats, never a compute
+  /// Evicts LRU resolved entries until the map holds at most `max`.
+  /// Requires mutex_ held. May leave the map above `max` when everything
+  /// beyond it is an in-flight compute.
+  void evict_locked(std::size_t max);
+
+  mutable std::mutex mutex_;  ///< guards the map, stats and LRU clock, never a compute
   std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash> entries_;
   Stats stats_;
+  std::size_t max_entries_ = kDefaultMaxEntries;
+  mutable std::uint64_t lru_clock_ = 0;  ///< find() bumps recency too
 };
 
 }  // namespace dice::explore

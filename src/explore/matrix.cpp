@@ -3,6 +3,7 @@
 #include <cassert>
 #include <chrono>
 #include <memory>
+#include <unordered_map>
 
 #include "bgp/bugs.hpp"
 #include "util/log.hpp"
@@ -40,6 +41,28 @@ using Clock = std::chrono::steady_clock;
 }
 
 }  // namespace
+
+std::vector<std::size_t> interleave_keys(const std::vector<std::size_t>& keys) {
+  // Bucket indices per key, preserving arrival order within a key and
+  // first-appearance order across keys; then deal one index per key per
+  // round. [A,A,A,B,B,B] -> [A0,B3,A1,B4,A2,B5].
+  std::vector<std::size_t> distinct;
+  std::unordered_map<std::size_t, std::vector<std::size_t>> buckets;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    auto [it, inserted] = buckets.try_emplace(keys[i]);
+    if (inserted) distinct.push_back(keys[i]);
+    it->second.push_back(i);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(keys.size());
+  for (std::size_t round = 0; order.size() < keys.size(); ++round) {
+    for (const std::size_t key : distinct) {
+      const std::vector<std::size_t>& bucket = buckets[key];
+      if (round < bucket.size()) order.push_back(bucket[round]);
+    }
+  }
+  return order;
+}
 
 std::string_view to_string(StrategyKind kind) noexcept {
   switch (kind) {
@@ -81,24 +104,33 @@ ScenarioMatrix::ScenarioMatrix(std::vector<ScenarioSpec> scenarios, MatrixOption
   }
 }
 
-MatrixResult ScenarioMatrix::run(ExplorePool& pool) {
+MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
   struct Cell {
     std::size_t scenario = 0;
     StrategyKind strategy = StrategyKind::kGrammar;
     std::uint64_t seed = 0;
+    std::size_t seed_pos = 0;  ///< position in options_.seeds (bootstrap-key id)
   };
   std::vector<Cell> cells;
   cells.reserve(cell_count());
   for (std::size_t s = 0; s < scenarios_.size(); ++s) {
     for (const StrategyKind kind : options_.strategies) {
-      for (const std::uint64_t seed : options_.seeds) {
-        cells.push_back(Cell{s, kind, seed});
+      for (std::size_t seed_pos = 0; seed_pos < options_.seeds.size(); ++seed_pos) {
+        cells.push_back(Cell{s, kind, options_.seeds[seed_pos], seed_pos});
       }
     }
   }
 
   MatrixResult result;
   result.cells.resize(cells.size());
+  // Prefill every cell's identity up front: a cell the stop token skips
+  // (its task may never even run after a pool drain) must still describe
+  // itself in the partial result and in observer events.
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    result.cells[i].scenario = scenarios_[cells[i].scenario].name;
+    result.cells[i].strategy = cells[i].strategy;
+    result.cells[i].seed = cells[i].seed;
+  }
   const ExplorePool::Stats pool_before = pool.stats();
 
   // One shared cache maximizes cross-cell reuse; per-cell caches keep every
@@ -122,17 +154,88 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool) {
       options_.live_cache != nullptr ? options_.live_cache : &private_cache;
   const LiveStateCache::Stats cache_before = live_cache->stats();
 
-  pool.run_batch(cells.size(), [&](std::size_t index, std::size_t worker) {
+  // Streaming reorder buffer: cells finish in wall-clock order, but the
+  // observer must see canonical (cross-product) order — a finished cell is
+  // held until every earlier cell has landed, then flushed start -> fault*
+  // -> done (+ progress). The emit mutex both serializes callbacks and
+  // publishes result.cells[i] from the finishing worker to the flusher.
+  struct Emitter {
+    std::mutex mutex;
+    std::vector<unsigned char> done;
+    std::vector<std::vector<core::FaultReport>> faults;  ///< per-cell, observer only
+    std::size_t next = 0;
+    std::size_t streamed_faults = 0;
+  } emitter;
+  emitter.done.assign(cells.size(), 0);
+  if (control.observer != nullptr) emitter.faults.resize(cells.size());
+
+  const auto descriptor = [&](std::size_t index) {
+    const Cell& cell = cells[index];
+    return CellDescriptor{index, scenarios_[cell.scenario].name,
+                          to_string(cell.strategy), cell.seed};
+  };
+  const auto finish_cell = [&](std::size_t index) {
+    const std::lock_guard<std::mutex> lock(emitter.mutex);
+    emitter.done[index] = 1;
+    while (emitter.next < cells.size() && emitter.done[emitter.next] != 0) {
+      const std::size_t i = emitter.next++;
+      if (control.observer == nullptr) continue;
+      const CellDescriptor desc = descriptor(i);
+      control.observer->on_cell_start(desc);
+      for (const core::FaultReport& fault : emitter.faults[i]) {
+        control.observer->on_fault(desc, fault);
+      }
+      control.observer->on_cell_done(desc, result.cells[i]);
+      emitter.streamed_faults += emitter.faults[i].size();
+      control.observer->on_progress(CampaignProgress{
+          emitter.next, cells.size(), emitter.streamed_faults,
+          control.stop.stop_requested()});
+      // Streamed = done with the copy: release it now rather than holding
+      // every cell's duplicate fault list until the whole run returns.
+      std::vector<core::FaultReport>().swap(emitter.faults[i]);
+    }
+  };
+
+  // The deal: on a multi-worker pool, execution order round-robins across
+  // (scenario, seed) bootstrap keys so a batch's first W cells hold W
+  // distinct keys — without the interleave, strategy-inner cross-product
+  // order parks W-1 workers on one key's once-latch at batch start. A
+  // serial pool keeps the identity deal: there is no latch to contend on,
+  // and scenario-adjacent cells let the lone worker's arena keep its
+  // System across a whole scenario block. Canonical order is untouched
+  // either way: `deal` only decides who runs when; every per-cell
+  // derivation (slots, seeds, ledger priority) keys off the cell index.
+  std::vector<std::size_t> deal;
+  if (pool.workers() > 1) {
+    std::vector<std::size_t> cell_keys;
+    cell_keys.reserve(cells.size());
+    for (const Cell& cell : cells) {
+      cell_keys.push_back(cell.scenario * options_.seeds.size() + cell.seed_pos);
+    }
+    deal = interleave_keys(cell_keys);
+  }
+
+  const bool stoppable = control.stop.stop_possible();
+  pool.run_batch(cells.size(), [&](std::size_t dealt, std::size_t worker) {
+    const std::size_t index = deal.empty() ? dealt : deal[dealt];
     const Cell& cell = cells[index];
     const ScenarioSpec& spec = scenarios_[cell.scenario];
     CellResult& out = result.cells[index];
-    out.scenario = spec.name;
-    out.strategy = cell.strategy;
-    out.seed = cell.seed;
+    if (stoppable && control.stop.stop_requested()) {
+      // Between-cells cancellation point: skip the whole cell and drop the
+      // still-queued deal so idle peers stop dequeuing doomed work. The
+      // skipped cell still lands in the reorder buffer (partial results
+      // stay well-formed); drained cells are swept after the batch.
+      pool.drain();
+      finish_cell(index);
+      return;
+    }
+    out.started = true;
 
     const auto start = Clock::now();
     core::DiceOptions dice = options_.dice;
     dice.parallelism = 1;  // cells are the parallel unit
+    dice.stop = control.stop;  // polled between clones, never mid-clone
     // Disjoint stream ids (2i, 2i+1) keep every cell's clone-RNG root and
     // strategy stream distinct from every other cell's, even when cells
     // share the same matrix seed.
@@ -159,27 +262,52 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool) {
     const std::unique_ptr<core::InputStrategy> strategy =
         make_strategy(cell.strategy, strategy_seed, cache);
 
-    for (std::size_t episode = 0; episode < options_.episodes_per_cell; ++episode) {
+    // Between-episodes cancellation points; an episode the token cut short
+    // reports interrupted itself. Either way the cell is incomplete and
+    // withholds its (partial) faults from the canonical list.
+    bool interrupted = stoppable && control.stop.stop_requested();
+    for (std::size_t episode = 0;
+         !interrupted && episode < options_.episodes_per_cell; ++episode) {
       const core::EpisodeResult episode_result = orchestrator.run_episode(*strategy);
       ++out.episodes;
       out.clones_run += episode_result.clones_run;
       out.inputs_subjected += episode_result.inputs_subjected;
+      interrupted = episode_result.interrupted ||
+                    (stoppable && episode + 1 < options_.episodes_per_cell &&
+                     control.stop.stop_requested());
     }
-    const std::vector<core::FaultReport>& faults = orchestrator.all_faults();
-    out.faults = faults.size();
-    // 32-bit priority bands (was 20-bit: a cell recording 2^20 faults bled
-    // into the next cell's band and corrupted serial-order dedup). The
-    // const-ref record_all leaves the orchestrator's vector untouched and
-    // copies only reports that actually land in the ledger.
-    assert(faults.size() < (std::uint64_t{1} << 32));
-    ledger.record_all(faults, static_cast<std::uint64_t>(index) << 32,
-                      /*key_salt=*/index + 1);
+    out.completed = !interrupted;
+    if (out.completed) {
+      const std::vector<core::FaultReport>& faults = orchestrator.all_faults();
+      out.faults = faults.size();
+      // 32-bit priority bands (was 20-bit: a cell recording 2^20 faults bled
+      // into the next cell's band and corrupted serial-order dedup). The
+      // const-ref record_all leaves the orchestrator's vector untouched and
+      // copies only reports that actually land in the ledger.
+      assert(faults.size() < (std::uint64_t{1} << 32));
+      ledger.record_all(faults, static_cast<std::uint64_t>(index) << 32,
+                        /*key_salt=*/index + 1);
+      if (control.observer != nullptr) emitter.faults[index] = faults;
+    }
     out.wall_ms =
         std::chrono::duration<double, std::milli>(Clock::now() - start).count();
     logger().info() << "cell " << spec.name << "/" << to_string(cell.strategy) << "/s"
                     << cell.seed << ": " << out.faults << " fault(s), "
-                    << out.clones_run << " clones";
+                    << out.clones_run << " clones"
+                    << (out.completed ? "" : " [cancelled]");
+    finish_cell(index);
   });
+
+  // Cells the drain dropped never ran their task body: flush them as
+  // skipped so the observer stream and the done flags stay complete.
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (emitter.done[i] == 0) finish_cell(i);
+  }
+
+  for (const CellResult& cell : result.cells) {
+    if (cell.completed) ++result.cells_completed;
+  }
+  result.stopped = result.cells_completed != result.cells.size();
 
   result.faults = ledger.snapshot_sorted();
   if (options_.share_solver_cache) {
@@ -198,6 +326,7 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool) {
   result.live_cache.hits = cache_after.hits - cache_before.hits;
   result.live_cache.misses = cache_after.misses - cache_before.misses;
   result.live_cache.uncacheable = cache_after.uncacheable - cache_before.uncacheable;
+  result.live_cache.evictions = cache_after.evictions - cache_before.evictions;
   const ExplorePool::Stats pool_after = pool.stats();
   result.pool.batches = pool_after.batches - pool_before.batches;
   result.pool.tasks_run = pool_after.tasks_run - pool_before.tasks_run;

@@ -18,6 +18,7 @@
 
 #include "bgp/topology.hpp"
 #include "dice/orchestrator.hpp"
+#include "explore/control.hpp"
 #include "explore/ledger.hpp"
 #include "explore/live_cache.hpp"
 #include "explore/pool.hpp"
@@ -64,6 +65,14 @@ struct CellResult {
   std::string scenario;
   StrategyKind strategy = StrategyKind::kGrammar;
   std::uint64_t seed = 0;
+  /// Cancellation bookkeeping (always true/true without a stop token):
+  /// `started` — the cell body ran at all (a fired token skips whole
+  /// cells); `completed` — every episode finished uninterrupted. Only
+  /// completed cells contribute to the canonical fault list, which keeps
+  /// the faults of every completed cell byte-identical to an uncancelled
+  /// run's at any worker count.
+  bool started = false;
+  bool completed = false;
   bool bootstrap_converged = false;
   bool bootstrap_from_cache = false;  ///< served by a LiveStateCache resume
   std::size_t episodes = 0;
@@ -76,19 +85,48 @@ struct CellResult {
 
 struct MatrixResult {
   std::vector<CellResult> cells;            ///< cross-product order
-  std::vector<core::FaultReport> faults;    ///< all cells, canonical cell order
+  std::vector<core::FaultReport> faults;    ///< completed cells, canonical cell order
   SolverCache::Stats solver_cache;          ///< aggregate over all cells
   LiveStateCache::Stats live_cache;         ///< bootstrap-once cache traffic
   ExplorePool::Stats pool;                  ///< pool stats delta for this run
+  std::size_t cells_completed = 0;
+  bool stopped = false;  ///< some cell was skipped or interrupted by the token
 };
+
+/// Observer/stop plumbing for a matrix run. Default-constructed = the
+/// legacy blocking behavior (no events, never cancelled).
+struct RunControl {
+  CampaignObserver* observer = nullptr;  ///< may be null; callbacks serialized
+  StopToken stop;                        ///< polled between cells/episodes/clones
+};
+
+/// Execution-deal permutation: round-robins cell indices across distinct
+/// key values (preserving each key's internal order), so cells sharing a
+/// (scenario, seed) bootstrap key are not adjacent at batch start — W-1
+/// workers would otherwise park on the key's LiveStateCache once-latch
+/// while the first cell bootstraps. Pure reordering of EXECUTION: result
+/// slots, per-cell seeds and the canonical fault order key off the cell
+/// index and are untouched. Exposed for the receipt test.
+[[nodiscard]] std::vector<std::size_t> interleave_keys(
+    const std::vector<std::size_t>& keys);
 
 class ScenarioMatrix {
  public:
   ScenarioMatrix(std::vector<ScenarioSpec> scenarios, MatrixOptions options);
 
   /// Runs every (scenario, strategy, seed) cell on the pool and blocks
-  /// until all complete.
-  [[nodiscard]] MatrixResult run(ExplorePool& pool);
+  /// until all complete. Thin wrapper over the controlled overload —
+  /// prefer explore::Campaign (campaign.hpp), the streaming, cancellable
+  /// front door, for new code.
+  [[nodiscard]] MatrixResult run(ExplorePool& pool) { return run(pool, RunControl{}); }
+
+  /// The controlled form: streams events to `control.observer` in
+  /// canonical cell order as cells land, and polls `control.stop` between
+  /// cells, episodes and clones (never mid-clone). A cancelled run returns
+  /// a well-formed partial result: completed cells keep byte-identical
+  /// fault sets, skipped/interrupted ones are flagged and contribute no
+  /// faults.
+  [[nodiscard]] MatrixResult run(ExplorePool& pool, const RunControl& control);
 
   [[nodiscard]] std::size_t cell_count() const noexcept {
     return scenarios_.size() * options_.strategies.size() * options_.seeds.size();

@@ -184,6 +184,16 @@ void ExplorePool::run_batch(std::size_t count,
   batch_fn_ = nullptr;
 }
 
+std::size_t ExplorePool::drain() {
+  std::size_t dropped = 0;
+  for (const std::unique_ptr<WorkerDeque>& deque : deques_) {
+    const std::lock_guard<std::mutex> lock(deque->mutex);
+    dropped += deque->tasks.size();
+    deque->tasks.clear();
+  }
+  return dropped;
+}
+
 std::vector<CloneOutcome> ExplorePool::explore(const std::vector<CloneTask>& tasks,
                                                const CheckFn& check) {
   std::vector<CloneOutcome> outcomes(tasks.size());

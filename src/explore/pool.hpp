@@ -116,6 +116,17 @@ class ExplorePool {
   [[nodiscard]] std::vector<CloneOutcome> explore(const std::vector<CloneTask>& tasks,
                                                   const CheckFn& check);
 
+  /// Cancellation drain: removes every still-queued task of the current
+  /// batch from all worker deques and returns how many were dropped. Tasks
+  /// already executing finish normally; dropped ones never run (run_batch
+  /// still returns once every worker acks, so the caller must treat
+  /// never-ran indices as skipped). Safe to call from a worker inside the
+  /// batch — this is how a cell that observes a StopToken stops the whole
+  /// deal instead of letting W-1 peers dequeue doomed work. No-op on the
+  /// threadless (workers <= 1) pool, whose inline loop polls the token
+  /// through the task body itself.
+  std::size_t drain();
+
   /// The worker's private clone arena. Only the worker executing a task may
   /// touch its own arena during run_batch; between batches the caller may
   /// inspect stats or clear them.

@@ -6,6 +6,7 @@
 // trim-while-held lifetimes, and uncacheable-key fallback.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <sstream>
@@ -249,6 +250,105 @@ TEST(LiveStateCacheTest, UncacheableKeyIsRememberedWithoutRecompute) {
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.uncacheable, 2u);
+}
+
+TEST(LiveStateCacheTest, LruBoundEvictsLeastRecentlyUsedResolvedEntry) {
+  LiveStateCache cache(/*max_entries=*/2);
+  EXPECT_EQ(cache.max_entries(), 2u);
+  const auto anchor = std::make_shared<int>(0);
+  const LiveStateCache::Key first{anchor, 1, 100};
+  const LiveStateCache::Key second{anchor, 2, 100};
+  const LiveStateCache::Key third{anchor, 3, 100};
+  (void)cache.get_or_compute(first, make_state(1));
+  (void)cache.get_or_compute(second, make_state(2));
+  // Touch `first` so `second` is the LRU victim when `third` arrives.
+  EXPECT_NE(cache.find(first), nullptr);
+  (void)cache.get_or_compute(third, make_state(3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.find(second), nullptr) << "LRU entry must be the one evicted";
+  EXPECT_NE(cache.find(first), nullptr);
+  EXPECT_NE(cache.find(third), nullptr);
+  // An evicted key simply recomputes — same contract as clear().
+  EXPECT_FALSE(cache.get_or_compute(second, make_state(22)).hit);
+}
+
+TEST(LiveStateCacheTest, TrimDropsLruEntriesAndIsSafeWhileHeld) {
+  LiveStateCache cache;  // default (generous) bound: no automatic eviction
+  const auto anchor = std::make_shared<int>(0);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    (void)cache.get_or_compute({anchor, seed, 100}, make_state(seed + 1));
+  }
+  // Hold seed 0's state, then make it the most recently used.
+  const auto held = cache.find({anchor, 0, 100});
+  ASSERT_NE(held, nullptr);
+
+  cache.trim(2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_NE(cache.find({anchor, 0, 100}), nullptr) << "MRU entries survive";
+  EXPECT_NE(cache.find({anchor, 3, 100}), nullptr);
+  EXPECT_EQ(cache.find({anchor, 1, 100}), nullptr);
+  EXPECT_EQ(cache.find({anchor, 2, 100}), nullptr);
+
+  cache.trim(0);
+  EXPECT_EQ(cache.size(), 0u);
+  // The SnapshotStore::trim contract: dropping the cache's reference never
+  // invalidates a holder.
+  EXPECT_EQ(held->resume_at, 1u);
+  EXPECT_TRUE(held->quiesced);
+}
+
+TEST(LiveStateCacheTest, InFlightComputeIsNeverEvicted) {
+  LiveStateCache cache(/*max_entries=*/1);
+  const auto anchor = std::make_shared<int>(0);
+  const LiveStateCache::Key resolved{anchor, 1, 100};
+  const LiveStateCache::Key in_flight{anchor, 2, 100};
+  (void)cache.get_or_compute(resolved, make_state(1));
+  const LiveStateCache::Lookup lookup = cache.get_or_compute(in_flight, [&] {
+    // Inserting `in_flight` already pushed the resolved entry out (bound
+    // 1); a trim-to-zero during the compute must skip the in-flight entry.
+    cache.trim(0);
+    EXPECT_EQ(cache.size(), 1u);
+    return make_state(2)();
+  });
+  EXPECT_FALSE(lookup.hit);
+  ASSERT_NE(lookup.state, nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.find(in_flight), nullptr) << "the in-flight key survived and resolved";
+  EXPECT_EQ(cache.find(resolved), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Interleaved matrix deal: same-key cells spread across the batch
+// ---------------------------------------------------------------------------
+
+TEST(InterleaveDealTest, RoundRobinsAcrossKeysPreservingWithinKeyOrder) {
+  // The 2-scenario x 2-strategy x 2-seed matrix shape: cells of a key
+  // (scenario, seed) sit at stride |seeds| inside a scenario block.
+  const std::vector<std::size_t> keys{0, 1, 0, 1, 2, 3, 2, 3};
+  const std::vector<std::size_t> order = interleave_keys(keys);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 4, 5, 2, 3, 6, 7}));
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    EXPECT_NE(keys[order[i]], keys[order[i + 1]]) << "slot " << i;
+  }
+}
+
+TEST(InterleaveDealTest, StrategyHeavyMatrixNoLongerFrontloadsOneKey) {
+  // The motivating shape (bench_matrix_startup): 4 strategies x 1 seed —
+  // all four of a scenario's cells share one bootstrap key, so the old
+  // deal parked W-1 workers on cell 0's once-latch at batch start.
+  const std::vector<std::size_t> keys{0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<std::size_t> order = interleave_keys(keys);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 4, 1, 5, 2, 6, 3, 7}));
+  // A permutation (every result slot runs exactly once), within-key order
+  // preserved (the canonical-first cell of a key still bootstraps it).
+  std::vector<std::size_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+  EXPECT_LT(order[0], 4u);
+  EXPECT_GE(order[1], 4u);
 }
 
 // ---------------------------------------------------------------------------
