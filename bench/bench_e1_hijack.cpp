@@ -14,6 +14,7 @@
 
 #include "bench_util.hpp"
 #include "dice/orchestrator.hpp"
+#include "explore/campaign.hpp"
 
 namespace {
 
@@ -47,8 +48,13 @@ int main() {
       bgp::SystemBlueprint blueprint = bgp::make_internet();
       bgp::inject_hijack(blueprint, /*victim=*/12, /*attacker=*/20, scenario.more_specific);
 
-      core::DiceOptions options;
-      options.inputs_per_episode = 16;
+      // Validated through the Campaign builder, lowered to the orchestrator
+      // options this single-system harness drives directly.
+      core::DiceOptions options = explore::CampaignOptions::builder()
+                                      .inputs_per_episode(16)
+                                      .build()
+                                      .take()
+                                      .to_dice_options();
       options.stop_on_first_fault = true;  // measure detection latency exactly
       core::Orchestrator dice(std::move(blueprint), options);
       if (!dice.bootstrap()) continue;

@@ -9,6 +9,7 @@
 
 #include "bench_util.hpp"
 #include "dice/orchestrator.hpp"
+#include "explore/campaign.hpp"
 
 namespace {
 
@@ -43,10 +44,13 @@ int main() {
 
   for (const bool conflicted : {true, false}) {
     bgp::SystemBlueprint blueprint = conflicted ? bgp::make_bad_gadget() : make_good_gadget();
-    core::DiceOptions options;
-    options.inputs_per_episode = 8;
-    options.clone_event_budget = 20'000;
-    options.oscillation_threshold = 8;
+    const core::DiceOptions options = explore::CampaignOptions::builder()
+                                          .inputs_per_episode(8)
+                                          .clone_event_budget(20'000)
+                                          .oscillation_threshold(8)
+                                          .build()
+                                          .take()
+                                          .to_dice_options();
     core::Orchestrator dice(std::move(blueprint), options);
     const bool converged = dice.bootstrap(/*max_events=*/20'000);
 
@@ -72,9 +76,12 @@ int main() {
   table.print();
 
   std::puts("\nevidence detail (BAD GADGET episode):");
-  core::DiceOptions options;
-  options.inputs_per_episode = 4;
-  options.clone_event_budget = 20'000;
+  const core::DiceOptions options = explore::CampaignOptions::builder()
+                                        .inputs_per_episode(4)
+                                        .clone_event_budget(20'000)
+                                        .build()
+                                        .take()
+                                        .to_dice_options();
   core::Orchestrator dice(bgp::make_bad_gadget(), options);
   (void)dice.bootstrap(/*max_events=*/20'000);
   core::GrammarStrategy strategy;

@@ -14,6 +14,7 @@
 #include "bench_util.hpp"
 #include "bgp/workload.hpp"
 #include "dice/runner.hpp"
+#include "explore/campaign.hpp"
 
 int main() {
   using namespace dice;
@@ -22,8 +23,11 @@ int main() {
 
   std::puts("== E7: online exploration under live route-feed churn ==\n");
 
-  core::DiceOptions options;
-  options.inputs_per_episode = 8;
+  const core::DiceOptions options = explore::CampaignOptions::builder()
+                                        .inputs_per_episode(8)
+                                        .build()
+                                        .take()
+                                        .to_dice_options();
   core::Orchestrator dice(bgp::make_internet(), options);
   if (!dice.bootstrap()) {
     std::puts("bootstrap failed");

@@ -10,7 +10,14 @@
 // the determinism receipt: every row must show the same value.
 //
 // Part 2 fans the ScenarioMatrix (bench topologies x strategies x seeds)
-// onto the same pool — the "as many scenarios as you can imagine" soak.
+// onto the same pool — the "as many scenarios as you can imagine" soak —
+// and runs it with nested (global-budget) scheduling on AND off: the fault
+// hashes must match byte for byte.
+//
+// Part 3 is the nested-occupancy receipt: a single-cell campaign on an
+// 8-worker pool, where only the global worker budget can keep more than
+// one worker busy (the cell's clone batches are stolen across the cell
+// boundary). Emitted into BENCH_explore_scale.json under "nested".
 #include <cstdio>
 #include <thread>
 
@@ -36,10 +43,17 @@ ScaleResult run_at(std::size_t workers, std::size_t episodes, bool prepared_clon
   bgp::inject_hijack(blueprint, /*victim=*/12, /*attacker=*/20, /*more_specific=*/true);
   bgp::inject_bug(blueprint, /*node=*/5, bgp::bugs::kCommunityLength);
 
-  core::DiceOptions options;
-  options.inputs_per_episode = 32;
+  explore::CampaignOptions::Caching caching;
+  caching.prepared_clones = prepared_clones;
+  core::DiceOptions options = explore::CampaignOptions::builder()
+                                  .inputs_per_episode(32)
+                                  .caching(caching)
+                                  .build()
+                                  .take()
+                                  .to_dice_options();
+  // Single-system harness: a private pool sized by the row (the lowering
+  // always emits parallelism = 1 — campaigns share one global pool instead).
   options.parallelism = workers;
-  options.prepared_clones = prepared_clones;
   core::Orchestrator dice(std::move(blueprint), options);
   (void)dice.bootstrap();
 
@@ -103,19 +117,39 @@ int main() {
       identical ? "YES" : "NO (determinism bug!)");
 
   std::puts("\n== scenario-matrix soak: bench topologies x strategies x seeds ==\n");
-  // Driven through the Campaign facade (the lowered options are identical
+  // Driven through the Campaign builder (the lowered options are identical
   // to the old hand-built MatrixOptions, so the receipt below must not
-  // move): 4 workers, grammar + concolic, seeds {1, 2}.
-  explore::CampaignOptions options;
-  options.strategies = {explore::StrategyKind::kGrammar, explore::StrategyKind::kConcolic};
-  options.determinism.seeds = {1, 2};
-  options.budgets.episodes_per_cell = 1;
-  options.budgets.inputs_per_episode = 16;
-  options.parallelism.workers = 4;
-  explore::Campaign campaign(explore::default_bench_scenarios(), options);
-  bench::Stopwatch soak;
-  const explore::CampaignResult result = campaign.run();
-  const double soak_ms = soak.ms();
+  // move): 4 workers, grammar + concolic, seeds {1, 2}. Run with the
+  // legacy cells-only schedule first (the equivalence baseline), then with
+  // the nested global budget — same fault bytes required.
+  const auto soak_at = [](bool nested) {
+    explore::CampaignOptions options =
+        explore::CampaignOptions::builder()
+            .strategies({explore::StrategyKind::kGrammar,
+                         explore::StrategyKind::kConcolic})
+            .seeds({1, 2})
+            .episodes_per_cell(1)
+            .inputs_per_episode(16)
+            .parallelism(4)
+            .nested(nested)
+            .build()
+            .take();
+    explore::Campaign campaign(explore::default_bench_scenarios(), options);
+    return campaign.run();
+  };
+  bench::Stopwatch cells_only_soak;
+  const explore::CampaignResult result = soak_at(/*nested=*/false);
+  const double soak_ms = cells_only_soak.ms();
+  bench::Stopwatch nested_soak;
+  const explore::CampaignResult nested_result = soak_at(/*nested=*/true);
+  const double nested_soak_ms = nested_soak.ms();
+  const auto fault_set_hash = [](const explore::CampaignResult& run) {
+    std::uint64_t h = util::kFnvOffset;
+    for (const core::FaultReport& fault : run.faults) h = util::fnv1a(fault.to_string(), h);
+    return util::hash_finalize(h);
+  };
+  const bool nested_match = fault_set_hash(result) == fault_set_hash(nested_result) &&
+                            result.faults.size() == nested_result.faults.size();
 
   bench::Table cells({"scenario", "strategy", "seed", "boot", "clones", "faults", "ms"});
   for (const explore::CellResult& cell : result.cells) {
@@ -126,29 +160,80 @@ int main() {
   }
   cells.print();
   std::printf(
-      "\nmatrix: %zu cells, %zu distinct faults, %.1f ms wall; pool steals=%llu; "
-      "live-state cache %llu miss / %llu hit\n",
-      result.cells.size(), result.faults.size(), soak_ms,
+      "\nmatrix: %zu cells, %zu distinct faults, %.1f ms wall (cells-only) / "
+      "%.1f ms (nested); pool steals=%llu; live-state cache %llu miss / %llu hit\n",
+      result.cells.size(), result.faults.size(), soak_ms, nested_soak_ms,
       static_cast<unsigned long long>(result.pool.steals),
       static_cast<unsigned long long>(result.live_cache.misses),
       static_cast<unsigned long long>(result.live_cache.hits));
+  std::printf(
+      "nested run: %llu child batches, %llu child tasks (%llu helped / %llu stolen "
+      "across cells); fault sets identical nested on/off: %s\n",
+      static_cast<unsigned long long>(nested_result.pool.child_batches),
+      static_cast<unsigned long long>(nested_result.pool.child_tasks),
+      static_cast<unsigned long long>(nested_result.pool.helped),
+      static_cast<unsigned long long>(nested_result.pool.child_steals),
+      nested_match ? "YES" : "NO (determinism bug!)");
   std::printf("solver cache: %llu hits / %llu misses (%llu entries, %llu models)\n",
               static_cast<unsigned long long>(result.solver_cache.hits),
               static_cast<unsigned long long>(result.solver_cache.misses),
               static_cast<unsigned long long>(result.solver_cache.entries),
               static_cast<unsigned long long>(result.solver_cache.sat_entries));
 
-  char json[512];
+  // Part 3 — the occupancy receipt: ONE cell, eight workers. Before the
+  // global budget this shape used exactly one worker no matter the pool
+  // size; now the cell's clone batches are child tasks that idle workers
+  // steal. The dev container is 1-core, so wall clock cannot show the
+  // speedup here — occupied_workers and the help/steal split are the
+  // hardware-independent receipt that multi-core machines will.
+  std::puts("\n== single-cell campaign on an 8-worker pool (nested occupancy) ==\n");
+  explore::CampaignOptions single =
+      explore::CampaignOptions::builder()
+          .strategies({explore::StrategyKind::kGrammar})
+          .seeds({1})
+          .inputs_per_episode(32)
+          .episodes_per_cell(2)
+          .parallelism(8)
+          .build()
+          .take();
+  std::vector<explore::ScenarioSpec> one_cell;
+  bgp::SystemBlueprint fig1 = bgp::make_internet();
+  bgp::inject_hijack(fig1, /*victim=*/12, /*attacker=*/20, /*more_specific=*/true);
+  bgp::inject_bug(fig1, /*node=*/5, bgp::bugs::kCommunityLength);
+  one_cell.push_back({"topology27", std::move(fig1)});
+  explore::Campaign single_campaign(std::move(one_cell), single);
+  bench::Stopwatch single_watch;
+  const explore::CampaignResult single_result = single_campaign.run();
+  const double single_ms = single_watch.ms();
+  const std::size_t occupied = single_result.pool.occupied_workers();
+  std::printf(
+      "1 cell, %zu clones: %zu/8 workers occupied; %llu clones helped by the cell's "
+      "worker, %llu stolen by idle peers; %.1f ms wall\n",
+      single_result.cells.empty() ? 0 : single_result.cells[0].clones_run, occupied,
+      static_cast<unsigned long long>(single_result.pool.helped),
+      static_cast<unsigned long long>(single_result.pool.child_steals), single_ms);
+
+  char json[1024];
   std::snprintf(json, sizeof(json),
                 "{\"bench\":\"explore_scale\",\"topology\":\"internet27\","
                 "\"episodes\":%zu,\"fault_set_hash\":\"%016llx\","
                 "\"fault_sets_identical\":%s,\"serial_wall_ms\":%.1f,"
                 "\"matrix_cells\":%zu,\"matrix_faults\":%zu,\"matrix_wall_ms\":%.1f,"
-                "\"live_cache_hits\":%llu}",
+                "\"live_cache_hits\":%llu,"
+                "\"nested\":{\"fault_sets_identical\":%s,\"matrix_wall_ms\":%.1f,"
+                "\"child_batches\":%llu,\"child_tasks\":%llu,\"helped\":%llu,"
+                "\"child_steals\":%llu,\"single_cell_occupied_workers\":%zu,"
+                "\"single_cell_wall_ms\":%.1f}}",
                 kEpisodes, static_cast<unsigned long long>(serial_hash),
                 identical ? "true" : "false", serial_ms, result.cells.size(),
                 result.faults.size(), soak_ms,
-                static_cast<unsigned long long>(result.live_cache.hits));
+                static_cast<unsigned long long>(result.live_cache.hits),
+                nested_match ? "true" : "false", nested_soak_ms,
+                static_cast<unsigned long long>(nested_result.pool.child_batches),
+                static_cast<unsigned long long>(nested_result.pool.child_tasks),
+                static_cast<unsigned long long>(nested_result.pool.helped),
+                static_cast<unsigned long long>(nested_result.pool.child_steals),
+                occupied, single_ms);
   bench::emit_json("explore_scale", json);
-  return identical ? 0 : 1;
+  return identical && nested_match ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 
 #include "bench_util.hpp"
 #include "dice/orchestrator.hpp"
+#include "explore/campaign.hpp"
 
 int main() {
   using namespace dice;
@@ -27,8 +28,11 @@ int main() {
   bgp::inject_hijack(blueprint, /*victim=*/12, /*attacker=*/20, /*more_specific=*/true);
   bgp::inject_bug(blueprint, /*node=*/5, bgp::bugs::kCommunityLength);
 
-  core::DiceOptions options;
-  options.inputs_per_episode = 24;
+  const core::DiceOptions options = explore::CampaignOptions::builder()
+                                        .inputs_per_episode(24)
+                                        .build()
+                                        .take()
+                                        .to_dice_options();
   core::Orchestrator dice(std::move(blueprint), options);
 
   Stopwatch boot;

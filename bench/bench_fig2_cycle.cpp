@@ -11,6 +11,7 @@
 
 #include "bench_util.hpp"
 #include "dice/orchestrator.hpp"
+#include "explore/campaign.hpp"
 
 int main() {
   using namespace dice;
@@ -28,8 +29,11 @@ int main() {
     bgp::SystemBlueprint blueprint = bgp::make_internet(params);
     const std::size_t n_links = blueprint.links.size();
 
-    core::DiceOptions options;
-    options.inputs_per_episode = 16;
+    const core::DiceOptions options = explore::CampaignOptions::builder()
+                                          .inputs_per_episode(16)
+                                          .build()
+                                          .take()
+                                          .to_dice_options();
     core::Orchestrator dice(std::move(blueprint), options);
     if (!dice.bootstrap()) {
       std::printf("(%zu stubs: bootstrap failed)\n", stubs);

@@ -49,18 +49,25 @@ struct RunOutput {
   // receipts). Four strategies x one seed: every (scenario, seed) key is
   // hit four times, so three of every four cells are "repeated" — the
   // cells the cache is for.
-  explore::CampaignOptions options;
-  options.strategies = {explore::StrategyKind::kGrammar, explore::StrategyKind::kRandom,
-                        explore::StrategyKind::kGrammarStrict,
-                        explore::StrategyKind::kConcolic};
-  options.determinism.seeds = {1};
-  options.budgets.episodes_per_cell = 1;
-  options.budgets.bootstrap_events = kBootstrapBudget;
-  options.caching.live_state_cache = cached;
-  options.budgets.inputs_per_episode = 4;
-  options.budgets.clone_event_budget = 60'000;
-  options.determinism.bootstrap_early_exit = bootstrap_early_exit;
-  options.parallelism.workers = 1;  // serial: per-cell timings stay comparable
+  explore::CampaignOptions::Caching caching;
+  caching.live_state_cache = cached;
+  explore::CampaignOptions::Determinism determinism;
+  determinism.seeds = {1};
+  determinism.bootstrap_early_exit = bootstrap_early_exit;
+  const explore::CampaignOptions options =
+      explore::CampaignOptions::builder()
+          .strategies({explore::StrategyKind::kGrammar, explore::StrategyKind::kRandom,
+                       explore::StrategyKind::kGrammarStrict,
+                       explore::StrategyKind::kConcolic})
+          .determinism(std::move(determinism))
+          .caching(caching)
+          .episodes_per_cell(1)
+          .bootstrap_events(kBootstrapBudget)
+          .inputs_per_episode(4)
+          .clone_event_budget(60'000)
+          .parallelism(1)  // serial: per-cell timings stay comparable
+          .build()
+          .take();
   explore::Campaign campaign(scenarios(), options);
   RunOutput output;
   output.result = campaign.run();
@@ -144,8 +151,13 @@ int main() {
   // The other half of the startup story: a dispute-wheel bootstrap now
   // takes the deterministic oscillation exit instead of burning the budget.
   const auto gadget_events = [](bool early_exit) {
-    core::DiceOptions options;
-    options.bootstrap_early_exit = early_exit;
+    explore::CampaignOptions::Determinism determinism;
+    determinism.bootstrap_early_exit = early_exit;
+    const core::DiceOptions options = explore::CampaignOptions::builder()
+                                          .determinism(std::move(determinism))
+                                          .build()
+                                          .take()
+                                          .to_dice_options();
     core::Orchestrator dice(bgp::make_bad_gadget(), options);
     (void)dice.bootstrap(kBootstrapBudget);
     return dice.live().simulator().executed();

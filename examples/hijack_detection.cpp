@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "dice/orchestrator.hpp"
+#include "explore/campaign.hpp"
 
 int main() {
   using namespace dice;
@@ -26,8 +27,11 @@ int main() {
               attacker, bgp::node_asn(attacker), stolen.to_string().c_str());
   bgp::inject_hijack(blueprint, victim, attacker, /*more_specific=*/true);
 
-  core::DiceOptions options;
-  options.inputs_per_episode = 8;
+  const core::DiceOptions options = explore::CampaignOptions::builder()
+                                        .inputs_per_episode(8)
+                                        .build()
+                                        .take()
+                                        .to_dice_options();
   core::Orchestrator dice(std::move(blueprint), options);
   if (!dice.bootstrap()) {
     std::puts("live system failed to converge");

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "dice/orchestrator.hpp"
+#include "explore/campaign.hpp"
 
 int main() {
   using namespace dice;
@@ -21,10 +22,13 @@ int main() {
                 i == 3 ? 1 : i + 1);
   }
 
-  core::DiceOptions options;
-  options.inputs_per_episode = 4;
-  options.clone_event_budget = 20'000;
-  options.oscillation_threshold = 8;
+  const core::DiceOptions options = explore::CampaignOptions::builder()
+                                        .inputs_per_episode(4)
+                                        .clone_event_budget(20'000)
+                                        .oscillation_threshold(8)
+                                        .build()
+                                        .take()
+                                        .to_dice_options();
   core::Orchestrator dice(std::move(blueprint), options);
 
   const bool converged = dice.bootstrap(/*max_events=*/20'000);

@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "dice/orchestrator.hpp"
+#include "explore/campaign.hpp"
 
 int main(int argc, char** argv) {
   using namespace dice;
@@ -26,9 +27,14 @@ int main(int argc, char** argv) {
     bgp::inject_hijack(blueprint, /*victim=*/0, /*attacker=*/2);
   }
 
-  // 2. Bring up DiCE around the live system.
-  core::DiceOptions options;
-  options.inputs_per_episode = 16;
+  // 2. Bring up DiCE around the live system. Options go through the
+  //    Campaign builder (validated, grouped — docs/TUNING.md) and lower to
+  //    the orchestrator struct this single-system harness drives directly.
+  const core::DiceOptions options = explore::CampaignOptions::builder()
+                                        .inputs_per_episode(16)
+                                        .build()
+                                        .take()
+                                        .to_dice_options();
   core::Orchestrator dice(std::move(blueprint), options);
   if (!dice.bootstrap()) {
     std::puts("live system failed to converge");

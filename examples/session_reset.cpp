@@ -14,12 +14,16 @@
 #include <cstdio>
 
 #include "dice/runner.hpp"
+#include "explore/campaign.hpp"
 
 int main() {
   using namespace dice;
 
-  core::DiceOptions options;
-  options.inputs_per_episode = 8;
+  const core::DiceOptions options = explore::CampaignOptions::builder()
+                                        .inputs_per_episode(8)
+                                        .build()
+                                        .take()
+                                        .to_dice_options();
   core::Orchestrator dice(bgp::make_internet(), options);
   if (!dice.bootstrap()) {
     std::puts("live system failed to converge");

@@ -34,13 +34,18 @@ Orchestrator::Orchestrator(std::shared_ptr<const SystemPrototype> prototype,
       options_(options),
       live_(std::make_unique<System>(prototype_)),
       external_arena_(external_arena) {
-  if (options_.parallelism > 1) {
+  // A shared pool replaces the private one entirely: one global worker
+  // budget, no second thread team to oversubscribe it.
+  if (options_.shared_pool == nullptr && options_.parallelism > 1) {
     pool_ = std::make_unique<explore::ExplorePool>(options_.parallelism);
   }
 }
 
-explore::CloneArena* Orchestrator::arena_for(std::size_t worker) noexcept {
-  if (pool_ != nullptr) return &pool_->arena(worker);
+explore::CloneArena* Orchestrator::arena_for(std::size_t worker, bool pooled) noexcept {
+  if (pooled) {
+    return options_.shared_pool != nullptr ? &options_.shared_pool->arena(worker)
+                                           : &pool_->arena(worker);
+  }
   if (external_arena_ != nullptr) return external_arena_;
   return &serial_arena_;
 }
@@ -261,12 +266,28 @@ EpisodeResult Orchestrator::run_episode(InputStrategy& strategy) {
   // untaken branch.
   std::atomic<bool> stop_observed{false};
   const bool stoppable = options_.stop.stop_possible();
+  // Which pool executes the batch: the shared (global-budget) pool wins
+  // over a private one. `pooled` is captured by the worker-id -> arena
+  // mapping below: batch execution indexes the pool's arenas, the serial
+  // fallback uses the external/serial arena of THIS call stack.
+  explore::ExplorePool* batch_pool =
+      options_.shared_pool != nullptr ? options_.shared_pool : pool_.get();
+  const bool pooled = batch_pool != nullptr && !options_.stop_on_first_fault;
+  // Dispatch receipt, only meaningful on the pooled path: a task the pool
+  // never handed to execute was swept by an ExplorePool::drain() — possibly
+  // one triggered by a token THIS episode cannot observe. Such an episode
+  // must report interrupted rather than pass a truncated fault list off as
+  // complete. (The serial path skips tasks only by design —
+  // stop_on_first_fault — and is never drained.)
+  std::vector<unsigned char> dispatched;
   const auto execute = [&](std::size_t index, std::size_t worker) {
+    dispatched[index] = 1;
     if (stoppable && options_.stop.stop_requested()) {
       stop_observed.store(true, std::memory_order_relaxed);
       return;  // outcome stays !ran; the episode reports interrupted
     }
-    outcomes[index] = explore::run_clone_task(tasks[index], check, arena_for(worker));
+    outcomes[index] =
+        explore::run_clone_task(tasks[index], check, arena_for(worker, pooled));
     // 32-bit priority bands: a task would need 2^32 faults to bleed into
     // the next task's band (the old 16-bit band left only 65k headroom).
     assert(outcomes[index].faults.size() < (std::uint64_t{1} << 32));
@@ -280,6 +301,7 @@ EpisodeResult Orchestrator::run_episode(InputStrategy& strategy) {
     // episode — before any input is generated, so a standing fault never
     // pays for (or advances) the strategy's generation state.
     outcomes.resize(tasks.size());
+    dispatched.resize(tasks.size(), 0);
     for (; executed < tasks.size() && ledger.empty(); ++executed) {
       execute(executed, 0);
     }
@@ -296,10 +318,13 @@ EpisodeResult Orchestrator::run_episode(InputStrategy& strategy) {
       tasks.push_back(std::move(task));
     }
     outcomes.resize(tasks.size());
-    const bool parallel =
-        pool_ != nullptr && pool_->workers() > 1 && !options_.stop_on_first_fault;
-    if (parallel) {
-      pool_->run_batch(tasks.size(), execute);
+    dispatched.resize(tasks.size(), 0);
+    if (pooled) {
+      // Shared pool: the batch becomes child tasks of the calling cell when
+      // this runs on a pool worker (nested parallelism — idle workers steal
+      // the clones), or a regular external batch otherwise. A threadless
+      // shared pool executes the same loop inline. Private pool: unchanged.
+      batch_pool->run_batch(tasks.size(), execute);
     } else {
       for (; executed < tasks.size(); ++executed) {
         execute(executed, 0);
@@ -319,6 +344,19 @@ EpisodeResult Orchestrator::run_episode(InputStrategy& strategy) {
   live_->snapshots().trim(1);
 
   result.interrupted = stop_observed.load(std::memory_order_relaxed);
+  if (!result.interrupted && pooled) {
+    // A drain can also skip tasks WITHOUT execute ever observing a token:
+    // a cancelling peer cell sweeps every queued task in the shared pool,
+    // including this episode's still-queued clones — and the sweeping
+    // token need not be one this episode can see. Any undispatched task
+    // means the fault list is partial — same contract as an observed stop.
+    for (const unsigned char ran : dispatched) {
+      if (ran == 0) {
+        result.interrupted = true;
+        break;
+      }
+    }
+  }
 
   // Serial merge, in task order: counters, timings, then the deduplicated
   // fault list (canonical order — identical for any worker count).

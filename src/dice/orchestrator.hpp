@@ -41,8 +41,19 @@ struct DiceOptions {
   /// on their own task, and faults merge through a priority-ordered
   /// FaultLedger that reproduces serial encounter order.
   /// `stop_on_first_fault` forces the serial path (its early-exit contract
-  /// is inherently sequential).
+  /// is inherently sequential). Ignored when `shared_pool` is set.
   std::size_t parallelism = 1;
+  /// The GLOBAL worker budget: an externally-owned pool to run clone
+  /// batches on instead of a private `parallelism`-sized pool. When the
+  /// episode runs on one of the pool's own workers (a ScenarioMatrix cell
+  /// with nested parallelism), the clone batch is submitted as CHILD tasks
+  /// of that worker — the cell helps execute its own clones while idle
+  /// workers steal them across cell boundaries; from any other thread the
+  /// batch is a regular external batch. Fault sets are byte-identical to
+  /// the serial and private-pool paths for any worker count (see
+  /// docs/DETERMINISM.md). The pool must outlive the orchestrator; a
+  /// threadless (workers <= 1) pool degrades to the exact serial loop.
+  explore::ExplorePool* shared_pool = nullptr;
   /// Root seed for the per-task RNG streams handed to CloneTasks
   /// (util::Rng::fork(stream_id)). Clone runs draw nothing from them yet
   /// (see explore::CloneTask::rng); the knob exists so future randomized
@@ -163,9 +174,13 @@ class Orchestrator {
                                                       bool quiesced) const;
 
  private:
-  /// The arena a task should run on: the executing pool worker's, else the
-  /// externally provided one, else this orchestrator's serial arena.
-  [[nodiscard]] explore::CloneArena* arena_for(std::size_t worker) noexcept;
+  /// The arena a task should run on: the executing pool worker's (shared
+  /// or owned), else the externally provided one, else this orchestrator's
+  /// serial arena. `pooled` distinguishes a batch running ON pool workers
+  /// (worker ids index that pool's arenas) from the inline serial loop
+  /// (worker id is a constant 0 and must NOT touch shared arena 0 — that
+  /// one belongs to the pool's real worker 0).
+  [[nodiscard]] explore::CloneArena* arena_for(std::size_t worker, bool pooled) noexcept;
 
   /// The flip threshold bootstrap converges under (0 = early-exit off) —
   /// one definition for both converge_bounded and the LiveStateCache key.

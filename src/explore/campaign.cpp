@@ -74,7 +74,7 @@ core::DiceOptions CampaignOptions::to_dice_options() const {
   dice.clone_time_budget = budgets.clone_time_budget;
   dice.include_baseline_clone = budgets.include_baseline_clone;
   dice.oscillation_threshold = determinism.oscillation_threshold;
-  dice.parallelism = 1;  // cells are the parallel unit; the matrix enforces this
+  dice.parallelism = 1;  // never a private pool; the matrix wires the shared one
   dice.rng_seed = determinism.rng_seed;
   dice.prepared_clones = caching.prepared_clones;
   dice.oscillation_early_exit = determinism.oscillation_early_exit;
@@ -92,6 +92,7 @@ MatrixOptions CampaignOptions::to_matrix_options() const {
   matrix.share_solver_cache = caching.share_solver_cache;
   matrix.live_state_cache = caching.live_state_cache;
   matrix.live_cache = caching.live_cache;
+  matrix.nested_parallelism = parallelism.nested;
   return matrix;
 }
 

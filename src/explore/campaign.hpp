@@ -25,9 +25,11 @@
 //   carry fault sets byte-identical to an uncancelled run's, at any worker
 //   count.
 //
-// The legacy entry points (ScenarioMatrix::run(pool), Orchestrator driven
-// by hand) remain as thin wrappers for one release; see the README
-// migration table.
+// The pre-Campaign thin wrappers (ScenarioMatrix::run(pool) without a
+// RunControl, hand-built MatrixOptions in callers) are gone after their one
+// release of migration headroom; driving Orchestrator directly remains
+// supported for single-system harnesses. See docs/ARCHITECTURE.md for the
+// layer tour and docs/TUNING.md for every knob.
 #pragma once
 
 #include <chrono>
@@ -66,12 +68,23 @@ struct CampaignOptions {
     bool share_solver_cache = false;     ///< was MatrixOptions::share_solver_cache
     bool prepared_clones = true;         ///< was DiceOptions::prepared_clones
   };
-  /// Where the work runs.
+  /// Where the work runs. `workers` is the ONE global knob: a single
+  /// worker budget that both layers — matrix cells and their episodes'
+  /// clone batches — draw from. The old cells-vs-clones split
+  /// (DiceOptions::parallelism inside MatrixOptions::dice) is gone; there
+  /// is no way to oversubscribe by sizing two layers independently.
   struct Parallelism {
-    std::size_t workers = 1;      ///< was DiceOptions::parallelism (cells in parallel)
+    std::size_t workers = 1;      ///< global worker budget (cells + clones)
     /// External pool shared across campaigns (arena reuse); overrides
     /// `workers`. nullptr = the campaign owns a pool for its lifetime.
     ExplorePool* pool = nullptr;
+    /// Nested parallelism (default on): cells submit clone batches back
+    /// into the shared pool as child tasks, so a 1-cell campaign still
+    /// fills all `workers` workers (idle workers steal a parked cell's
+    /// clones). Off = the legacy cells-only schedule, kept as the
+    /// equivalence baseline. Fault bytes are identical either way at any
+    /// worker count (docs/DETERMINISM.md; `explore_nested_test`).
+    bool nested = true;
   };
   /// Everything that pins the byte-identical receipt.
   struct Determinism {
@@ -124,9 +137,37 @@ class CampaignOptions::Builder {
     options_.parallelism = value;
     return *this;
   }
-  /// Convenience: worker count only.
+  /// Convenience: worker count only — the global budget for cells AND
+  /// their clone batches.
   Builder& parallelism(std::size_t workers) {
     options_.parallelism.workers = workers;
+    return *this;
+  }
+  /// Convenience: toggle nested (global-budget) scheduling.
+  Builder& nested(bool value) {
+    options_.parallelism.nested = value;
+    return *this;
+  }
+  /// Per-knob budget conveniences, for callers migrating from hand-built
+  /// DiceOptions/MatrixOptions who only ever set one or two fields.
+  Builder& episodes_per_cell(std::size_t value) {
+    options_.budgets.episodes_per_cell = value;
+    return *this;
+  }
+  Builder& inputs_per_episode(std::size_t value) {
+    options_.budgets.inputs_per_episode = value;
+    return *this;
+  }
+  Builder& bootstrap_events(std::size_t value) {
+    options_.budgets.bootstrap_events = value;
+    return *this;
+  }
+  Builder& clone_event_budget(std::size_t value) {
+    options_.budgets.clone_event_budget = value;
+    return *this;
+  }
+  Builder& oscillation_threshold(std::uint32_t value) {
+    options_.determinism.oscillation_threshold = value;
     return *this;
   }
   Builder& determinism(Determinism value) {

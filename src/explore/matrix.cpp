@@ -234,14 +234,23 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
 
     const auto start = Clock::now();
     core::DiceOptions dice = options_.dice;
-    dice.parallelism = 1;  // cells are the parallel unit
+    dice.parallelism = 1;  // never a private pool per cell
+    // Nested parallelism: the cell's episodes submit their clone batches
+    // back into THIS pool as child tasks of this worker — idle workers
+    // steal them across cell boundaries, so even a single parked cell
+    // keeps the whole worker budget busy. Off: clones run serially on
+    // this worker (the legacy cells-only split, kept as the equivalence
+    // baseline). Either way the fault bytes are identical: clone RNG
+    // streams and ledger priorities key off canonical indices only.
+    dice.shared_pool = options_.nested_parallelism ? &pool : nullptr;
     dice.stop = control.stop;  // polled between clones, never mid-clone
     // Disjoint stream ids (2i, 2i+1) keep every cell's clone-RNG root and
     // strategy stream distinct from every other cell's, even when cells
     // share the same matrix seed.
     dice.rng_seed = util::Rng(cell.seed).fork(2 * index).next();
-    // The cell runs its clones serially on this worker's arena; the shared
-    // per-scenario prototype lets the arena's System survive across cells.
+    // Clones land on the arena of whichever pool worker executes them
+    // (nested) or on this worker's arena (serial/legacy); the shared
+    // per-scenario prototype lets every arena's System survive across cells.
     core::Orchestrator orchestrator(prototypes_[cell.scenario], dice, &pool.arena(worker));
     if (options_.live_state_cache) {
       out.bootstrap_converged = orchestrator.bootstrap_cached(
@@ -329,8 +338,17 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
   result.live_cache.evictions = cache_after.evictions - cache_before.evictions;
   const ExplorePool::Stats pool_after = pool.stats();
   result.pool.batches = pool_after.batches - pool_before.batches;
+  result.pool.child_batches = pool_after.child_batches - pool_before.child_batches;
   result.pool.tasks_run = pool_after.tasks_run - pool_before.tasks_run;
+  result.pool.child_tasks = pool_after.child_tasks - pool_before.child_tasks;
   result.pool.steals = pool_after.steals - pool_before.steals;
+  result.pool.child_steals = pool_after.child_steals - pool_before.child_steals;
+  result.pool.helped = pool_after.helped - pool_before.helped;
+  result.pool.worker_tasks.assign(pool_after.worker_tasks.size(), 0);
+  for (std::size_t w = 0; w < pool_after.worker_tasks.size(); ++w) {
+    result.pool.worker_tasks[w] =
+        pool_after.worker_tasks[w] - pool_before.worker_tasks[w];
+  }
   return result;
 }
 

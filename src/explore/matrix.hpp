@@ -1,10 +1,11 @@
 // ScenarioMatrix: the diverse-soak driver. Fans the cross-product of
 // blueprints x input strategies x seeds out onto an ExplorePool — each cell
-// boots its own live system, runs DiCE episodes serially inside the cell
-// (cells are the parallel unit; nested clone parallelism would oversubscribe
-// the pool), and merges its deduplicated faults into one matrix-wide ledger
-// keyed by cell order, so the aggregate fault list is deterministic for any
-// worker count.
+// boots its own live system, runs DiCE episodes whose clone batches are
+// submitted BACK into the same pool as child tasks (nested parallelism: one
+// global worker budget for cells and clones, idle workers steal a parked
+// cell's clones across cell boundaries), and merges its deduplicated faults
+// into one matrix-wide ledger keyed by cell order, so the aggregate fault
+// list is deterministic for any worker count, with nesting on or off.
 //
 // This turns the bench topologies (hijack, policy conflict, cycle,
 // topology27) into one soak run covering many scenarios per unit time —
@@ -46,6 +47,16 @@ struct MatrixOptions {
   std::size_t episodes_per_cell = 1;
   std::size_t bootstrap_events = 500'000;
   core::DiceOptions dice;  ///< per-cell episode options (parallelism forced to 1)
+  /// Nested parallelism — the global worker budget. On (default): every
+  /// cell submits its episodes' clone batches back into the SAME pool as
+  /// child tasks of the cell's worker, so a 1-cell matrix on a W-worker
+  /// pool still keeps all W workers busy (idle workers steal the parked
+  /// cell's clones). Off: the legacy cells-only split — a cell's clones run
+  /// serially on the one worker that owns the cell (the equivalence
+  /// baseline). Fault sets are byte-identical either way at any worker
+  /// count: per-clone RNG streams and ledger priorities derive from
+  /// canonical indices, never from execution order (docs/DETERMINISM.md).
+  bool nested_parallelism = true;
   /// Share one SolverCache across all concolic cells. Maximizes reuse but
   /// lets concurrent cells observe each other's (sound, verified) models;
   /// keep false when byte-stable repeat runs matter more than throughput.
@@ -115,13 +126,12 @@ class ScenarioMatrix {
   ScenarioMatrix(std::vector<ScenarioSpec> scenarios, MatrixOptions options);
 
   /// Runs every (scenario, strategy, seed) cell on the pool and blocks
-  /// until all complete. Thin wrapper over the controlled overload —
-  /// prefer explore::Campaign (campaign.hpp), the streaming, cancellable
-  /// front door, for new code.
-  [[nodiscard]] MatrixResult run(ExplorePool& pool) { return run(pool, RunControl{}); }
-
-  /// The controlled form: streams events to `control.observer` in
-  /// canonical cell order as cells land, and polls `control.stop` between
+  /// until all complete. (The pre-Campaign `run(pool)` wrapper without a
+  /// RunControl is gone after its one release of migration headroom — pass
+  /// `RunControl{}` for the legacy blocking behavior, or better, drive the
+  /// matrix through explore::Campaign.) Streams events to
+  /// `control.observer` in canonical cell order as cells land, and polls
+  /// `control.stop` between
   /// cells, episodes and clones (never mid-clone). A cancelled run returns
   /// a well-formed partial result: completed cells keep byte-identical
   /// fault sets, skipped/interrupted ones are flagged and contribute no

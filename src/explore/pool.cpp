@@ -15,6 +15,12 @@ using Clock = std::chrono::steady_clock;
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
 }
 
+// Which pool (if any) owns the current thread. A worker of pool A that
+// indirectly constructs pool B (an orchestrator with its own parallelism)
+// still resolves correctly: current_worker() compares the pool pointer.
+thread_local const ExplorePool* tl_pool = nullptr;
+thread_local std::size_t tl_worker = ExplorePool::kNoWorker;
+
 }  // namespace
 
 CloneOutcome run_clone_task(const CloneTask& task, const CheckFn& check, CloneArena* arena) {
@@ -67,6 +73,7 @@ ExplorePool::ExplorePool(std::size_t workers) : workers_(std::max<std::size_t>(w
     deques_.push_back(std::make_unique<WorkerDeque>());
   }
   arenas_ = std::vector<CloneArena>(workers_);
+  stats_.worker_tasks.assign(workers_, 0);
   if (workers_ <= 1) return;  // threadless compatibility path
   threads_.reserve(workers_);
   for (std::size_t i = 0; i < workers_; ++i) {
@@ -76,25 +83,34 @@ ExplorePool::ExplorePool(std::size_t workers) : workers_(std::max<std::size_t>(w
 
 ExplorePool::~ExplorePool() {
   {
-    const std::lock_guard<std::mutex> lock(batch_mutex_);
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
     shutdown_ = true;
   }
   work_ready_.notify_all();
   for (std::thread& thread : threads_) thread.join();
 }
 
-bool ExplorePool::next_task(std::size_t worker_id, std::size_t& task) {
+std::size_t ExplorePool::current_worker() const noexcept {
+  return tl_pool == this ? tl_worker : kNoWorker;
+}
+
+bool ExplorePool::next_task(std::size_t worker_id, Task& task, bool& stolen) {
   {
     WorkerDeque& own = *deques_[worker_id];
     const std::lock_guard<std::mutex> lock(own.mutex);
     if (!own.tasks.empty()) {
       task = own.tasks.front();
       own.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      stolen = false;
       return true;
     }
   }
   // Steal from the back of the fullest victim, so the thief takes the work
-  // the owner would reach last (classic work-stealing order).
+  // the owner would reach last (classic work-stealing order). The back of a
+  // deque is also the COARSEST work available — a cell's child clones are
+  // pushed to its front — so thieves prefer whole queued cells and take
+  // another cell's clones exactly when nothing coarser remains.
   while (true) {
     std::size_t victim = workers_;
     std::size_t victim_depth = 0;
@@ -111,87 +127,187 @@ bool ExplorePool::next_task(std::size_t worker_id, std::size_t& task) {
     if (deques_[victim]->tasks.empty()) continue;  // raced; rescan
     task = deques_[victim]->tasks.back();
     deques_[victim]->tasks.pop_back();
-    {
-      const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-      ++stats_.steals;
-    }
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    stolen = true;
     return true;
   }
 }
 
+bool ExplorePool::pop_group_task(TaskGroup& group, std::size_t worker_id, Task& task) {
+  WorkerDeque& own = *deques_[worker_id];
+  const std::lock_guard<std::mutex> lock(own.mutex);
+  for (auto it = own.tasks.begin(); it != own.tasks.end(); ++it) {
+    if (it->group == &group) {
+      task = *it;
+      own.tasks.erase(it);
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ExplorePool::run_task(const Task& task, std::size_t worker_id, bool stolen,
+                           bool helped) {
+  (*task.group->fn)(task.index, worker_id);
+  const bool child = task.group->owner != kNoWorker;
+  {
+    // Stats BEFORE the latch credit: once pending hits zero the batch
+    // submitter may return and read stats() expecting every task of the
+    // finished batch to be accounted for.
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.tasks_run;
+    ++stats_.worker_tasks[worker_id];
+    if (child) ++stats_.child_tasks;
+    if (stolen) ++stats_.steals;
+    if (stolen && child) ++stats_.child_steals;
+    if (helped) ++stats_.helped;
+  }
+  // Credit the latch under the group mutex: the waiter can only observe
+  // pending == 0 (and destroy the group) after this critical section
+  // releases, so the notify below never touches a dead group.
+  const std::lock_guard<std::mutex> lock(task.group->mutex);
+  if (--task.group->pending == 0) task.group->done.notify_all();
+}
+
+void ExplorePool::announce_work() {
+  // The empty critical section is the publication handshake: a worker that
+  // saw queued_ == 0 still holds pool_mutex_ until it sleeps, so acquiring
+  // it here guarantees our notify lands after the worker is waiting.
+  { const std::lock_guard<std::mutex> lock(pool_mutex_); }
+  work_ready_.notify_all();
+}
+
 void ExplorePool::worker_loop(std::size_t worker_id) {
-  std::uint64_t seen_epoch = 0;
+  tl_pool = this;
+  tl_worker = worker_id;
   while (true) {
-    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(batch_mutex_);
-      work_ready_.wait(lock, [&] { return shutdown_ || batch_epoch_ != seen_epoch; });
-      if (shutdown_) return;
-      seen_epoch = batch_epoch_;
-      fn = batch_fn_;
+    Task task;
+    bool stolen = false;
+    if (next_task(worker_id, task, stolen)) {
+      run_task(task, worker_id, stolen, /*helped=*/false);
+      continue;
     }
-    std::size_t completed = 0;
-    std::size_t task = 0;
-    while (next_task(worker_id, task)) {
-      (*fn)(task, worker_id);
-      ++completed;
+    std::unique_lock<std::mutex> lock(pool_mutex_);
+    work_ready_.wait(lock, [&] {
+      return shutdown_ || queued_.load(std::memory_order_relaxed) > 0;
+    });
+    if (shutdown_) return;
+  }
+}
+
+void ExplorePool::run_external_batch(std::size_t count,
+                                     const std::function<void(std::size_t, std::size_t)>& fn) {
+  TaskGroup group;
+  group.fn = &fn;
+  group.owner = kNoWorker;
+  group.pending = count;
+  for (std::size_t i = 0; i < count; ++i) {
+    WorkerDeque& deque = *deques_[i % workers_];
+    const std::lock_guard<std::mutex> lock(deque.mutex);
+    deque.tasks.push_back(Task{&group, i});
+    // Increment under the SAME mutex the pop path decrements under: for any
+    // task the add strictly precedes the sub, so queued_ can never transit
+    // through an unsigned underflow (which would read as "work everywhere"
+    // and busy-spin every idle worker until the count caught up).
+    queued_.fetch_add(1, std::memory_order_relaxed);
+  }
+  announce_work();
+  std::unique_lock<std::mutex> lock(group.mutex);
+  group.done.wait(lock, [&] { return group.pending == 0; });
+}
+
+void ExplorePool::run_child_batch(std::size_t count,
+                                  const std::function<void(std::size_t, std::size_t)>& fn,
+                                  std::size_t worker_id) {
+  TaskGroup group;
+  group.fn = &fn;
+  group.owner = worker_id;
+  group.pending = count;
+  {
+    WorkerDeque& own = *deques_[worker_id];
+    const std::lock_guard<std::mutex> lock(own.mutex);
+    // Front of the owner's deque, task 0 first: depth-first — the owner
+    // finishes its episode's clones before touching any queued cell. The
+    // count moves under the deque mutex for the same no-underflow reason
+    // as the external deal.
+    for (std::size_t i = count; i-- > 0;) {
+      own.tasks.push_front(Task{&group, i});
     }
-    if (completed > 0) {
-      const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-      stats_.tasks_run += completed;
+    queued_.fetch_add(count, std::memory_order_relaxed);
+  }
+  announce_work();
+  // Help-then-wait: execute this group's still-queued tasks ourselves;
+  // once every remaining task is in flight on a thief, sleep on the latch.
+  // Helping is restricted to the awaited group so a waiting cell never
+  // starts ANOTHER cell underneath itself (bounded stacks by construction).
+  while (true) {
+    Task task;
+    if (pop_group_task(group, worker_id, task)) {
+      run_task(task, worker_id, /*stolen=*/false, /*helped=*/true);
+      continue;
     }
-    // Every worker acknowledges the epoch — including ones that found no
-    // work. run_batch returns only after all acks, so no worker can still
-    // be draining epoch N when epoch N+1's tasks (and function) appear.
-    bool done = false;
-    {
-      const std::lock_guard<std::mutex> lock(batch_mutex_);
-      ++workers_done_;
-      done = workers_done_ == workers_;
-    }
-    if (done) batch_done_.notify_all();
+    std::unique_lock<std::mutex> lock(group.mutex);
+    group.done.wait(lock, [&] { return group.pending == 0; });
+    return;
   }
 }
 
 void ExplorePool::run_batch(std::size_t count,
                             const std::function<void(std::size_t, std::size_t)>& fn) {
   if (count == 0) return;
+  const std::size_t worker = current_worker();
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.batches;
+    if (worker != kNoWorker || (workers_ <= 1 && inline_depth_ > 0)) {
+      ++stats_.child_batches;
+    } else {
+      ++stats_.batches;
+    }
   }
   if (workers_ <= 1) {
-    // Inline compatibility path: no threads, no queues — the exact serial loop.
+    // Inline compatibility path: no threads, no queues — the exact serial
+    // loop. Reentrant calls (a cell's episode batch) are plain nested loops.
+    ++inline_depth_;
+    const bool nested = inline_depth_ > 1;
     for (std::size_t i = 0; i < count; ++i) fn(i, 0);
+    --inline_depth_;
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.tasks_run += count;
+    stats_.worker_tasks[0] += count;
+    if (nested) {
+      // Inline children are by definition executed by their submitter —
+      // count them as helped so the helped + child_steals == child_tasks
+      // conservation law holds on the threadless path too.
+      stats_.child_tasks += count;
+      stats_.helped += count;
+    }
     return;
   }
-  for (std::size_t i = 0; i < count; ++i) {
-    WorkerDeque& deque = *deques_[i % workers_];
-    const std::lock_guard<std::mutex> lock(deque.mutex);
-    deque.tasks.push_back(i);
+  if (worker != kNoWorker) {
+    run_child_batch(count, fn, worker);
+  } else {
+    run_external_batch(count, fn);
   }
-  {
-    const std::lock_guard<std::mutex> lock(batch_mutex_);
-    batch_fn_ = &fn;
-    workers_done_ = 0;
-    ++batch_epoch_;
-  }
-  work_ready_.notify_all();
-  std::unique_lock<std::mutex> lock(batch_mutex_);
-  batch_done_.wait(lock, [&] { return workers_done_ == workers_; });
-  batch_fn_ = nullptr;
 }
 
 std::size_t ExplorePool::drain() {
-  std::size_t dropped = 0;
+  // Sweep every deque first, then credit the groups: a group whose last
+  // queued task is dropped here may have a waiter that destroys it the
+  // moment pending hits zero, so the latch update is the final touch.
+  std::vector<Task> dropped;
   for (const std::unique_ptr<WorkerDeque>& deque : deques_) {
     const std::lock_guard<std::mutex> lock(deque->mutex);
-    dropped += deque->tasks.size();
+    dropped.insert(dropped.end(), deque->tasks.begin(), deque->tasks.end());
     deque->tasks.clear();
   }
-  return dropped;
+  if (dropped.empty()) return 0;
+  queued_.fetch_sub(dropped.size(), std::memory_order_relaxed);
+  for (const Task& task : dropped) {
+    const std::lock_guard<std::mutex> lock(task.group->mutex);
+    if (--task.group->pending == 0) task.group->done.notify_all();
+  }
+  return dropped.size();
 }
 
 std::vector<CloneOutcome> ExplorePool::explore(const std::vector<CloneTask>& tasks,

@@ -12,6 +12,7 @@
 #include <map>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "explore/campaign.hpp"
@@ -19,6 +20,21 @@
 
 namespace dice::explore {
 namespace {
+
+// The legacy thin wrapper ScenarioMatrix::run(pool) — without a RunControl
+// — shipped with one release of migration headroom and is now deleted.
+// This detector keeps it deleted: if someone reintroduces a pool-only
+// overload, the build fails here rather than silently growing a second
+// entry point beside the Campaign facade.
+template <typename Matrix, typename = void>
+struct has_pool_only_run : std::false_type {};
+template <typename Matrix>
+struct has_pool_only_run<
+    Matrix, std::void_t<decltype(std::declval<Matrix&>().run(
+                std::declval<ExplorePool&>()))>> : std::true_type {};
+static_assert(!has_pool_only_run<ScenarioMatrix>::value,
+              "ScenarioMatrix::run(pool) without RunControl was removed after its "
+              "migration release; use run(pool, RunControl{}) or explore::Campaign");
 
 using core::FaultReport;
 
@@ -189,7 +205,8 @@ TEST(CampaignOptionsTest, LoweringMapsEveryLegacyKnob) {
   EXPECT_FALSE(dice.prepared_clones);
   EXPECT_EQ(dice.rng_seed, 42u);
   EXPECT_EQ(dice.oscillation_threshold, 5u);
-  EXPECT_EQ(dice.parallelism, 1u) << "cells are the parallel unit";
+  EXPECT_EQ(dice.parallelism, 1u)
+      << "the lowering never sizes a private pool; the matrix wires the shared one";
 
   const MatrixOptions matrix = options.to_matrix_options();
   EXPECT_EQ(matrix.strategies, options.strategies);
@@ -215,7 +232,7 @@ TEST(CampaignEquivalenceTest, ObservedTokenedRunMatchesLegacyMatrixAtWorkers1And
   legacy_options.dice.clone_event_budget = 60'000;
   ScenarioMatrix legacy_matrix(campaign_scenarios(), legacy_options);
   ExplorePool legacy_pool(1);
-  const MatrixResult legacy = legacy_matrix.run(legacy_pool);
+  const MatrixResult legacy = legacy_matrix.run(legacy_pool, {});
   const std::string reference = fault_lines(legacy.faults);
   const std::uint64_t reference_hash = line_hash(reference);
   ASSERT_FALSE(reference.empty()) << "the hijack scenario must produce faults";

@@ -176,14 +176,21 @@ TEST(ScenarioMatrixTest, RunsTheFullCrossProduct) {
   ScenarioMatrix matrix(small_scenarios(), small_matrix_options());
   EXPECT_EQ(matrix.cell_count(), 8u);  // 2 scenarios x 2 strategies x 2 seeds
   ExplorePool pool(2);
-  const MatrixResult result = matrix.run(pool);
+  const MatrixResult result = matrix.run(pool, {});
   ASSERT_EQ(result.cells.size(), 8u);
   for (const CellResult& cell : result.cells) {
     EXPECT_TRUE(cell.bootstrap_converged) << cell.scenario;
     EXPECT_EQ(cell.episodes, 1u);
     EXPECT_GT(cell.clones_run, 0u) << cell.scenario;
   }
-  EXPECT_EQ(result.pool.tasks_run, 8u);
+  // Nested parallelism (the default): the pool ran the 8 cell tasks PLUS
+  // every episode's clone batch as child tasks of its cell.
+  std::size_t clones_total = 0;
+  for (const CellResult& cell : result.cells) clones_total += cell.clones_run;
+  EXPECT_EQ(result.pool.tasks_run, 8u + clones_total);
+  EXPECT_EQ(result.pool.child_tasks, clones_total);
+  EXPECT_EQ(result.pool.batches, 1u);
+  EXPECT_EQ(result.pool.child_batches, 8u) << "one episode batch per cell";
   // The hijack scenario must surface its standing operator mistake in
   // every strategy/seed cell.
   bool hijack_found = false;
@@ -198,7 +205,7 @@ TEST(ScenarioMatrixTest, RepeatRunsAreDeterministicAcrossWorkerCounts) {
   const auto run_once = [](std::size_t workers) {
     ScenarioMatrix matrix(small_scenarios(), small_matrix_options());
     ExplorePool pool(workers);
-    return matrix.run(pool);
+    return matrix.run(pool, {});
   };
   const MatrixResult a = run_once(1);
   const MatrixResult b = run_once(2);
@@ -229,7 +236,7 @@ TEST(ScenarioMatrixTest, ConcolicCellsShareTheSolverCacheAcrossEpisodes) {
   options.dice.clone_event_budget = 60'000;
   ScenarioMatrix matrix(std::move(scenarios), options);
   ExplorePool pool(2);
-  const MatrixResult result = matrix.run(pool);
+  const MatrixResult result = matrix.run(pool, {});
   EXPECT_GT(result.solver_cache.stores, 0u);
   EXPECT_GT(result.solver_cache.hits, 0u)
       << "second episode should reuse memoized constraint solutions";

@@ -191,7 +191,7 @@ TEST(PreparedTelemetryTest, MatrixReusesArenasAcrossCells) {
   options.dice.clone_event_budget = 60'000;
   ScenarioMatrix matrix(std::move(scenarios), options);
   ExplorePool pool(1);
-  const MatrixResult result = matrix.run(pool);
+  const MatrixResult result = matrix.run(pool, {});
   ASSERT_EQ(result.cells.size(), 2u);
   const CloneArena::Stats arena_stats = pool.arena(0).stats();
   EXPECT_EQ(arena_stats.rebuilds, 1u)

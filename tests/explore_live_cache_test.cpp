@@ -385,7 +385,7 @@ struct MatrixOutput {
   options.dice.prepared_clones = prepared_clones;
   ScenarioMatrix matrix(equivalence_scenarios(), options);
   ExplorePool pool(workers);
-  const MatrixResult result = matrix.run(pool);
+  const MatrixResult result = matrix.run(pool, {});
 
   MatrixOutput output;
   std::ostringstream faults;
@@ -463,12 +463,12 @@ TEST(MatrixLiveCacheEquivalenceTest, ExternalCacheServesAcrossRuns) {
   ScenarioMatrix matrix(std::move(scenarios), options);
   ExplorePool pool(1);
 
-  const MatrixResult first = matrix.run(pool);
+  const MatrixResult first = matrix.run(pool, {});
   ASSERT_EQ(first.cells.size(), 1u);
   EXPECT_FALSE(first.cells[0].bootstrap_from_cache);
   EXPECT_EQ(first.live_cache.misses, 1u);
 
-  const MatrixResult second = matrix.run(pool);
+  const MatrixResult second = matrix.run(pool, {});
   ASSERT_EQ(second.cells.size(), 1u);
   EXPECT_TRUE(second.cells[0].bootstrap_from_cache);
   EXPECT_EQ(second.live_cache.hits, 1u);

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# check_docs.sh — the docs/code drift gate.
+#
+# Two directions:
+#   1. docs -> code: every knob named in a docs/TUNING.md table row
+#      (lines shaped `| `knob_name` | ...`) must exist verbatim in the
+#      public option headers. A renamed or deleted knob fails here.
+#   2. code -> docs: every field of CampaignOptions and its nested option
+#      groups (src/explore/campaign.hpp), and every field of
+#      core::DiceOptions (src/dice/orchestrator.hpp), must be mentioned as
+#      `field` somewhere in docs/TUNING.md. A new undocumented knob fails
+#      here.
+#
+# Exit nonzero on any drift; print every offender, not just the first.
+set -u
+
+cd "$(dirname "$0")/.."
+
+TUNING=docs/TUNING.md
+HEADERS=(
+  src/explore/campaign.hpp
+  src/explore/matrix.hpp
+  src/explore/pool.hpp
+  src/explore/live_cache.hpp
+  src/dice/orchestrator.hpp
+)
+
+fail=0
+
+if [[ ! -f "$TUNING" ]]; then
+  echo "check_docs: missing $TUNING" >&2
+  exit 1
+fi
+
+# --- direction 1: every documented knob exists in a public header --------
+doc_knobs=$(grep -oE '^\| `[a-z][a-z0-9_]*`' "$TUNING" | sed -E 's/^\| `([a-z0-9_]*)`/\1/' | sort -u)
+if [[ -z "$doc_knobs" ]]; then
+  echo "check_docs: no knob table rows found in $TUNING (format changed?)" >&2
+  exit 1
+fi
+for knob in $doc_knobs; do
+  # Declaration-shaped lines only (`Type name = ...;` / `Type name{...};` /
+  # `Type name;`) — matching the knob name anywhere would let a comment
+  # that merely mentions the word keep a deleted knob "documented".
+  if ! grep -qE "^[[:space:]]+[A-Za-z_][A-Za-z0-9_:<>,* ]*[[:space:]][*&]?${knob}([[:space:]]*=|\{|;)" \
+       "${HEADERS[@]}"; then
+    echo "check_docs: $TUNING documents '$knob' but no public header declares it" >&2
+    fail=1
+  fi
+done
+
+# --- direction 2: every option-struct field is documented ----------------
+# Extract member names from `Type name = default;` / `Type name{...};`
+# lines inside the option structs. The awk range covers each struct body.
+extract_fields() {  # file, struct-start-regex
+  awk -v start="$2" '
+    $0 ~ start { depth = 1; next }
+    depth > 0 {
+      n = gsub(/\{/, "{"); m = gsub(/\}/, "}")
+      if ($0 ~ /^};/ || (m > n && --depth == 0)) { depth = 0; next }
+      if ($0 ~ /^[[:space:]]+[A-Za-z_][A-Za-z0-9_:<>,* ]*[[:space:]][a-z_][a-z0-9_]*([[:space:]]*=[^=]|\{)/ &&
+          $0 !~ /\(/ && $0 !~ /using|return|static|struct|class/) {
+        line = $0
+        sub(/[[:space:]]*(=|\{).*$/, "", line)
+        sub(/.*[[:space:]*]/, "", line)
+        print line
+      }
+    }
+  ' "$1"
+}
+
+code_knobs=$(
+  {
+    extract_fields src/explore/campaign.hpp 'struct Budgets \{'
+    extract_fields src/explore/campaign.hpp 'struct Caching \{'
+    extract_fields src/explore/campaign.hpp 'struct Parallelism \{'
+    extract_fields src/explore/campaign.hpp 'struct Determinism \{'
+    extract_fields src/dice/orchestrator.hpp 'struct DiceOptions \{'
+    # Top-level CampaignOptions members documented by name:
+    echo strategies
+    echo deadline
+  } | sort -u
+)
+for knob in $code_knobs; do
+  # `stop` is the plumbed StopToken, not a tunable; skip control plumbing.
+  case "$knob" in stop) continue ;; esac
+  if ! grep -q "\`$knob\`" "$TUNING"; then
+    echo "check_docs: public knob '$knob' is not documented in $TUNING" >&2
+    fail=1
+  fi
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "check_docs: FAILED — docs/TUNING.md and the option headers drifted" >&2
+  exit 1
+fi
+echo "check_docs: OK ($(echo "$doc_knobs" | wc -l) documented knobs, $(echo "$code_knobs" | wc -l) public knobs)"
