@@ -24,6 +24,8 @@
 #include "bench_util.hpp"
 #include "dice/orchestrator.hpp"
 #include "explore/campaign.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "util/hash.hpp"
 
 namespace {
@@ -122,7 +124,8 @@ int main() {
   // move): 4 workers, grammar + concolic, seeds {1, 2}. Run with the
   // legacy cells-only schedule first (the equivalence baseline), then with
   // the nested global budget — same fault bytes required.
-  const auto soak_at = [](bool nested) {
+  const auto soak_at = [](bool nested, obs::Trace* trace,
+                          explore::CampaignObserver* observer) {
     explore::CampaignOptions options =
         explore::CampaignOptions::builder()
             .strategies({explore::StrategyKind::kGrammar,
@@ -132,16 +135,23 @@ int main() {
             .inputs_per_episode(16)
             .parallelism(4)
             .nested(nested)
+            .trace(trace)
             .build()
             .take();
     explore::Campaign campaign(explore::default_bench_scenarios(), options);
-    return campaign.run();
+    return campaign.run(observer);
   };
   bench::Stopwatch cells_only_soak;
-  const explore::CampaignResult result = soak_at(/*nested=*/false);
+  const explore::CampaignResult result = soak_at(/*nested=*/false, nullptr, nullptr);
   const double soak_ms = cells_only_soak.ms();
+  // The nested run carries the full telemetry surface — span trace plus a
+  // ProgressReporter — and must reproduce the cells-only fault bytes
+  // anyway: the bench doubles as the passivity receipt under load.
+  obs::Trace soak_trace;
+  obs::ProgressReporter reporter;
   bench::Stopwatch nested_soak;
-  const explore::CampaignResult nested_result = soak_at(/*nested=*/true);
+  const explore::CampaignResult nested_result =
+      soak_at(/*nested=*/true, &soak_trace, &reporter);
   const double nested_soak_ms = nested_soak.ms();
   const auto fault_set_hash = [](const explore::CampaignResult& run) {
     std::uint64_t h = util::kFnvOffset;
@@ -180,6 +190,15 @@ int main() {
               static_cast<unsigned long long>(result.solver_cache.entries),
               static_cast<unsigned long long>(result.solver_cache.sat_entries));
 
+  const char* trace_path = "TRACE_explore_scale.json";
+  const bool trace_written = soak_trace.write_chrome_json(trace_path);
+  std::printf(
+      "trace: %zu spans (%zu canonical, %llu dropped), %llu progress lines -> %s%s\n",
+      soak_trace.events().size(), soak_trace.canonical_events(),
+      static_cast<unsigned long long>(soak_trace.dropped()),
+      static_cast<unsigned long long>(reporter.lines_emitted()), trace_path,
+      trace_written ? "" : " (WRITE FAILED)");
+
   // Part 3 — the occupancy receipt: ONE cell, eight workers. Before the
   // global budget this shape used exactly one worker no matter the pool
   // size; now the cell's clone batches are child tasks that idle workers
@@ -213,7 +232,7 @@ int main() {
       static_cast<unsigned long long>(single_result.pool.helped),
       static_cast<unsigned long long>(single_result.pool.child_steals), single_ms);
 
-  char json[1024];
+  char json[1536];
   std::snprintf(json, sizeof(json),
                 "{\"bench\":\"explore_scale\",\"topology\":\"internet27\","
                 "\"episodes\":%zu,\"fault_set_hash\":\"%016llx\","
@@ -223,7 +242,10 @@ int main() {
                 "\"nested\":{\"fault_sets_identical\":%s,\"matrix_wall_ms\":%.1f,"
                 "\"child_batches\":%llu,\"child_tasks\":%llu,\"helped\":%llu,"
                 "\"child_steals\":%llu,\"single_cell_occupied_workers\":%zu,"
-                "\"single_cell_wall_ms\":%.1f}}",
+                "\"single_cell_wall_ms\":%.1f},"
+                "\"trace\":{\"file\":\"%s\",\"written\":%s,\"spans\":%zu,"
+                "\"canonical_spans\":%zu,\"dropped\":%llu,"
+                "\"progress_lines\":%llu}}",
                 kEpisodes, static_cast<unsigned long long>(serial_hash),
                 identical ? "true" : "false", serial_ms, result.cells.size(),
                 result.faults.size(), soak_ms,
@@ -233,7 +255,10 @@ int main() {
                 static_cast<unsigned long long>(nested_result.pool.child_tasks),
                 static_cast<unsigned long long>(nested_result.pool.helped),
                 static_cast<unsigned long long>(nested_result.pool.child_steals),
-                occupied, single_ms);
+                occupied, single_ms, trace_path, trace_written ? "true" : "false",
+                soak_trace.events().size(), soak_trace.canonical_events(),
+                static_cast<unsigned long long>(soak_trace.dropped()),
+                static_cast<unsigned long long>(reporter.lines_emitted()));
   bench::emit_json("explore_scale", json);
   return identical && nested_match ? 0 : 1;
 }

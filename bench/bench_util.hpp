@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace dice::bench {
 
 class Stopwatch {
@@ -64,11 +66,20 @@ class Table {
 /// The machine-readable receipt every harness emits: prints the JSON line
 /// to stdout and mirrors it to BENCH_<name>.json for the perf-trajectory
 /// records (CI and later sessions diff these files, not the tables).
+/// Every receipt gets a "metrics" section — the global registry snapshot
+/// at emit time (empty `{}` sections in a -DDICE_OBS=OFF build) — so the
+/// perf records carry the telemetry view of the same run for free.
 inline void emit_json(const std::string& name, const std::string& json) {
-  std::printf("\n%s\n", json.c_str());
+  std::string line = json;
+  const std::size_t close = line.rfind('}');
+  if (close != std::string::npos) {
+    line.insert(close,
+                ",\"metrics\":" + obs::MetricsRegistry::global().snapshot().to_json());
+  }
+  std::printf("\n%s\n", line.c_str());
   const std::string path = "BENCH_" + name + ".json";
   if (FILE* out = std::fopen(path.c_str(), "w")) {
-    std::fprintf(out, "%s\n", json.c_str());
+    std::fprintf(out, "%s\n", line.c_str());
     std::fclose(out);
   }
 }

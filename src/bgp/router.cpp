@@ -4,6 +4,8 @@
 #include <atomic>
 
 #include "concolic/context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "util/log.hpp"
 
 namespace dice::bgp {
@@ -376,6 +378,9 @@ void BgpRouter::checkpoint(util::ByteWriter& writer) const {
 util::Result<std::shared_ptr<const snapshot::DecodedCheckpoint>> BgpRouter::parse(
     util::ByteReader& reader) const {
   g_checkpoint_decodes.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter& decode_counter =
+      obs::MetricsRegistry::global().counter(obs::names::kCheckpointDecodes);
+  decode_counter.add();
   auto decoded = std::make_shared<RouterCheckpoint>();
 
   auto session_count = reader.u32();

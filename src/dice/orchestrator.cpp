@@ -5,6 +5,8 @@
 
 #include "explore/ledger.hpp"
 #include "explore/live_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -21,6 +23,24 @@ using Clock = std::chrono::steady_clock;
 
 [[nodiscard]] double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+struct EpisodeMetrics {
+  obs::Counter& episodes;
+  obs::Counter& snapshots;
+  obs::Counter& faults;
+  obs::Histogram& snapshot_ms;
+  obs::Histogram& episode_ms;
+};
+
+[[nodiscard]] EpisodeMetrics& episode_metrics() {
+  static EpisodeMetrics metrics{
+      obs::MetricsRegistry::global().counter(obs::names::kEpisodes),
+      obs::MetricsRegistry::global().counter(obs::names::kSnapshots),
+      obs::MetricsRegistry::global().counter(obs::names::kFaults),
+      obs::MetricsRegistry::global().histogram(obs::names::kSnapshotMs),
+      obs::MetricsRegistry::global().histogram(obs::names::kEpisodeMs)};
+  return metrics;
 }
 
 }  // namespace
@@ -189,14 +209,36 @@ EpisodeResult Orchestrator::run_episode(InputStrategy& strategy) {
   result.episode = ++episode_counter_;
   result.explorer = next_explorer();
 
+  EpisodeMetrics& metrics = episode_metrics();
+  metrics.episodes.add();
+  const auto episode_start = Clock::now();
+  // Span attribution: the pool worker running this cell, 0 for standalone
+  // harness threads.
+  std::uint32_t span_worker = 0;
+  if (options_.shared_pool != nullptr) {
+    const std::size_t worker = options_.shared_pool->current_worker();
+    if (worker != explore::ExplorePool::kNoWorker) {
+      span_worker = static_cast<std::uint32_t>(worker);
+    }
+  }
+  obs::Span episode_span(options_.trace, "episode", span_worker, options_.trace_cell,
+                         result.episode);
+
   // Step 2: consistent shadow snapshot (marker protocol on the live sim).
   const auto snapshot_start = Clock::now();
-  result.snapshot_id = live_->take_snapshot(result.explorer);
+  {
+    obs::Span snapshot_span(options_.trace, "snapshot", span_worker,
+                            options_.trace_cell, result.episode);
+    result.snapshot_id = live_->take_snapshot(result.explorer);
+  }
   result.snapshot_ms = ms_since(snapshot_start);
+  metrics.snapshot_ms.observe(result.snapshot_ms);
   if (result.snapshot_id == 0) {
     logger().warn() << "episode " << result.episode << ": snapshot failed";
+    metrics.episode_ms.observe(ms_since(episode_start));
     return result;
   }
+  metrics.snapshots.add();
   const snapshot::Snapshot* snap = live_->snapshots().find(result.snapshot_id);
   result.snapshot_bytes = snap->total_state_bytes();
 
@@ -286,6 +328,9 @@ EpisodeResult Orchestrator::run_episode(InputStrategy& strategy) {
       stop_observed.store(true, std::memory_order_relaxed);
       return;  // outcome stays !ran; the episode reports interrupted
     }
+    obs::Span clone_span(options_.trace, "clone", static_cast<std::uint32_t>(worker),
+                         options_.trace_cell, tasks[index].episode,
+                         static_cast<std::uint32_t>(index));
     outcomes[index] =
         explore::run_clone_task(tasks[index], check, arena_for(worker, pooled));
     // 32-bit priority bands: a task would need 2^32 faults to bleed into
@@ -376,12 +421,14 @@ EpisodeResult Orchestrator::run_episode(InputStrategy& strategy) {
     const std::uint64_t key = fault_key(fault);
     logger().info() << "episode " << result.episode << ": " << fault.to_string();
     result.faults.push_back(fault);
+    metrics.faults.add();
     // The global list deduplicates across episodes (a standing fault
     // would otherwise be re-reported every episode).
     if (known_fault_keys_.insert(key).second) {
       all_faults_.push_back(std::move(fault));
     }
   }
+  metrics.episode_ms.observe(ms_since(episode_start));
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include "dice/system.hpp"
 #include "explore/control.hpp"
 #include "explore/pool.hpp"
+#include "obs/trace.hpp"
 
 namespace dice::explore {
 class LiveStateCache;
@@ -85,6 +86,14 @@ struct DiceOptions {
   /// `EpisodeResult::interrupted` set and a partial (well-formed, but not
   /// canonical) fault list. The default token never fires.
   explore::StopToken stop;
+  /// Span sink for episode/snapshot/clone timing (obs::Trace). Strictly
+  /// PASSIVE — exploration behavior and fault sets are byte-identical with
+  /// or without it (the telemetry invariant, docs/OBSERVABILITY.md). Null
+  /// disables span capture at the cost of one branch.
+  obs::Trace* trace = nullptr;
+  /// The matrix cell id stamped on this orchestrator's spans (ScenarioMatrix
+  /// sets it); obs::kNoCell marks spans from standalone harnesses.
+  std::uint32_t trace_cell = obs::kNoCell;
 };
 
 struct EpisodeResult {

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/names.hpp"
+
 namespace dice::explore {
 
 namespace {
@@ -53,6 +55,10 @@ util::Status CampaignOptions::validate() const {
     return util::make_error("campaign.options.zero_cache_bound",
                             "live_cache_max_entries must be >= 1");
   }
+  if (telemetry.progress_every_cells == 0) {
+    return util::make_error("campaign.options.zero_progress_cadence",
+                            "progress_every_cells must be >= 1");
+  }
   if (deadline.has_value() && *deadline <= StopToken::Clock::now()) {
     return util::make_error("campaign.options.deadline_in_past",
                             "the campaign deadline has already passed");
@@ -93,6 +99,7 @@ MatrixOptions CampaignOptions::to_matrix_options() const {
   matrix.live_state_cache = caching.live_state_cache;
   matrix.live_cache = caching.live_cache;
   matrix.nested_parallelism = parallelism.nested;
+  matrix.progress_every_cells = telemetry.progress_every_cells;
   return matrix;
 }
 
@@ -112,11 +119,22 @@ CampaignResult Campaign::run(CampaignObserver* observer, StopToken stop) {
   StopToken token = stop;
   if (options_.deadline.has_value()) token = token.with_deadline(*options_.deadline);
 
+  static obs::Gauge& running_gauge =
+      obs::MetricsRegistry::global().gauge(obs::names::kCampaignsRunning);
+  running_gauge.add();
+  // One run, one trace: reset the caller's sink so a reused Trace never
+  // mixes two runs' cell ids in one canonical section.
+  if (options_.telemetry.trace != nullptr) options_.telemetry.trace->clear();
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
+
   const auto start = Clock::now();
   CampaignResult result;
-  static_cast<MatrixResult&>(result) = matrix_.run(*pool_, RunControl{observer, token});
+  static_cast<MatrixResult&>(result) =
+      matrix_.run(*pool_, RunControl{observer, token, options_.telemetry.trace});
   result.wall_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  result.telemetry = obs::MetricsRegistry::global().snapshot().delta_since(before);
+  running_gauge.sub();
   return result;
 }
 

@@ -39,6 +39,8 @@
 
 #include "explore/control.hpp"
 #include "explore/matrix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/result.hpp"
 
 namespace dice::explore {
@@ -86,6 +88,21 @@ struct CampaignOptions {
     /// worker count (docs/DETERMINISM.md; `explore_nested_test`).
     bool nested = true;
   };
+  /// The passive observability surface (docs/OBSERVABILITY.md). Strictly
+  /// read-only with respect to exploration: any Telemetry configuration
+  /// leaves every completed cell's fault bytes identical to a run with
+  /// telemetry compiled out (the passivity invariant, pinned by test).
+  struct Telemetry {
+    /// Span sink for the run (cell/bootstrap/episode/snapshot/clone
+    /// timing). Campaign::run clears it at start — one run, one trace —
+    /// and finalizes it before returning; nullptr = no span capture.
+    obs::Trace* trace = nullptr;
+    /// Progress cadence: CampaignObserver::on_progress fires once every N
+    /// flushed cells (and always for the final cell). Rejected at 0 by
+    /// validate().
+    std::size_t progress_every_cells = 1;
+  };
+
   /// Everything that pins the byte-identical receipt.
   struct Determinism {
     std::vector<std::uint64_t> seeds{1};   ///< was MatrixOptions::seeds
@@ -99,6 +116,7 @@ struct CampaignOptions {
   Budgets budgets;
   Caching caching;
   Parallelism parallelism;
+  Telemetry telemetry;
   Determinism determinism;
   /// Time-box: run() behaves as if a stop were requested at this instant
   /// (combined with any caller token; the earlier wins).
@@ -170,6 +188,20 @@ class CampaignOptions::Builder {
     options_.determinism.oscillation_threshold = value;
     return *this;
   }
+  Builder& telemetry(Telemetry value) {
+    options_.telemetry = value;
+    return *this;
+  }
+  /// Convenience: span sink only.
+  Builder& trace(obs::Trace* value) {
+    options_.telemetry.trace = value;
+    return *this;
+  }
+  /// Convenience: progress cadence only.
+  Builder& progress_every_cells(std::size_t value) {
+    options_.telemetry.progress_every_cells = value;
+    return *this;
+  }
   Builder& determinism(Determinism value) {
     options_.determinism = std::move(value);
     return *this;
@@ -205,6 +237,10 @@ class CampaignOptions::Builder {
 /// are identical to an uncancelled run's at any worker count.
 struct CampaignResult : MatrixResult {
   double wall_ms = 0.0;
+  /// This run's metrics traffic: the global registry snapshot at run end,
+  /// delta'd against the snapshot at run start (counters and histogram
+  /// buckets are per-run; gauges are current levels).
+  obs::MetricsSnapshot telemetry;
 };
 
 class Campaign {

@@ -1,6 +1,29 @@
 #include "explore/live_cache.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
 namespace dice::explore {
+
+namespace {
+
+struct LiveCacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& uncacheable;
+  obs::Counter& evictions;
+};
+
+[[nodiscard]] LiveCacheMetrics& live_cache_metrics() {
+  static LiveCacheMetrics metrics{
+      obs::MetricsRegistry::global().counter(obs::names::kLiveCacheHits),
+      obs::MetricsRegistry::global().counter(obs::names::kLiveCacheMisses),
+      obs::MetricsRegistry::global().counter(obs::names::kLiveCacheUncacheable),
+      obs::MetricsRegistry::global().counter(obs::names::kLiveCacheEvictions)};
+  return metrics;
+}
+
+}  // namespace
 
 LiveStateCache::Lookup LiveStateCache::get_or_compute(const Key& key,
                                                       const Compute& compute) {
@@ -29,14 +52,22 @@ LiveStateCache::Lookup LiveStateCache::get_or_compute(const Key& key,
       entry->resolved.store(true, std::memory_order_release);
       const std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.misses;
-      if (entry->state == nullptr) ++stats_.uncacheable;
+      live_cache_metrics().misses.add();
+      if (entry->state == nullptr) {
+        ++stats_.uncacheable;
+        live_cache_metrics().uncacheable.add();
+      }
       return Lookup{entry->state, false};
     }
   }
   // Resolved entries are immutable: hits need no latch.
   const std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.hits;
-  if (entry->state == nullptr) ++stats_.uncacheable;
+  live_cache_metrics().hits.add();
+  if (entry->state == nullptr) {
+    ++stats_.uncacheable;
+    live_cache_metrics().uncacheable.add();
+  }
   return Lookup{entry->state, true};
 }
 
@@ -70,6 +101,7 @@ void LiveStateCache::evict_locked(std::size_t max) {
     if (victim == entries_.end()) return;  // everything left is in flight
     entries_.erase(victim);
     ++stats_.evictions;
+    live_cache_metrics().evictions.add();
   }
 }
 

@@ -6,6 +6,8 @@
 #include <unordered_map>
 
 #include "bgp/bugs.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "util/log.hpp"
 
 namespace dice::explore {
@@ -15,6 +17,18 @@ namespace {
 const util::Logger& logger() {
   static util::Logger instance("explore.matrix");
   return instance;
+}
+
+struct MatrixMetrics {
+  obs::Counter& cells_completed;
+  obs::Histogram& bootstrap_ms;
+};
+
+[[nodiscard]] MatrixMetrics& matrix_metrics() {
+  static MatrixMetrics metrics{
+      obs::MetricsRegistry::global().counter(obs::names::kCellsCompleted),
+      obs::MetricsRegistry::global().histogram(obs::names::kBootstrapMs)};
+  return metrics;
 }
 
 using Clock = std::chrono::steady_clock;
@@ -174,11 +188,18 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
     return CellDescriptor{index, scenarios_[cell.scenario].name,
                           to_string(cell.strategy), cell.seed};
   };
+  const std::size_t progress_every = std::max<std::size_t>(options_.progress_every_cells, 1);
   const auto finish_cell = [&](std::size_t index) {
     const std::lock_guard<std::mutex> lock(emitter.mutex);
     emitter.done[index] = 1;
     while (emitter.next < cells.size() && emitter.done[emitter.next] != 0) {
       const std::size_t i = emitter.next++;
+      // The canonical flush order doubles as the trace's canonical cell
+      // order (the emit mutex serializes these calls).
+      if (control.trace != nullptr) {
+        control.trace->cell_flushed(static_cast<std::uint32_t>(i),
+                                    result.cells[i].completed);
+      }
       if (control.observer == nullptr) continue;
       const CellDescriptor desc = descriptor(i);
       control.observer->on_cell_start(desc);
@@ -187,9 +208,13 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
       }
       control.observer->on_cell_done(desc, result.cells[i]);
       emitter.streamed_faults += emitter.faults[i].size();
-      control.observer->on_progress(CampaignProgress{
-          emitter.next, cells.size(), emitter.streamed_faults,
-          control.stop.stop_requested()});
+      // Cadenced progress: every Nth flushed cell, plus always the last —
+      // a coarser cadence must still report the final counts.
+      if (emitter.next % progress_every == 0 || emitter.next == cells.size()) {
+        control.observer->on_progress(CampaignProgress{
+            emitter.next, cells.size(), emitter.streamed_faults,
+            control.stop.stop_requested()});
+      }
       // Streamed = done with the copy: release it now rather than holding
       // every cell's duplicate fault list until the whole run returns.
       std::vector<core::FaultReport>().swap(emitter.faults[i]);
@@ -231,10 +256,14 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
       return;
     }
     out.started = true;
+    obs::Span cell_span(control.trace, "cell", static_cast<std::uint32_t>(worker),
+                        static_cast<std::uint32_t>(index));
 
     const auto start = Clock::now();
     core::DiceOptions dice = options_.dice;
     dice.parallelism = 1;  // never a private pool per cell
+    dice.trace = control.trace;
+    dice.trace_cell = static_cast<std::uint32_t>(index);
     // Nested parallelism: the cell's episodes submit their clone batches
     // back into THIS pool as child tasks of this worker — idle workers
     // steal them across cell boundaries, so even a single parked cell
@@ -252,15 +281,21 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
     // (nested) or on this worker's arena (serial/legacy); the shared
     // per-scenario prototype lets every arena's System survive across cells.
     core::Orchestrator orchestrator(prototypes_[cell.scenario], dice, &pool.arena(worker));
-    if (options_.live_state_cache) {
-      out.bootstrap_converged = orchestrator.bootstrap_cached(
-          *live_cache, cell.seed, options_.bootstrap_events);
-      out.bootstrap_from_cache = orchestrator.bootstrap_from_cache();
-    } else {
-      out.bootstrap_converged = orchestrator.bootstrap(options_.bootstrap_events);
+    {
+      obs::Span bootstrap_span(control.trace, "bootstrap",
+                               static_cast<std::uint32_t>(worker),
+                               static_cast<std::uint32_t>(index));
+      if (options_.live_state_cache) {
+        out.bootstrap_converged = orchestrator.bootstrap_cached(
+            *live_cache, cell.seed, options_.bootstrap_events);
+        out.bootstrap_from_cache = orchestrator.bootstrap_from_cache();
+      } else {
+        out.bootstrap_converged = orchestrator.bootstrap(options_.bootstrap_events);
+      }
     }
     out.bootstrap_ms =
         std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    matrix_metrics().bootstrap_ms.observe(out.bootstrap_ms);
 
     // Every cell derives its own independent deterministic stream: the
     // strategy seed depends only on (seed, cell index), never on which
@@ -287,6 +322,7 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
     }
     out.completed = !interrupted;
     if (out.completed) {
+      matrix_metrics().cells_completed.add();
       const std::vector<core::FaultReport>& faults = orchestrator.all_faults();
       out.faults = faults.size();
       // 32-bit priority bands (was 20-bit: a cell recording 2^20 faults bled
@@ -312,6 +348,10 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (emitter.done[i] == 0) finish_cell(i);
   }
+
+  // Every recorder has joined (run_batch returned) and every cell was
+  // flushed: the trace's canonical ordering is decidable now.
+  if (control.trace != nullptr) control.trace->finalize();
 
   for (const CellResult& cell : result.cells) {
     if (cell.completed) ++result.cells_completed;

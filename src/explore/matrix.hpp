@@ -70,6 +70,11 @@ struct MatrixOptions {
   /// External cache to share across matrix runs (long soaks re-running the
   /// same scenarios); nullptr = one private cache per run() call.
   LiveStateCache* live_cache = nullptr;
+  /// Progress cadence: emit CampaignObserver::on_progress once every N
+  /// flushed cells (and always for the final cell). 1 = after every cell;
+  /// 0 is treated as 1. Coarser cadences keep slow observers off the cell
+  /// completion path of big matrices.
+  std::size_t progress_every_cells = 1;
 };
 
 struct CellResult {
@@ -109,6 +114,12 @@ struct MatrixResult {
 struct RunControl {
   CampaignObserver* observer = nullptr;  ///< may be null; callbacks serialized
   StopToken stop;                        ///< polled between cells/episodes/clones
+  /// Span sink threaded down to every cell's orchestrator. The matrix
+  /// reports each flushed cell into it (Trace::cell_flushed) from inside
+  /// the reorder buffer and finalizes it when the run returns, so the
+  /// trace's canonical section is in canonical cell order and worker-
+  /// count-invariant for completed cells. Strictly passive; may be null.
+  obs::Trace* trace = nullptr;
 };
 
 /// Execution-deal permutation: round-robins cell indices across distinct

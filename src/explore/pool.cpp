@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "bgp/sym_update.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 
 namespace dice::explore {
 
@@ -13,6 +15,40 @@ using Clock = std::chrono::steady_clock;
 
 [[nodiscard]] double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// Registry handles resolved once (registration takes a mutex; recording
+/// through a cached handle does not).
+struct PoolMetrics {
+  obs::Counter& batches;
+  obs::Counter& child_batches;
+  obs::Counter& tasks;
+  obs::Counter& child_tasks;
+  obs::Counter& steals;
+  obs::Counter& child_steals;
+  obs::Counter& helped;
+  obs::Counter& drained;
+  obs::Counter& clones;
+  obs::Counter& clones_reused;
+  obs::Counter& clones_early_exit;
+  obs::Histogram& clone_ms;
+};
+
+[[nodiscard]] PoolMetrics& pool_metrics() {
+  static PoolMetrics metrics{
+      obs::MetricsRegistry::global().counter(obs::names::kPoolBatches),
+      obs::MetricsRegistry::global().counter(obs::names::kPoolChildBatches),
+      obs::MetricsRegistry::global().counter(obs::names::kPoolTasks),
+      obs::MetricsRegistry::global().counter(obs::names::kPoolChildTasks),
+      obs::MetricsRegistry::global().counter(obs::names::kPoolSteals),
+      obs::MetricsRegistry::global().counter(obs::names::kPoolChildSteals),
+      obs::MetricsRegistry::global().counter(obs::names::kPoolHelped),
+      obs::MetricsRegistry::global().counter(obs::names::kPoolDrained),
+      obs::MetricsRegistry::global().counter(obs::names::kClones),
+      obs::MetricsRegistry::global().counter(obs::names::kClonesReused),
+      obs::MetricsRegistry::global().counter(obs::names::kClonesEarlyExit),
+      obs::MetricsRegistry::global().histogram(obs::names::kCloneMs)};
+  return metrics;
 }
 
 // Which pool (if any) owns the current thread. A worker of pool A that
@@ -64,6 +100,12 @@ CloneOutcome run_clone_task(const CloneTask& task, const CheckFn& check, CloneAr
   const auto check_start = Clock::now();
   outcome.faults = check(*clone, task, outcome.quiesced);
   outcome.check_ms = ms_since(check_start);
+
+  PoolMetrics& metrics = pool_metrics();
+  metrics.clones.add();
+  if (outcome.reused) metrics.clones_reused.add();
+  if (outcome.early_exit) metrics.clones_early_exit.add();
+  metrics.clone_ms.observe(outcome.clone_ms);
   return outcome;
 }
 
@@ -73,7 +115,7 @@ ExplorePool::ExplorePool(std::size_t workers) : workers_(std::max<std::size_t>(w
     deques_.push_back(std::make_unique<WorkerDeque>());
   }
   arenas_ = std::vector<CloneArena>(workers_);
-  stats_.worker_tasks.assign(workers_, 0);
+  worker_stats_ = std::vector<WorkerStats>(workers_);
   if (workers_ <= 1) return;  // threadless compatibility path
   threads_.reserve(workers_);
   for (std::size_t i = 0; i < workers_; ++i) {
@@ -154,14 +196,20 @@ void ExplorePool::run_task(const Task& task, std::size_t worker_id, bool stolen,
   {
     // Stats BEFORE the latch credit: once pending hits zero the batch
     // submitter may return and read stats() expecting every task of the
-    // finished batch to be accounted for.
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.tasks_run;
-    ++stats_.worker_tasks[worker_id];
-    if (child) ++stats_.child_tasks;
-    if (stolen) ++stats_.steals;
-    if (stolen && child) ++stats_.child_steals;
-    if (helped) ++stats_.helped;
+    // finished batch to be accounted for (the latch mutex acquire/release
+    // pair orders these relaxed stores before the submitter's reads).
+    WorkerStats& mine = worker_stats_[worker_id];
+    bump(mine.tasks);
+    if (child) bump(mine.child_tasks);
+    if (stolen) bump(mine.steals);
+    if (stolen && child) bump(mine.child_steals);
+    if (helped) bump(mine.helped);
+    PoolMetrics& metrics = pool_metrics();
+    metrics.tasks.add();
+    if (child) metrics.child_tasks.add();
+    if (stolen) metrics.steals.add();
+    if (stolen && child) metrics.child_steals.add();
+    if (helped) metrics.helped.add();
   }
   // Credit the latch under the group mutex: the waiter can only observe
   // pending == 0 (and destroy the group) after this critical section
@@ -257,13 +305,12 @@ void ExplorePool::run_batch(std::size_t count,
                             const std::function<void(std::size_t, std::size_t)>& fn) {
   if (count == 0) return;
   const std::size_t worker = current_worker();
-  {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    if (worker != kNoWorker || (workers_ <= 1 && inline_depth_ > 0)) {
-      ++stats_.child_batches;
-    } else {
-      ++stats_.batches;
-    }
+  if (worker != kNoWorker || (workers_ <= 1 && inline_depth_ > 0)) {
+    child_batches_.fetch_add(1, std::memory_order_relaxed);
+    pool_metrics().child_batches.add();
+  } else {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    pool_metrics().batches.add();
   }
   if (workers_ <= 1) {
     // Inline compatibility path: no threads, no queues — the exact serial
@@ -272,15 +319,20 @@ void ExplorePool::run_batch(std::size_t count,
     const bool nested = inline_depth_ > 1;
     for (std::size_t i = 0; i < count; ++i) fn(i, 0);
     --inline_depth_;
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.tasks_run += count;
-    stats_.worker_tasks[0] += count;
+    // fetch_add, not bump: the threadless pool runs on the CALLER's thread,
+    // and nothing pins successive external batches to one caller.
+    WorkerStats& slot = worker_stats_[0];
+    slot.tasks.fetch_add(count, std::memory_order_relaxed);
+    PoolMetrics& metrics = pool_metrics();
+    metrics.tasks.add(count);
     if (nested) {
       // Inline children are by definition executed by their submitter —
       // count them as helped so the helped + child_steals == child_tasks
       // conservation law holds on the threadless path too.
-      stats_.child_tasks += count;
-      stats_.helped += count;
+      slot.child_tasks.fetch_add(count, std::memory_order_relaxed);
+      slot.helped.fetch_add(count, std::memory_order_relaxed);
+      metrics.child_tasks.add(count);
+      metrics.helped.add(count);
     }
     return;
   }
@@ -303,6 +355,7 @@ std::size_t ExplorePool::drain() {
   }
   if (dropped.empty()) return 0;
   queued_.fetch_sub(dropped.size(), std::memory_order_relaxed);
+  pool_metrics().drained.add(dropped.size());
   for (const Task& task : dropped) {
     const std::lock_guard<std::mutex> lock(task.group->mutex);
     if (--task.group->pending == 0) task.group->done.notify_all();
@@ -320,8 +373,21 @@ std::vector<CloneOutcome> ExplorePool::explore(const std::vector<CloneTask>& tas
 }
 
 ExplorePool::Stats ExplorePool::stats() const {
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  Stats merged;
+  merged.batches = batches_.load(std::memory_order_relaxed);
+  merged.child_batches = child_batches_.load(std::memory_order_relaxed);
+  merged.worker_tasks.resize(workers_, 0);
+  for (std::size_t w = 0; w < workers_; ++w) {
+    const WorkerStats& slot = worker_stats_[w];
+    const std::uint64_t tasks = slot.tasks.load(std::memory_order_relaxed);
+    merged.worker_tasks[w] = tasks;
+    merged.tasks_run += tasks;
+    merged.child_tasks += slot.child_tasks.load(std::memory_order_relaxed);
+    merged.steals += slot.steals.load(std::memory_order_relaxed);
+    merged.child_steals += slot.child_steals.load(std::memory_order_relaxed);
+    merged.helped += slot.helped.load(std::memory_order_relaxed);
+  }
+  return merged;
 }
 
 }  // namespace dice::explore

@@ -233,6 +233,11 @@ class ExplorePool {
   [[nodiscard]] bool pop_group_task(TaskGroup& group, std::size_t worker_id, Task& task);
   /// Executes fn, credits the group latch, updates stats.
   void run_task(const Task& task, std::size_t worker_id, bool stolen, bool helped);
+  /// Single-writer relaxed bump on a worker-owned stat slot (plain add in
+  /// codegen; atomic storage only so stats() may read concurrently).
+  static void bump(std::atomic<std::uint64_t>& cell, std::uint64_t n = 1) noexcept {
+    cell.store(cell.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+  }
   /// Publishes `count` new queued tasks to sleeping workers.
   void announce_work();
 
@@ -247,8 +252,23 @@ class ExplorePool {
   bool shutdown_ = false;
   std::size_t inline_depth_ = 0;  ///< threadless-path nesting (single-threaded)
 
-  mutable std::mutex stats_mutex_;
-  Stats stats_;
+  /// Per-worker stat slots, each written ONLY by the worker that owns it
+  /// (single-writer relaxed — see bump()), merged by stats(). Visibility to
+  /// a batch submitter is given by the group-latch mutex: run_task bumps
+  /// BEFORE crediting the latch, and the submitter reads stats() only after
+  /// acquiring the latch mutex saw pending == 0.
+  struct alignas(64) WorkerStats {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> child_tasks{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> child_steals{0};
+    std::atomic<std::uint64_t> helped{0};
+  };
+  std::vector<WorkerStats> worker_stats_;  ///< one per worker
+  /// Batch counters are cold (once per run_batch) and may race between an
+  /// external submitter and workers submitting children: fetch_add.
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> child_batches_{0};
 };
 
 }  // namespace dice::explore

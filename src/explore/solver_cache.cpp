@@ -2,7 +2,28 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
 namespace dice::explore {
+
+namespace {
+
+struct SolverCacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& stores;
+};
+
+[[nodiscard]] SolverCacheMetrics& solver_cache_metrics() {
+  static SolverCacheMetrics metrics{
+      obs::MetricsRegistry::global().counter(obs::names::kSolverCacheHits),
+      obs::MetricsRegistry::global().counter(obs::names::kSolverCacheMisses),
+      obs::MetricsRegistry::global().counter(obs::names::kSolverCacheStores)};
+  return metrics;
+}
+
+}  // namespace
 
 SolverCache::SolverCache(std::size_t shards) {
   const std::size_t count = std::max<std::size_t>(shards, 1);
@@ -17,10 +38,12 @@ bool SolverCache::lookup(std::uint64_t key, std::optional<util::Bytes>& result) 
     if (auto it = shard.entries.find(key); it != shard.entries.end()) {
       result = it->second;
       hits_.fetch_add(1, std::memory_order_relaxed);
+      solver_cache_metrics().hits.add();
       return true;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  solver_cache_metrics().misses.add();
   return false;
 }
 
@@ -31,6 +54,7 @@ void SolverCache::store(std::uint64_t key, const std::optional<util::Bytes>& res
   // keeping the incumbent makes concurrent racing stores commutative.
   shard.entries.try_emplace(key, result);
   stores_.fetch_add(1, std::memory_order_relaxed);
+  solver_cache_metrics().stores.add();
 }
 
 SolverCache::Stats SolverCache::stats() const {

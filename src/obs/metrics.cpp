@@ -1,0 +1,313 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace dice::obs {
+
+namespace {
+
+/// Free-list of per-thread slot indices. A thread leases a slot on its
+/// first metric update and returns it at thread exit, so worker-pool churn
+/// (every ExplorePool spawns fresh threads) recycles slots instead of
+/// exhausting the pool.
+class SlotPool {
+ public:
+  static SlotPool& instance() {
+    static SlotPool pool;
+    return pool;
+  }
+
+  std::size_t acquire() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      const std::size_t slot = free_.back();
+      free_.pop_back();
+      return slot;
+    }
+    if (next_ < kMaxThreadSlots) return next_++;
+    return kOverflowSlot;
+  }
+
+  void release(std::size_t slot) {
+    if (slot == kOverflowSlot) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(slot);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::size_t> free_;
+  std::size_t next_ = 0;
+};
+
+struct SlotLease {
+  std::size_t slot;
+  SlotLease() : slot(SlotPool::instance().acquire()) {}
+  ~SlotLease() { SlotPool::instance().release(slot); }
+};
+
+}  // namespace
+
+std::size_t this_thread_slot() noexcept {
+  thread_local SlotLease lease;
+  return lease.slot;
+}
+
+const std::vector<double>& default_latency_bounds_ms() {
+  static const std::vector<double> bounds = {0.05, 0.1, 0.25, 0.5,  1.0,  2.5,  5.0,
+                                             10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+                                             1000.0};
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      stride_(bounds_.size() + 1),
+      counts_(kSlotCount * stride_),
+      sums_(kSlotCount) {}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> merged(stride_, 0);
+  for (std::size_t slot = 0; slot < kSlotCount; ++slot) {
+    for (std::size_t bucket = 0; bucket < stride_; ++bucket) {
+      merged[bucket] += counts_[slot * stride_ + bucket].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t bucket : bucket_counts()) total += bucket;
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const std::atomic<double>& part : sums_) {
+    total += part.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::reset_for_test() noexcept {
+  for (std::atomic<std::uint64_t>& cell : counts_) cell.store(0, std::memory_order_relaxed);
+  for (std::atomic<double>& cell : sums_) cell.store(0.0, std::memory_order_relaxed);
+}
+
+// --- MetricsSnapshot --------------------------------------------------------
+
+std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const noexcept {
+  for (const CounterValue& entry : counters) {
+    if (entry.name == name) return entry.value;
+  }
+  return 0;
+}
+
+MetricsSnapshot MetricsSnapshot::delta_since(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out = *this;
+  for (CounterValue& entry : out.counters) {
+    const std::uint64_t before = earlier.counter_value(entry.name);
+    entry.value = entry.value >= before ? entry.value - before : 0;
+  }
+  // Gauges stay at their current level: a gauge is not cumulative.
+  for (HistogramValue& entry : out.histograms) {
+    const HistogramValue* before = nullptr;
+    for (const HistogramValue& candidate : earlier.histograms) {
+      if (candidate.name == entry.name) {
+        before = &candidate;
+        break;
+      }
+    }
+    if (before == nullptr || before->counts.size() != entry.counts.size()) continue;
+    for (std::size_t bucket = 0; bucket < entry.counts.size(); ++bucket) {
+      const std::uint64_t prev = before->counts[bucket];
+      entry.counts[bucket] = entry.counts[bucket] >= prev ? entry.counts[bucket] - prev : 0;
+    }
+    entry.count = entry.count >= before->count ? entry.count - before->count : 0;
+    entry.sum -= before->sum;
+    if (entry.sum < 0.0) entry.sum = 0.0;
+  }
+  return out;
+}
+
+namespace {
+
+void append_double(std::string& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  // Metric names are [a-z0-9_] by the names.hpp convention, so no JSON
+  // string escaping is needed.
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const CounterValue& entry : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += entry.name;
+    out += "\":";
+    out += std::to_string(entry.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const GaugeValue& entry : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += entry.name;
+    out += "\":";
+    out += std::to_string(entry.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramValue& entry : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += entry.name;
+    out += "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < entry.bounds.size(); ++i) {
+      if (i != 0) out += ',';
+      append_double(out, entry.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < entry.counts.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(entry.counts[i]);
+    }
+    out += "],\"count\":";
+    out += std::to_string(entry.count);
+    out += ",\"sum\":";
+    append_double(out, entry.sum);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::string out;
+  for (const CounterValue& entry : counters) {
+    out += "# TYPE ";
+    out += entry.name;
+    out += " counter\n";
+    out += entry.name;
+    out += ' ';
+    out += std::to_string(entry.value);
+    out += '\n';
+  }
+  for (const GaugeValue& entry : gauges) {
+    out += "# TYPE ";
+    out += entry.name;
+    out += " gauge\n";
+    out += entry.name;
+    out += ' ';
+    out += std::to_string(entry.value);
+    out += '\n';
+  }
+  for (const HistogramValue& entry : histograms) {
+    out += "# TYPE ";
+    out += entry.name;
+    out += " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t bucket = 0; bucket < entry.counts.size(); ++bucket) {
+      cumulative += entry.counts[bucket];
+      out += entry.name;
+      out += "_bucket{le=\"";
+      if (bucket < entry.bounds.size()) {
+        append_double(out, entry.bounds[bucket]);
+      } else {
+        out += "+Inf";
+      }
+      out += "\"} ";
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    out += entry.name;
+    out += "_sum ";
+    append_double(out, entry.sum);
+    out += '\n';
+    out += entry.name;
+    out += "_count ";
+    out += std::to_string(entry.count);
+    out += '\n';
+  }
+  return out;
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(bounds)).first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.push_back({name, counter->value()});
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.push_back({name, gauge->value()});
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramValue value;
+    value.name = name;
+    value.bounds = histogram->bounds();
+    value.counts = histogram->bucket_counts();
+    value.count = 0;
+    for (const std::uint64_t bucket : value.counts) value.count += bucket;
+    value.sum = histogram->sum();
+    out.histograms.push_back(std::move(value));
+  }
+  return out;
+}
+
+void MetricsRegistry::reset_for_test() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset_for_test();
+  for (auto& [name, gauge] : gauges_) gauge->reset_for_test();
+  for (auto& [name, histogram] : histograms_) histogram->reset_for_test();
+}
+
+}  // namespace dice::obs

@@ -1,0 +1,85 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+
+#include "explore/pool.hpp"
+#include "obs/names.hpp"
+#include "util/log.hpp"
+
+namespace dice::obs {
+
+namespace {
+
+/// hits / (hits + misses) as a percentage; -1 when there was no traffic.
+double hit_rate(std::uint64_t hits, std::uint64_t misses) {
+  const std::uint64_t total = hits + misses;
+  if (total == 0) return -1.0;
+  return 100.0 * static_cast<double>(hits) / static_cast<double>(total);
+}
+
+void append_rate(std::string& line, const char* label, double rate) {
+  char buf[64];
+  if (rate < 0.0) {
+    std::snprintf(buf, sizeof(buf), " %s=n/a", label);
+  } else {
+    std::snprintf(buf, sizeof(buf), " %s=%.1f%%", label, rate);
+  }
+  line += buf;
+}
+
+}  // namespace
+
+ProgressReporter::ProgressReporter(Options options)
+    : options_(options), baseline_(MetricsRegistry::global().snapshot()) {}
+
+void ProgressReporter::on_cell_start(const explore::CellDescriptor& cell) {
+  if (options_.next != nullptr) options_.next->on_cell_start(cell);
+}
+
+void ProgressReporter::on_fault(const explore::CellDescriptor& cell,
+                                const core::FaultReport& fault) {
+  if (options_.next != nullptr) options_.next->on_fault(cell, fault);
+}
+
+void ProgressReporter::on_cell_done(const explore::CellDescriptor& cell,
+                                    const explore::CellResult& result) {
+  if (options_.next != nullptr) options_.next->on_cell_done(cell, result);
+}
+
+void ProgressReporter::on_progress(const explore::CampaignProgress& progress) {
+  last_ = progress;
+  ++lines_;
+
+  const MetricsSnapshot delta =
+      MetricsRegistry::global().snapshot().delta_since(baseline_);
+
+  std::string line;
+  char head[128];
+  std::snprintf(head, sizeof(head), "cells %zu/%zu faults=%zu", progress.cells_done,
+                progress.cells_total, progress.faults);
+  line += head;
+  append_rate(line, "solver_hit",
+              hit_rate(delta.counter_value(names::kSolverCacheHits),
+                       delta.counter_value(names::kSolverCacheMisses)));
+  append_rate(line, "live_hit",
+              hit_rate(delta.counter_value(names::kLiveCacheHits),
+                       delta.counter_value(names::kLiveCacheMisses)));
+  append_rate(line, "arena_reuse",
+              hit_rate(delta.counter_value(names::kArenaReuses),
+                       delta.counter_value(names::kArenaRebuilds)));
+  if (options_.pool != nullptr) {
+    const explore::ExplorePool::Stats stats = options_.pool->stats();
+    char occ[64];
+    std::snprintf(occ, sizeof(occ), " occupancy=%zu/%zu", stats.occupied_workers(),
+                  options_.pool->workers());
+    line += occ;
+  }
+  if (progress.stop_requested) line += " stopping";
+
+  last_line_ = line;
+  util::Logger("obs.progress").info() << line;
+
+  if (options_.next != nullptr) options_.next->on_progress(progress);
+}
+
+}  // namespace dice::obs

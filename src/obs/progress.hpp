@@ -1,0 +1,64 @@
+// obs::ProgressReporter — the human-facing campaign progress surface.
+//
+// A CampaignObserver that folds the metrics registry into each on_progress
+// event: cells done/total, faults streamed, cache hit rates, arena reuse,
+// and (when given the pool) worker occupancy, emitted as one log line per
+// progress event through util::Logger("obs.progress"). It is strictly
+// PASSIVE — it reads metrics and forwards events, never influencing
+// exploration — and strictly a decorator: wrap any downstream observer via
+// Options::next and every callback is forwarded unchanged.
+//
+// Rates are computed against the registry snapshot taken at construction,
+// so a reporter shows THIS campaign's traffic even though registry counters
+// are cumulative for the process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "explore/control.hpp"
+#include "obs/metrics.hpp"
+
+namespace dice::explore {
+class ExplorePool;
+}
+
+namespace dice::obs {
+
+class ProgressReporter : public explore::CampaignObserver {
+ public:
+  struct Options {
+    /// When set, progress lines include worker occupancy from pool stats.
+    const explore::ExplorePool* pool = nullptr;
+    /// Downstream observer every callback is forwarded to (may be null).
+    explore::CampaignObserver* next = nullptr;
+  };
+
+  ProgressReporter() : ProgressReporter(Options{}) {}
+  explicit ProgressReporter(Options options);
+
+  void on_cell_start(const explore::CellDescriptor& cell) override;
+  void on_fault(const explore::CellDescriptor& cell,
+                const core::FaultReport& fault) override;
+  void on_cell_done(const explore::CellDescriptor& cell,
+                    const explore::CellResult& result) override;
+  void on_progress(const explore::CampaignProgress& progress) override;
+
+  /// The most recent progress event observed (all zero before the first).
+  [[nodiscard]] const explore::CampaignProgress& last() const noexcept {
+    return last_;
+  }
+  /// How many progress lines were emitted.
+  [[nodiscard]] std::uint64_t lines_emitted() const noexcept { return lines_; }
+  /// The most recent formatted progress line (for tests).
+  [[nodiscard]] const std::string& last_line() const noexcept { return last_line_; }
+
+ private:
+  Options options_;
+  MetricsSnapshot baseline_;  ///< registry state when this reporter was built
+  explore::CampaignProgress last_;
+  std::string last_line_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace dice::obs

@@ -1,0 +1,155 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "obs/names.hpp"
+
+namespace dice::obs {
+
+Trace::Trace(std::size_t lanes, std::size_t lane_capacity)
+    : lanes_(lanes == 0 ? 1 : lanes),
+      lane_capacity_(lane_capacity),
+      epoch_(Clock::now()) {
+  for (Lane& lane : lanes_) lane.events.resize(lane_capacity_);
+}
+
+void Trace::record(const TraceEvent& event) noexcept {
+  if constexpr (!kEnabled) {
+    (void)event;
+    return;
+  }
+  const std::size_t lane_index =
+      std::min<std::size_t>(event.worker, lanes_.size() - 1);
+  Lane& lane = lanes_[lane_index];
+  const std::size_t slot = lane.next.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= lane_capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    static Counter& drop_counter =
+        MetricsRegistry::global().counter(names::kTraceDropped);
+    drop_counter.add();
+    return;
+  }
+  lane.events[slot] = event;
+}
+
+void Trace::cell_flushed(std::uint32_t cell, bool completed) {
+  flush_order_.push_back({cell, completed});
+  finalized_ = false;
+}
+
+void Trace::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  ordered_.clear();
+  canonical_ = 0;
+
+  // Gather the raw capture (all recording threads have joined by contract,
+  // so plain reads of the reserved prefix are safe).
+  std::vector<TraceEvent> raw;
+  for (Lane& lane : lanes_) {
+    const std::size_t used =
+        std::min(lane.next.load(std::memory_order_acquire), lane_capacity_);
+    raw.insert(raw.end(), lane.events.begin(),
+               lane.events.begin() + static_cast<std::ptrdiff_t>(used));
+  }
+
+  const auto within_cell_order = [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.episode != b.episode) return a.episode < b.episode;
+    if (a.index != b.index) return a.index < b.index;
+    return std::strcmp(a.name, b.name) < 0;
+  };
+
+  // Canonical section: completed cells in flush order, deterministic order
+  // within each cell.
+  std::vector<bool> consumed(raw.size(), false);
+  for (const FlushRecord& flushed : flush_order_) {
+    if (!flushed.completed) continue;
+    std::vector<TraceEvent> cell_events;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (!consumed[i] && raw[i].cell == flushed.cell) {
+        consumed[i] = true;
+        cell_events.push_back(raw[i]);
+      }
+    }
+    std::sort(cell_events.begin(), cell_events.end(), within_cell_order);
+    ordered_.insert(ordered_.end(), cell_events.begin(), cell_events.end());
+  }
+  canonical_ = ordered_.size();
+
+  // Tail: incomplete cells and unscoped events, best-effort deterministic
+  // (by cell, then the same within-cell key) but not worker-count-invariant.
+  std::vector<TraceEvent> tail;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (!consumed[i]) tail.push_back(raw[i]);
+  }
+  std::sort(tail.begin(), tail.end(),
+            [&within_cell_order](const TraceEvent& a, const TraceEvent& b) {
+              if (a.cell != b.cell) return a.cell < b.cell;
+              return within_cell_order(a, b);
+            });
+  ordered_.insert(ordered_.end(), tail.begin(), tail.end());
+}
+
+namespace {
+
+void append_us(std::string& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Trace::to_chrome_json() {
+  finalize();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : ordered_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += event.name;  // span names are identifier-shaped literals
+    out += "\",\"cat\":\"dice\",\"ph\":\"X\",\"ts\":";
+    append_us(out, event.t_start_us);
+    out += ",\"dur\":";
+    append_us(out, event.dur_us);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(event.worker);
+    out += ",\"args\":{";
+    if (event.cell != kNoCell) {
+      out += "\"cell\":";
+      out += std::to_string(event.cell);
+      out += ',';
+    }
+    out += "\"episode\":";
+    out += std::to_string(event.episode);
+    out += ",\"index\":";
+    out += std::to_string(event.index);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool Trace::write_chrome_json(const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  const std::string json = to_chrome_json();
+  file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return static_cast<bool>(file);
+}
+
+void Trace::clear() {
+  for (Lane& lane : lanes_) lane.next.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  flush_order_.clear();
+  ordered_.clear();
+  canonical_ = 0;
+  finalized_ = false;
+  epoch_ = Clock::now();
+}
+
+}  // namespace dice::obs

@@ -1,0 +1,157 @@
+// obs::Trace — per-worker span capture with canonical-order emission.
+//
+// Workers record TraceEvents into preallocated per-lane rings (an atomic
+// slot reservation, no locks, no allocation); a full lane drops the event
+// and counts the drop. Because workers race, the raw capture order is
+// scheduling-dependent — finalize() rebuilds the canonical view the same
+// way ScenarioMatrix's reorder buffer does for observer events: completed
+// cells in canonical flush order (reported via cell_flushed), events
+// within a cell sorted by (episode, clone index, name). That makes the
+// emitted trace worker-count-invariant for completed cells, which is what
+// lets CI diff traces across runs. Events from cells that never completed
+// (stopped runs) and unscoped events trail the canonical section.
+//
+// write_chrome_json() emits the Chrome trace_event format, loadable in
+// Perfetto (ui.perfetto.dev) — see docs/OBSERVABILITY.md.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace dice::obs {
+
+/// Sentinel cell id for events recorded outside any matrix cell.
+inline constexpr std::uint32_t kNoCell = 0xffffffffu;
+
+/// One completed span. `name` must be a string literal (the trace stores
+/// the pointer, never a copy). Times are microseconds since the Trace's
+/// epoch (construction or last clear()).
+struct TraceEvent {
+  const char* name = "";
+  std::uint32_t cell = kNoCell;
+  std::uint32_t index = 0;  ///< clone index within the episode (0 otherwise)
+  std::uint64_t episode = 0;
+  std::uint32_t worker = 0;
+  double t_start_us = 0.0;
+  double dur_us = 0.0;
+};
+
+class Trace {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `lanes` bounds concurrent-writer spread (lane = min(worker, lanes-1);
+  /// sharing a lane is safe, just contended); each lane holds
+  /// `lane_capacity` preallocated events.
+  explicit Trace(std::size_t lanes = 8, std::size_t lane_capacity = 4096);
+
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  /// Hot path: reserve a slot in the worker's lane and store the event.
+  /// Lock-free; a full lane drops the event (see dropped()).
+  void record(const TraceEvent& event) noexcept;
+
+  /// Called by the matrix reorder buffer as it flushes cells, in canonical
+  /// cell order (serialized by the emitter mutex). Fixes this trace's
+  /// canonical section order.
+  void cell_flushed(std::uint32_t cell, bool completed);
+
+  /// Builds the canonical event ordering. Call after the run completes
+  /// (all recording threads joined). Idempotent until the next clear().
+  void finalize();
+
+  /// The canonical event sequence (finalize() must have run).
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return ordered_;
+  }
+  /// How many of events() form the worker-count-invariant canonical
+  /// section (completed cells); the remainder is unordered tail.
+  [[nodiscard]] std::size_t canonical_events() const noexcept { return canonical_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Chrome trace_event JSON ("X" complete events, ts/dur in µs, tid =
+  /// worker). Finalizes if needed.
+  [[nodiscard]] std::string to_chrome_json();
+  /// Writes to_chrome_json() to `path`; false on I/O failure.
+  bool write_chrome_json(const std::string& path);
+
+  /// Drops all recorded events and resets the epoch. Callers must
+  /// guarantee no concurrent recorders.
+  void clear();
+
+  [[nodiscard]] Clock::time_point epoch() const noexcept { return epoch_; }
+
+  /// Microseconds from the epoch to `at`.
+  [[nodiscard]] double since_epoch_us(Clock::time_point at) const noexcept {
+    return std::chrono::duration<double, std::micro>(at - epoch_).count();
+  }
+
+ private:
+  struct Lane {
+    std::atomic<std::size_t> next{0};
+    std::vector<TraceEvent> events;
+  };
+
+  std::vector<Lane> lanes_;
+  std::size_t lane_capacity_;
+  std::atomic<std::uint64_t> dropped_{0};
+  Clock::time_point epoch_;
+
+  struct FlushRecord {
+    std::uint32_t cell;
+    bool completed;
+  };
+  std::vector<FlushRecord> flush_order_;  ///< serialized by the emitter mutex
+
+  std::vector<TraceEvent> ordered_;
+  std::size_t canonical_ = 0;
+  bool finalized_ = false;
+};
+
+/// RAII span: stamps the clock on construction, records on destruction (or
+/// end()). A null trace (or compiled-out telemetry) never touches the
+/// clock, so disabled tracing costs one branch.
+class Span {
+ public:
+  Span(Trace* trace, const char* name, std::uint32_t worker,
+       std::uint32_t cell = kNoCell, std::uint64_t episode = 0,
+       std::uint32_t index = 0) noexcept {
+    if constexpr (!kEnabled) return;
+    if (trace == nullptr) return;
+    trace_ = trace;
+    event_.name = name;
+    event_.worker = worker;
+    event_.cell = cell;
+    event_.episode = episode;
+    event_.index = index;
+    start_ = Trace::Clock::now();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { end(); }
+
+  void end() noexcept {
+    if (trace_ == nullptr) return;
+    const Trace::Clock::time_point stop = Trace::Clock::now();
+    event_.t_start_us = trace_->since_epoch_us(start_);
+    event_.dur_us = std::chrono::duration<double, std::micro>(stop - start_).count();
+    trace_->record(event_);
+    trace_ = nullptr;
+  }
+
+ private:
+  Trace* trace_ = nullptr;
+  TraceEvent event_;
+  Trace::Clock::time_point start_{};
+};
+
+}  // namespace dice::obs

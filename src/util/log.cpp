@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <utility>
 
 namespace dice::util {
 
@@ -10,19 +11,29 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
-/// Serializes sink replacement and every emission: concurrent workers each
-/// format their own line, then take this mutex for the single sink call.
-std::mutex& sink_mutex() {
-  static std::mutex instance;
-  return instance;
-}
+/// The published sink. A shared_ptr handed out under a mutex held only for
+/// the pointer copy: the old design serialized every emission behind one
+/// mutex, and a sink swap could still race an in-flight invocation the
+/// moment emission left the lock. Here writers copy the handle and invoke
+/// OUTSIDE the lock, so set_sink can retire a sink at any time without
+/// destroying it under a caller. Not std::atomic<std::shared_ptr>:
+/// libstdc++'s lock-free _Sp_atomic releases its internal lock bit with a
+/// relaxed op in load(), which TSan (correctly, per the formal model) flags
+/// as a race against a later swap — a plain mutex gives the same guarantee
+/// and stays sanitizer-clean. nullptr means the default stderr sink.
+struct SinkSlot {
+  std::mutex mutex;
+  std::shared_ptr<const Log::Sink> sink;
+};
 
-Log::Sink& sink_slot() {
-  static Log::Sink instance;  // empty => default stderr sink
+SinkSlot& sink_slot() {
+  static SinkSlot instance;
   return instance;
 }
 
 void default_sink(LogLevel level, std::string_view tag, std::string_view msg) {
+  // One fprintf per line: stdio's internal stream lock keeps concurrent
+  // whole-line writes from interleaving.
   std::fprintf(stderr, "[%s] %.*s: %.*s\n", to_string(level).data(),
                static_cast<int>(tag.size()), tag.data(), static_cast<int>(msg.size()),
                msg.data());
@@ -52,37 +63,70 @@ bool Log::enabled(LogLevel level) noexcept {
 }
 
 Log::Sink Log::set_sink(Sink sink) {
-  const std::lock_guard<std::mutex> lock(sink_mutex());
-  Sink previous = std::move(sink_slot());
-  sink_slot() = std::move(sink);
-  return previous;
+  std::shared_ptr<const Sink> next;
+  if (sink) next = std::make_shared<const Sink>(std::move(sink));
+  std::shared_ptr<const Sink> previous;
+  {
+    SinkSlot& slot = sink_slot();
+    const std::lock_guard<std::mutex> lock(slot.mutex);
+    previous = std::exchange(slot.sink, std::move(next));
+  }
+  // Copy, not move: a concurrent writer may still be invoking through its
+  // own reference to the retired sink.
+  return previous != nullptr ? *previous : Sink{};
 }
 
 void Log::write(LogLevel level, std::string_view tag, std::string_view msg) {
   if (!enabled(level)) return;
-  const std::lock_guard<std::mutex> lock(sink_mutex());
-  if (const Sink& sink = sink_slot()) {
-    sink(level, tag, msg);
+  // Copy the handle under the lock, invoke outside it: our shared_ptr keeps
+  // the sink alive across any concurrent replacement, and a slow sink never
+  // blocks set_sink. Sinks own their thread safety.
+  std::shared_ptr<const Sink> sink;
+  {
+    SinkSlot& slot = sink_slot();
+    const std::lock_guard<std::mutex> lock(slot.mutex);
+    sink = slot.sink;
+  }
+  if (sink != nullptr && *sink) {
+    (*sink)(level, tag, msg);
   } else {
     default_sink(level, tag, msg);
   }
 }
 
-LogCapture::LogCapture() : previous_level_(Log::level()) {
+/// Shared between the LogCapture handle and the sink closure it installs:
+/// a write racing the capture's teardown lands here, never on a dangling
+/// member of the destroyed handle.
+struct LogCapture::State {
+  std::mutex mutex;
+  std::string text;
+};
+
+LogCapture::LogCapture()
+    : state_(std::make_shared<State>()), previous_level_(Log::level()) {
   Log::set_level(LogLevel::kTrace);
-  previous_ = Log::set_sink([this](LogLevel level, std::string_view tag, std::string_view msg) {
-    text_.append(to_string(level));
-    text_.append(" ");
-    text_.append(tag);
-    text_.append(": ");
-    text_.append(msg);
-    text_.push_back('\n');
-  });
+  std::shared_ptr<State> state = state_;  // captured by value, outlives *this
+  previous_ = Log::set_sink(
+      [state](LogLevel level, std::string_view tag, std::string_view msg) {
+        const std::lock_guard<std::mutex> lock(state->mutex);
+        state->text.append(to_string(level));
+        state->text.append(" ");
+        state->text.append(tag);
+        state->text.append(": ");
+        state->text.append(msg);
+        state->text.push_back('\n');
+      });
 }
 
 LogCapture::~LogCapture() {
   Log::set_sink(std::move(previous_));
   Log::set_level(previous_level_);
+}
+
+const std::string& LogCapture::text() const noexcept {
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  snapshot_ = state_->text;
+  return snapshot_;
 }
 
 }  // namespace dice::util

@@ -2,13 +2,20 @@
 // A global sink keeps the API ergonomic; tests can capture output via
 // LogCapture. Each simulator instance is single-threaded, but exploration
 // runs many cloned simulators on concurrent workers (explore::ExplorePool),
-// so emission is serialized behind a single sink mutex: concurrent workers
-// never interleave partial lines. Message formatting stays outside the
-// lock (each Line owns its stream); only the sink call is serialized.
+// so the sink is PUBLISHED as a shared_ptr behind a mutex held only for
+// the pointer copy: write() copies the handle and invokes the sink outside
+// the lock, and a concurrent set_sink can never destroy a sink
+// mid-invocation — the writer's shared_ptr keeps it alive. The flip side of
+// emission happening outside the lock is that
+// sinks may be invoked CONCURRENTLY: a sink must either be thread-safe
+// itself (LogCapture serializes internally; the default stderr sink leans
+// on stdio's per-call stream lock, so whole lines never interleave) or the
+// caller must guarantee single-threaded logging.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -29,7 +36,9 @@ class Log {
   [[nodiscard]] static bool enabled(LogLevel level) noexcept;
 
   /// Replaces the output sink; returns the previous one. Pass nullptr to
-  /// restore the default stderr sink.
+  /// restore the default stderr sink. Safe against concurrent write()
+  /// calls: a writer that loaded the old sink finishes its invocation on
+  /// it (shared ownership), later writers see the new one.
   static Sink set_sink(Sink sink);
 
   static void write(LogLevel level, std::string_view tag, std::string_view msg);
@@ -89,6 +98,10 @@ class Logger {
 };
 
 /// RAII helper that redirects log output into a buffer for test assertions.
+/// Safe under concurrent writers (appends are serialized internally), and
+/// the buffer state lives in a shared_ptr captured by the installed sink —
+/// a write racing this capture's teardown appends to the detached state
+/// instead of a dangling member.
 class LogCapture {
  public:
   LogCapture();
@@ -96,13 +109,18 @@ class LogCapture {
   LogCapture(const LogCapture&) = delete;
   LogCapture& operator=(const LogCapture&) = delete;
 
-  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+  /// A snapshot of everything captured so far. The reference stays valid
+  /// for the LogCapture's lifetime and is refreshed by the next text()
+  /// call; take the snapshot AFTER joining concurrent logging threads.
+  [[nodiscard]] const std::string& text() const noexcept;
   [[nodiscard]] bool contains(std::string_view needle) const noexcept {
-    return text_.find(needle) != std::string::npos;
+    return text().find(needle) != std::string::npos;
   }
 
  private:
-  std::string text_;
+  struct State;
+  std::shared_ptr<State> state_;
+  mutable std::string snapshot_;  ///< backing storage for text()
   Log::Sink previous_;
   LogLevel previous_level_;
 };

@@ -188,6 +188,9 @@ TEST(CampaignOptionsTest, BuilderRejectsNonsense) {
                         .parallelism(CampaignOptions::Parallelism{0, nullptr})
                         .build()),
             "campaign.options.zero_workers");
+
+  EXPECT_EQ(code_of(CampaignOptions::builder().progress_every_cells(0).build()),
+            "campaign.options.zero_progress_cadence");
 }
 
 TEST(CampaignOptionsTest, LoweringMapsEveryLegacyKnob) {
@@ -292,6 +295,46 @@ TEST(CampaignEquivalenceTest, ObserverEventStreamIsCanonicalAndWorkerCountInvari
   // The determinism receipt: byte-identical event stream at any worker count.
   EXPECT_EQ(record(2).events, serial.events);
   EXPECT_EQ(record(8).events, serial.events);
+}
+
+TEST(CampaignProgressTest, CadenceThrottlesProgressAndAlwaysEmitsTheFinalCell) {
+  const auto progress_counts = [](std::size_t every) {
+    Recorder recorder;
+    CampaignOptions options = small_options(/*workers=*/2);
+    options.telemetry.progress_every_cells = every;
+    Campaign campaign(campaign_scenarios(), options);
+    const CampaignResult result = campaign.run(&recorder);
+    EXPECT_EQ(result.cells_completed, result.cells.size());
+
+    // Progress counts are monotonically non-decreasing in stream order and
+    // the final event covers every cell.
+    std::size_t last_done = 0;
+    std::size_t last_faults = 0;
+    std::vector<std::size_t> dones;
+    for (const std::string& event : recorder.events) {
+      if (event.rfind("progress:", 0) != 0) continue;
+      const std::size_t done = std::stoul(event.substr(9));
+      const std::size_t faults = std::stoul(event.substr(event.rfind(':') + 1));
+      EXPECT_GE(done, last_done) << event;
+      EXPECT_GE(faults, last_faults) << event;
+      last_done = done;
+      last_faults = faults;
+      dones.push_back(done);
+    }
+    EXPECT_EQ(last_done, result.cells.size());
+    return dones;
+  };
+
+  const std::vector<std::size_t> every_cell = progress_counts(1);
+  EXPECT_EQ(every_cell.size(), 8u);  // 2 scenarios x 2 strategies x 2 seeds
+
+  const std::vector<std::size_t> every_third = progress_counts(3);
+  EXPECT_EQ(every_third, (std::vector<std::size_t>{3, 6, 8}))
+      << "cadence 3 over 8 cells: multiples of 3 plus the mandatory final";
+
+  const std::vector<std::size_t> oversized = progress_counts(100);
+  EXPECT_EQ(oversized, (std::vector<std::size_t>{8}))
+      << "a cadence beyond the cell count still reports the final cell";
 }
 
 // ---------------------------------------------------------------------------

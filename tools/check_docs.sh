@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # check_docs.sh — the docs/code drift gate.
 #
-# Two directions:
+# Two directions, twice over:
 #   1. docs -> code: every knob named in a docs/TUNING.md table row
 #      (lines shaped `| `knob_name` | ...`) must exist verbatim in the
 #      public option headers. A renamed or deleted knob fails here.
@@ -10,6 +10,12 @@
 #      core::DiceOptions (src/dice/orchestrator.hpp), must be mentioned as
 #      `field` somewhere in docs/TUNING.md. A new undocumented knob fails
 #      here.
+#   3. metrics -> docs: every metric name in src/obs/names.hpp must appear
+#      backticked in docs/OBSERVABILITY.md.
+#   4. docs -> metrics: every backticked `dice_*` name in
+#      docs/OBSERVABILITY.md must exist in src/obs/names.hpp. Derived
+#      Prometheus series (_bucket/_sum/_count) are written WITHOUT
+#      backticks in the doc precisely so this direction stays exact.
 #
 # Exit nonzero on any drift; print every offender, not just the first.
 set -u
@@ -74,6 +80,7 @@ code_knobs=$(
     extract_fields src/explore/campaign.hpp 'struct Budgets \{'
     extract_fields src/explore/campaign.hpp 'struct Caching \{'
     extract_fields src/explore/campaign.hpp 'struct Parallelism \{'
+    extract_fields src/explore/campaign.hpp 'struct Telemetry \{'
     extract_fields src/explore/campaign.hpp 'struct Determinism \{'
     extract_fields src/dice/orchestrator.hpp 'struct DiceOptions \{'
     # Top-level CampaignOptions members documented by name:
@@ -90,8 +97,34 @@ for knob in $code_knobs; do
   fi
 done
 
-if [[ "$fail" -ne 0 ]]; then
-  echo "check_docs: FAILED — docs/TUNING.md and the option headers drifted" >&2
+# --- directions 3 + 4: metric names <-> docs/OBSERVABILITY.md ------------
+OBS_DOC=docs/OBSERVABILITY.md
+OBS_NAMES=src/obs/names.hpp
+if [[ ! -f "$OBS_DOC" || ! -f "$OBS_NAMES" ]]; then
+  echo "check_docs: missing $OBS_DOC or $OBS_NAMES" >&2
   exit 1
 fi
-echo "check_docs: OK ($(echo "$doc_knobs" | wc -l) documented knobs, $(echo "$code_knobs" | wc -l) public knobs)"
+code_metrics=$(grep -oE '"dice_[a-z0-9_]+"' "$OBS_NAMES" | tr -d '"' | sort -u)
+doc_metrics=$(grep -oE '`dice_[a-z0-9_]+`' "$OBS_DOC" | tr -d '\`' | sort -u)
+if [[ -z "$code_metrics" ]]; then
+  echo "check_docs: no metric names found in $OBS_NAMES (format changed?)" >&2
+  exit 1
+fi
+for metric in $code_metrics; do
+  if ! grep -q "\`$metric\`" "$OBS_DOC"; then
+    echo "check_docs: metric '$metric' ($OBS_NAMES) is not documented in $OBS_DOC" >&2
+    fail=1
+  fi
+done
+for metric in $doc_metrics; do
+  if ! grep -q "\"$metric\"" "$OBS_NAMES"; then
+    echo "check_docs: $OBS_DOC documents metric '$metric' but $OBS_NAMES does not define it" >&2
+    fail=1
+  fi
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "check_docs: FAILED — the docs and the code drifted" >&2
+  exit 1
+fi
+echo "check_docs: OK ($(echo "$doc_knobs" | wc -l) documented knobs, $(echo "$code_knobs" | wc -l) public knobs, $(echo "$code_metrics" | wc -l) metrics)"
