@@ -1,0 +1,170 @@
+// Snapshot cost vs topology size vs churn: the delta-checkpoint receipt.
+//
+// Per-episode snapshots used to re-encode EVERY router's full state, so
+// snapshot bytes (and encode latency) grew with topology size even when an
+// episode churned a handful of routers. With delta checkpoints the cost
+// follows churn: unchanged routers write one byte against the previous
+// prepared snapshot. This harness runs make_internet at 27, 500 and 2000
+// routers, takes a baseline cut, churns ~5% of the routers (administrative
+// session resets — the paper's local-reset scenario), and re-snapshots on
+// both paths. Emits one JSON line (also BENCH_snapshot_scale.json).
+//
+// Acceptance (exit 1 on breach): at 2000 nodes with <=5% churn, the delta
+// cut is < 25% of the full cut's bytes.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dice/system.hpp"
+
+namespace {
+
+using namespace dice;
+
+struct ScaleSpec {
+  std::size_t tier1 = 0;
+  std::size_t tier2 = 0;
+  std::size_t stubs = 0;
+  std::size_t originate_every = 1;  ///< thin origination so convergence stays bounded
+};
+
+struct Measurement {
+  std::size_t nodes = 0;
+  std::size_t churned = 0;      ///< routers administratively reset
+  std::size_t full_bytes = 0;   ///< second cut, delta disabled
+  std::size_t delta_bytes = 0;  ///< second cut, delta enabled
+  std::size_t delta_nodes = 0;  ///< nodes that rode the 1-byte envelope
+  double full_ms = 0.0;         ///< take_snapshot wall, full path
+  double delta_ms = 0.0;        ///< take_snapshot wall, delta path
+  bool ok = false;
+};
+
+/// One system runs the deterministic script on one encoding path: converge,
+/// baseline cut (+prepare), churn `churned` routers, second cut. Returns the
+/// second cut's byte count and take_snapshot latency.
+bool run_path(const bgp::InternetTopologyParams& params, std::size_t churned, bool delta,
+              Measurement& out) {
+  core::System system(bgp::make_internet(params));
+  system.set_delta_checkpoints(delta);
+  system.start();
+  if (!system.converge(20'000'000, 7200 * sim::kSecond)) {
+    std::printf("  %zu nodes: convergence failed\n", system.size());
+    return false;
+  }
+  const snapshot::SnapshotId baseline = system.take_snapshot(0);
+  if (baseline == 0 || system.prepare_snapshot(baseline) == nullptr) return false;
+
+  // Churn: spread administrative session resets across the topology. Each
+  // reset dirties the router immediately (and its peer once the NOTIFICATION
+  // lands during the marker sweep).
+  const std::size_t stride = std::max<std::size_t>(1, system.size() / std::max<std::size_t>(churned, 1));
+  for (std::size_t i = 0; i < churned; ++i) {
+    const sim::NodeId node = static_cast<sim::NodeId>((i * stride) % system.size());
+    const auto& neighbors = system.network().neighbors(node);
+    if (!neighbors.empty()) system.router(node).reset_session(neighbors.front());
+  }
+
+  bench::Stopwatch watch;
+  const snapshot::SnapshotId second = system.take_snapshot(0);
+  const double ms = watch.ms();
+  if (second == 0) return false;
+  const snapshot::Snapshot* raw = system.snapshots().find(second);
+  if (raw == nullptr) return false;
+
+  if (delta) {
+    out.delta_bytes = raw->total_state_bytes();
+    out.delta_ms = ms;
+    for (const auto& [node, checkpoint] : raw->nodes) {
+      if (checkpoint.state.size() == 1 &&
+          checkpoint.state[0] == snapshot::kCheckpointSameAsBaseline) {
+        ++out.delta_nodes;
+      }
+    }
+    // The delta cut must still prepare (resolve against the baseline).
+    if (system.prepare_snapshot(second) == nullptr) return false;
+  } else {
+    out.full_bytes = raw->total_state_bytes();
+    out.full_ms = ms;
+  }
+  out.nodes = system.size();
+  return true;
+}
+
+Measurement measure(const ScaleSpec& spec) {
+  Measurement m;
+  bgp::InternetTopologyParams params;
+  params.tier1 = spec.tier1;
+  params.tier2 = spec.tier2;
+  params.stubs = spec.stubs;
+  params.originate_every = spec.originate_every;
+  const std::size_t total = spec.tier1 + spec.tier2 + spec.stubs;
+  m.churned = std::max<std::size_t>(1, total / 40);  // ~2.5% resets => ~5% dirtied
+  m.ok = run_path(params, m.churned, /*delta=*/false, m) &&
+         run_path(params, m.churned, /*delta=*/true, m);
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  using bench::fmt;
+  using bench::fmt_count;
+
+  std::puts("== snapshot scale: full vs delta checkpoint cost ==\n");
+
+  const std::vector<ScaleSpec> scales = {
+      {3, 8, 16, 1},       // the Figure 1 demo topology (27 routers)
+      {5, 45, 450, 10},    // 500 routers, 50 originated prefixes
+      {8, 192, 1800, 50},  // 2000 routers, 40 originated prefixes
+  };
+
+  std::vector<Measurement> results;
+  for (const ScaleSpec& spec : scales) {
+    const std::size_t total = spec.tier1 + spec.tier2 + spec.stubs;
+    std::printf("measuring %zu routers...\n", total);
+    results.push_back(measure(spec));
+    if (!results.back().ok) {
+      std::printf("measurement failed at %zu routers\n", total);
+      return 1;
+    }
+  }
+
+  bench::Table table({"nodes", "churned", "full B", "delta B", "ratio", "delta nodes",
+                      "full snap ms", "delta snap ms"});
+  for (const Measurement& m : results) {
+    table.row({fmt_count(m.nodes), fmt_count(m.churned), fmt_count(m.full_bytes),
+               fmt_count(m.delta_bytes),
+               fmt(static_cast<double>(m.delta_bytes) / static_cast<double>(m.full_bytes), 3),
+               fmt_count(m.delta_nodes), fmt(m.full_ms), fmt(m.delta_ms)});
+  }
+  table.print();
+
+  std::string json = "{\"bench\":\"snapshot_scale\",\"scales\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    if (i != 0) json += ",";
+    json += "{\"nodes\":" + std::to_string(m.nodes) +
+            ",\"churned\":" + std::to_string(m.churned) +
+            ",\"full_bytes\":" + std::to_string(m.full_bytes) +
+            ",\"delta_bytes\":" + std::to_string(m.delta_bytes) +
+            ",\"delta_nodes\":" + std::to_string(m.delta_nodes) +
+            ",\"full_snapshot_ms\":" + bench::fmt(m.full_ms) +
+            ",\"delta_snapshot_ms\":" + bench::fmt(m.delta_ms) + "}";
+  }
+  json += "]}";
+  bench::emit_json("snapshot_scale", json);
+
+  // The acceptance gate: at the largest scale, delta bytes < 25% of full.
+  const Measurement& largest = results.back();
+  const double ratio =
+      static_cast<double>(largest.delta_bytes) / static_cast<double>(largest.full_bytes);
+  if (ratio >= 0.25) {
+    std::printf("\nFAIL: delta/full byte ratio %.3f >= 0.25 at %zu nodes\n", ratio,
+                largest.nodes);
+    return 1;
+  }
+  std::printf("\nOK: delta cut is %.1f%% of the full cut at %zu nodes (%zu churned)\n",
+              ratio * 100.0, largest.nodes, largest.churned);
+  return 0;
+}

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <span>
 
+#include "bgp/checkpoint_codec.hpp"
 #include "concolic/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
+#include "util/hash.hpp"
 #include "util/log.hpp"
 
 namespace dice::bgp {
@@ -46,6 +49,7 @@ BgpRouter::BgpRouter(sim::Network& network, sim::NodeId id, RouterConfig config,
                     std::move(address_book))) {}
 
 void BgpRouter::start() {
+  ++state_version_;  // origination mutates Loc-RIB
   originate_networks();
   for (auto& [peer, session] : sessions_) session->start();
 }
@@ -125,11 +129,13 @@ void BgpRouter::deliver_data(sim::NodeId from, const util::Bytes& payload) {
 // ---------------------------------------------------------------------------
 
 void BgpRouter::session_established(sim::NodeId peer) {
+  ++state_version_;  // send_full_table populates Adj-RIB-Out
   if (Session* s = session(peer)) send_full_table(*s);
 }
 
 void BgpRouter::session_down(sim::NodeId peer, const std::string& reason) {
   (void)reason;
+  ++state_version_;  // Adj-RIBs flushed below
   // Flush everything learned from the peer and withdraw what we advertised.
   auto it = adj_in_.find(peer);
   if (it != adj_in_.end()) {
@@ -153,6 +159,7 @@ void BgpRouter::schedule_restart(sim::NodeId peer) {
 
 void BgpRouter::session_update(sim::NodeId peer, const UpdateMessage& update) {
   ++stats_.updates_received;
+  ++state_version_;  // process_update touches Adj-RIB-In/Loc-RIB/Adj-RIB-Out
   process_update(peer, update);
 }
 
@@ -347,32 +354,48 @@ void BgpRouter::export_to_peer(Session& session, const util::IpPrefix& prefix) {
 // ---------------------------------------------------------------------------
 
 void BgpRouter::checkpoint(util::ByteWriter& writer) const {
+  // Byte-coded v2 stream: version byte, attribute pool, tagged sections,
+  // end tag. The pool is filled while the sections serialize into a scratch
+  // writer, then emitted ahead of them (readers need the pool first).
+  using ckpt::Tag;
+  util::ByteWriter body;
+  ckpt::AttrPoolEncoder pool;
+
   // Sessions (keyed by peer node id for stable identity across clones).
-  writer.u32(static_cast<std::uint32_t>(sessions_.size()));
+  body.u8(static_cast<std::uint8_t>(Tag::kSessions));
+  body.vu32(static_cast<std::uint32_t>(sessions_.size()));
   for (const auto& [peer, session] : sessions_) {
-    writer.u32(peer);
-    session->checkpoint(writer);
+    body.vu32(peer);
+    ckpt::write_session_v2(body, *session);
   }
-  // RIBs.
-  writer.u32(static_cast<std::uint32_t>(adj_in_.size()));
+  body.u8(static_cast<std::uint8_t>(Tag::kAdjIn));
+  body.vu32(static_cast<std::uint32_t>(adj_in_.size()));
   for (const auto& [peer, rib] : adj_in_) {
-    writer.u32(peer);
-    rib.serialize(writer);
+    body.vu32(peer);
+    ckpt::write_rib_v2(body, rib, pool);
   }
-  loc_rib_.serialize(writer);
-  writer.u32(static_cast<std::uint32_t>(adj_out_.size()));
+  body.u8(static_cast<std::uint8_t>(Tag::kLocRib));
+  ckpt::write_rib_v2(body, loc_rib_, pool);
+  body.u8(static_cast<std::uint8_t>(Tag::kAdjOut));
+  body.vu32(static_cast<std::uint32_t>(adj_out_.size()));
   for (const auto& [peer, rib] : adj_out_) {
-    writer.u32(peer);
-    rib.serialize(writer);
+    body.vu32(peer);
+    ckpt::write_rib_v2(body, rib, pool);
   }
   // Flip counters travel with the snapshot so clone-side oscillation
   // detection starts from the live system's baseline.
-  writer.u32(static_cast<std::uint32_t>(best_flips_.size()));
+  body.u8(static_cast<std::uint8_t>(Tag::kFlips));
+  body.vu32(static_cast<std::uint32_t>(best_flips_.size()));
   for (const auto& [prefix, count] : best_flips_) {
-    writer.u32(prefix.address().value());
-    writer.u8(prefix.length());
-    writer.u32(count);
+    body.u32(prefix.address().value());
+    body.u8(prefix.length());
+    body.vu32(count);
   }
+
+  writer.u8(ckpt::kFormatV2);
+  pool.emit(writer);
+  writer.raw(body.span());
+  writer.u8(static_cast<std::uint8_t>(Tag::kEnd));
 }
 
 util::Result<std::shared_ptr<const snapshot::DecodedCheckpoint>> BgpRouter::parse(
@@ -381,6 +404,115 @@ util::Result<std::shared_ptr<const snapshot::DecodedCheckpoint>> BgpRouter::pars
   static obs::Counter& decode_counter =
       obs::MetricsRegistry::global().counter(obs::names::kCheckpointDecodes);
   decode_counter.add();
+
+  // Version dispatch on the first byte: v2 byte-coded streams announce
+  // themselves with kFormatV2; the snapshot layer's delta envelope must be
+  // resolved upstream (PreparedSnapshot::build) — reaching parse with one is
+  // an error, not a decode; anything else is a legacy fixed-width stream
+  // (whose first byte is the high byte of a u32 session count, i.e. 0x00).
+  auto head = reader.peek_u8();
+  if (!head) return util::make_error("router.restore.sessions");
+  if (head.value() == snapshot::kCheckpointSameAsBaseline) {
+    return util::make_error("router.restore.delta_unresolved");
+  }
+  if (head.value() == ckpt::kFormatV2) return parse_v2(reader);
+  return parse_legacy(reader);
+}
+
+util::Result<std::shared_ptr<const snapshot::DecodedCheckpoint>> BgpRouter::parse_v2(
+    util::ByteReader& reader) const {
+  using ckpt::Tag;
+  (void)reader.u8();  // version byte, already peeked
+  auto decoded = std::make_shared<RouterCheckpoint>();
+  ckpt::AttrPoolDecoder pool;
+  for (;;) {
+    auto tag = reader.u8();
+    if (!tag) return util::make_error("router.restore.truncated_tag");
+    switch (static_cast<Tag>(tag.value())) {
+      case Tag::kEnd:
+        return std::shared_ptr<const snapshot::DecodedCheckpoint>(std::move(decoded));
+      case Tag::kAttrPool: {
+        auto parsed = ckpt::AttrPoolDecoder::parse(reader);
+        if (!parsed) return parsed.error();
+        pool = std::move(parsed).take();
+        break;
+      }
+      case Tag::kSessions: {
+        auto count = reader.vu32();
+        if (!count) return util::make_error("router.restore.sessions");
+        for (std::uint32_t i = 0; i < count.value(); ++i) {
+          auto peer = reader.vu32();
+          if (!peer) return util::make_error("router.restore.peer");
+          if (sessions_.find(peer.value()) == sessions_.end()) {
+            return util::make_error("router.restore.unknown_peer");
+          }
+          auto checkpoint = ckpt::read_session_v2(reader);
+          if (!checkpoint) return checkpoint.error();
+          decoded->sessions.emplace_back(peer.value(), checkpoint.value());
+        }
+        break;
+      }
+      case Tag::kAdjIn: {
+        auto count = reader.vu32();
+        if (!count) return util::make_error("router.restore.adj_in");
+        for (std::uint32_t i = 0; i < count.value(); ++i) {
+          auto peer = reader.vu32();
+          if (!peer) return util::make_error("router.restore.adj_in_peer");
+          auto rib = ckpt::read_rib_v2(reader, pool);
+          if (!rib) {
+            return util::make_error("router.restore.adj_in_rib", rib.error().to_string());
+          }
+          decoded->adj_in.emplace_back(peer.value(), std::move(rib).take());
+        }
+        break;
+      }
+      case Tag::kLocRib: {
+        auto rib = ckpt::read_rib_v2(reader, pool);
+        if (!rib) {
+          return util::make_error("router.restore.loc_rib", rib.error().to_string());
+        }
+        decoded->loc_rib = std::move(rib).take();
+        break;
+      }
+      case Tag::kAdjOut: {
+        auto count = reader.vu32();
+        if (!count) return util::make_error("router.restore.adj_out");
+        for (std::uint32_t i = 0; i < count.value(); ++i) {
+          auto peer = reader.vu32();
+          if (!peer) return util::make_error("router.restore.adj_out_peer");
+          auto rib = ckpt::read_rib_v2(reader, pool);
+          if (!rib) {
+            return util::make_error("router.restore.adj_out_rib",
+                                    rib.error().to_string());
+          }
+          decoded->adj_out.emplace_back(peer.value(), std::move(rib).take());
+        }
+        break;
+      }
+      case Tag::kFlips: {
+        auto count = reader.vu32();
+        if (!count) return util::make_error("router.restore.flips");
+        for (std::uint32_t i = 0; i < count.value(); ++i) {
+          auto addr = reader.u32();
+          auto len = reader.u8();
+          auto flips = reader.vu32();
+          if (!addr || !len || !flips) {
+            return util::make_error("router.restore.flip_entry");
+          }
+          decoded->best_flips.emplace_back(
+              util::IpPrefix{util::IpAddress{addr.value()}, len.value()}, flips.value());
+        }
+        break;
+      }
+      default:
+        return util::make_error("router.restore.unknown_tag",
+                                std::to_string(tag.value()));
+    }
+  }
+}
+
+util::Result<std::shared_ptr<const snapshot::DecodedCheckpoint>> BgpRouter::parse_legacy(
+    util::ByteReader& reader) const {
   auto decoded = std::make_shared<RouterCheckpoint>();
 
   auto session_count = reader.u32();
@@ -433,9 +565,30 @@ util::Result<std::shared_ptr<const snapshot::DecodedCheckpoint>> BgpRouter::pars
   return std::shared_ptr<const snapshot::DecodedCheckpoint>(std::move(decoded));
 }
 
+std::uint64_t BgpRouter::encode_checkpoint(util::ByteWriter& writer,
+                                           snapshot::SnapshotId this_snapshot,
+                                           snapshot::SnapshotId baseline) {
+  if (baseline != 0 && last_checkpoint_.snapshot == baseline &&
+      last_checkpoint_.version == state_version_) {
+    // Nothing checkpointed changed since the baseline captured this router:
+    // one byte replaces the whole stream, the recorded full-state hash keeps
+    // the cut fingerprint identical to a full encode.
+    writer.u8(snapshot::kCheckpointSameAsBaseline);
+    last_checkpoint_.snapshot = this_snapshot;
+    return last_checkpoint_.hash;
+  }
+  const std::size_t before = writer.size();
+  checkpoint(writer);
+  const std::uint64_t hash =
+      util::fnv1a(std::span(writer.span()).subspan(before));
+  last_checkpoint_ = {this_snapshot, state_version_, hash};
+  return hash;
+}
+
 util::Status BgpRouter::apply(const snapshot::DecodedCheckpoint& state) {
   const auto* decoded = dynamic_cast<const RouterCheckpoint*>(&state);
   if (decoded == nullptr) return util::make_error("router.apply.wrong_type");
+  ++state_version_;  // restore rewrites every piece of checkpointed state
 
   for (const auto& [peer, checkpoint] : decoded->sessions) {
     Session* s = session(peer);
@@ -469,6 +622,8 @@ void BgpRouter::reset_for_reuse() {
   stats_ = {};
   auto_restart_ = true;
   restart_delay_ = sim::kSecond;
+  ++state_version_;
+  last_checkpoint_ = {};  // arena reuse crosses snapshot lineages: no deltas
 }
 
 }  // namespace dice::bgp

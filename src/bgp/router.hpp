@@ -84,6 +84,7 @@ class BgpRouter final : public snapshot::SnapshotParticipant,
   void reset_flip_counters() {
     best_flips_.clear();
     max_best_flips_ = 0;
+    ++state_version_;  // flip counters are checkpointed state
   }
   /// Highest per-prefix best-route flip count seen since the counters were
   /// last reset — O(1), maintained incrementally so the oscillation
@@ -101,10 +102,25 @@ class BgpRouter final : public snapshot::SnapshotParticipant,
   // --- Checkpointable -------------------------------------------------------
   // restore() is inherited: parse (bytes -> RouterCheckpoint, const,
   // shareable) + apply (RouterCheckpoint -> this, cheap).
+  // checkpoint() emits the byte-coded v2 format (bgp/checkpoint_codec.hpp);
+  // parse() additionally accepts legacy fixed-width streams (first byte !=
+  // kFormatV2), so checkpoints captured before the format change restore.
   void checkpoint(util::ByteWriter& writer) const override;
   [[nodiscard]] util::Result<std::shared_ptr<const snapshot::DecodedCheckpoint>> parse(
       util::ByteReader& reader) const override;
   [[nodiscard]] util::Status apply(const snapshot::DecodedCheckpoint& state) override;
+  /// Delta-aware encode: when `baseline` is the snapshot this router last
+  /// encoded into and no checkpointed state changed since (tracked by a
+  /// monotonic version counter bumped on every mutation), writes the
+  /// one-byte "same as baseline" envelope. Falls back to a full v2
+  /// checkpoint otherwise. Returned hash is always the full-state hash.
+  [[nodiscard]] std::uint64_t encode_checkpoint(util::ByteWriter& writer,
+                                                snapshot::SnapshotId this_snapshot,
+                                                snapshot::SnapshotId baseline) override;
+  /// Monotonic churn counter: bumps whenever checkpointed state (sessions,
+  /// RIBs, flip counters) changes. Equal versions => byte-identical
+  /// checkpoints. Exposed for tests and the snapshot-scale bench.
+  [[nodiscard]] std::uint64_t state_version() const noexcept { return state_version_; }
 
   /// Returns the router to its just-constructed state (empty RIBs, Idle
   /// sessions, zeroed stats/flip counters, aborted snapshot bookkeeping) so
@@ -117,6 +133,7 @@ class BgpRouter final : public snapshot::SnapshotParticipant,
   void session_established(sim::NodeId peer) override;
   void session_down(sim::NodeId peer, const std::string& reason) override;
   void session_update(sim::NodeId peer, const UpdateMessage& update) override;
+  void session_state_dirty() override { ++state_version_; }
   [[nodiscard]] sim::Simulator& session_simulator() override {
     return network().simulator();
   }
@@ -127,6 +144,10 @@ class BgpRouter final : public snapshot::SnapshotParticipant,
   [[nodiscard]] snapshot::Checkpointable& checkpointable() override { return *this; }
 
  private:
+  [[nodiscard]] util::Result<std::shared_ptr<const snapshot::DecodedCheckpoint>> parse_v2(
+      util::ByteReader& reader) const;
+  [[nodiscard]] util::Result<std::shared_ptr<const snapshot::DecodedCheckpoint>>
+  parse_legacy(util::ByteReader& reader) const;
   void originate_networks();
   void process_update(sim::NodeId peer, const UpdateMessage& update);
   /// Re-runs the decision process for `prefix`; propagates on change.
@@ -149,6 +170,20 @@ class BgpRouter final : public snapshot::SnapshotParticipant,
   Stats stats_;
   bool auto_restart_ = true;
   sim::Time restart_delay_ = sim::kSecond;
+
+  /// Delta-snapshot bookkeeping. `state_version_` bumps on every mutation
+  /// of checkpointed state (over-bumping is safe; under-bumping would make
+  /// a stale delta — every mutation site must bump). `last_checkpoint_`
+  /// remembers the snapshot the router last encoded into: a delta is legal
+  /// iff the requested baseline IS that snapshot and the version is
+  /// unchanged since.
+  std::uint64_t state_version_ = 0;
+  struct LastCheckpoint {
+    snapshot::SnapshotId snapshot = 0;  ///< 0 = never encoded / invalidated
+    std::uint64_t version = 0;
+    std::uint64_t hash = 0;  ///< full-state hash at `version`
+  };
+  LastCheckpoint last_checkpoint_;
 };
 
 }  // namespace dice::bgp

@@ -38,6 +38,7 @@ void Session::start() {
   state_ = SessionState::kOpenSent;
   // §8.2.2: a large hold timer (4 minutes) guards OpenSent.
   negotiated_hold_ = local_.hold_time;
+  host_.session_state_dirty();
   arm_hold_timer();
 }
 
@@ -88,6 +89,7 @@ void Session::handle_open(const OpenMessage& open) {
   negotiated_hold_ = std::min<std::uint16_t>(local_.hold_time, open.hold_time);
   host_.session_send(peer_node_, Message{KeepaliveMessage{}}, /*background=*/false);
   state_ = SessionState::kOpenConfirm;
+  host_.session_state_dirty();
   arm_hold_timer();
 }
 
@@ -130,6 +132,7 @@ void Session::handle_notification(const NotificationMessage& notif) {
 
 void Session::go_established() {
   state_ = SessionState::kEstablished;
+  host_.session_state_dirty();
   arm_hold_timer();
   arm_keepalive_timer();
   logger().debug() << local_.name << " session to AS" << neighbor_.asn << " established";
@@ -141,6 +144,7 @@ void Session::go_idle(const std::string& reason) {
   state_ = SessionState::kIdle;
   peer_router_id_ = 0;
   negotiated_hold_ = 0;
+  if (was_active) host_.session_state_dirty();
   cancel_timers();
   ++stats_.resets;
   if (was_active) {
@@ -209,6 +213,7 @@ util::Result<SessionCheckpoint> Session::parse_checkpoint(util::ByteReader& read
 
 void Session::apply_checkpoint(const SessionCheckpoint& checkpoint) {
   cancel_timers();
+  host_.session_state_dirty();
   state_ = checkpoint.state;
   peer_router_id_ = checkpoint.peer_router_id;
   negotiated_hold_ = checkpoint.negotiated_hold;
@@ -231,6 +236,7 @@ util::Status Session::restore(util::ByteReader& reader) {
 
 void Session::reset_for_reuse() {
   cancel_timers();
+  host_.session_state_dirty();
   state_ = SessionState::kIdle;
   peer_router_id_ = 0;
   negotiated_hold_ = 0;

@@ -36,6 +36,12 @@ class SessionHost {
   /// Called on any transition out of Established or failed setup.
   virtual void session_down(sim::NodeId peer, const std::string& reason) = 0;
   virtual void session_update(sim::NodeId peer, const UpdateMessage& update) = 0;
+  /// Called whenever the session's checkpointed state (FSM state, peer
+  /// router id, negotiated hold) changes — the host's churn signal for
+  /// delta snapshots. Keepalive traffic and stats do NOT fire it: a
+  /// quiescent established session stays clean across keepalive rounds.
+  /// Default no-op so non-router hosts (tests) need not care.
+  virtual void session_state_dirty() {}
   [[nodiscard]] virtual sim::Simulator& session_simulator() = 0;
 };
 

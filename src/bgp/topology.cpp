@@ -22,13 +22,33 @@ sim::NodeId SystemBlueprint::node_by_name(std::string_view name) const {
 }
 
 util::IpAddress node_address(sim::NodeId i) {
-  return util::IpAddress{10, 0, static_cast<std::uint8_t>(i), 1};
+  // 10.(i/256).(i%256).1 — identical to the historic 10.0.i.1 for i < 256
+  // (so snapshot hash pins on small topologies hold), unique through the
+  // 4096-node builder ceiling.
+  return util::IpAddress{10, static_cast<std::uint8_t>(i >> 8),
+                         static_cast<std::uint8_t>(i & 0xff), 1};
 }
 
-Asn node_asn(sim::NodeId i) { return 65000 + i; }
+Asn node_asn(sim::NodeId i) {
+  // The OPEN message carries a 2-octet AS (AS4 out of scope), so 65000+i
+  // wraps to 0 at i = 536 and the session flaps forever on bad_peer_as.
+  // Keep the historic scheme below the ceiling (hash-pinned topologies) and
+  // allocate 1..3560 above it — nonzero, unique, disjoint from 65000+.
+  return i < 536 ? 65000 + i : i - 535;
+}
 
 util::IpPrefix node_prefix(sim::NodeId i) {
-  return util::IpPrefix{util::IpAddress{10, static_cast<std::uint8_t>(100 + i), 0, 0}, 16};
+  // Historic scheme 10.(100+i).0.0/16 wraps at i = 156; keep it verbatim
+  // below that (hash-pinned topologies) and switch to per-node /16s out of
+  // 11.0.0.0+ above it — (11 + i/256).(i%256) is injective and disjoint
+  // from both 10.x node addresses and the small-i prefixes.
+  if (i < 156) {
+    return util::IpPrefix{util::IpAddress{10, static_cast<std::uint8_t>(100 + i), 0, 0},
+                          16};
+  }
+  return util::IpPrefix{util::IpAddress{static_cast<std::uint8_t>(11 + (i >> 8)),
+                                        static_cast<std::uint8_t>(i & 0xff), 0, 0},
+                        16};
 }
 
 namespace {
@@ -203,9 +223,15 @@ void add_gao_link(SystemBlueprint& bp, sim::NodeId upper, sim::NodeId lower, boo
 SystemBlueprint make_internet(const InternetTopologyParams& params) {
   SystemBlueprint bp;
   const std::size_t total = params.tier1 + params.tier2 + params.stubs;
-  assert(total <= 200);
+  assert(total <= 4096);  // address/prefix schemes are injective to here
   for (std::size_t i = 0; i < total; ++i) {
     bp.configs.push_back(base_config(static_cast<sim::NodeId>(i), params.hold_time));
+    // Thinned origination (scale benches): only every k-th node keeps its
+    // prefix, so route count stays bounded while the session/topology
+    // footprint grows. originate_every = 1 (default) originates everywhere.
+    if (params.originate_every > 1 && i % params.originate_every != 0) {
+      bp.configs.back().networks.clear();
+    }
   }
 
   const auto t1 = [&](std::size_t i) { return static_cast<sim::NodeId>(i); };

@@ -38,8 +38,10 @@ struct SystemBlueprint {
   [[nodiscard]] sim::NodeId node_by_name(std::string_view name) const;
 };
 
-/// Conventions used by all builders: router i has address 10.0.i.1,
-/// router id = address, ASN 65000+i, and originates 10.(100+i).0.0/16.
+/// Conventions used by all builders: router i has address
+/// 10.(i/256).(i%256).1 (= the historic 10.0.i.1 for i < 256), router id =
+/// address, ASN 65000+i, and originates 10.(100+i).0.0/16 for i < 156,
+/// (11+i/256).(i%256).0.0/16 above — injective through 4096 nodes.
 [[nodiscard]] util::IpAddress node_address(sim::NodeId i);
 [[nodiscard]] Asn node_asn(sim::NodeId i);
 [[nodiscard]] util::IpPrefix node_prefix(sim::NodeId i);
@@ -63,6 +65,10 @@ struct InternetTopologyParams {
   std::uint16_t hold_time = 90;
   sim::Time core_latency = 10 * sim::kMillisecond;
   sim::Time edge_latency = 5 * sim::kMillisecond;
+  /// Only every k-th node originates its prefix (1 = all, the default).
+  /// Scale benches use this to grow the topology without the route count
+  /// (and convergence time) growing quadratically with it.
+  std::size_t originate_every = 1;
 };
 
 /// Two-tier Internet-like topology with Gao-Rexford policies. Defaults

@@ -54,6 +54,10 @@ Orchestrator::Orchestrator(std::shared_ptr<const SystemPrototype> prototype,
       options_(options),
       live_(std::make_unique<System>(prototype_)),
       external_arena_(external_arena) {
+  // Delta checkpoints only with the prepared pipeline: the legacy
+  // clone_from fallback reads raw snapshot bytes and has no baseline to
+  // resolve a delta envelope against.
+  live_->set_delta_checkpoints(options_.delta_snapshots && options_.prepared_clones);
   // A shared pool replaces the private one entirely: one global worker
   // budget, no second thread team to oversubscribe it.
   if (options_.shared_pool == nullptr && options_.parallelism > 1) {
@@ -241,6 +245,12 @@ EpisodeResult Orchestrator::run_episode(InputStrategy& strategy) {
   metrics.snapshots.add();
   const snapshot::Snapshot* snap = live_->snapshots().find(result.snapshot_id);
   result.snapshot_bytes = snap->total_state_bytes();
+  for (const auto& [node, checkpoint] : snap->nodes) {
+    if (checkpoint.state.size() == 1 &&
+        checkpoint.state[0] == snapshot::kCheckpointSameAsBaseline) {
+      ++result.snapshot_delta_nodes;
+    }
+  }
 
   // Decode-once: parse every checkpoint into the shared PreparedSnapshot
   // here, on the orchestrator thread, before any clone task exists. Workers

@@ -66,6 +66,17 @@ struct DiceOptions {
   /// clone_from path (kept as the equivalence baseline; fault sets are
   /// byte-identical either way).
   bool prepared_clones = true;
+  /// Delta checkpoints: per-episode snapshots re-encode only routers whose
+  /// state changed since the previous prepared snapshot; unchanged routers
+  /// contribute one byte. Cuts per-episode snapshot bytes from
+  /// O(topology size) to O(churn) on quiet systems. Requires
+  /// `prepared_clones` (deltas resolve against the previous
+  /// PreparedSnapshot; the legacy clone_from path reads raw bytes and must
+  /// never see a delta envelope) — the flag is ignored without it. Fault
+  /// sets are byte-identical either way: delta nodes share the baseline's
+  /// decoded checkpoint object, and the cut hash is computed over
+  /// full-state hashes, not encoded bytes.
+  bool delta_snapshots = true;
   /// Terminate a clone run as soon as its oscillation detector is
   /// conclusive (any prefix's best-route flip count reaches
   /// `oscillation_threshold`) instead of burning the full
@@ -105,7 +116,8 @@ struct EpisodeResult {
   std::size_t clones_non_quiescent = 0;
   std::size_t clones_reused = 0;      ///< clones served by an arena reset
   std::size_t clones_early_exit = 0;  ///< clone runs cut short by oscillation exit
-  std::size_t snapshot_bytes = 0;     ///< raw checkpoint bytes decoded once
+  std::size_t snapshot_bytes = 0;     ///< checkpoint bytes captured (delta-aware)
+  std::size_t snapshot_delta_nodes = 0;  ///< nodes that rode the 1-byte delta
   /// The stop token fired mid-episode: some clones were skipped, so
   /// `faults` is a partial list. Callers aggregating canonical fault sets
   /// (ScenarioMatrix) must treat the whole cell as incomplete.

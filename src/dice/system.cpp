@@ -90,6 +90,8 @@ System::ConvergeOutcome System::converge_bounded(std::size_t max_events, sim::Ti
 
 snapshot::SnapshotId System::take_snapshot(sim::NodeId initiator) {
   const snapshot::SnapshotId id = store_.next_id();
+  coordinator_.set_baseline(
+      delta_checkpoints_ && delta_baseline_ != nullptr ? delta_baseline_->id() : 0);
   bool complete = false;
   coordinator_.set_on_complete([&complete](const snapshot::Snapshot&) { complete = true; });
   routers_.at(initiator)->initiate_snapshot(id);
@@ -115,15 +117,21 @@ std::shared_ptr<const snapshot::PreparedSnapshot> System::prepare_snapshot(
   const snapshot::Snapshot* snap = store_.find(id);
   if (snap == nullptr) return nullptr;
   auto prepared = snapshot::PreparedSnapshot::build(
-      *snap, [this](sim::NodeId node) -> const snapshot::Checkpointable* {
+      *snap,
+      [this](sim::NodeId node) -> const snapshot::Checkpointable* {
         return node < routers_.size() ? routers_[node].get() : nullptr;
-      });
+      },
+      delta_baseline_.get());
   if (!prepared) {
     logger().error() << "prepare_snapshot " << id
                      << " failed: " << prepared.error().to_string();
     return nullptr;
   }
   store_.put_prepared(prepared.value());
+  // This snapshot becomes the baseline the next take_snapshot deltas
+  // against (whether or not delta encoding is currently enabled — the
+  // flag is checked at advertise time).
+  delta_baseline_ = prepared.value();
   return std::move(prepared).take();
 }
 
@@ -138,6 +146,7 @@ util::Status System::reset_from(const snapshot::PreparedSnapshot& prepared,
   sim_.fast_forward(resume_at);
   net_.reset_dynamic();
   coordinator_.reset();
+  delta_baseline_.reset();  // reuse crosses snapshot lineages
   for (auto& router : routers_) router->reset_for_reuse();
 
   for (const auto& [node, entry] : prepared.nodes()) {

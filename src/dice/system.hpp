@@ -84,7 +84,19 @@ class System {
   /// Takes a consistent snapshot with `initiator` running the marker
   /// protocol; drives the simulation until the snapshot completes.
   /// Returns the snapshot id, or 0 on failure (e.g. partitioned system).
+  /// With delta checkpoints enabled, routers whose state did not change
+  /// since the previous prepared snapshot write a one-byte "same as
+  /// baseline" envelope instead of a full checkpoint.
   [[nodiscard]] snapshot::SnapshotId take_snapshot(sim::NodeId initiator);
+
+  /// Enables delta checkpoints: each take_snapshot advertises the last
+  /// successfully *prepared* snapshot as the baseline, and prepare_snapshot
+  /// resolves delta envelopes against it. Off by default — callers that
+  /// restore through the legacy clone_from path (raw bytes, no baseline)
+  /// must leave it off; the Orchestrator turns it on only when every
+  /// restore goes through PreparedSnapshot.
+  void set_delta_checkpoints(bool enabled) noexcept { delta_checkpoints_ = enabled; }
+  [[nodiscard]] bool delta_checkpoints() const noexcept { return delta_checkpoints_; }
 
   /// Decode-once: parses every checkpoint of stored snapshot `id` into a
   /// PreparedSnapshot, publishes it through the store (shared_ptr), and
@@ -157,6 +169,11 @@ class System {
   snapshot::SnapshotStore store_;
   snapshot::SnapshotCoordinator coordinator_;
   std::vector<std::unique_ptr<bgp::BgpRouter>> routers_;
+  bool delta_checkpoints_ = false;
+  /// Baseline for the next delta snapshot: the most recently prepared
+  /// snapshot. The shared_ptr keeps its decoded checkpoints alive even
+  /// after the store trims the entry, so delta resolution never dangles.
+  std::shared_ptr<const snapshot::PreparedSnapshot> delta_baseline_;
 };
 
 }  // namespace dice::core

@@ -69,6 +69,10 @@ struct CampaignOptions {
     std::size_t live_cache_max_entries = LiveStateCache::kDefaultMaxEntries;
     bool share_solver_cache = false;     ///< was MatrixOptions::share_solver_cache
     bool prepared_clones = true;         ///< was DiceOptions::prepared_clones
+    /// Delta checkpoints against the previous prepared snapshot (snapshot
+    /// cost follows churn, not topology size). Requires `prepared_clones`;
+    /// ignored without it. See DiceOptions::delta_snapshots.
+    bool delta_snapshots = true;
   };
   /// Where the work runs. `workers` is the ONE global knob: a single
   /// worker budget that both layers — matrix cells and their episodes'

@@ -44,6 +44,10 @@ inline constexpr std::string_view kLiveCacheEvictions =
 // --- snapshot / checkpoint pipeline ----------------------------------------
 inline constexpr std::string_view kCheckpointDecodes = "dice_checkpoint_decodes_total";
 inline constexpr std::string_view kSnapshots = "dice_snapshots_total";
+inline constexpr std::string_view kSnapshotDeltaNodes =
+    "dice_snapshot_delta_nodes_total";
+inline constexpr std::string_view kSnapshotBaselineNodes =
+    "dice_snapshot_baseline_nodes_total";
 
 // --- core::Orchestrator / explore::ScenarioMatrix ---------------------------
 inline constexpr std::string_view kEpisodes = "dice_episodes_total";
@@ -64,5 +68,7 @@ inline constexpr std::string_view kCloneMs = "dice_clone_ms";
 inline constexpr std::string_view kEpisodeMs = "dice_episode_ms";
 inline constexpr std::string_view kBootstrapMs = "dice_bootstrap_ms";
 inline constexpr std::string_view kSnapshotMs = "dice_snapshot_ms";
+inline constexpr std::string_view kSnapshotEncodeMs = "dice_snapshot_encode_ms";
+inline constexpr std::string_view kSnapshotDecodeMs = "dice_snapshot_decode_ms";
 
 }  // namespace dice::obs::names

@@ -12,6 +12,16 @@
 
 namespace dice::snapshot {
 
+using SnapshotId = std::uint64_t;
+
+/// Snapshot-layer envelope for delta checkpoints: a node whose state did not
+/// change since the baseline snapshot writes exactly this one byte instead
+/// of a full checkpoint; PreparedSnapshot::build resolves it by sharing the
+/// baseline's DecodedCheckpoint. The value is reserved across checkpoint
+/// format owners: legacy streams start with 0x00 (high byte of a u32 count),
+/// the byte-coded BGP format with 0x02 (bgp::ckpt::kFormatV2).
+inline constexpr std::uint8_t kCheckpointSameAsBaseline = 0x03;
+
 /// Typed, immutable result of decoding a checkpoint once. Concrete
 /// subclasses live with the protocol (bgp::RouterCheckpoint); the snapshot
 /// layer only needs an opaque, shareable handle so one decode can feed many
@@ -45,6 +55,18 @@ class Checkpointable {
 
   /// Content hash of the checkpointed state; clones must reproduce it.
   [[nodiscard]] virtual std::uint64_t state_hash() const;
+
+  /// Delta-aware encode for the snapshot path. `baseline` is the snapshot id
+  /// the eventual reader resolves deltas against (0 = no baseline, encode
+  /// full). Implementations that track churn may write the one-byte
+  /// kCheckpointSameAsBaseline envelope when their state is provably
+  /// unchanged since they encoded into `baseline`; the returned hash must
+  /// always be the FULL-state content hash (it feeds Snapshot::cut_hash,
+  /// which must not depend on the encoding chosen). The default encodes a
+  /// full checkpoint unconditionally.
+  [[nodiscard]] virtual std::uint64_t encode_checkpoint(util::ByteWriter& writer,
+                                                        SnapshotId this_snapshot,
+                                                        SnapshotId baseline);
 };
 
 /// A captured node checkpoint.

@@ -16,6 +16,7 @@ void SnapshotCoordinator::report(SnapshotId id, sim::Time now, Checkpoint checkp
   if (!pending_ || pending_->id != id) {
     pending_ = Snapshot{};
     pending_->id = id;
+    pending_->baseline_id = baseline_id_;
     pending_->taken_at = now;
     reported_.clear();
   }

@@ -26,6 +26,13 @@ class SnapshotCoordinator {
 
   void set_on_complete(CompletionCallback cb) { on_complete_ = std::move(cb); }
 
+  /// Baseline snapshot the NEXT cut's delta checkpoints may resolve against
+  /// (0 = none; participants encode full). Participants read this at
+  /// checkpoint time; the assembled Snapshot is stamped with it so the
+  /// prepare step knows which PreparedSnapshot resolves the deltas.
+  void set_baseline(SnapshotId id) noexcept { baseline_id_ = id; }
+  [[nodiscard]] SnapshotId baseline_id() const noexcept { return baseline_id_; }
+
   /// Called by participants when their local protocol finishes.
   void report(SnapshotId id, sim::Time now, Checkpoint checkpoint,
               std::map<sim::NodeId, std::vector<util::Bytes>> incoming_channels);
@@ -41,6 +48,7 @@ class SnapshotCoordinator {
 
  private:
   SnapshotStore& store_;
+  SnapshotId baseline_id_ = 0;
   std::set<sim::NodeId> members_;
   CompletionCallback on_complete_;
   std::optional<Snapshot> pending_;

@@ -1,5 +1,9 @@
 #include "snapshot/participant.hpp"
 
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "snapshot/coordinator.hpp"
 #include "util/hash.hpp"
 #include "util/log.hpp"
@@ -10,6 +14,21 @@ namespace {
 const util::Logger& logger() {
   static util::Logger instance("snapshot");
   return instance;
+}
+
+struct EncodeMetrics {
+  obs::Counter& delta_nodes;
+  obs::Counter& baseline_nodes;
+  obs::Histogram& encode_ms;
+};
+
+EncodeMetrics& encode_metrics() {
+  static EncodeMetrics metrics{
+      obs::MetricsRegistry::global().counter(obs::names::kSnapshotDeltaNodes),
+      obs::MetricsRegistry::global().counter(obs::names::kSnapshotBaselineNodes),
+      obs::MetricsRegistry::global().histogram(obs::names::kSnapshotEncodeMs),
+  };
+  return metrics;
 }
 }  // namespace
 
@@ -40,12 +59,25 @@ void SnapshotParticipant::begin_snapshot(SnapshotId id, sim::NodeId skip_channel
   channel_log_.clear();
   awaiting_marker_.clear();
 
-  // Record local state at the cut.
+  // Record local state at the cut. The encode is delta-aware: when the
+  // coordinator advertised a baseline and the checkpointable knows its
+  // state hasn't moved since it encoded into that baseline, the stream is
+  // the one-byte "same as baseline" envelope. The hash is the full-state
+  // content hash either way (cut_hash must not see the encoding choice).
+  const SnapshotId baseline =
+      coordinator_ != nullptr ? coordinator_->baseline_id() : 0;
+  const auto encode_start = std::chrono::steady_clock::now();
   util::ByteWriter writer;
-  checkpointable().checkpoint(writer);
+  local_checkpoint_.hash = checkpointable().encode_checkpoint(writer, id, baseline);
   local_checkpoint_.node = id_;
-  local_checkpoint_.hash = util::fnv1a(writer.span());
   local_checkpoint_.state = std::move(writer).take();
+  EncodeMetrics& metrics = encode_metrics();
+  metrics.encode_ms.observe(std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - encode_start)
+                                .count());
+  const bool is_delta = local_checkpoint_.state.size() == 1 &&
+                        local_checkpoint_.state[0] == kCheckpointSameAsBaseline;
+  (is_delta ? metrics.delta_nodes : metrics.baseline_nodes).add();
 
   // Emit markers on all outgoing channels; start recording all incoming
   // channels except the one the first marker arrived on (its state is empty

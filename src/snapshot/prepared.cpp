@@ -1,9 +1,17 @@
 #include "snapshot/prepared.hpp"
 
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
 namespace dice::snapshot {
 
 util::Result<std::shared_ptr<const PreparedSnapshot>> PreparedSnapshot::build(
-    const Snapshot& snap, const NodeResolver& resolver) {
+    const Snapshot& snap, const NodeResolver& resolver,
+    const PreparedSnapshot* baseline) {
+  static obs::Histogram& decode_ms =
+      obs::MetricsRegistry::global().histogram(obs::names::kSnapshotDecodeMs);
   std::shared_ptr<PreparedSnapshot> prepared(new PreparedSnapshot());
   prepared->id_ = snap.id;
   prepared->taken_at_ = snap.taken_at;
@@ -11,13 +19,42 @@ util::Result<std::shared_ptr<const PreparedSnapshot>> PreparedSnapshot::build(
   prepared->state_bytes_ = snap.total_state_bytes();
 
   for (const auto& [node, checkpoint] : snap.nodes) {
+    const bool is_delta = checkpoint.state.size() == 1 &&
+                          checkpoint.state[0] == kCheckpointSameAsBaseline;
+    if (is_delta) {
+      // Resolve against the shared baseline: same DecodedCheckpoint object,
+      // so clones restored from the delta are bit-identical to clones
+      // restored from the baseline's full decode.
+      if (baseline == nullptr || snap.baseline_id == 0 ||
+          baseline->id() != snap.baseline_id) {
+        return util::make_error("prepared.delta.baseline_mismatch",
+                                "node " + std::to_string(node) + " needs baseline " +
+                                    std::to_string(snap.baseline_id));
+      }
+      auto it = baseline->nodes_.find(node);
+      if (it == baseline->nodes_.end()) {
+        return util::make_error("prepared.delta.baseline_mismatch",
+                                "node " + std::to_string(node) +
+                                    " absent from baseline");
+      }
+      if (it->second.hash != checkpoint.hash) {
+        return util::make_error("prepared.delta.hash_mismatch",
+                                "node " + std::to_string(node));
+      }
+      prepared->nodes_.emplace(node, NodeState{it->second.state, checkpoint.hash});
+      continue;
+    }
     const Checkpointable* target = resolver(node);
     if (target == nullptr) {
       return util::make_error("prepared.unknown_node", std::to_string(node));
     }
+    const auto decode_start = std::chrono::steady_clock::now();
     util::ByteReader reader(checkpoint.state);
     auto decoded = target->parse(reader);
     if (!decoded) return decoded.error();
+    decode_ms.observe(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - decode_start)
+                          .count());
     prepared->nodes_.emplace(node,
                              NodeState{std::move(decoded).take(), checkpoint.hash});
   }

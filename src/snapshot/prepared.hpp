@@ -45,8 +45,17 @@ class PreparedSnapshot {
   /// Parses every node checkpoint exactly once and pre-builds the in-flight
   /// frame schedule. Fails if any node is unresolvable or any checkpoint is
   /// malformed (the raw snapshot stays untouched either way).
+  ///
+  /// `baseline` resolves delta checkpoints: a node whose stream is the
+  /// one-byte kCheckpointSameAsBaseline envelope shares the baseline's
+  /// DecodedCheckpoint instead of decoding anything. Required (with a
+  /// matching id) when `snap.baseline_id != 0` and any node rode the delta;
+  /// a missing or wrong baseline fails with the stable code
+  /// `prepared.delta.baseline_mismatch`, a baseline whose node hash moved
+  /// with `prepared.delta.hash_mismatch` (never a silent wrong restore).
   [[nodiscard]] static util::Result<std::shared_ptr<const PreparedSnapshot>> build(
-      const Snapshot& snap, const NodeResolver& resolver);
+      const Snapshot& snap, const NodeResolver& resolver,
+      const PreparedSnapshot* baseline = nullptr);
 
   [[nodiscard]] SnapshotId id() const noexcept { return id_; }
   [[nodiscard]] sim::Time taken_at() const noexcept { return taken_at_; }

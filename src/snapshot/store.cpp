@@ -19,6 +19,14 @@ std::uint64_t Checkpointable::state_hash() const {
   return util::fnv1a(writer.span());
 }
 
+std::uint64_t Checkpointable::encode_checkpoint(util::ByteWriter& writer,
+                                                SnapshotId /*this_snapshot*/,
+                                                SnapshotId /*baseline*/) {
+  const std::size_t before = writer.size();
+  checkpoint(writer);
+  return util::fnv1a(std::span(writer.span()).subspan(before));
+}
+
 std::size_t Snapshot::total_state_bytes() const {
   std::size_t total = 0;
   for (const auto& [node, cp] : nodes) total += cp.state.size();

@@ -16,8 +16,6 @@
 
 namespace dice::snapshot {
 
-using SnapshotId = std::uint64_t;
-
 struct ChannelKey {
   sim::NodeId from = sim::kInvalidNode;
   sim::NodeId to = sim::kInvalidNode;
@@ -26,6 +24,10 @@ struct ChannelKey {
 
 struct Snapshot {
   SnapshotId id = 0;
+  /// Snapshot this cut's delta checkpoints resolve against; 0 = standalone
+  /// (every node checkpoint is self-contained). Stamped by the coordinator
+  /// from the baseline the initiator advertised.
+  SnapshotId baseline_id = 0;
   sim::Time taken_at = 0;
   std::map<sim::NodeId, Checkpoint> nodes;
   /// Payloads recorded in flight on each directed channel, oldest first.

@@ -35,6 +35,28 @@ class ByteWriter {
     u32(static_cast<std::uint32_t>(v >> 32));
     u32(static_cast<std::uint32_t>(v));
   }
+  /// LEB128 varint: 7 value bits per byte, high bit = continuation.
+  /// Encodes 0..127 in one byte; a u32 takes at most 5 bytes, a u64 at
+  /// most 10. The checkpoint codec leans on these for counts, ids, and
+  /// pool indices, which are overwhelmingly small.
+  void vu32(std::uint32_t v) { vu64(v); }
+  void vu64(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  /// Zigzag-coded signed varints: small magnitudes (either sign) stay small
+  /// on the wire. -1 -> 1, 1 -> 2, -2 -> 3, ...
+  void vi32(std::int32_t v) {
+    vu32((static_cast<std::uint32_t>(v) << 1) ^
+         static_cast<std::uint32_t>(v >> 31));
+  }
+  void vi64(std::int64_t v) {
+    vu64((static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63));
+  }
   void raw(std::span<const std::uint8_t> data) {
     buf_.insert(buf_.end(), data.begin(), data.end());
   }
@@ -77,6 +99,13 @@ class ByteReader {
     if (remaining() < 1) return truncated("u8");
     return data_[pos_++];
   }
+  /// Looks at the next byte without consuming it — the checkpoint decoder
+  /// dispatches on the format-version byte this way before handing the
+  /// stream to the matching parser.
+  [[nodiscard]] Result<std::uint8_t> peek_u8() const noexcept {
+    if (remaining() < 1) return truncated("peek_u8");
+    return data_[pos_];
+  }
   [[nodiscard]] Result<std::uint16_t> u16() noexcept {
     if (remaining() < 2) return truncated("u16");
     const std::uint16_t v = static_cast<std::uint16_t>(
@@ -100,6 +129,28 @@ class ByteReader {
     if (!lo) return lo.error();
     return (static_cast<std::uint64_t>(hi.value()) << 32) | lo.value();
   }
+  /// LEB128 varint reads. Fail soft (never read past the buffer): a varint
+  /// hitting the end of data returns bytes.truncated, one running past the
+  /// maximum encoded length for its width — or carrying payload bits beyond
+  /// that width — returns bytes.varint.malformed. Canonical-length overlong
+  /// encodings that still fit the width (e.g. 0x80 0x00 for zero) decode
+  /// normally; only streams that could overflow are rejected.
+  [[nodiscard]] Result<std::uint32_t> vu32() noexcept {
+    auto v = varint(5, 32, "vu32");
+    if (!v) return v.error();
+    return static_cast<std::uint32_t>(v.value());
+  }
+  [[nodiscard]] Result<std::uint64_t> vu64() noexcept { return varint(10, 64, "vu64"); }
+  [[nodiscard]] Result<std::int32_t> vi32() noexcept {
+    auto v = vu32();
+    if (!v) return v.error();
+    return static_cast<std::int32_t>((v.value() >> 1) ^ (~(v.value() & 1) + 1));
+  }
+  [[nodiscard]] Result<std::int64_t> vi64() noexcept {
+    auto v = vu64();
+    if (!v) return v.error();
+    return static_cast<std::int64_t>((v.value() >> 1) ^ (~(v.value() & 1) + 1));
+  }
   [[nodiscard]] Result<std::span<const std::uint8_t>> raw(std::size_t n) noexcept {
     if (remaining() < n) return truncated("raw");
     auto out = data_.subspan(pos_, n);
@@ -122,6 +173,28 @@ class ByteReader {
  private:
   [[nodiscard]] static Error truncated(const char* what) {
     return make_error("bytes.truncated", what);
+  }
+  [[nodiscard]] Result<std::uint64_t> varint(std::size_t max_bytes,
+                                             unsigned bits,
+                                             const char* what) noexcept {
+    std::uint64_t out = 0;
+    for (std::size_t i = 0; i < max_bytes; ++i) {
+      if (pos_ + i >= data_.size()) return truncated(what);
+      const std::uint8_t byte = data_[pos_ + i];
+      const unsigned shift = static_cast<unsigned>(i) * 7;
+      const std::uint64_t group = byte & 0x7f;
+      // Reject payload bits that fall outside the target width: on the
+      // final permitted byte only (bits - shift) low bits may be set.
+      if (shift + 7 > bits && (group >> (bits - shift)) != 0) {
+        return make_error("bytes.varint.malformed", what);
+      }
+      out |= group << shift;
+      if ((byte & 0x80) == 0) {
+        pos_ += i + 1;
+        return out;
+      }
+    }
+    return make_error("bytes.varint.malformed", what);
   }
 
   std::span<const std::uint8_t> data_;

@@ -4,6 +4,7 @@
 // live router safe against arbitrary peers).
 #include <gtest/gtest.h>
 
+#include "bgp/checkpoint_codec.hpp"
 #include "bgp/codec.hpp"
 #include "bgp/sym_update.hpp"
 #include "bgp/topology.hpp"
@@ -99,6 +100,109 @@ TEST_P(CodecRobustness, DecodeEncodeDecodeIsStable) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CodecRobustness, ::testing::Values(17, 34, 51));
+
+// ---------------------------------------------------------------------------
+// v2 checkpoint stream robustness: parse() must be total on hostile bytes
+// ---------------------------------------------------------------------------
+
+/// A converged router's real v2 checkpoint — the corpus seed for the
+/// adversarial decode loops below.
+[[nodiscard]] util::Bytes checkpoint_corpus(core::System& system, sim::NodeId node) {
+  util::ByteWriter writer;
+  system.router(node).checkpoint(writer);
+  return std::move(writer).take();
+}
+
+TEST(CheckpointRobustnessTest, EveryTruncatedPrefixFailsCleanly) {
+  core::System system(make_internet({2, 3, 4}));
+  system.start();
+  ASSERT_TRUE(system.converge());
+  const util::Bytes full = checkpoint_corpus(system, 3);
+  ASSERT_GT(full.size(), 8u);
+  // The whole stream parses; every strict prefix is a typed error (never a
+  // throw, never an out-of-bounds read, never a silent partial decode).
+  {
+    util::ByteReader reader(full);
+    auto decoded = system.router(3).parse(reader);
+    ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  }
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    util::Bytes prefix(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(cut));
+    util::ByteReader reader(prefix);
+    EXPECT_NO_THROW({
+      auto decoded = system.router(3).parse(reader);
+      EXPECT_FALSE(decoded.ok()) << "prefix of " << cut << " bytes decoded";
+    });
+  }
+}
+
+TEST(CheckpointRobustnessTest, SingleByteCorruptionsNeverThrow) {
+  core::System system(make_internet({2, 3, 4}));
+  system.start();
+  ASSERT_TRUE(system.converge());
+  const util::Bytes full = checkpoint_corpus(system, 3);
+  // Flip every byte through a handful of values: the decoder must return a
+  // message or a typed error for each mutation, and decoding the pristine
+  // stream afterwards still works (no hidden state in parse).
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    for (const std::uint8_t flip : {std::uint8_t{0xff}, std::uint8_t{0x80},
+                                    static_cast<std::uint8_t>(full[i] + 1)}) {
+      util::Bytes mutated = full;
+      mutated[i] = flip;
+      util::ByteReader reader(mutated);
+      EXPECT_NO_THROW({ (void)system.router(3).parse(reader); });
+    }
+  }
+  util::ByteReader reader(full);
+  EXPECT_TRUE(system.router(3).parse(reader).ok());
+}
+
+TEST(CheckpointRobustnessTest, UnknownTagAndOverlongVarintRejected) {
+  core::System system(make_internet({2, 3, 4}));
+  system.start();
+  ASSERT_TRUE(system.converge());
+
+  // Unknown section tag right after the (empty) attr pool.
+  util::ByteWriter writer;
+  writer.u8(ckpt::kFormatV2);
+  writer.u8(static_cast<std::uint8_t>(ckpt::Tag::kAttrPool));
+  writer.vu32(0);
+  writer.u8(0x7e);  // no such tag
+  util::Bytes stream = std::move(writer).take();
+  util::ByteReader reader(stream);
+  auto decoded = system.router(3).parse(reader);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "router.restore.unknown_tag");
+
+  // Overlong varint as the sessions count: 6 continuation bytes overflow a
+  // vu32 — the malformed-varint error surfaces through the section code.
+  util::ByteWriter overlong;
+  overlong.u8(ckpt::kFormatV2);
+  overlong.u8(static_cast<std::uint8_t>(ckpt::Tag::kSessions));
+  for (int i = 0; i < 6; ++i) overlong.u8(0x80);
+  overlong.u8(0x01);
+  util::Bytes bad = std::move(overlong).take();
+  util::ByteReader bad_reader(bad);
+  auto bad_decoded = system.router(3).parse(bad_reader);
+  ASSERT_FALSE(bad_decoded.ok());
+  EXPECT_EQ(bad_decoded.error().code, "router.restore.sessions");
+
+  // Out-of-range attr pool index inside a Loc-RIB route.
+  util::ByteWriter pool_oob;
+  pool_oob.u8(ckpt::kFormatV2);
+  pool_oob.u8(static_cast<std::uint8_t>(ckpt::Tag::kAttrPool));
+  pool_oob.vu32(0);  // empty pool
+  pool_oob.u8(static_cast<std::uint8_t>(ckpt::Tag::kLocRib));
+  pool_oob.vu32(1);                  // one route
+  pool_oob.u32(0x0a640000);          // prefix 10.100.0.0
+  pool_oob.u8(16);
+  pool_oob.vu32(7);                  // pool index 7 into an empty pool
+  util::Bytes oob = std::move(pool_oob).take();
+  util::ByteReader oob_reader(oob);
+  auto oob_decoded = system.router(3).parse(oob_reader);
+  ASSERT_FALSE(oob_decoded.ok());
+  EXPECT_EQ(oob_decoded.error().code, "router.restore.loc_rib");
+}
 
 TEST(SnapshotFailureTest, PartitionedSystemSnapshotFailsGracefully) {
   // Failure injection: markers cannot cross a partition, so the snapshot

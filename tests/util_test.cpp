@@ -100,6 +100,119 @@ TEST(BytesTest, HexRejectsBadInput) {
   EXPECT_FALSE(from_hex("zz").ok());    // bad digit
 }
 
+TEST(BytesTest, VarintRoundTrip) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  300,
+                                  (1u << 14) - 1,
+                                  1u << 14,
+                                  0xdeadbeefULL,
+                                  UINT32_MAX,
+                                  (1ull << 35),
+                                  UINT64_MAX};
+  for (std::uint64_t v : values) {
+    ByteWriter w;
+    w.vu64(v);
+    ByteReader r(w.span());
+    EXPECT_EQ(r.vu64().value(), v) << v;
+    EXPECT_TRUE(r.exhausted());
+    if (v <= UINT32_MAX) {
+      ByteWriter w32;
+      w32.vu32(static_cast<std::uint32_t>(v));
+      ByteReader r32(w32.span());
+      EXPECT_EQ(r32.vu32().value(), static_cast<std::uint32_t>(v)) << v;
+      EXPECT_TRUE(r32.exhausted());
+    }
+  }
+}
+
+TEST(BytesTest, VarintEncodedLengths) {
+  const auto encoded_size = [](std::uint64_t v) {
+    ByteWriter w;
+    w.vu64(v);
+    return w.size();
+  };
+  EXPECT_EQ(encoded_size(0), 1u);
+  EXPECT_EQ(encoded_size(127), 1u);
+  EXPECT_EQ(encoded_size(128), 2u);
+  EXPECT_EQ(encoded_size((1u << 14) - 1), 2u);
+  EXPECT_EQ(encoded_size(1u << 14), 3u);
+  EXPECT_EQ(encoded_size(UINT32_MAX), 5u);
+  EXPECT_EQ(encoded_size(UINT64_MAX), 10u);
+}
+
+TEST(BytesTest, ZigzagRoundTrip) {
+  const std::int64_t values[] = {0, -1, 1, -2, 2, -64, 63, -65, 64,
+                                 INT32_MIN, INT32_MAX, INT64_MIN, INT64_MAX};
+  for (std::int64_t v : values) {
+    ByteWriter w;
+    w.vi64(v);
+    ByteReader r(w.span());
+    EXPECT_EQ(r.vi64().value(), v) << v;
+    if (v >= INT32_MIN && v <= INT32_MAX) {
+      ByteWriter w32;
+      w32.vi32(static_cast<std::int32_t>(v));
+      ByteReader r32(w32.span());
+      EXPECT_EQ(r32.vi32().value(), static_cast<std::int32_t>(v)) << v;
+    }
+  }
+  // Small magnitudes of either sign stay one byte on the wire.
+  ByteWriter w;
+  w.vi32(-1);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(BytesTest, VarintTruncated) {
+  // Every strict prefix of a multi-byte varint fails soft with
+  // bytes.truncated and consumes nothing.
+  ByteWriter w;
+  w.vu64(UINT64_MAX);
+  const Bytes full = std::move(w).take();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const Bytes prefix(full.begin(), full.begin() + static_cast<long>(len));
+    ByteReader r(prefix);
+    auto v = r.vu64();
+    ASSERT_FALSE(v.ok()) << len;
+    EXPECT_EQ(v.error().code, "bytes.truncated");
+    EXPECT_EQ(r.position(), 0u);
+  }
+}
+
+TEST(BytesTest, VarintOverlongRejected) {
+  // 11 continuation bytes: no terminator within the 10-byte u64 limit.
+  const Bytes eleven(11, 0x80);
+  ByteReader r(eleven);
+  auto v = r.vu64();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.error().code, "bytes.varint.malformed");
+
+  // 6-byte encoding overflows a u32 even if each byte is valid LEB128.
+  const Bytes six{0x80, 0x80, 0x80, 0x80, 0x80, 0x01};
+  ByteReader r32(six);
+  EXPECT_EQ(r32.vu32().error().code, "bytes.varint.malformed");
+
+  // Payload bits beyond the target width on the final byte are rejected:
+  // 5th byte of a u32 varint may only carry 4 low bits.
+  const Bytes wide{0xff, 0xff, 0xff, 0xff, 0x1f};
+  ByteReader rw(wide);
+  EXPECT_EQ(rw.vu32().error().code, "bytes.varint.malformed");
+  // ...while 0x0f there still fits (UINT32_MAX).
+  const Bytes max{0xff, 0xff, 0xff, 0xff, 0x0f};
+  ByteReader rm(max);
+  EXPECT_EQ(rm.vu32().value(), UINT32_MAX);
+}
+
+TEST(BytesTest, PeekDoesNotConsume) {
+  const Bytes data{0x42};
+  ByteReader r(data);
+  EXPECT_EQ(r.peek_u8().value(), 0x42);
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_EQ(r.u8().value(), 0x42);
+  EXPECT_FALSE(r.peek_u8().ok());
+}
+
 TEST(BytesTest, SkipBounds) {
   const Bytes data{1, 2, 3};
   ByteReader r(data);
