@@ -1,0 +1,122 @@
+// Federated soak: DiCE over a heterogeneous federation — nodes running
+// different BGP engines behind the NodeImplementation boundary, checked
+// against each other by the differential fault class.
+//
+// Three short acts:
+//   1. a mixed-engine internet soak — odd-numbered routers run the bgp2
+//      FSM engine, even ones the reference engine; both speak the same
+//      wire protocol, so hijack faults surface exactly as in a
+//      homogeneous run;
+//   2. a divergence hunt — one FSM node carries a seeded decision defect
+//      (bugs::kLongPathPreferred, honored only by the bgp2 engine);
+//      the differential check replays its decisions through the
+//      reference procedure and reports implementation-divergence faults;
+//   3. the implementation axis — the same scenarios fanned across
+//      {as-authored, all-fsm}: one campaign, every cell re-homed onto a
+//      single engine with the axis entry innermost in the cell order.
+//
+//   ./federated_soak
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bgp/bugs.hpp"
+#include "explore/campaign.hpp"
+
+using namespace dice;
+
+namespace {
+
+[[nodiscard]] std::vector<explore::ScenarioSpec> federation() {
+  std::vector<explore::ScenarioSpec> specs;
+
+  bgp::SystemBlueprint mixed = bgp::make_internet({2, 3, 4});
+  bgp::inject_hijack(mixed, /*victim=*/5, /*attacker=*/8);
+  for (std::size_t node = 0; node < mixed.size(); ++node) {
+    if (node % 2 == 1) mixed.set_implementation(node, "fsm");
+  }
+  specs.push_back({"internet9-hijack-mixed", std::move(mixed)});
+
+  bgp::SystemBlueprint divergent = bgp::make_ring(4);
+  divergent.set_implementation(3, "fsm");
+  bgp::inject_bug(divergent, /*node=*/3, bgp::bugs::kLongPathPreferred);
+  specs.push_back({"ring4-divergent", std::move(divergent)});
+
+  return specs;
+}
+
+[[nodiscard]] explore::CampaignOptions soak_options(
+    std::vector<std::string> implementations) {
+  auto built = explore::CampaignOptions::builder()
+                   .strategies({explore::StrategyKind::kGrammar,
+                                explore::StrategyKind::kRandom})
+                   .seeds({1, 2})
+                   .implementations(std::move(implementations))
+                   .budgets({.episodes_per_cell = 1,
+                             .inputs_per_episode = 4,
+                             .bootstrap_events = 300'000,
+                             .clone_event_budget = 60'000})
+                   .parallelism(2)
+                   .build();
+  return std::move(built).take();
+}
+
+/// Streams findings as cells land, tagging each with its axis entry.
+struct FederationPrinter : explore::CampaignObserver {
+  std::size_t divergences = 0;
+  void on_fault(const explore::CellDescriptor&,
+                const core::FaultReport& fault) override {
+    if (fault.fault_class == core::FaultClass::kImplementationDivergence) {
+      ++divergences;
+    }
+    std::printf("    ! %s\n", fault.to_string().c_str());
+  }
+  void on_cell_done(const explore::CellDescriptor& cell,
+                    const explore::CellResult& result) override {
+    const std::string impl =
+        cell.implementation.empty() ? "as-authored" : std::string(cell.implementation);
+    std::printf("  [%zu] %s/%s/s%llu impl=%s: %s, %zu fault(s)\n", cell.index,
+                std::string(cell.scenario).c_str(), std::string(cell.strategy).c_str(),
+                static_cast<unsigned long long>(cell.seed), impl.c_str(),
+                result.completed ? "completed" : "CANCELLED", result.faults);
+  }
+};
+
+}  // namespace
+
+int main() {
+  // --- Acts 1 + 2: mixed engines, seeded divergence ------------------------
+  std::puts("== federated soak (mixed engines, one seeded decision defect) ==");
+  explore::Campaign campaign(federation(), soak_options({std::string()}));
+  FederationPrinter printer;
+  const explore::CampaignResult run = campaign.run(&printer);
+  std::printf("soak: %zu/%zu cells, %zu distinct fault(s), %zu divergence(s), %.0f ms\n\n",
+              run.cells_completed, run.cells.size(), run.faults.size(),
+              printer.divergences, run.wall_ms);
+
+  // --- Act 3: the implementation axis --------------------------------------
+  std::puts("== implementation axis (as-authored vs all-fsm, innermost) ==");
+  explore::Campaign axis(federation(), soak_options({std::string(), "fsm"}));
+  FederationPrinter axis_printer;
+  const explore::CampaignResult fanned = axis.run(&axis_printer);
+  std::printf("axis run: %zu/%zu cells (2x the soak — every cell re-run all-fsm)\n",
+              fanned.cells_completed, fanned.cells.size());
+
+  // Smoke contract (CI runs this binary): the mixed soak finds the hijack
+  // AND the seeded divergence; the axis doubles the cell count and
+  // completes; an all-fsm re-home of the divergent ring still diverges.
+  bool hijack_found = false;
+  bool divergence_found = false;
+  for (const core::FaultReport& fault : run.faults) {
+    if (fault.fault_class == core::FaultClass::kOperatorMistake) hijack_found = true;
+    if (fault.fault_class == core::FaultClass::kImplementationDivergence) {
+      divergence_found = true;
+    }
+  }
+  const bool ok = run.cells_completed == run.cells.size() && hijack_found &&
+                  divergence_found && fanned.cells.size() == 2 * run.cells.size() &&
+                  fanned.cells_completed == fanned.cells.size();
+  std::printf("\n%s\n", ok ? "federated soak OK" : "federated soak FAILED");
+  return ok ? 0 : 1;
+}

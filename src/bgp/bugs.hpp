@@ -26,6 +26,14 @@ inline constexpr std::uint32_t kAsPathZeroSegment = 1u << 1;
 /// MED of 0xffffffff overflows a preference computation (+1 wraps to 0).
 inline constexpr std::uint32_t kMedOverflow = 1u << 2;
 
+/// Decision-process defect, not a codec crash: among candidates tied on
+/// local preference the faulty code prefers the *longer* AS path (an
+/// inverted comparison). Only the bgp2 FSM engine honors this bit — the
+/// reference BgpRouter decision process ignores it — so setting it on a
+/// node running the "fsm" implementation makes the two engines disagree
+/// and exercises the differential check (kImplementationDivergence).
+inline constexpr std::uint32_t kLongPathPreferred = 1u << 3;
+
 }  // namespace bugs
 
 struct DecodeOptions {

@@ -220,6 +220,12 @@ void write_session_v2(ByteWriter& w, const Session& session) {
   w.vu32(session.negotiated_hold());
 }
 
+void write_session_v2(ByteWriter& w, const SessionCheckpoint& checkpoint) {
+  w.u8(static_cast<std::uint8_t>(checkpoint.state));
+  w.vu32(checkpoint.peer_router_id);
+  w.vu32(checkpoint.negotiated_hold);
+}
+
 Result<SessionCheckpoint> read_session_v2(ByteReader& r) {
   auto state = r.u8();
   auto peer_id = r.vu32();
@@ -234,6 +240,95 @@ Result<SessionCheckpoint> read_session_v2(ByteReader& r) {
   checkpoint.peer_router_id = peer_id.value();
   checkpoint.negotiated_hold = static_cast<std::uint16_t>(hold.value());
   return checkpoint;
+}
+
+Result<RouterStateV2> read_router_v2(ByteReader& reader,
+                                     const std::function<bool(sim::NodeId)>& known_peer) {
+  (void)reader.u8();  // version byte, dispatched on by the caller
+  RouterStateV2 out;
+  AttrPoolDecoder pool;
+  for (;;) {
+    auto tag = reader.u8();
+    if (!tag) return make_error("router.restore.truncated_tag");
+    switch (static_cast<Tag>(tag.value())) {
+      case Tag::kEnd:
+        return out;
+      case Tag::kAttrPool: {
+        auto parsed = AttrPoolDecoder::parse(reader);
+        if (!parsed) return parsed.error();
+        pool = std::move(parsed).take();
+        break;
+      }
+      case Tag::kSessions: {
+        auto count = reader.vu32();
+        if (!count) return make_error("router.restore.sessions");
+        for (std::uint32_t i = 0; i < count.value(); ++i) {
+          auto peer = reader.vu32();
+          if (!peer) return make_error("router.restore.peer");
+          if (!known_peer(peer.value())) {
+            return make_error("router.restore.unknown_peer");
+          }
+          auto checkpoint = read_session_v2(reader);
+          if (!checkpoint) return checkpoint.error();
+          out.sessions.emplace_back(peer.value(), checkpoint.value());
+        }
+        break;
+      }
+      case Tag::kAdjIn: {
+        auto count = reader.vu32();
+        if (!count) return make_error("router.restore.adj_in");
+        for (std::uint32_t i = 0; i < count.value(); ++i) {
+          auto peer = reader.vu32();
+          if (!peer) return make_error("router.restore.adj_in_peer");
+          auto rib = read_rib_v2(reader, pool);
+          if (!rib) {
+            return make_error("router.restore.adj_in_rib", rib.error().to_string());
+          }
+          out.adj_in.emplace_back(peer.value(), std::move(rib).take());
+        }
+        break;
+      }
+      case Tag::kLocRib: {
+        auto rib = read_rib_v2(reader, pool);
+        if (!rib) {
+          return make_error("router.restore.loc_rib", rib.error().to_string());
+        }
+        out.loc_rib = std::move(rib).take();
+        break;
+      }
+      case Tag::kAdjOut: {
+        auto count = reader.vu32();
+        if (!count) return make_error("router.restore.adj_out");
+        for (std::uint32_t i = 0; i < count.value(); ++i) {
+          auto peer = reader.vu32();
+          if (!peer) return make_error("router.restore.adj_out_peer");
+          auto rib = read_rib_v2(reader, pool);
+          if (!rib) {
+            return make_error("router.restore.adj_out_rib", rib.error().to_string());
+          }
+          out.adj_out.emplace_back(peer.value(), std::move(rib).take());
+        }
+        break;
+      }
+      case Tag::kFlips: {
+        auto count = reader.vu32();
+        if (!count) return make_error("router.restore.flips");
+        for (std::uint32_t i = 0; i < count.value(); ++i) {
+          auto addr = reader.u32();
+          auto len = reader.u8();
+          auto flips = reader.vu32();
+          if (!addr || !len || !flips) {
+            return make_error("router.restore.flip_entry");
+          }
+          out.best_flips.emplace_back(
+              util::IpPrefix{util::IpAddress{addr.value()}, len.value()}, flips.value());
+        }
+        break;
+      }
+      default:
+        return make_error("router.restore.unknown_tag", std::to_string(tag.value()));
+    }
+  }
 }
 
 }  // namespace dice::bgp::ckpt

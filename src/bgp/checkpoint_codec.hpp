@@ -14,8 +14,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bgp/rib.hpp"
@@ -85,6 +87,29 @@ void write_rib_v2(util::ByteWriter& writer, const Rib& rib, AttrPoolEncoder& poo
                                             const AttrPoolDecoder& pool);
 
 void write_session_v2(util::ByteWriter& writer, const Session& session);
+/// Same byte layout, from a typed checkpoint — for engines whose per-peer
+/// FSM is not a Session object (bgp2) yet must emit the identical stream.
+void write_session_v2(util::ByteWriter& writer, const SessionCheckpoint& checkpoint);
 [[nodiscard]] util::Result<SessionCheckpoint> read_session_v2(util::ByteReader& reader);
+
+// --- full-stream router codec -----------------------------------------------
+
+/// Decoded form of a complete v2 router stream: every tagged section the
+/// format carries. This is the interchange shape shared by all node
+/// implementations — each engine's Checkpointable::parse wraps it in its own
+/// snapshot::DecodedCheckpoint subclass.
+struct RouterStateV2 {
+  std::vector<std::pair<sim::NodeId, SessionCheckpoint>> sessions;
+  std::vector<std::pair<sim::NodeId, Rib>> adj_in;
+  Rib loc_rib;
+  std::vector<std::pair<sim::NodeId, Rib>> adj_out;
+  std::vector<std::pair<util::IpPrefix, std::uint32_t>> best_flips;
+};
+
+/// Parses a complete v2 stream with the reader positioned at the kFormatV2
+/// version byte. `known_peer` lets the caller reject session entries for
+/// peers it has no FSM for (stable code `router.restore.unknown_peer`).
+[[nodiscard]] util::Result<RouterStateV2> read_router_v2(
+    util::ByteReader& reader, const std::function<bool(sim::NodeId)>& known_peer);
 
 }  // namespace dice::bgp::ckpt

@@ -368,6 +368,43 @@ Result<NotificationMessage> decode_notification(ByteReader& r) {
 
 }  // namespace
 
+void append_as4_capability(std::vector<std::uint8_t>& opt_params, Asn asn) {
+  opt_params.push_back(kCapabilitiesOptParam);
+  opt_params.push_back(6);  // one capability TLV: code + length + 4-byte ASN
+  opt_params.push_back(kAs4Capability);
+  opt_params.push_back(4);
+  opt_params.push_back(static_cast<std::uint8_t>(asn >> 24));
+  opt_params.push_back(static_cast<std::uint8_t>(asn >> 16));
+  opt_params.push_back(static_cast<std::uint8_t>(asn >> 8));
+  opt_params.push_back(static_cast<std::uint8_t>(asn));
+}
+
+std::optional<Asn> find_as4_capability(std::span<const std::uint8_t> opt_params) {
+  ByteReader r(opt_params);
+  while (!r.exhausted()) {
+    auto type = r.u8();
+    auto len = r.u8();
+    if (!type || !len) return std::nullopt;
+    auto body = r.raw(len.value());
+    if (!body) return std::nullopt;
+    if (type.value() != kCapabilitiesOptParam) continue;
+    ByteReader caps(body.value());
+    while (!caps.exhausted()) {
+      auto code = caps.u8();
+      auto cap_len = caps.u8();
+      if (!code || !cap_len) return std::nullopt;
+      auto value = caps.raw(cap_len.value());
+      if (!value) return std::nullopt;
+      if (code.value() == kAs4Capability && cap_len.value() == 4) {
+        const std::span<const std::uint8_t> v = value.value();
+        return (static_cast<Asn>(v[0]) << 24) | (static_cast<Asn>(v[1]) << 16) |
+               (static_cast<Asn>(v[2]) << 8) | static_cast<Asn>(v[3]);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 void encode_prefix(ByteWriter& writer, const util::IpPrefix& prefix) {
   writer.u8(prefix.length());
   const std::uint32_t bits = prefix.address().value();

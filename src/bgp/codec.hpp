@@ -8,6 +8,7 @@
 // differential property test keeps the two in agreement.
 #pragma once
 
+#include <optional>
 #include <span>
 
 #include "bgp/bugs.hpp"
@@ -16,6 +17,25 @@
 #include "util/result.hpp"
 
 namespace dice::bgp {
+
+// --- RFC 6793: 4-octet AS numbers -------------------------------------------
+// The AS_PATH wire format stays 2-octet (a deliberate scope cut; 4-byte
+// ASNs appear truncated in transit paths). A 4-byte speaker announces its
+// real ASN through the OPEN Capabilities optional parameter and places
+// AS_TRANS in the 2-octet "My Autonomous System" field.
+inline constexpr std::uint8_t kCapabilitiesOptParam = 2;
+inline constexpr std::uint8_t kAs4Capability = 65;
+inline constexpr Asn kAsTrans = 23456;
+
+/// Appends a Capabilities optional parameter carrying the AS4 capability
+/// (code 65) with the full 4-octet ASN, ready for OpenMessage::opt_params.
+void append_as4_capability(std::vector<std::uint8_t>& opt_params, Asn asn);
+
+/// Scans OPEN optional parameters for the AS4 capability. Unknown
+/// parameters and capabilities are skipped (they are carried opaquely);
+/// a malformed TLV ends the scan with nullopt.
+[[nodiscard]] std::optional<Asn> find_as4_capability(
+    std::span<const std::uint8_t> opt_params);
 
 /// Serializes a message with header. Returns an error when the message
 /// would exceed kMaxMessageLength.

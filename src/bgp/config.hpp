@@ -59,6 +59,12 @@ struct RouterConfig {
   std::vector<NeighborConfig> neighbors;
   bool always_compare_med = false;
   std::uint32_t bug_mask = 0;  ///< injected programming errors (bugs.hpp)
+  /// RFC 6793 4-octet AS support. True (default): the speaker announces its
+  /// real ASN via the OPEN AS4 capability when it exceeds 16 bits and
+  /// understands the capability from peers. False models a legacy 2-octet
+  /// speaker: capabilities are ignored and a 4-byte neighbor is accepted
+  /// through its AS_TRANS placeholder.
+  bool as4_capable = true;
 
   [[nodiscard]] const NeighborConfig* neighbor_by_address(util::IpAddress addr) const;
   [[nodiscard]] const NeighborConfig* neighbor_by_asn(Asn asn) const;

@@ -19,7 +19,8 @@ inline constexpr std::size_t kMaxMessageLength = 4096;
 
 struct OpenMessage {
   std::uint8_t version = 4;
-  std::uint16_t my_asn = 0;       // 2-octet AS field (AS4 out of scope, see DESIGN.md)
+  std::uint16_t my_asn = 0;       // 2-octet AS field; 4-byte speakers send
+                                  // AS_TRANS + the AS4 capability (codec.hpp)
   std::uint16_t hold_time = 90;   // seconds; 0 disables keepalives
   RouterId router_id = 0;
   std::vector<std::uint8_t> opt_params;  // carried opaquely

@@ -1,0 +1,66 @@
+#include "bgp/node_impl.hpp"
+
+#include <utility>
+
+#include "bgp/router.hpp"
+#include "bgp2/engine.hpp"
+
+namespace dice::bgp {
+
+// Built-in engines are registered centrally (not via static self-
+// registration in each engine's own object file, which a static-library
+// link would silently drop as unreferenced).
+NodeImplementationRegistry::NodeImplementationRegistry() {
+  factories_.emplace(
+      std::string(kBgpRouterImplementationId),
+      [](sim::Network& network, sim::NodeId node, RouterConfig config,
+         AddressBook address_book) -> std::unique_ptr<NodeImplementation> {
+        return std::make_unique<BgpRouter>(network, node, std::move(config),
+                                           std::move(address_book));
+      });
+  factories_.emplace(
+      std::string(bgp2::kFsmEngineImplementationId),
+      [](sim::Network& network, sim::NodeId node, RouterConfig config,
+         AddressBook address_book) -> std::unique_ptr<NodeImplementation> {
+        return std::make_unique<bgp2::FsmEngine>(network, node, std::move(config),
+                                                 std::move(address_book));
+      });
+}
+
+NodeImplementationRegistry& NodeImplementationRegistry::instance() {
+  static NodeImplementationRegistry registry;
+  return registry;
+}
+
+void NodeImplementationRegistry::register_factory(std::string id, Factory factory) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  factories_[std::move(id)] = std::move(factory);
+}
+
+bool NodeImplementationRegistry::contains(std::string_view id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.find(id) != factories_.end();
+}
+
+std::vector<std::string> NodeImplementationRegistry::ids() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [id, factory] : factories_) out.push_back(id);
+  return out;
+}
+
+std::unique_ptr<NodeImplementation> NodeImplementationRegistry::create(
+    std::string_view id, sim::Network& network, sim::NodeId node,
+    RouterConfig config, AddressBook address_book) const {
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = factories_.find(id);
+    if (it == factories_.end()) return nullptr;
+    factory = it->second;
+  }
+  return factory(network, node, std::move(config), std::move(address_book));
+}
+
+}  // namespace dice::bgp

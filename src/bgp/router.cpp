@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <set>
 #include <span>
 
 #include "bgp/checkpoint_codec.hpp"
@@ -28,7 +29,7 @@ std::uint64_t checkpoint_decode_count() noexcept {
 
 BgpRouter::BgpRouter(sim::Network& network, sim::NodeId id, RouterConfig config,
                      std::shared_ptr<const std::map<util::IpAddress, sim::NodeId>> address_book)
-    : snapshot::SnapshotParticipant(network, id),
+    : NodeImplementation(network, id),
       config_(std::move(config)),
       address_book_(std::move(address_book)) {
   for (const NeighborConfig& neighbor : config_.neighbors) {
@@ -179,8 +180,11 @@ void BgpRouter::process_update(sim::NodeId peer, const UpdateMessage& update) {
   if (!update.announces()) return;
 
   // RFC 4271 §9.1.2: AS-path loop detection — routes carrying our own ASN
-  // are treated as withdrawn.
-  if (update.attrs.as_path.contains(config_.asn)) {
+  // are treated as withdrawn. With a 4-byte local ASN the 2-octet AS_PATH
+  // wire format carries only the truncated low half (codec.hpp), so the
+  // check must also match that form.
+  if (update.attrs.as_path.contains(config_.asn) ||
+      (config_.asn > 0xffff && update.attrs.as_path.contains(config_.asn & 0xffff))) {
     ++stats_.loop_rejects;
     for (const util::IpPrefix& prefix : update.nlri) {
       if (rib_in.erase(prefix)) run_decision(prefix);
@@ -231,9 +235,7 @@ void BgpRouter::process_update(sim::NodeId peer, const UpdateMessage& update) {
   }
 }
 
-void BgpRouter::run_decision(const util::IpPrefix& prefix) {
-  ++stats_.decision_runs;
-
+std::vector<Route> BgpRouter::collect_candidates(const util::IpPrefix& prefix) const {
   std::vector<Route> candidates;
   // Locally originated network?
   if (std::find(config_.networks.begin(), config_.networks.end(), prefix) !=
@@ -252,6 +254,40 @@ void BgpRouter::run_decision(const util::IpPrefix& prefix) {
   for (const auto& [peer, rib] : adj_in_) {
     if (const Route* route = rib.find(prefix)) candidates.push_back(*route);
   }
+  return candidates;
+}
+
+std::size_t BgpRouter::established_session_count() const {
+  std::size_t established = 0;
+  for (const auto& [peer, session] : sessions_) {
+    if (session->established()) ++established;
+  }
+  return established;
+}
+
+void BgpRouter::for_each_decision(
+    const std::function<void(const DecisionView&)>& fn) const {
+  std::set<util::IpPrefix> prefixes;
+  for (const util::IpPrefix& prefix : config_.networks) prefixes.insert(prefix);
+  for (const auto& [peer, rib] : adj_in_) {
+    for (const auto& [prefix, route] : rib.table()) prefixes.insert(prefix);
+  }
+  for (const auto& [prefix, route] : loc_rib_.table()) prefixes.insert(prefix);
+
+  for (const util::IpPrefix& prefix : prefixes) {
+    const std::vector<Route> candidates = collect_candidates(prefix);
+    DecisionView view;
+    view.prefix = prefix;
+    view.selected = loc_rib_.find(prefix);
+    view.candidates = &candidates;
+    fn(view);
+  }
+}
+
+void BgpRouter::run_decision(const util::IpPrefix& prefix) {
+  ++stats_.decision_runs;
+
+  std::vector<Route> candidates = collect_candidates(prefix);
 
   DecisionOptions options;
   options.always_compare_med = config_.always_compare_med;
@@ -421,94 +457,17 @@ util::Result<std::shared_ptr<const snapshot::DecodedCheckpoint>> BgpRouter::pars
 
 util::Result<std::shared_ptr<const snapshot::DecodedCheckpoint>> BgpRouter::parse_v2(
     util::ByteReader& reader) const {
-  using ckpt::Tag;
-  (void)reader.u8();  // version byte, already peeked
+  auto state = ckpt::read_router_v2(reader, [this](sim::NodeId peer) {
+    return sessions_.find(peer) != sessions_.end();
+  });
+  if (!state) return state.error();
   auto decoded = std::make_shared<RouterCheckpoint>();
-  ckpt::AttrPoolDecoder pool;
-  for (;;) {
-    auto tag = reader.u8();
-    if (!tag) return util::make_error("router.restore.truncated_tag");
-    switch (static_cast<Tag>(tag.value())) {
-      case Tag::kEnd:
-        return std::shared_ptr<const snapshot::DecodedCheckpoint>(std::move(decoded));
-      case Tag::kAttrPool: {
-        auto parsed = ckpt::AttrPoolDecoder::parse(reader);
-        if (!parsed) return parsed.error();
-        pool = std::move(parsed).take();
-        break;
-      }
-      case Tag::kSessions: {
-        auto count = reader.vu32();
-        if (!count) return util::make_error("router.restore.sessions");
-        for (std::uint32_t i = 0; i < count.value(); ++i) {
-          auto peer = reader.vu32();
-          if (!peer) return util::make_error("router.restore.peer");
-          if (sessions_.find(peer.value()) == sessions_.end()) {
-            return util::make_error("router.restore.unknown_peer");
-          }
-          auto checkpoint = ckpt::read_session_v2(reader);
-          if (!checkpoint) return checkpoint.error();
-          decoded->sessions.emplace_back(peer.value(), checkpoint.value());
-        }
-        break;
-      }
-      case Tag::kAdjIn: {
-        auto count = reader.vu32();
-        if (!count) return util::make_error("router.restore.adj_in");
-        for (std::uint32_t i = 0; i < count.value(); ++i) {
-          auto peer = reader.vu32();
-          if (!peer) return util::make_error("router.restore.adj_in_peer");
-          auto rib = ckpt::read_rib_v2(reader, pool);
-          if (!rib) {
-            return util::make_error("router.restore.adj_in_rib", rib.error().to_string());
-          }
-          decoded->adj_in.emplace_back(peer.value(), std::move(rib).take());
-        }
-        break;
-      }
-      case Tag::kLocRib: {
-        auto rib = ckpt::read_rib_v2(reader, pool);
-        if (!rib) {
-          return util::make_error("router.restore.loc_rib", rib.error().to_string());
-        }
-        decoded->loc_rib = std::move(rib).take();
-        break;
-      }
-      case Tag::kAdjOut: {
-        auto count = reader.vu32();
-        if (!count) return util::make_error("router.restore.adj_out");
-        for (std::uint32_t i = 0; i < count.value(); ++i) {
-          auto peer = reader.vu32();
-          if (!peer) return util::make_error("router.restore.adj_out_peer");
-          auto rib = ckpt::read_rib_v2(reader, pool);
-          if (!rib) {
-            return util::make_error("router.restore.adj_out_rib",
-                                    rib.error().to_string());
-          }
-          decoded->adj_out.emplace_back(peer.value(), std::move(rib).take());
-        }
-        break;
-      }
-      case Tag::kFlips: {
-        auto count = reader.vu32();
-        if (!count) return util::make_error("router.restore.flips");
-        for (std::uint32_t i = 0; i < count.value(); ++i) {
-          auto addr = reader.u32();
-          auto len = reader.u8();
-          auto flips = reader.vu32();
-          if (!addr || !len || !flips) {
-            return util::make_error("router.restore.flip_entry");
-          }
-          decoded->best_flips.emplace_back(
-              util::IpPrefix{util::IpAddress{addr.value()}, len.value()}, flips.value());
-        }
-        break;
-      }
-      default:
-        return util::make_error("router.restore.unknown_tag",
-                                std::to_string(tag.value()));
-    }
-  }
+  decoded->sessions = std::move(state.value().sessions);
+  decoded->adj_in = std::move(state.value().adj_in);
+  decoded->loc_rib = std::move(state.value().loc_rib);
+  decoded->adj_out = std::move(state.value().adj_out);
+  decoded->best_flips = std::move(state.value().best_flips);
+  return std::shared_ptr<const snapshot::DecodedCheckpoint>(std::move(decoded));
 }
 
 util::Result<std::shared_ptr<const snapshot::DecodedCheckpoint>> BgpRouter::parse_legacy(

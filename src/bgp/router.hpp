@@ -18,9 +18,9 @@
 #include "bgp/codec.hpp"
 #include "bgp/config.hpp"
 #include "bgp/decision.hpp"
+#include "bgp/node_impl.hpp"
 #include "bgp/rib.hpp"
 #include "bgp/session.hpp"
-#include "snapshot/participant.hpp"
 
 namespace dice::bgp {
 
@@ -40,9 +40,7 @@ struct RouterCheckpoint final : snapshot::DecodedCheckpoint {
   std::vector<std::pair<util::IpPrefix, std::uint32_t>> best_flips;
 };
 
-class BgpRouter final : public snapshot::SnapshotParticipant,
-                        public snapshot::Checkpointable,
-                        public SessionHost {
+class BgpRouter final : public NodeImplementation, public SessionHost {
  public:
   /// `address_book` maps neighbor IP addresses to sim node ids (the
   /// topology's wiring); neighbors without an entry are ignored. The shared
@@ -53,35 +51,30 @@ class BgpRouter final : public snapshot::SnapshotParticipant,
   BgpRouter(sim::Network& network, sim::NodeId id, RouterConfig config,
             std::map<util::IpAddress, sim::NodeId> address_book);
 
+  // --- NodeImplementation ---------------------------------------------------
+  [[nodiscard]] std::string_view implementation_id() const noexcept override {
+    return kBgpRouterImplementationId;
+  }
+
   /// Originates configured networks and starts all neighbor sessions.
-  void start();
+  void start() override;
 
   // --- introspection (tests, checkers, benches) ----------------------------
-  [[nodiscard]] const RouterConfig& config() const noexcept { return config_; }
-  [[nodiscard]] const Rib& loc_rib() const noexcept { return loc_rib_; }
+  [[nodiscard]] const RouterConfig& config() const noexcept override { return config_; }
+  [[nodiscard]] const Rib& loc_rib() const noexcept override { return loc_rib_; }
   [[nodiscard]] const Rib* adj_rib_in(sim::NodeId peer) const;
   [[nodiscard]] const Rib* adj_rib_out(sim::NodeId peer) const;
   [[nodiscard]] Session* session(sim::NodeId peer);
   [[nodiscard]] const std::map<sim::NodeId, std::unique_ptr<Session>>& sessions() const noexcept {
     return sessions_;
   }
-  [[nodiscard]] const std::map<util::IpPrefix, std::uint32_t>& best_flips() const noexcept {
+  [[nodiscard]] const std::map<util::IpPrefix, std::uint32_t>& best_flips()
+      const noexcept override {
     return best_flips_;
   }
 
-  struct Stats {
-    std::uint64_t updates_received = 0;
-    std::uint64_t updates_sent = 0;
-    std::uint64_t withdraws_sent = 0;
-    std::uint64_t decision_runs = 0;
-    std::uint64_t best_changes = 0;
-    std::uint64_t import_rejects = 0;
-    std::uint64_t loop_rejects = 0;
-    std::uint64_t decode_failures = 0;
-    std::uint64_t handler_crashes = 0;
-  };
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
-  void reset_flip_counters() {
+  [[nodiscard]] const Stats& stats() const noexcept override { return stats_; }
+  void reset_flip_counters() override {
     best_flips_.clear();
     max_best_flips_ = 0;
     ++state_version_;  // flip counters are checkpointed state
@@ -89,15 +82,24 @@ class BgpRouter final : public snapshot::SnapshotParticipant,
   /// Highest per-prefix best-route flip count seen since the counters were
   /// last reset — O(1), maintained incrementally so the oscillation
   /// early-exit poll (System::converge_bounded) stays cheap.
-  [[nodiscard]] std::uint32_t max_best_flips() const noexcept { return max_best_flips_; }
+  [[nodiscard]] std::uint32_t max_best_flips() const noexcept override {
+    return max_best_flips_;
+  }
+  [[nodiscard]] std::size_t established_session_count() const override;
+
+  /// Replays the decision process: for every prefix with local origination,
+  /// an Adj-RIB-In entry or a Loc-RIB entry, rebuilds the exact candidate
+  /// set run_decision() uses and reports it with the current selection.
+  void for_each_decision(
+      const std::function<void(const DecisionView&)>& fn) const override;
 
   /// Administratively resets one session (the paper's "local session reset"
   /// emergent-behavior scenario); the session auto-restarts after a delay.
-  void reset_session(sim::NodeId peer);
+  void reset_session(sim::NodeId peer) override;
 
   /// Disables automatic session restart (used by clones during exploration
   /// so a crash leaves an observable dead session).
-  void set_auto_restart(bool enabled) noexcept { auto_restart_ = enabled; }
+  void set_auto_restart(bool enabled) noexcept override { auto_restart_ = enabled; }
 
   // --- Checkpointable -------------------------------------------------------
   // restore() is inherited: parse (bytes -> RouterCheckpoint, const,
@@ -126,7 +128,7 @@ class BgpRouter final : public snapshot::SnapshotParticipant,
   /// sessions, zeroed stats/flip counters, aborted snapshot bookkeeping) so
   /// a clone-arena System can be re-seeded with apply() instead of being
   /// reconstructed.
-  void reset_for_reuse();
+  void reset_for_reuse() override;
 
   // --- SessionHost ----------------------------------------------------------
   void session_send(sim::NodeId peer, const Message& msg, bool background) override;
@@ -141,7 +143,6 @@ class BgpRouter final : public snapshot::SnapshotParticipant,
  protected:
   // --- SnapshotParticipant --------------------------------------------------
   void deliver_data(sim::NodeId from, const util::Bytes& payload) override;
-  [[nodiscard]] snapshot::Checkpointable& checkpointable() override { return *this; }
 
  private:
   [[nodiscard]] util::Result<std::shared_ptr<const snapshot::DecodedCheckpoint>> parse_v2(
@@ -150,6 +151,11 @@ class BgpRouter final : public snapshot::SnapshotParticipant,
   parse_legacy(util::ByteReader& reader) const;
   void originate_networks();
   void process_update(sim::NodeId peer, const UpdateMessage& update);
+  /// The decision process's candidate set for `prefix`: the locally
+  /// originated route (if configured) plus every Adj-RIB-In entry. Shared
+  /// by run_decision() and for_each_decision() so the differential checker
+  /// replays exactly what the decision saw.
+  [[nodiscard]] std::vector<Route> collect_candidates(const util::IpPrefix& prefix) const;
   /// Re-runs the decision process for `prefix`; propagates on change.
   void run_decision(const util::IpPrefix& prefix);
   void propagate(const util::IpPrefix& prefix);

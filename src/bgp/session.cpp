@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bgp/codec.hpp"
 #include "util/log.hpp"
 
 namespace dice::bgp {
@@ -30,7 +31,15 @@ Session::Session(SessionHost& host, sim::NodeId peer_node, const NeighborConfig&
 void Session::start() {
   if (state_ != SessionState::kIdle) return;
   OpenMessage open;
-  open.my_asn = static_cast<std::uint16_t>(local_.asn);
+  if (local_.asn > 0xffff) {
+    // RFC 6793: the 2-octet OPEN field cannot carry our ASN — send
+    // AS_TRANS, and announce the real ASN via the AS4 capability when
+    // this speaker supports it.
+    open.my_asn = static_cast<std::uint16_t>(kAsTrans);
+    if (local_.as4_capable) append_as4_capability(open.opt_params, local_.asn);
+  } else {
+    open.my_asn = static_cast<std::uint16_t>(local_.asn);
+  }
   open.hold_time = local_.hold_time;
   open.router_id = local_.router_id;
   host_.session_send(peer_node_, Message{open}, /*background=*/false);
@@ -79,10 +88,20 @@ void Session::handle_open(const OpenMessage& open) {
     stop(NotifCode::kFsmError, 0, "OPEN in state " + std::string(to_string(state_)));
     return;
   }
-  if (open.my_asn != static_cast<std::uint16_t>(neighbor_.asn)) {
+  // RFC 6793: an AS4-capable local speaker trusts the peer's AS4
+  // capability over the 2-octet field; a legacy speaker (as4_capable
+  // false) ignores capabilities and accepts AS_TRANS from any neighbor
+  // configured with a 4-byte ASN — that is the "negotiate down" path.
+  Asn announced = open.my_asn;
+  if (local_.as4_capable) {
+    if (std::optional<Asn> as4 = find_as4_capability(open.opt_params)) announced = *as4;
+  }
+  const bool as_matches = announced == neighbor_.asn ||
+                          (announced == kAsTrans && neighbor_.asn > 0xffff);
+  if (!as_matches) {
     stop(NotifCode::kOpenMessageError, 2,
          "peer AS mismatch: expected " + std::to_string(neighbor_.asn) + " got " +
-             std::to_string(open.my_asn));
+             std::to_string(announced));
     return;
   }
   peer_router_id_ = open.router_id;

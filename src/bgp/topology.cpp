@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "bgp/node_impl.hpp"
 #include "util/strings.hpp"
 
 namespace dice::bgp {
@@ -19,6 +20,22 @@ sim::NodeId SystemBlueprint::node_by_name(std::string_view name) const {
     if (configs[i].name == name) return static_cast<sim::NodeId>(i);
   }
   return sim::kInvalidNode;
+}
+
+std::string_view SystemBlueprint::implementation_for(std::size_t node) const {
+  if (node < implementations.size() && !implementations[node].empty()) {
+    return implementations[node];
+  }
+  return kBgpRouterImplementationId;
+}
+
+void SystemBlueprint::set_implementation(std::size_t node, std::string id) {
+  if (implementations.size() <= node) implementations.resize(node + 1);
+  implementations[node] = std::move(id);
+}
+
+void SystemBlueprint::set_all_implementations(const std::string& id) {
+  implementations.assign(configs.size(), id);
 }
 
 util::IpAddress node_address(sim::NodeId i) {
@@ -270,6 +287,22 @@ SystemBlueprint make_internet(const InternetTopologyParams& params) {
       if (params.tier2 > 1) {
         add_gao_link(bp, t2((i + 1) % params.tier2), stub(i), /*peering=*/false,
                      params.edge_latency);
+      }
+    }
+  }
+
+  // Optional flat renumbering (4-octet-AS audits): rewrite every config ASN
+  // to asn_base + node and fix up the neighbor references through the
+  // address book, after all links exist.
+  if (params.asn_base != 0) {
+    const std::map<util::IpAddress, sim::NodeId> book = bp.address_book();
+    for (std::size_t i = 0; i < bp.configs.size(); ++i) {
+      bp.configs[i].asn = params.asn_base + static_cast<Asn>(i);
+    }
+    for (RouterConfig& config : bp.configs) {
+      for (NeighborConfig& neighbor : config.neighbors) {
+        auto it = book.find(neighbor.address);
+        if (it != book.end()) neighbor.asn = params.asn_base + it->second;
       }
     }
   }

@@ -31,11 +31,22 @@ struct LinkSpec {
 struct SystemBlueprint {
   std::vector<RouterConfig> configs;
   std::vector<LinkSpec> links;
+  /// Per-node implementation ids (NodeImplementationRegistry keys), indexed
+  /// like `configs`. An empty vector, a short vector's missing tail, or an
+  /// empty string all mean the default reference engine ("bgp"), so every
+  /// pre-heterogeneity blueprint is unchanged.
+  std::vector<std::string> implementations;
 
   [[nodiscard]] std::size_t size() const noexcept { return configs.size(); }
   /// Address book shared by all routers (address -> node id).
   [[nodiscard]] std::map<util::IpAddress, sim::NodeId> address_book() const;
   [[nodiscard]] sim::NodeId node_by_name(std::string_view name) const;
+  /// Resolved implementation id for `node` (default-filled, never empty).
+  [[nodiscard]] std::string_view implementation_for(std::size_t node) const;
+  /// Assigns `id` to `node`, growing `implementations` as needed.
+  void set_implementation(std::size_t node, std::string id);
+  /// Assigns `id` to every node (the campaign implementation-axis override).
+  void set_all_implementations(const std::string& id);
 };
 
 /// Conventions used by all builders: router i has address
@@ -69,6 +80,11 @@ struct InternetTopologyParams {
   /// Scale benches use this to grow the topology without the route count
   /// (and convergence time) growing quadratically with it.
   std::size_t originate_every = 1;
+  /// Nonzero: router i gets ASN asn_base + i instead of the historic
+  /// node_asn scheme (which tops out at 65535). Bases above 65535 exercise
+  /// the RFC 6793 4-octet-AS path: OPENs carry AS_TRANS plus the AS4
+  /// capability. 0 keeps the historic (hash-pinned) numbering.
+  Asn asn_base = 0;
 };
 
 /// Two-tier Internet-like topology with Gao-Rexford policies. Defaults

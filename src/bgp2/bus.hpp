@@ -1,0 +1,82 @@
+// RouteEventBus: the spine of the bgp2 engine's route pipeline. Where the
+// reference BgpRouter re-runs its decision process synchronously inside
+// every Adj-RIB-In mutation, this engine records *events* ("prefix learned
+// from peer", "prefix withdrawn", "peer lost") on a FIFO bus and decides
+// once per dirty prefix when the bus drains at the end of the triggering
+// protocol event. The observable outcome at event boundaries is identical
+// (the drain completes before control returns to the simulator); the
+// internal structure — and therefore the bug surface — is not, which is
+// exactly what a heterogeneous federation looks like.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+
+#include "sim/network.hpp"
+#include "util/ip.hpp"
+
+namespace dice::bgp2 {
+
+struct RouteEvent {
+  enum class Kind : std::uint8_t { kLearned, kWithdrawn, kPeerLost };
+  Kind kind = Kind::kLearned;
+  util::IpPrefix prefix;
+  sim::NodeId peer = sim::kInvalidNode;
+};
+
+class RouteEventBus {
+ public:
+  struct Stats {
+    std::uint64_t posted = 0;     ///< events accepted onto the bus
+    std::uint64_t coalesced = 0;  ///< events folded into an already-dirty prefix
+    std::uint64_t drains = 0;     ///< drain passes that processed >= 1 prefix
+  };
+
+  /// Records an event. Multiple events against the same prefix coalesce
+  /// into one pending decision; FIFO order of first-dirtying is preserved
+  /// so the decision order is deterministic.
+  void post(const RouteEvent& event) {
+    ++stats_.posted;
+    if (dirty_.insert(event.prefix).second) {
+      queue_.push_back(event.prefix);
+    } else {
+      ++stats_.coalesced;
+    }
+  }
+
+  /// Runs `decide(prefix)` for every dirty prefix in posting order until
+  /// the bus is empty. Reentrant calls (a decision posting follow-up
+  /// events) fold into the active drain instead of recursing.
+  template <typename Fn>
+  void drain(Fn&& decide) {
+    if (draining_ || queue_.empty()) return;
+    draining_ = true;
+    ++stats_.drains;
+    while (!queue_.empty()) {
+      const util::IpPrefix prefix = queue_.front();
+      queue_.pop_front();
+      dirty_.erase(prefix);
+      decide(prefix);
+    }
+    draining_ = false;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  void reset() {
+    queue_.clear();
+    dirty_.clear();
+    draining_ = false;
+    stats_ = {};
+  }
+
+ private:
+  std::deque<util::IpPrefix> queue_;
+  std::set<util::IpPrefix> dirty_;
+  bool draining_ = false;
+  Stats stats_;
+};
+
+}  // namespace dice::bgp2

@@ -1,0 +1,306 @@
+#include "bgp2/fsm.hpp"
+
+#include <algorithm>
+
+#include "bgp/codec.hpp"
+#include "util/log.hpp"
+
+namespace dice::bgp2 {
+
+using bgp::Message;
+using bgp::NotifCode;
+using bgp::SessionState;
+
+namespace {
+const util::Logger& logger() {
+  static util::Logger instance("bgp2.fsm");
+  return instance;
+}
+}  // namespace
+
+PeerFsm::PeerFsm(Host& host, sim::NodeId peer_node, const bgp::NeighborConfig& neighbor,
+                 const bgp::RouterConfig& local)
+    : host_(host), peer_node_(peer_node), neighbor_(neighbor), local_(local) {}
+
+void PeerFsm::stop(NotifCode code, std::uint8_t subcode, const std::string& reason) {
+  if (state_ == SessionState::kIdle) return;
+  bgp::NotificationMessage notif;
+  notif.code = code;
+  notif.subcode = subcode;
+  host_.fsm_send(peer_node_, Message{notif}, /*background=*/false);
+  enter_idle(reason);
+}
+
+void PeerFsm::reset_transport(const std::string& reason) {
+  dispatch(Event::kTransportFailed, nullptr);
+  (void)reason;
+}
+
+void PeerFsm::handle_message(const Message& msg) {
+  struct Classify {
+    Event operator()(const bgp::OpenMessage&) const { return Event::kOpenReceived; }
+    Event operator()(const bgp::UpdateMessage&) const { return Event::kUpdateReceived; }
+    Event operator()(const bgp::NotificationMessage&) const {
+      return Event::kNotificationReceived;
+    }
+    Event operator()(const bgp::KeepaliveMessage&) const {
+      return Event::kKeepaliveReceived;
+    }
+  };
+  dispatch(std::visit(Classify{}, msg), &msg);
+}
+
+// The whole machine in one table: outer switch on state, inner on event.
+// Every (state, event) pair either transitions, errors out with the RFC's
+// NOTIFICATION, or deliberately ignores the input.
+void PeerFsm::dispatch(Event event, const Message* msg) {
+  switch (state_) {
+    case SessionState::kIdle:
+      switch (event) {
+        case Event::kManualStart:
+          passive_open_ = false;
+          send_open();
+          break;
+        case Event::kOpenReceived:
+          // Passive open: the peer moved first. Answer with our OPEN, then
+          // evaluate theirs from OpenSent.
+          passive_open_ = true;
+          send_open();
+          validate_open(std::get<bgp::OpenMessage>(*msg));
+          break;
+        default:
+          break;  // everything else is noise while Idle
+      }
+      break;
+
+    case SessionState::kOpenSent:
+      switch (event) {
+        case Event::kOpenReceived:
+          if (!passive_open_) {
+            // Both ends opened simultaneously; the single logical transport
+            // merges the two connection attempts, so detection is the only
+            // action left — count it and proceed.
+            ++collisions_;
+          }
+          validate_open(std::get<bgp::OpenMessage>(*msg));
+          break;
+        case Event::kKeepaliveReceived:
+          stop(NotifCode::kFsmError, 0, "KEEPALIVE in OpenSent");
+          break;
+        case Event::kUpdateReceived:
+          stop(NotifCode::kFsmError, 0, "UPDATE in OpenSent");
+          break;
+        case Event::kNotificationReceived:
+          enter_idle("received " + std::get<bgp::NotificationMessage>(*msg).to_string());
+          break;
+        case Event::kHoldTimerExpired: {
+          bgp::NotificationMessage notif;
+          notif.code = NotifCode::kHoldTimerExpired;
+          host_.fsm_send(peer_node_, Message{notif}, /*background=*/false);
+          enter_idle("hold timer expired");
+          break;
+        }
+        case Event::kTransportFailed:
+          enter_idle("transport failed");
+          break;
+        default:
+          break;
+      }
+      break;
+
+    case SessionState::kOpenConfirm:
+      switch (event) {
+        case Event::kKeepaliveReceived:
+          enter_established();
+          break;
+        case Event::kOpenReceived:
+          stop(NotifCode::kFsmError, 0, "OPEN in OpenConfirm");
+          break;
+        case Event::kUpdateReceived:
+          stop(NotifCode::kFsmError, 0, "UPDATE in OpenConfirm");
+          break;
+        case Event::kNotificationReceived:
+          enter_idle("received " + std::get<bgp::NotificationMessage>(*msg).to_string());
+          break;
+        case Event::kHoldTimerExpired: {
+          bgp::NotificationMessage notif;
+          notif.code = NotifCode::kHoldTimerExpired;
+          host_.fsm_send(peer_node_, Message{notif}, /*background=*/false);
+          enter_idle("hold timer expired");
+          break;
+        }
+        case Event::kTransportFailed:
+          enter_idle("transport failed");
+          break;
+        default:
+          break;
+      }
+      break;
+
+    case SessionState::kEstablished:
+      switch (event) {
+        case Event::kUpdateReceived:
+          arm_hold_timer();
+          host_.fsm_update(peer_node_, std::get<bgp::UpdateMessage>(*msg));
+          break;
+        case Event::kKeepaliveReceived:
+          arm_hold_timer();
+          break;
+        case Event::kOpenReceived:
+          stop(NotifCode::kFsmError, 0, "OPEN in Established");
+          break;
+        case Event::kNotificationReceived:
+          enter_idle("received " + std::get<bgp::NotificationMessage>(*msg).to_string());
+          break;
+        case Event::kHoldTimerExpired: {
+          bgp::NotificationMessage notif;
+          notif.code = NotifCode::kHoldTimerExpired;
+          host_.fsm_send(peer_node_, Message{notif}, /*background=*/false);
+          enter_idle("hold timer expired");
+          break;
+        }
+        case Event::kTransportFailed:
+          enter_idle("transport failed");
+          break;
+        default:
+          break;
+      }
+      break;
+  }
+}
+
+void PeerFsm::send_open() {
+  bgp::OpenMessage open;
+  if (local_.asn > 0xffff) {
+    // RFC 6793: AS_TRANS in the 2-octet field, real ASN via the capability.
+    open.my_asn = static_cast<std::uint16_t>(bgp::kAsTrans);
+    if (local_.as4_capable) bgp::append_as4_capability(open.opt_params, local_.asn);
+  } else {
+    open.my_asn = static_cast<std::uint16_t>(local_.asn);
+  }
+  open.hold_time = local_.hold_time;
+  open.router_id = local_.router_id;
+  host_.fsm_send(peer_node_, Message{open}, /*background=*/false);
+  state_ = SessionState::kOpenSent;
+  negotiated_hold_ = local_.hold_time;
+  host_.fsm_state_dirty();
+  arm_hold_timer();
+}
+
+void PeerFsm::validate_open(const bgp::OpenMessage& open) {
+  // Same AS4 negotiation as the reference engine (bgp/session.cpp): trust
+  // the capability when we understand it; accept AS_TRANS from a 4-byte
+  // neighbor when we do not.
+  bgp::Asn announced = open.my_asn;
+  if (local_.as4_capable) {
+    if (std::optional<bgp::Asn> as4 = bgp::find_as4_capability(open.opt_params)) {
+      announced = *as4;
+    }
+  }
+  const bool as_matches = announced == neighbor_.asn ||
+                          (announced == bgp::kAsTrans && neighbor_.asn > 0xffff);
+  if (!as_matches) {
+    stop(NotifCode::kOpenMessageError, 2,
+         "peer AS mismatch: expected " + std::to_string(neighbor_.asn) + " got " +
+             std::to_string(announced));
+    return;
+  }
+  peer_router_id_ = open.router_id;
+  negotiated_hold_ = std::min<std::uint16_t>(local_.hold_time, open.hold_time);
+  host_.fsm_send(peer_node_, Message{bgp::KeepaliveMessage{}}, /*background=*/false);
+  state_ = SessionState::kOpenConfirm;
+  host_.fsm_state_dirty();
+  arm_hold_timer();
+}
+
+void PeerFsm::enter_established() {
+  state_ = SessionState::kEstablished;
+  host_.fsm_state_dirty();
+  arm_hold_timer();
+  arm_keepalive_timer();
+  logger().debug() << local_.name << " fsm to AS" << neighbor_.asn << " established";
+  host_.fsm_established(peer_node_);
+}
+
+void PeerFsm::enter_idle(const std::string& reason) {
+  const bool was_active = state_ != SessionState::kIdle;
+  state_ = SessionState::kIdle;
+  peer_router_id_ = 0;
+  negotiated_hold_ = 0;
+  passive_open_ = false;
+  if (was_active) host_.fsm_state_dirty();
+  cancel_timers();
+  if (was_active) {
+    logger().debug() << local_.name << " fsm to AS" << neighbor_.asn
+                     << " down: " << reason;
+    host_.fsm_down(peer_node_, reason);
+  }
+}
+
+void PeerFsm::arm_hold_timer() {
+  hold_timer_.cancel();
+  if (negotiated_hold_ == 0) return;  // hold time 0 disables the timer (§4.2)
+  hold_timer_ = host_.fsm_simulator().schedule_after(
+      static_cast<sim::Time>(negotiated_hold_) * sim::kSecond,
+      [this] { dispatch(Event::kHoldTimerExpired, nullptr); },
+      /*background=*/true);
+}
+
+void PeerFsm::arm_keepalive_timer() {
+  keepalive_timer_.cancel();
+  if (negotiated_hold_ == 0) return;
+  const sim::Time interval =
+      std::max<sim::Time>(1, static_cast<sim::Time>(negotiated_hold_) / 3) * sim::kSecond;
+  keepalive_timer_ = host_.fsm_simulator().schedule_after(
+      interval,
+      [this] {
+        if (state_ == SessionState::kEstablished) {
+          Message ka{bgp::KeepaliveMessage{}};
+          host_.fsm_send(peer_node_, ka, /*background=*/true);
+          arm_keepalive_timer();
+        }
+      },
+      /*background=*/true);
+}
+
+void PeerFsm::cancel_timers() {
+  hold_timer_.cancel();
+  keepalive_timer_.cancel();
+}
+
+bgp::SessionCheckpoint PeerFsm::to_checkpoint() const noexcept {
+  bgp::SessionCheckpoint checkpoint;
+  checkpoint.state = state_;
+  checkpoint.peer_router_id = peer_router_id_;
+  checkpoint.negotiated_hold = negotiated_hold_;
+  return checkpoint;
+}
+
+void PeerFsm::apply_checkpoint(const bgp::SessionCheckpoint& checkpoint) {
+  cancel_timers();
+  host_.fsm_state_dirty();
+  state_ = checkpoint.state;
+  peer_router_id_ = checkpoint.peer_router_id;
+  negotiated_hold_ = checkpoint.negotiated_hold;
+  passive_open_ = false;
+  // Timers implied by the restored state are re-armed fresh; elapsed
+  // fractions are not preserved (same approximation as the reference).
+  if (state_ == SessionState::kEstablished) {
+    arm_hold_timer();
+    arm_keepalive_timer();
+  } else if (state_ != SessionState::kIdle) {
+    arm_hold_timer();
+  }
+}
+
+void PeerFsm::reset_for_reuse() {
+  cancel_timers();
+  host_.fsm_state_dirty();
+  state_ = SessionState::kIdle;
+  peer_router_id_ = 0;
+  negotiated_hold_ = 0;
+  passive_open_ = false;
+  collisions_ = 0;
+}
+
+}  // namespace dice::bgp2

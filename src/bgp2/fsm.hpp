@@ -1,0 +1,111 @@
+// PeerFsm: the bgp2 engine's per-neighbor finite state machine. Unlike the
+// reference Session (bgp/session.hpp), which spreads its transitions across
+// per-message handlers, this FSM is written as one explicit event-dispatch
+// table: every (state, event) pair is visible in a single switch, the style
+// of standalone BGP FSM libraries. It speaks the identical wire protocol
+// (shared codec, same OPEN/KEEPALIVE choreography, same AS4 capability
+// handling), reuses SessionState values so its checkpoints are
+// byte-compatible with the v2 stream, and additionally *counts* OPEN
+// crossings (an OPEN arriving while in an actively-entered OpenSent)
+// instead of resolving them silently; see collisions_detected() for what
+// that means over the simulator's merged transport.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bgp/config.hpp"
+#include "bgp/message.hpp"
+#include "bgp/session.hpp"  // SessionState + SessionCheckpoint (shared checkpoint shape)
+#include "sim/network.hpp"
+
+namespace dice::bgp2 {
+
+class PeerFsm {
+ public:
+  /// What the FSM needs from its owning engine.
+  class Host {
+   public:
+    virtual ~Host() = default;
+    virtual void fsm_send(sim::NodeId peer, const bgp::Message& msg, bool background) = 0;
+    virtual void fsm_established(sim::NodeId peer) = 0;
+    /// Any transition out of Established or a failed setup.
+    virtual void fsm_down(sim::NodeId peer, const std::string& reason) = 0;
+    virtual void fsm_update(sim::NodeId peer, const bgp::UpdateMessage& update) = 0;
+    /// Checkpointed FSM state changed (delta-snapshot churn signal).
+    virtual void fsm_state_dirty() = 0;
+    [[nodiscard]] virtual sim::Simulator& fsm_simulator() = 0;
+  };
+
+  /// The FSM's input alphabet. Wire messages and timer expiries funnel
+  /// through the same dispatch as administrative actions.
+  enum class Event : std::uint8_t {
+    kManualStart,
+    kManualStop,
+    kTransportFailed,
+    kOpenReceived,
+    kKeepaliveReceived,
+    kUpdateReceived,
+    kNotificationReceived,
+    kHoldTimerExpired,
+  };
+
+  PeerFsm(Host& host, sim::NodeId peer_node, const bgp::NeighborConfig& neighbor,
+          const bgp::RouterConfig& local);
+
+  void start() { dispatch(Event::kManualStart, nullptr); }
+  void stop(bgp::NotifCode code, std::uint8_t subcode, const std::string& reason);
+  void reset_transport(const std::string& reason);
+  void handle_message(const bgp::Message& msg);
+
+  [[nodiscard]] bgp::SessionState state() const noexcept { return state_; }
+  [[nodiscard]] bool established() const noexcept {
+    return state_ == bgp::SessionState::kEstablished;
+  }
+  [[nodiscard]] sim::NodeId peer_node() const noexcept { return peer_node_; }
+  [[nodiscard]] const bgp::NeighborConfig& neighbor() const noexcept { return neighbor_; }
+  [[nodiscard]] bgp::RouterId peer_router_id() const noexcept { return peer_router_id_; }
+  [[nodiscard]] std::uint16_t negotiated_hold() const noexcept { return negotiated_hold_; }
+  [[nodiscard]] bool ebgp() const noexcept { return neighbor_.asn != local_.asn; }
+  /// OPEN messages that crossed an OPEN we sent from kManualStart (received
+  /// while in an actively-entered OpenSent), resolved by proceeding — the
+  /// single logical transport merges both connection attempts. This is the
+  /// local view: a passive responder's answering OPEN also crosses ours, so
+  /// one-sided establishment counts one on the initiator and zero on the
+  /// responder, while a simultaneous start counts one on each end.
+  [[nodiscard]] std::uint64_t collisions_detected() const noexcept { return collisions_; }
+
+  // Checkpoint surface: same typed shape (and therefore the same v2 bytes)
+  // as the reference Session, so both engines restore through one format.
+  [[nodiscard]] bgp::SessionCheckpoint to_checkpoint() const noexcept;
+  void apply_checkpoint(const bgp::SessionCheckpoint& checkpoint);
+  void reset_for_reuse();
+
+ private:
+  void dispatch(Event event, const bgp::Message* msg);
+  void send_open();
+  void validate_open(const bgp::OpenMessage& open);
+  void enter_established();
+  void enter_idle(const std::string& reason);
+  void arm_hold_timer();
+  void arm_keepalive_timer();
+  void cancel_timers();
+
+  Host& host_;
+  sim::NodeId peer_node_;
+  bgp::NeighborConfig neighbor_;
+  const bgp::RouterConfig& local_;
+
+  bgp::SessionState state_ = bgp::SessionState::kIdle;
+  bgp::RouterId peer_router_id_ = 0;
+  std::uint16_t negotiated_hold_ = 0;
+  /// True when OpenSent was entered by a peer's OPEN (passive open) rather
+  /// than kManualStart — an OPEN crossing ours then is normal establishment,
+  /// not a simultaneous-open collision.
+  bool passive_open_ = false;
+  std::uint64_t collisions_ = 0;
+  sim::TimerHandle hold_timer_;
+  sim::TimerHandle keepalive_timer_;
+};
+
+}  // namespace dice::bgp2

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "bgp/decision.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "util/hash.hpp"
 #include "util/strings.hpp"
 
@@ -13,7 +16,7 @@ std::uint64_t hash_prefix(const util::IpPrefix& prefix, std::uint64_t salt) {
   return util::hash_finalize(h);
 }
 
-CheckVerdict CrashCheck::run(const bgp::BgpRouter& router) const {
+CheckVerdict CrashCheck::run(const bgp::NodeImplementation& router) const {
   CheckVerdict verdict;
   verdict.check = std::string(name());
   verdict.node = router.node_id();
@@ -28,7 +31,7 @@ CheckVerdict CrashCheck::run(const bgp::BgpRouter& router) const {
   return verdict;
 }
 
-CheckVerdict OscillationCheck::run(const bgp::BgpRouter& router) const {
+CheckVerdict OscillationCheck::run(const bgp::NodeImplementation& router) const {
   CheckVerdict verdict;
   verdict.check = std::string(name());
   verdict.node = router.node_id();
@@ -50,7 +53,7 @@ CheckVerdict OscillationCheck::run(const bgp::BgpRouter& router) const {
   return verdict;
 }
 
-CheckVerdict OriginClaimCheck::run(const bgp::BgpRouter& router) const {
+CheckVerdict OriginClaimCheck::run(const bgp::NodeImplementation& router) const {
   CheckVerdict verdict;
   verdict.check = std::string(name());
   verdict.node = router.node_id();
@@ -80,7 +83,7 @@ CheckVerdict OriginClaimCheck::run(const bgp::BgpRouter& router) const {
   return verdict;
 }
 
-CheckVerdict RouteConsistencyCheck::run(const bgp::BgpRouter& router) const {
+CheckVerdict RouteConsistencyCheck::run(const bgp::NodeImplementation& router) const {
   CheckVerdict verdict;
   verdict.check = std::string(name());
   verdict.node = router.node_id();
@@ -107,6 +110,52 @@ CheckVerdict RouteConsistencyCheck::run(const bgp::BgpRouter& router) const {
         "%llu route(s) with unreachable next hop, %llu with local ASN in path",
         static_cast<unsigned long long>(bad_next_hop),
         static_cast<unsigned long long>(own_asn_in_path));
+  }
+  return verdict;
+}
+
+CheckVerdict DifferentialCheck::run(const bgp::NodeImplementation& router) const {
+  static obs::Counter& checks_counter =
+      obs::MetricsRegistry::global().counter(obs::names::kDifferentialChecks);
+  static obs::Counter& divergence_counter =
+      obs::MetricsRegistry::global().counter(obs::names::kDifferentialDivergence);
+  checks_counter.add();
+
+  CheckVerdict verdict;
+  verdict.check = std::string(name());
+  verdict.node = router.node_id();
+
+  bgp::DecisionOptions options;
+  options.always_compare_med = router.config().always_compare_med;
+  std::uint64_t decisions = 0;
+  std::uint64_t divergent = 0;
+  // Order-stable fingerprint of the divergent prefixes (hashed — nothing
+  // about the prefixes themselves leaves the node).
+  std::uint64_t evidence = 0;
+  router.for_each_decision([&](const bgp::NodeImplementation::DecisionView& view) {
+    ++decisions;
+    const std::size_t best = bgp::select_best(*view.candidates, options);
+    const bgp::Route* expected = best == SIZE_MAX ? nullptr : &(*view.candidates)[best];
+    const bool match =
+        expected == nullptr ? view.selected == nullptr
+                            : view.selected != nullptr && *view.selected == *expected;
+    if (!match) {
+      ++divergent;
+      evidence = util::hash_mix(evidence, hash_prefix(view.prefix));
+    }
+  });
+  verdict.counters["decisions"] = decisions;
+  verdict.counters["divergent"] = divergent;
+  verdict.ok = divergent == 0;
+  if (!verdict.ok) {
+    divergence_counter.add(divergent);
+    verdict.summary = util::format(
+        "%llu of %llu decision(s) diverge from the reference decision process "
+        "(impl=%s evidence=%016llx)",
+        static_cast<unsigned long long>(divergent),
+        static_cast<unsigned long long>(decisions),
+        std::string(router.implementation_id()).c_str(),
+        static_cast<unsigned long long>(util::hash_finalize(evidence)));
   }
   return verdict;
 }

@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "bgp/router.hpp"
+#include "bgp/node_impl.hpp"
 
 namespace dice::core {
 
@@ -47,19 +47,21 @@ struct CheckVerdict {
 [[nodiscard]] std::uint64_t hash_prefix(const util::IpPrefix& prefix,
                                         std::uint64_t salt = 0xd1ce0000beefULL);
 
-/// A local check: full access to the local router, narrow output.
+/// A local check: full access to the local node, narrow output. Checks see
+/// nodes through the NodeImplementation boundary, so they apply to every
+/// engine uniformly (heterogeneous federation, docs/HETEROGENEITY.md).
 class LocalCheck {
  public:
   virtual ~LocalCheck() = default;
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
-  [[nodiscard]] virtual CheckVerdict run(const bgp::BgpRouter& router) const = 0;
+  [[nodiscard]] virtual CheckVerdict run(const bgp::NodeImplementation& router) const = 0;
 };
 
 /// Programming-error detector: any handler crash observed on the node.
 class CrashCheck final : public LocalCheck {
  public:
   [[nodiscard]] std::string_view name() const noexcept override { return "crash"; }
-  [[nodiscard]] CheckVerdict run(const bgp::BgpRouter& router) const override;
+  [[nodiscard]] CheckVerdict run(const bgp::NodeImplementation& router) const override;
 };
 
 /// Policy-conflict detector: per-prefix best-route flip counts above the
@@ -69,7 +71,7 @@ class OscillationCheck final : public LocalCheck {
   explicit OscillationCheck(std::uint32_t flip_threshold = 8)
       : flip_threshold_(flip_threshold) {}
   [[nodiscard]] std::string_view name() const noexcept override { return "oscillation"; }
-  [[nodiscard]] CheckVerdict run(const bgp::BgpRouter& router) const override;
+  [[nodiscard]] CheckVerdict run(const bgp::NodeImplementation& router) const override;
 
  private:
   std::uint32_t flip_threshold_;
@@ -81,7 +83,7 @@ class OscillationCheck final : public LocalCheck {
 class OriginClaimCheck final : public LocalCheck {
  public:
   [[nodiscard]] std::string_view name() const noexcept override { return "origin-claims"; }
-  [[nodiscard]] CheckVerdict run(const bgp::BgpRouter& router) const override;
+  [[nodiscard]] CheckVerdict run(const bgp::NodeImplementation& router) const override;
 };
 
 /// Route sanity: every Loc-RIB entry's NEXT_HOP must be a configured
@@ -90,7 +92,22 @@ class OriginClaimCheck final : public LocalCheck {
 class RouteConsistencyCheck final : public LocalCheck {
  public:
   [[nodiscard]] std::string_view name() const noexcept override { return "route-consistency"; }
-  [[nodiscard]] CheckVerdict run(const bgp::BgpRouter& router) const override;
+  [[nodiscard]] CheckVerdict run(const bgp::NodeImplementation& router) const override;
+};
+
+/// Implementation-divergence detector (the differential oracle of
+/// heterogeneous federation): replays every decision the node reports via
+/// for_each_decision through the *reference* decision process
+/// (bgp/decision.hpp) and flags any prefix where the node's selection
+/// differs — same candidates, divergent outcome. The reference engine
+/// maintains `loc_rib[prefix] == select_best(candidates)` as an invariant,
+/// so this check never fires on it; on a foreign engine a firing means the
+/// implementations would disagree about the network's routing. Evidence
+/// crosses the federation boundary only as hashed prefixes.
+class DifferentialCheck final : public LocalCheck {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "differential"; }
+  [[nodiscard]] CheckVerdict run(const bgp::NodeImplementation& router) const override;
 };
 
 /// Cross-node aggregation of origin claims (the hijack detector). For each

@@ -14,7 +14,7 @@ ConcolicStrategy::ConcolicStrategy(Options options)
 ConcolicStrategy::~ConcolicStrategy() = default;
 
 void ConcolicStrategy::on_episode(const System& live, sim::NodeId explorer) {
-  const bgp::BgpRouter& router = live.router(explorer);
+  const bgp::NodeImplementation& router = live.router(explorer);
   explorer_config_ = router.config();
 
   env_ = bgp::SymHandlerEnv{};

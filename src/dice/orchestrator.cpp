@@ -175,12 +175,13 @@ std::vector<FaultReport> Orchestrator::check_system(System& system, std::uint64_
   const CrashCheck crash_check;
   const OscillationCheck oscillation_check(options_.oscillation_threshold);
   const RouteConsistencyCheck consistency_check;
+  const DifferentialCheck differential_check;
   const OriginClaimCheck origin_check;
 
   std::vector<CheckVerdict> origin_verdicts;
   for (std::size_t i = 0; i < system.size(); ++i) {
     const sim::NodeId node = static_cast<sim::NodeId>(i);
-    const bgp::BgpRouter& router = system.router(node);
+    const bgp::NodeImplementation& router = system.router(node);
 
     if (CheckVerdict v = crash_check.run(router); !v.ok) {
       add(FaultClass::kProgrammingError, v.check, node, v.summary);
@@ -190,6 +191,13 @@ std::vector<FaultReport> Orchestrator::check_system(System& system, std::uint64_
     }
     if (CheckVerdict v = consistency_check.run(router); !v.ok) {
       add(FaultClass::kOperatorMistake, v.check, node, v.summary);
+    }
+    // Differential oracle: an invariant (never adds a fault) on the
+    // reference engine, the cross-implementation divergence signal on any
+    // other — so all-BgpRouter fault sets are byte-identical to pre-
+    // heterogeneity runs.
+    if (CheckVerdict v = differential_check.run(router); !v.ok) {
+      add(FaultClass::kImplementationDivergence, v.check, node, v.summary);
     }
     origin_verdicts.push_back(origin_check.run(router));
   }

@@ -10,6 +10,7 @@ std::string_view to_string(FaultClass fault_class) noexcept {
     case FaultClass::kProgrammingError: return "programming-error";
     case FaultClass::kPolicyConflict: return "policy-conflict";
     case FaultClass::kOperatorMistake: return "operator-mistake";
+    case FaultClass::kImplementationDivergence: return "implementation-divergence";
   }
   return "?";
 }

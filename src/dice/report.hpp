@@ -18,6 +18,11 @@ enum class FaultClass : std::uint8_t {
   kProgrammingError,
   kPolicyConflict,
   kOperatorMistake,
+  /// Heterogeneous-federation extension to the paper's three classes: two
+  /// implementations fed the same routes disagree about the outcome
+  /// (divergent decision or normalized RIB digest) — an interoperability
+  /// defect neither implementation can see alone.
+  kImplementationDivergence,
 };
 
 [[nodiscard]] std::string_view to_string(FaultClass fault_class) noexcept;

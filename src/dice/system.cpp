@@ -1,6 +1,8 @@
 #include "dice/system.hpp"
 
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "util/log.hpp"
 
@@ -31,8 +33,14 @@ System::System(std::shared_ptr<const SystemPrototype> prototype)
   routers_.reserve(blueprint.size());
   for (std::size_t i = 0; i < blueprint.size(); ++i) {
     const sim::NodeId id = static_cast<sim::NodeId>(i);
-    routers_.push_back(std::make_unique<bgp::BgpRouter>(net_, id, blueprint.configs[i],
-                                                        prototype_->address_book()));
+    const std::string_view impl = blueprint.implementation_for(i);
+    auto node = bgp::NodeImplementationRegistry::instance().create(
+        impl, net_, id, blueprint.configs[i], prototype_->address_book());
+    if (node == nullptr) {
+      throw std::invalid_argument("unknown node implementation '" + std::string(impl) +
+                                  "' for node " + std::to_string(i));
+    }
+    routers_.push_back(std::move(node));
     net_.attach(id, *routers_.back());
     routers_.back()->set_coordinator(&coordinator_);
   }
@@ -236,12 +244,22 @@ std::size_t System::total_loc_rib_routes() const {
 
 std::size_t System::established_sessions() const {
   std::size_t total = 0;
-  for (const auto& router : routers_) {
-    for (const auto& [peer, session] : router->sessions()) {
-      if (session->established()) ++total;
-    }
-  }
+  for (const auto& router : routers_) total += router->established_session_count();
   return total;
+}
+
+bgp::BgpRouter& System::bgp_router(sim::NodeId id) {
+  auto* concrete = dynamic_cast<bgp::BgpRouter*>(routers_.at(id).get());
+  if (concrete == nullptr) {
+    throw std::logic_error("node " + std::to_string(id) + " runs implementation '" +
+                           std::string(routers_.at(id)->implementation_id()) +
+                           "', not the reference BgpRouter");
+  }
+  return *concrete;
+}
+
+const bgp::BgpRouter& System::bgp_router(sim::NodeId id) const {
+  return const_cast<System*>(this)->bgp_router(id);
 }
 
 std::map<sim::NodeId, bgp::Asn> System::node_asns() const {

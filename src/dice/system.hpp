@@ -12,6 +12,7 @@
 #include <set>
 #include <vector>
 
+#include "bgp/node_impl.hpp"
 #include "bgp/router.hpp"
 #include "bgp/topology.hpp"
 #include "snapshot/coordinator.hpp"
@@ -143,8 +144,18 @@ class System {
   void inject_message(sim::NodeId from, sim::NodeId target, util::Bytes message);
 
   [[nodiscard]] std::size_t size() const noexcept { return routers_.size(); }
-  [[nodiscard]] bgp::BgpRouter& router(sim::NodeId id) { return *routers_.at(id); }
-  [[nodiscard]] const bgp::BgpRouter& router(sim::NodeId id) const { return *routers_.at(id); }
+  /// Nodes are NodeImplementations — the harness never assumes which engine
+  /// is behind a node id (heterogeneous federation, docs/HETEROGENEITY.md).
+  [[nodiscard]] bgp::NodeImplementation& router(sim::NodeId id) { return *routers_.at(id); }
+  [[nodiscard]] const bgp::NodeImplementation& router(sim::NodeId id) const {
+    return *routers_.at(id);
+  }
+  /// Checked downcast to the reference engine, for tests/harnesses that
+  /// genuinely need BgpRouter internals (per-session introspection, adj-RIB
+  /// access). Throws std::logic_error when the node runs another
+  /// implementation.
+  [[nodiscard]] bgp::BgpRouter& bgp_router(sim::NodeId id);
+  [[nodiscard]] const bgp::BgpRouter& bgp_router(sim::NodeId id) const;
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
   [[nodiscard]] sim::Network& network() noexcept { return net_; }
   [[nodiscard]] const bgp::SystemBlueprint& blueprint() const noexcept {
@@ -168,7 +179,7 @@ class System {
   sim::Network net_;
   snapshot::SnapshotStore store_;
   snapshot::SnapshotCoordinator coordinator_;
-  std::vector<std::unique_ptr<bgp::BgpRouter>> routers_;
+  std::vector<std::unique_ptr<bgp::NodeImplementation>> routers_;
   bool delta_checkpoints_ = false;
   /// Baseline for the next delta snapshot: the most recently prepared
   /// snapshot. The shared_ptr keeps its decoded checkpoints alive even

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "bgp/node_impl.hpp"
 #include "obs/names.hpp"
 
 namespace dice::explore {
@@ -30,6 +31,20 @@ util::Status CampaignOptions::validate() const {
   if (determinism.seeds.empty()) {
     return util::make_error("campaign.options.no_seeds",
                             "at least one seed is required");
+  }
+  if (determinism.implementations.empty()) {
+    return util::make_error("campaign.options.no_implementations",
+                            "at least one implementation-axis entry is required "
+                            "(\"\" = blueprints as authored)");
+  }
+  for (const std::string& impl : determinism.implementations) {
+    // "" is the as-authored passthrough; anything else must resolve in the
+    // engine registry NOW, not when the first cell of that axis boots.
+    if (!impl.empty() && !bgp::NodeImplementationRegistry::instance().contains(impl)) {
+      return util::make_error("campaign.options.unknown_implementation",
+                              "no node implementation registered under id '" +
+                                  impl + "'");
+    }
   }
   if (budgets.episodes_per_cell == 0) {
     return util::make_error("campaign.options.zero_episodes",
@@ -93,6 +108,7 @@ MatrixOptions CampaignOptions::to_matrix_options() const {
   MatrixOptions matrix;
   matrix.strategies = strategies;
   matrix.seeds = determinism.seeds;
+  matrix.implementations = determinism.implementations;
   matrix.episodes_per_cell = budgets.episodes_per_cell;
   matrix.bootstrap_events = budgets.bootstrap_events;
   matrix.dice = to_dice_options();

@@ -110,6 +110,14 @@ struct CampaignOptions {
   /// Everything that pins the byte-identical receipt.
   struct Determinism {
     std::vector<std::uint64_t> seeds{1};   ///< was MatrixOptions::seeds
+    /// Node-implementation axis (MatrixOptions::implementations;
+    /// docs/HETEROGENEITY.md). Each entry fans the cross-product out once
+    /// more: "" = every blueprint as authored (per-node pins honored), a
+    /// registry id ("bgp", "fsm") re-homes every node onto that engine.
+    /// Innermost axis: the default single-"" entry reproduces the historic
+    /// cell indices and fault bytes exactly. Unknown non-"" ids are
+    /// rejected by validate().
+    std::vector<std::string> implementations{std::string()};
     std::uint64_t rng_seed = 0xd1ce5eed;   ///< was DiceOptions::rng_seed
     std::uint32_t oscillation_threshold = 8;  ///< was DiceOptions::oscillation_threshold
     bool oscillation_early_exit = true;    ///< was DiceOptions::oscillation_early_exit
@@ -130,7 +138,8 @@ struct CampaignOptions {
   [[nodiscard]] static Builder builder();
 
   /// Rejects nonsense: no strategies, 0 seeds, 0-event budgets, 0 workers,
-  /// a deadline already in the past. Builder::build() calls this.
+  /// an implementation-axis id no engine registered under, a deadline
+  /// already in the past. Builder::build() calls this.
   [[nodiscard]] util::Status validate() const;
 
   /// The legacy option structs this facade lowers to — the migration
@@ -213,6 +222,12 @@ class CampaignOptions::Builder {
   /// Convenience: seeds only.
   Builder& seeds(std::vector<std::uint64_t> value) {
     options_.determinism.seeds = std::move(value);
+    return *this;
+  }
+  /// Convenience: implementation axis only ("" = blueprints as authored;
+  /// a registry id re-homes every node of every scenario onto that engine).
+  Builder& implementations(std::vector<std::string> value) {
+    options_.determinism.implementations = std::move(value);
     return *this;
   }
   Builder& deadline(StopToken::Clock::time_point value) {

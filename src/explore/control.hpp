@@ -90,6 +90,8 @@ struct CellDescriptor {
   std::string_view scenario;
   std::string_view strategy;
   std::uint64_t seed = 0;
+  /// Implementation-axis entry ("" = as authored, honoring per-node pins).
+  std::string_view implementation;
 };
 
 /// Cumulative run progress, emitted after each flushed cell.

@@ -108,13 +108,29 @@ std::vector<ScenarioSpec> default_bench_scenarios() {
 
 ScenarioMatrix::ScenarioMatrix(std::vector<ScenarioSpec> scenarios, MatrixOptions options)
     : scenarios_(std::move(scenarios)), options_(std::move(options)) {
-  // One SystemPrototype per scenario for the MATRIX's lifetime (not per
-  // run): prototype identity is what lets worker arenas keep their System
-  // across cells and what keys the LiveStateCache — a shared cache serves
-  // repeat run() soaks only if the key survives between them.
-  prototypes_.reserve(scenarios_.size());
+  // An empty axis would mean zero cells but also zero prototypes to index;
+  // normalize to the documented default ("" = blueprint as authored).
+  if (options_.implementations.empty()) {
+    options_.implementations.push_back(std::string());
+  }
+  // One SystemPrototype per (scenario, implementation) for the MATRIX's
+  // lifetime (not per run): prototype identity is what lets worker arenas
+  // keep their System across cells and what keys the LiveStateCache — a
+  // shared cache serves repeat run() soaks only if the key survives between
+  // them, and two implementation-axis variants of one scenario are two
+  // different live systems that must never share a cached bootstrap.
+  prototypes_.reserve(scenarios_.size() * options_.implementations.size());
   for (const ScenarioSpec& spec : scenarios_) {
-    prototypes_.push_back(std::make_shared<const core::SystemPrototype>(spec.blueprint));
+    for (const std::string& impl : options_.implementations) {
+      if (impl.empty()) {
+        prototypes_.push_back(
+            std::make_shared<const core::SystemPrototype>(spec.blueprint));
+      } else {
+        bgp::SystemBlueprint variant = spec.blueprint;
+        variant.set_all_implementations(impl);
+        prototypes_.push_back(std::make_shared<const core::SystemPrototype>(variant));
+      }
+    }
   }
 }
 
@@ -124,13 +140,20 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
     StrategyKind strategy = StrategyKind::kGrammar;
     std::uint64_t seed = 0;
     std::size_t seed_pos = 0;  ///< position in options_.seeds (bootstrap-key id)
+    std::size_t impl_pos = 0;  ///< position in options_.implementations
   };
+  // The implementation axis is the INNERMOST loop: with the default
+  // single-"" axis every cell index (and so every derived RNG stream and
+  // ledger priority) is identical to the pre-axis enumeration.
   std::vector<Cell> cells;
   cells.reserve(cell_count());
   for (std::size_t s = 0; s < scenarios_.size(); ++s) {
     for (const StrategyKind kind : options_.strategies) {
       for (std::size_t seed_pos = 0; seed_pos < options_.seeds.size(); ++seed_pos) {
-        cells.push_back(Cell{s, kind, options_.seeds[seed_pos], seed_pos});
+        for (std::size_t impl_pos = 0; impl_pos < options_.implementations.size();
+             ++impl_pos) {
+          cells.push_back(Cell{s, kind, options_.seeds[seed_pos], seed_pos, impl_pos});
+        }
       }
     }
   }
@@ -144,6 +167,7 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
     result.cells[i].scenario = scenarios_[cells[i].scenario].name;
     result.cells[i].strategy = cells[i].strategy;
     result.cells[i].seed = cells[i].seed;
+    result.cells[i].implementation = options_.implementations[cells[i].impl_pos];
   }
   const ExplorePool::Stats pool_before = pool.stats();
 
@@ -186,7 +210,8 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
   const auto descriptor = [&](std::size_t index) {
     const Cell& cell = cells[index];
     return CellDescriptor{index, scenarios_[cell.scenario].name,
-                          to_string(cell.strategy), cell.seed};
+                          to_string(cell.strategy), cell.seed,
+                          options_.implementations[cell.impl_pos]};
   };
   const std::size_t progress_every = std::max<std::size_t>(options_.progress_every_cells, 1);
   const auto finish_cell = [&](std::size_t index) {
@@ -235,7 +260,13 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
     std::vector<std::size_t> cell_keys;
     cell_keys.reserve(cells.size());
     for (const Cell& cell : cells) {
-      cell_keys.push_back(cell.scenario * options_.seeds.size() + cell.seed_pos);
+      // Bootstrap key = (prototype, seed): the implementation axis picks
+      // the prototype, so it is part of the key. Collapses to the historic
+      // (scenario, seed) key when the axis is the single default entry.
+      cell_keys.push_back(
+          (cell.scenario * options_.implementations.size() + cell.impl_pos) *
+              options_.seeds.size() +
+          cell.seed_pos);
     }
     deal = interleave_keys(cell_keys);
   }
@@ -280,7 +311,9 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
     // Clones land on the arena of whichever pool worker executes them
     // (nested) or on this worker's arena (serial/legacy); the shared
     // per-scenario prototype lets every arena's System survive across cells.
-    core::Orchestrator orchestrator(prototypes_[cell.scenario], dice, &pool.arena(worker));
+    core::Orchestrator orchestrator(
+        prototypes_[cell.scenario * options_.implementations.size() + cell.impl_pos],
+        dice, &pool.arena(worker));
     {
       obs::Span bootstrap_span(control.trace, "bootstrap",
                                static_cast<std::uint32_t>(worker),
@@ -336,8 +369,10 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
     }
     out.wall_ms =
         std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    const std::string& impl = options_.implementations[cell.impl_pos];
     logger().info() << "cell " << spec.name << "/" << to_string(cell.strategy) << "/s"
-                    << cell.seed << ": " << out.faults << " fault(s), "
+                    << cell.seed << (impl.empty() ? "" : "/" + impl) << ": "
+                    << out.faults << " fault(s), "
                     << out.clones_run << " clones"
                     << (out.completed ? "" : " [cancelled]");
     finish_cell(index);

@@ -44,6 +44,15 @@ enum class StrategyKind : std::uint8_t { kConcolic, kGrammar, kGrammarStrict, kR
 struct MatrixOptions {
   std::vector<StrategyKind> strategies{StrategyKind::kGrammar, StrategyKind::kRandom};
   std::vector<std::uint64_t> seeds{1};
+  /// Node-implementation axis (docs/HETEROGENEITY.md). Each entry fans the
+  /// whole cross-product out once more: "" runs every blueprint exactly as
+  /// authored (honoring any per-node implementation pins it carries); a
+  /// registry id ("bgp", "fsm") re-homes EVERY node of every scenario onto
+  /// that engine for those cells. The axis is the innermost loop, so the
+  /// default single-"" axis reproduces the historic cell indices — and
+  /// therefore the historic per-cell RNG streams, ledger priorities and
+  /// fault bytes — exactly.
+  std::vector<std::string> implementations{std::string()};
   std::size_t episodes_per_cell = 1;
   std::size_t bootstrap_events = 500'000;
   core::DiceOptions dice;  ///< per-cell episode options (parallelism forced to 1)
@@ -81,6 +90,8 @@ struct CellResult {
   std::string scenario;
   StrategyKind strategy = StrategyKind::kGrammar;
   std::uint64_t seed = 0;
+  /// Implementation-axis entry this cell ran under ("" = as authored).
+  std::string implementation;
   /// Cancellation bookkeeping (always true/true without a stop token):
   /// `started` — the cell body ran at all (a fired token skips whole
   /// cells); `completed` — every episode finished uninterrupted. Only
@@ -136,7 +147,8 @@ class ScenarioMatrix {
  public:
   ScenarioMatrix(std::vector<ScenarioSpec> scenarios, MatrixOptions options);
 
-  /// Runs every (scenario, strategy, seed) cell on the pool and blocks
+  /// Runs every (scenario, strategy, seed, implementation) cell on the pool
+  /// and blocks
   /// until all complete. (The pre-Campaign `run(pool)` wrapper without a
   /// RunControl is gone after its one release of migration headroom — pass
   /// `RunControl{}` for the legacy blocking behavior, or better, drive the
@@ -150,15 +162,19 @@ class ScenarioMatrix {
   [[nodiscard]] MatrixResult run(ExplorePool& pool, const RunControl& control);
 
   [[nodiscard]] std::size_t cell_count() const noexcept {
-    return scenarios_.size() * options_.strategies.size() * options_.seeds.size();
+    return scenarios_.size() * options_.strategies.size() * options_.seeds.size() *
+           options_.implementations.size();
   }
 
  private:
   std::vector<ScenarioSpec> scenarios_;
   MatrixOptions options_;
-  /// One per scenario, for the matrix's lifetime: arena reuse across cells
-  /// and LiveStateCache keys both hang off prototype identity, including
-  /// across repeat run() calls on the same matrix.
+  /// One per (scenario, implementation) pair — indexed
+  /// `scenario * implementations.size() + impl_pos` — for the matrix's
+  /// lifetime: arena reuse across cells and LiveStateCache keys both hang
+  /// off prototype identity, including across repeat run() calls on the
+  /// same matrix. A non-"" axis entry gets its own prototype built from a
+  /// copy of the blueprint with every node re-homed onto that engine.
   std::vector<std::shared_ptr<const core::SystemPrototype>> prototypes_;
 };
 

@@ -57,6 +57,14 @@ inline constexpr std::string_view kClonesEarlyExit = "dice_clones_early_exit_tot
 inline constexpr std::string_view kFaults = "dice_faults_total";
 inline constexpr std::string_view kCellsCompleted = "dice_cells_completed_total";
 
+// --- heterogeneous federation (bgp2 engine + differential checks) -----------
+inline constexpr std::string_view kFsmDecodes = "dice_fsm_decodes_total";
+inline constexpr std::string_view kFsmApplies = "dice_fsm_applies_total";
+inline constexpr std::string_view kDifferentialChecks =
+    "dice_differential_checks_total";
+inline constexpr std::string_view kDifferentialDivergence =
+    "dice_differential_divergence_total";
+
 // --- obs itself -------------------------------------------------------------
 inline constexpr std::string_view kTraceDropped = "dice_trace_events_dropped_total";
 

@@ -1,0 +1,310 @@
+// The second engine (bgp2::FsmEngine): wire interoperability with the
+// reference BgpRouter, the shared v2 checkpoint stream (including cross-
+// engine byte compatibility), OPEN-collision counting, the route-event
+// bus, and the RFC 6793 4-octet-AS path at codec, session and System level.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bgp2/engine.hpp"
+#include "dice/system.hpp"
+#include "util/bytes.hpp"
+
+namespace dice::bgp2 {
+namespace {
+
+using core::System;
+
+[[nodiscard]] FsmEngine* fsm_engine(System& system, sim::NodeId node) {
+  return dynamic_cast<FsmEngine*>(&system.router(node));
+}
+
+TEST(FsmEngineTest, AllFsmSystemConvergesLikeTheReference) {
+  const bgp::SystemBlueprint base = bgp::make_internet({2, 3, 4});  // 9 routers
+
+  System reference{bgp::SystemBlueprint(base)};
+  reference.start();
+  ASSERT_TRUE(reference.converge());
+
+  bgp::SystemBlueprint fsm_bp = base;
+  fsm_bp.set_all_implementations("fsm");
+  System fsm(std::move(fsm_bp));
+  fsm.start();
+  ASSERT_TRUE(fsm.converge());
+
+  EXPECT_EQ(fsm.established_sessions(), reference.established_sessions());
+  EXPECT_EQ(fsm.total_loc_rib_routes(), reference.total_loc_rib_routes());
+  for (std::size_t node = 0; node < base.size(); ++node) {
+    EXPECT_EQ(fsm.router(static_cast<sim::NodeId>(node)).rib_digest(),
+              reference.router(static_cast<sim::NodeId>(node)).rib_digest())
+        << "node " << node;
+  }
+}
+
+TEST(FsmEngineTest, MixedEngineSystemInteroperatesOverTheSharedWire) {
+  // Alternate engines across the 9-router internet: every session has a
+  // BgpRouter on one end and an FsmEngine on the other somewhere, and the
+  // converged routes must match the homogeneous reference run.
+  const bgp::SystemBlueprint base = bgp::make_internet({2, 3, 4});
+
+  System reference{bgp::SystemBlueprint(base)};
+  reference.start();
+  ASSERT_TRUE(reference.converge());
+
+  bgp::SystemBlueprint mixed_bp = base;
+  for (std::size_t node = 0; node < mixed_bp.size(); ++node) {
+    if (node % 2 == 1) mixed_bp.set_implementation(node, "fsm");
+  }
+  System mixed(std::move(mixed_bp));
+  mixed.start();
+  ASSERT_TRUE(mixed.converge());
+
+  EXPECT_EQ(mixed.established_sessions(), reference.established_sessions());
+  for (std::size_t node = 0; node < base.size(); ++node) {
+    EXPECT_EQ(mixed.router(static_cast<sim::NodeId>(node)).rib_digest(),
+              reference.router(static_cast<sim::NodeId>(node)).rib_digest())
+        << "node " << node;
+  }
+}
+
+TEST(FsmEngineTest, SimultaneousOpensAreDetectedAndCounted) {
+  // System::start starts both ends at once: each FSM is in OpenSent after
+  // kManualStart when the peer's OPEN arrives, which is precisely the
+  // simultaneous-open collision. Both detect it, count it, and proceed to
+  // Established anyway.
+  bgp::SystemBlueprint blueprint = bgp::make_line(2);
+  blueprint.set_all_implementations("fsm");
+  System system(std::move(blueprint));
+  system.start();
+  ASSERT_TRUE(system.converge());
+  ASSERT_EQ(system.established_sessions(), 2u);
+
+  for (sim::NodeId node : {sim::NodeId{0}, sim::NodeId{1}}) {
+    FsmEngine* engine = fsm_engine(system, node);
+    ASSERT_NE(engine, nullptr);
+    EXPECT_EQ(engine->collisions_detected(), 1u) << "node " << node;
+  }
+}
+
+TEST(FsmEngineTest, PassiveResponderCountsNoCollision) {
+  // Start only node 0: node 1 answers passively (OPEN received while Idle),
+  // so node 1 never experiences a crossing. Node 0 still counts one — over
+  // the merged logical transport the passive responder's answering OPEN is
+  // indistinguishable from a crossing OPEN at the active end. The passive
+  // side is therefore the discriminating observer between one-sided and
+  // simultaneous establishment.
+  bgp::SystemBlueprint blueprint = bgp::make_line(2);
+  blueprint.set_all_implementations("fsm");
+  System system(std::move(blueprint));
+  system.router(0).start();
+  ASSERT_TRUE(system.converge());
+  ASSERT_GE(system.established_sessions(), 2u);
+
+  EXPECT_EQ(fsm_engine(system, 0)->collisions_detected(), 1u);
+  EXPECT_EQ(fsm_engine(system, 1)->collisions_detected(), 0u);
+}
+
+TEST(FsmEngineTest, RouteEventBusCoalescesDirtyPrefixes) {
+  bgp::SystemBlueprint blueprint = bgp::make_internet({2, 3, 4});
+  blueprint.set_all_implementations("fsm");
+  System system(std::move(blueprint));
+  system.start();
+  ASSERT_TRUE(system.converge());
+
+  const FsmEngine* engine = fsm_engine(system, 0);
+  ASSERT_NE(engine, nullptr);
+  const RouteEventBus::Stats stats = engine->bus().stats();
+  EXPECT_GT(stats.posted, 0u);
+  EXPECT_GT(stats.drains, 0u);
+  EXPECT_TRUE(engine->bus().empty()) << "every drain must settle the bus";
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints: the shared v2 stream
+// ---------------------------------------------------------------------------
+
+TEST(FsmCheckpointTest, SnapshotRoundTripRestoresIdenticalState) {
+  bgp::SystemBlueprint blueprint = bgp::make_internet({2, 3, 4});
+  blueprint.set_all_implementations("fsm");
+  System system(std::move(blueprint));
+  system.start();
+  ASSERT_TRUE(system.converge());
+
+  std::vector<bgp::RibDigest> digests;
+  for (std::size_t node = 0; node < system.size(); ++node) {
+    digests.push_back(system.router(static_cast<sim::NodeId>(node)).rib_digest());
+  }
+
+  const snapshot::SnapshotId id = system.take_snapshot(/*initiator=*/0);
+  ASSERT_NE(id, 0u);
+  auto prepared = system.prepare_snapshot(id);
+  ASSERT_NE(prepared, nullptr);
+  ASSERT_TRUE(system.reset_from(*prepared).ok());
+
+  for (std::size_t node = 0; node < system.size(); ++node) {
+    EXPECT_EQ(system.router(static_cast<sim::NodeId>(node)).rib_digest(), digests[node])
+        << "node " << node;
+  }
+}
+
+TEST(FsmCheckpointTest, EnginesExchangeCheckpointBytesBothWays) {
+  // Both engines emit the same tagged v2 stream, so bytes written by one
+  // must parse and apply through the other, given the same configuration.
+  const bgp::SystemBlueprint base = bgp::make_ring(4);
+
+  System reference{bgp::SystemBlueprint(base)};
+  reference.start();
+  ASSERT_TRUE(reference.converge());
+
+  bgp::SystemBlueprint fsm_bp = base;
+  fsm_bp.set_all_implementations("fsm");
+  System fsm(std::move(fsm_bp));
+  fsm.start();
+  ASSERT_TRUE(fsm.converge());
+
+  for (std::size_t node = 0; node < base.size(); ++node) {
+    const auto id = static_cast<sim::NodeId>(node);
+    // reference -> fsm
+    {
+      util::ByteWriter writer;
+      reference.router(id).checkpoint(writer);
+      util::ByteReader reader(writer.span());
+      auto decoded = fsm.router(id).parse(reader);
+      ASSERT_TRUE(decoded.ok()) << "node " << node << ": "
+                                << decoded.error().to_string();
+      ASSERT_TRUE(fsm.router(id).apply(*decoded.value()).ok()) << "node " << node;
+      EXPECT_EQ(fsm.router(id).rib_digest(), reference.router(id).rib_digest())
+          << "node " << node;
+    }
+    // fsm (now carrying the reference state) -> reference
+    {
+      util::ByteWriter writer;
+      fsm.router(id).checkpoint(writer);
+      util::ByteReader reader(writer.span());
+      auto decoded = reference.router(id).parse(reader);
+      ASSERT_TRUE(decoded.ok()) << "node " << node << ": "
+                                << decoded.error().to_string();
+      ASSERT_TRUE(reference.router(id).apply(*decoded.value()).ok()) << "node " << node;
+    }
+  }
+}
+
+TEST(FsmCheckpointTest, LegacyAndDeltaEnvelopesAreRejected) {
+  bgp::SystemBlueprint blueprint = bgp::make_line(2);
+  blueprint.set_all_implementations("fsm");
+  System system(std::move(blueprint));
+
+  {
+    util::ByteWriter writer;
+    writer.u8(snapshot::kCheckpointSameAsBaseline);
+    util::ByteReader reader(writer.span());
+    auto decoded = system.router(0).parse(reader);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().code, "router.restore.delta_unresolved");
+  }
+  {
+    util::ByteWriter writer;
+    writer.u8(0x01);  // the legacy pre-v2 format byte
+    util::ByteReader reader(writer.span());
+    auto decoded = system.router(0).parse(reader);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().code, "router.restore.unknown_format");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RFC 6793: 4-octet AS numbers
+// ---------------------------------------------------------------------------
+
+TEST(As4CodecTest, CapabilityRoundTrips) {
+  std::vector<std::uint8_t> params;
+  bgp::append_as4_capability(params, 70'000);
+  EXPECT_EQ(bgp::find_as4_capability(params), std::optional<bgp::Asn>(70'000));
+
+  // Unknown parameters/capabilities are skipped, not fatal.
+  std::vector<std::uint8_t> padded{/*type=*/1, /*len=*/2, 0xaa, 0xbb};
+  bgp::append_as4_capability(padded, 4'200'000'000u);
+  EXPECT_EQ(bgp::find_as4_capability(padded),
+            std::optional<bgp::Asn>(4'200'000'000u));
+
+  EXPECT_EQ(bgp::find_as4_capability({}), std::nullopt);
+  const std::vector<std::uint8_t> truncated{2, 6, 65, 4, 0x00};
+  EXPECT_EQ(bgp::find_as4_capability(truncated), std::nullopt);
+}
+
+/// A 2-node blueprint whose node 0 holds a 4-byte ASN.
+[[nodiscard]] bgp::SystemBlueprint four_byte_line(bgp::Asn big_asn) {
+  bgp::SystemBlueprint blueprint = bgp::make_line(2);
+  blueprint.configs[0].asn = big_asn;
+  for (bgp::NeighborConfig& neighbor : blueprint.configs[1].neighbors) {
+    neighbor.asn = big_asn;
+  }
+  return blueprint;
+}
+
+TEST(As4SessionTest, FourByteSpeakersEstablishViaTheCapability) {
+  for (const char* impl : {"bgp", "fsm"}) {
+    bgp::SystemBlueprint blueprint = four_byte_line(70'000);
+    blueprint.set_all_implementations(impl);
+    System system(std::move(blueprint));
+    system.start();
+    ASSERT_TRUE(system.converge()) << impl;
+    EXPECT_EQ(system.established_sessions(), 2u) << impl;
+    // Routes flow in both directions despite the AS_TRANS placeholder on
+    // the wire (AS_PATH stays 2-octet; the local loop check understands
+    // the truncated form).
+    EXPECT_EQ(system.router(0).loc_rib().size(), 2u) << impl;
+    EXPECT_EQ(system.router(1).loc_rib().size(), 2u) << impl;
+  }
+}
+
+TEST(As4SessionTest, TwoByteOnlyPeerNegotiatesDownThroughAsTrans) {
+  for (const char* impl : {"bgp", "fsm"}) {
+    bgp::SystemBlueprint blueprint = four_byte_line(70'000);
+    // Node 1 models a legacy speaker: it ignores capabilities entirely and
+    // must accept the 4-byte neighbor through its AS_TRANS placeholder.
+    blueprint.configs[1].as4_capable = false;
+    blueprint.set_all_implementations(impl);
+    System system(std::move(blueprint));
+    system.start();
+    ASSERT_TRUE(system.converge()) << impl;
+    EXPECT_EQ(system.established_sessions(), 2u) << impl;
+    EXPECT_EQ(system.router(1).loc_rib().size(), 2u) << impl;
+  }
+}
+
+TEST(As4SessionTest, MismatchedAsnStillRefusesTheSession) {
+  // AS4 handling must not have widened acceptance: a genuinely wrong ASN
+  // (announced 65001, expected 70000) is still an OPEN error.
+  bgp::SystemBlueprint blueprint = bgp::make_line(2);
+  for (bgp::NeighborConfig& neighbor : blueprint.configs[1].neighbors) {
+    neighbor.asn = 70'000;  // node 1 expects a 4-byte peer; node 0 is not one
+  }
+  System system(std::move(blueprint));
+  system.router(0).set_auto_restart(false);  // no endless re-OPEN loop
+  system.router(1).set_auto_restart(false);
+  system.start();
+  ASSERT_TRUE(system.converge());
+  EXPECT_EQ(system.established_sessions(), 0u);
+}
+
+TEST(As4SystemTest, InternetTopologyWithFourByteAsnBaseConverges) {
+  bgp::InternetTopologyParams params{2, 3, 4};
+  params.asn_base = 4'200'000'000u;  // every router above the 2-octet range
+  bgp::SystemBlueprint blueprint = bgp::make_internet(params);
+  for (std::size_t node = 0; node < blueprint.size(); ++node) {
+    if (node % 2 == 0) blueprint.set_implementation(node, "fsm");
+  }
+  System system(std::move(blueprint));
+  system.start();
+  ASSERT_TRUE(system.converge());
+  EXPECT_GT(system.established_sessions(), 0u);
+  EXPECT_GT(system.total_loc_rib_routes(), 0u);
+  for (std::size_t node = 0; node < system.size(); ++node) {
+    EXPECT_GT(system.router(static_cast<sim::NodeId>(node)).loc_rib().size(), 0u)
+        << "node " << node;
+  }
+}
+
+}  // namespace
+}  // namespace dice::bgp2

@@ -18,7 +18,7 @@ TEST(RouterTest, TwoRoutersConverge) {
   EXPECT_EQ(system.established_sessions(), 2u);
   // Each router knows its own prefix plus the peer's.
   for (sim::NodeId id : {0u, 1u}) {
-    const BgpRouter& router = system.router(id);
+    const BgpRouter& router = system.bgp_router(id);
     EXPECT_EQ(router.loc_rib().size(), 2u) << "router " << id;
   }
   // r0's route to r1's prefix goes via r1 with AS path [as(r1)].
@@ -77,7 +77,7 @@ TEST(RouterTest, WithdrawOnSessionLossAndReconvergence) {
   // Re-enable restarts; session comes back and routes reappear.
   system.router(1).set_auto_restart(true);
   system.router(2).set_auto_restart(true);
-  system.router(1).session(2)->start();
+  system.bgp_router(1).session(2)->start();
   ASSERT_TRUE(system.converge());
   EXPECT_NE(system.router(0).loc_rib().find(node_prefix(2)), nullptr);
   EXPECT_EQ(system.router(0).loc_rib().size(), 3u);
@@ -90,7 +90,7 @@ TEST(RouterTest, AsPathLoopRejected) {
   system.start();
   ASSERT_TRUE(system.converge());
   for (sim::NodeId id = 0; id < 3; ++id) {
-    const BgpRouter& router = system.router(id);
+    const BgpRouter& router = system.bgp_router(id);
     EXPECT_EQ(router.loc_rib().size(), 3u);
     for (const auto& [prefix, route] : router.loc_rib().table()) {
       EXPECT_FALSE(route.attrs.as_path.contains(router.config().asn))
@@ -172,7 +172,7 @@ TEST(RouterTest, HandlerCrashResetsSessionsAndCounts) {
   system.converge();
   EXPECT_EQ(system.router(0).stats().handler_crashes, 1u);
   // The daemon crash reset r0's sessions.
-  EXPECT_EQ(system.router(0).session(1)->state(), SessionState::kIdle);
+  EXPECT_EQ(system.bgp_router(0).session(1)->state(), SessionState::kIdle);
 }
 
 TEST(RouterTest, MalformedUpdateTriggersNotificationAndReset) {
@@ -189,9 +189,9 @@ TEST(RouterTest, MalformedUpdateTriggersNotificationAndReset) {
   system.inject_message(1, 0, std::move(bad));
   system.converge();
   EXPECT_GT(system.router(0).stats().decode_failures, 0u);
-  EXPECT_EQ(system.router(0).session(1)->state(), SessionState::kIdle);
+  EXPECT_EQ(system.bgp_router(0).session(1)->state(), SessionState::kIdle);
   // r1 received the NOTIFICATION and also dropped to Idle.
-  EXPECT_EQ(system.router(1).session(0)->state(), SessionState::kIdle);
+  EXPECT_EQ(system.bgp_router(1).session(0)->state(), SessionState::kIdle);
 }
 
 TEST(RouterTest, HoldTimerExpiryResetsSession) {
@@ -201,7 +201,7 @@ TEST(RouterTest, HoldTimerExpiryResetsSession) {
   System system(std::move(bp));
   system.start();
   ASSERT_TRUE(system.converge());
-  ASSERT_TRUE(system.router(0).session(1)->established());
+  ASSERT_TRUE(system.bgp_router(0).session(1)->established());
 
   // Cut the wire silently: no NOTIFICATION, keepalives stop flowing.
   system.router(0).set_auto_restart(false);
@@ -209,15 +209,15 @@ TEST(RouterTest, HoldTimerExpiryResetsSession) {
   system.network().set_link_up(0, 1, false);
   // Advance past the hold time; background timers fire.
   system.simulator().run_until(system.simulator().now() + 30 * sim::kSecond);
-  EXPECT_EQ(system.router(0).session(1)->state(), SessionState::kIdle);
-  EXPECT_EQ(system.router(1).session(0)->state(), SessionState::kIdle);
+  EXPECT_EQ(system.bgp_router(0).session(1)->state(), SessionState::kIdle);
+  EXPECT_EQ(system.bgp_router(1).session(0)->state(), SessionState::kIdle);
 }
 
 TEST(RouterTest, CheckpointRestoreRoundTripsState) {
   System system(make_line(3));
   system.start();
   ASSERT_TRUE(system.converge());
-  BgpRouter& original = system.router(1);
+  BgpRouter& original = system.bgp_router(1);
 
   util::ByteWriter writer;
   original.checkpoint(writer);
@@ -230,7 +230,7 @@ TEST(RouterTest, CheckpointRestoreRoundTripsState) {
   EXPECT_EQ(other.router(1).state_hash(), original_hash);
   EXPECT_EQ(other.router(1).loc_rib().table().size(),
             original.loc_rib().table().size());
-  EXPECT_TRUE(other.router(1).session(0)->established());
+  EXPECT_TRUE(other.bgp_router(1).session(0)->established());
 }
 
 TEST(RouterTest, StatsTrackActivity) {

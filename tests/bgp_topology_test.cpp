@@ -80,7 +80,7 @@ TEST(TopologyTest, ValleyFreeExportHoldsEverywhere) {
   system.start();
   ASSERT_TRUE(system.converge());
   for (std::size_t i = 0; i < system.size(); ++i) {
-    const BgpRouter& router = system.router(static_cast<sim::NodeId>(i));
+    const BgpRouter& router = system.bgp_router(static_cast<sim::NodeId>(i));
     for (const NeighborConfig& neighbor : router.config().neighbors) {
       if (neighbor.description != "customer") continue;
       const auto book = system.blueprint().address_book();

@@ -1,0 +1,112 @@
+// Differential fault checks across heterogeneous implementations: the
+// DifferentialCheck replays every node decision through the reference
+// decision procedure, and a seeded decision defect in the second engine
+// (bugs::kLongPathPreferred, honored only by bgp2::FsmEngine) must surface
+// as the kImplementationDivergence fault class through the full DiCE loop
+// (orchestrator -> clones -> checks -> FaultLedger-visible reports), while
+// bug-free engines of either kind never trip it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bgp/bugs.hpp"
+#include "dice/orchestrator.hpp"
+
+namespace dice::core {
+namespace {
+
+/// Ring of 4 permissive routers: node 3 hears prefix(0) directly from node
+/// 0 (path length 1) and via node 2 (length 3) — exactly the tie-free
+/// shape where a longest-path preference diverges from the reference
+/// shortest-path selection.
+[[nodiscard]] bgp::SystemBlueprint divergence_ring(bool seed_bug) {
+  bgp::SystemBlueprint blueprint = bgp::make_ring(4);
+  blueprint.set_implementation(3, "fsm");
+  if (seed_bug) bgp::inject_bug(blueprint, /*node=*/3, bgp::bugs::kLongPathPreferred);
+  return blueprint;
+}
+
+[[nodiscard]] std::size_t divergence_faults(const std::vector<FaultReport>& faults,
+                                            sim::NodeId* node = nullptr) {
+  std::size_t count = 0;
+  for (const FaultReport& fault : faults) {
+    if (fault.fault_class == FaultClass::kImplementationDivergence) {
+      ++count;
+      if (node != nullptr) *node = fault.node;
+    }
+  }
+  return count;
+}
+
+TEST(DifferentialTest, SeededDecisionBugSurfacesAsImplementationDivergence) {
+  DiceOptions options;
+  options.inputs_per_episode = 4;
+  Orchestrator dice(divergence_ring(/*seed_bug=*/true), options);
+  ASSERT_TRUE(dice.bootstrap());
+
+  RandomStrategy strategy(/*rng_seed=*/0x5eed);
+  (void)dice.run_episode(strategy);
+
+  sim::NodeId faulty_node = sim::kInvalidNode;
+  const std::size_t divergences = divergence_faults(dice.all_faults(), &faulty_node);
+  ASSERT_GE(divergences, 1u) << "the seeded decision defect must be detected";
+  EXPECT_EQ(faulty_node, 3u) << "only the buggy fsm node diverges";
+  // The divergence exists in the system's converged state, so the baseline
+  // clone already sees it: at least one report is non-potential.
+  const bool baseline_hit = std::any_of(
+      dice.all_faults().begin(), dice.all_faults().end(), [](const FaultReport& f) {
+        return f.fault_class == FaultClass::kImplementationDivergence && !f.potential;
+      });
+  EXPECT_TRUE(baseline_hit);
+}
+
+TEST(DifferentialTest, DivergenceReportsCarryTheFaultClassName) {
+  DiceOptions options;
+  options.inputs_per_episode = 2;
+  Orchestrator dice(divergence_ring(/*seed_bug=*/true), options);
+  ASSERT_TRUE(dice.bootstrap());
+  RandomStrategy strategy(/*rng_seed=*/0x5eed);
+  (void)dice.run_episode(strategy);
+
+  bool found = false;
+  for (const FaultReport& fault : dice.all_faults()) {
+    if (fault.fault_class != FaultClass::kImplementationDivergence) continue;
+    found = true;
+    EXPECT_EQ(fault.check, "differential");
+    EXPECT_NE(fault.to_string().find("implementation-divergence"), std::string::npos);
+    EXPECT_NE(fault.description.find("impl=fsm"), std::string::npos)
+        << fault.description;
+  }
+  ASSERT_TRUE(found);
+}
+
+TEST(DifferentialTest, CleanForeignEngineNeverDiverges) {
+  // The same mixed topology without the seeded defect: the fsm engine's
+  // decisions replay identically through the reference procedure.
+  DiceOptions options;
+  options.inputs_per_episode = 4;
+  Orchestrator dice(divergence_ring(/*seed_bug=*/false), options);
+  ASSERT_TRUE(dice.bootstrap());
+  RandomStrategy strategy(/*rng_seed=*/0x5eed);
+  (void)dice.run_episode(strategy);
+  EXPECT_EQ(divergence_faults(dice.all_faults()), 0u);
+}
+
+TEST(DifferentialTest, ReferenceEngineIgnoresTheDecisionBugMask) {
+  // kLongPathPreferred is a bgp2-only defect: on the reference engine the
+  // same mask bit is inert, so no divergence (and no behavior change) —
+  // the negative control that pins which engine owns the bug.
+  bgp::SystemBlueprint blueprint = bgp::make_ring(4);
+  bgp::inject_bug(blueprint, /*node=*/3, bgp::bugs::kLongPathPreferred);
+
+  DiceOptions options;
+  options.inputs_per_episode = 4;
+  Orchestrator dice(std::move(blueprint), options);
+  ASSERT_TRUE(dice.bootstrap());
+  RandomStrategy strategy(/*rng_seed=*/0x5eed);
+  (void)dice.run_episode(strategy);
+  EXPECT_EQ(divergence_faults(dice.all_faults()), 0u);
+}
+
+}  // namespace
+}  // namespace dice::core

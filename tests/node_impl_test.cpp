@@ -1,0 +1,112 @@
+// The NodeImplementation boundary: registry resolution, blueprint
+// implementation selection, the System-level interface surface, and the
+// normalized RibDigest two conforming engines must agree on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "bgp2/engine.hpp"
+#include "dice/system.hpp"
+
+namespace dice::core {
+namespace {
+
+TEST(NodeImplRegistryTest, BuiltInEnginesAreRegistered) {
+  auto& registry = bgp::NodeImplementationRegistry::instance();
+  EXPECT_TRUE(registry.contains(bgp::kBgpRouterImplementationId));
+  EXPECT_TRUE(registry.contains(bgp2::kFsmEngineImplementationId));
+  EXPECT_FALSE(registry.contains("quagga"));
+
+  const std::vector<std::string> ids = registry.ids();
+  EXPECT_TRUE(std::find(ids.begin(), ids.end(), "bgp") != ids.end());
+  EXPECT_TRUE(std::find(ids.begin(), ids.end(), "fsm") != ids.end());
+}
+
+TEST(NodeImplRegistryTest, CreateResolvesIdsAndRejectsUnknown) {
+  sim::Simulator sim;
+  sim::Network net(sim);
+  const bgp::SystemBlueprint blueprint = bgp::make_line(2);
+  auto book = std::make_shared<const std::map<util::IpAddress, sim::NodeId>>(
+      blueprint.address_book());
+  auto& registry = bgp::NodeImplementationRegistry::instance();
+
+  auto reference = registry.create("bgp", net, 0, blueprint.configs[0], book);
+  ASSERT_NE(reference, nullptr);
+  EXPECT_EQ(reference->implementation_id(), "bgp");
+
+  auto fsm = registry.create("fsm", net, 1, blueprint.configs[1], book);
+  ASSERT_NE(fsm, nullptr);
+  EXPECT_EQ(fsm->implementation_id(), "fsm");
+
+  EXPECT_EQ(registry.create("no-such-engine", net, 0, blueprint.configs[0], book),
+            nullptr);
+}
+
+TEST(BlueprintImplementationTest, DefaultsAndOverridesResolvePerNode) {
+  bgp::SystemBlueprint blueprint = bgp::make_line(3);
+  // Pre-heterogeneity blueprints carry no implementations vector at all.
+  EXPECT_TRUE(blueprint.implementations.empty());
+  for (std::size_t i = 0; i < blueprint.size(); ++i) {
+    EXPECT_EQ(blueprint.implementation_for(i), "bgp");
+  }
+
+  blueprint.set_implementation(1, "fsm");
+  EXPECT_EQ(blueprint.implementation_for(0), "bgp");
+  EXPECT_EQ(blueprint.implementation_for(1), "fsm");
+  EXPECT_EQ(blueprint.implementation_for(2), "bgp");  // short vector's tail
+
+  blueprint.set_all_implementations("fsm");
+  for (std::size_t i = 0; i < blueprint.size(); ++i) {
+    EXPECT_EQ(blueprint.implementation_for(i), "fsm");
+  }
+}
+
+TEST(SystemBoundaryTest, SystemBuildsTheImplementationEachNodeAsksFor) {
+  bgp::SystemBlueprint blueprint = bgp::make_line(3);
+  blueprint.set_implementation(1, "fsm");
+  System system(std::move(blueprint));
+  EXPECT_EQ(system.router(0).implementation_id(), "bgp");
+  EXPECT_EQ(system.router(1).implementation_id(), "fsm");
+  EXPECT_EQ(system.router(2).implementation_id(), "bgp");
+
+  // Checked downcast: fine on the reference engine, throws on the other.
+  EXPECT_NO_THROW((void)system.bgp_router(0));
+  EXPECT_THROW((void)system.bgp_router(1), std::logic_error);
+}
+
+TEST(SystemBoundaryTest, UnknownImplementationIdIsRejectedAtConstruction) {
+  bgp::SystemBlueprint blueprint = bgp::make_line(2);
+  blueprint.set_implementation(0, "no-such-engine");
+  EXPECT_THROW(System system(std::move(blueprint)), std::invalid_argument);
+}
+
+TEST(RibDigestTest, ConformingEnginesConvergeToEqualDigests) {
+  // Same blueprint, one run per engine: after convergence every node's
+  // normalized digest must match its counterpart's — the cross-
+  // implementation comparison the differential fault class is built on.
+  const bgp::SystemBlueprint base = bgp::make_ring(4);
+
+  bgp::SystemBlueprint reference_bp = base;
+  System reference(std::move(reference_bp));
+  reference.start();
+  ASSERT_TRUE(reference.converge());
+
+  bgp::SystemBlueprint fsm_bp = base;
+  fsm_bp.set_all_implementations("fsm");
+  System fsm(std::move(fsm_bp));
+  fsm.start();
+  ASSERT_TRUE(fsm.converge());
+
+  for (std::size_t node = 0; node < base.size(); ++node) {
+    const bgp::RibDigest want = reference.router(static_cast<sim::NodeId>(node)).rib_digest();
+    const bgp::RibDigest got = fsm.router(static_cast<sim::NodeId>(node)).rib_digest();
+    EXPECT_GT(want.routes, 0u) << "node " << node;
+    EXPECT_EQ(got, want) << "node " << node;
+  }
+}
+
+}  // namespace
+}  // namespace dice::core

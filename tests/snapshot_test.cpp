@@ -101,7 +101,7 @@ TEST(SnapshotTest, CloneIsIsolatedFromLive) {
   clone->converge();
   EXPECT_EQ(clone->router(0).loc_rib().find(node_prefix(1)), nullptr);
   EXPECT_NE(system.router(0).loc_rib().find(node_prefix(1)), nullptr);
-  EXPECT_TRUE(system.router(0).session(1)->established());
+  EXPECT_TRUE(system.bgp_router(0).session(1)->established());
 }
 
 TEST(SnapshotTest, SequentialSnapshotsOfStableSystemAgree) {

@@ -16,6 +16,11 @@
 #      docs/OBSERVABILITY.md must exist in src/obs/names.hpp. Derived
 #      Prometheus series (_bucket/_sum/_count) are written WITHOUT
 #      backticks in the doc precisely so this direction stays exact.
+#   5. implementation ids <-> docs/HETEROGENEITY.md: every engine id
+#      constant in src (`... kFooImplementationId = "foo";`) must have a
+#      table row (`| `foo` | ...`) in docs/HETEROGENEITY.md, and every
+#      table-row id there must exist as a constant — registering a third
+#      engine or renaming one without documenting it fails here.
 #
 # Exit nonzero on any drift; print every offender, not just the first.
 set -u
@@ -123,8 +128,35 @@ for metric in $doc_metrics; do
   fi
 done
 
+# --- direction 5: implementation id constants <-> docs/HETEROGENEITY.md --
+HET_DOC=docs/HETEROGENEITY.md
+if [[ ! -f "$HET_DOC" ]]; then
+  echo "check_docs: missing $HET_DOC" >&2
+  exit 1
+fi
+code_impls=$(grep -rhoE 'ImplementationId[A-Za-z0-9_]*[[:space:]]*=[[:space:]]*"[a-z0-9_]+"' src \
+  | grep -oE '"[a-z0-9_]+"' | tr -d '"' | sort -u)
+doc_impls=$(grep -oE '^\| `[a-z0-9_]+`' "$HET_DOC" | sed -E 's/^\| `([a-z0-9_]+)`/\1/' | sort -u)
+if [[ -z "$code_impls" ]]; then
+  echo "check_docs: no implementation id constants found in src (format changed?)" >&2
+  exit 1
+fi
+for impl in $code_impls; do
+  if ! grep -qE "^\| \`$impl\`" "$HET_DOC"; then
+    echo "check_docs: implementation id '$impl' has no table row in $HET_DOC" >&2
+    fail=1
+  fi
+done
+for impl in $doc_impls; do
+  case "$impl" in id) continue ;; esac  # the table header row
+  if ! echo "$code_impls" | grep -qx "$impl"; then
+    echo "check_docs: $HET_DOC documents implementation id '$impl' but no src constant defines it" >&2
+    fail=1
+  fi
+done
+
 if [[ "$fail" -ne 0 ]]; then
   echo "check_docs: FAILED — the docs and the code drifted" >&2
   exit 1
 fi
-echo "check_docs: OK ($(echo "$doc_knobs" | wc -l) documented knobs, $(echo "$code_knobs" | wc -l) public knobs, $(echo "$code_metrics" | wc -l) metrics)"
+echo "check_docs: OK ($(echo "$doc_knobs" | wc -l) documented knobs, $(echo "$code_knobs" | wc -l) public knobs, $(echo "$code_metrics" | wc -l) metrics, $(echo "$code_impls" | wc -l) implementation ids)"
