@@ -1,0 +1,128 @@
+// Resident soak: kill-and-restart walkthrough of svc::SoakService and its
+// persistent warm-start store (docs/SERVICE.md).
+//
+// Three acts over the topology27 receipt scenario:
+//   1. a daemon runs 2 rounds with a store attached, then "dies" (the
+//      destructor — a SIGTERM'd process leaves exactly what the last
+//      round-boundary persist wrote, which is the point of tmp+rename);
+//   2. a new daemon restarts over the same store: it loads, primes its
+//      bootstrap cache, and its first round resumes the live system from
+//      the store instead of re-converging (bootstrap_from_cache receipts);
+//   3. the restarted daemon's round — round 3 of the interrupted history —
+//      must carry byte-identical fault bytes to round 3 of an
+//      uninterrupted 3-round run, and the liveness-first SoakObserver sees
+//      every cell without moving those bytes.
+//
+// Exits nonzero on any contract breach (CI smoke-runs this binary).
+//
+//   ./resident_soak
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bgp/bugs.hpp"
+#include "bgp/topology.hpp"
+#include "svc/soak_observer.hpp"
+#include "svc/soak_service.hpp"
+
+using namespace dice;
+
+namespace {
+
+#define CHECK(cond, what)                                  \
+  do {                                                     \
+    if (!(cond)) {                                         \
+      std::printf("CONTRACT BREACH: %s\n", what);          \
+      return EXIT_FAILURE;                                 \
+    }                                                      \
+  } while (0)
+
+[[nodiscard]] std::vector<explore::ScenarioSpec> scenarios() {
+  bgp::SystemBlueprint fig1 = bgp::make_internet();
+  bgp::inject_hijack(fig1, /*victim=*/12, /*attacker=*/20, /*more_specific=*/true);
+  bgp::inject_bug(fig1, 5, bgp::bugs::kCommunityLength);
+  std::vector<explore::ScenarioSpec> specs;
+  specs.push_back({"topology27", std::move(fig1)});
+  return specs;
+}
+
+[[nodiscard]] svc::SoakOptions soak_options(const std::string& store) {
+  svc::SoakOptions options;
+  options.campaign = explore::CampaignOptions::builder()
+                         .strategies({explore::StrategyKind::kGrammar})
+                         .seeds({1})
+                         .episodes_per_cell(2)
+                         .inputs_per_episode(32)
+                         .bootstrap_events(2'000'000)
+                         .strategy_seed(0xf1f1)
+                         .parallelism(2)
+                         .build()
+                         .take();
+  options.store_path = store;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  const std::string store = "resident_soak_store.dsvc";
+  std::remove(store.c_str());
+
+  // --- reference: an uninterrupted 3-round daemon (no store) --------------
+  std::puts("== act 0: uninterrupted 3-round reference ==");
+  std::uint64_t reference_round3_hash = 0;
+  {
+    svc::SoakService reference(scenarios(), soak_options(""));
+    const svc::SoakReport report = reference.run(3);
+    CHECK(report.rounds == 3, "reference daemon did not complete 3 rounds");
+    reference_round3_hash = report.round_summaries[2].fault_hash;
+    std::printf("  3 rounds, round-3 fault hash %016llx\n",
+                static_cast<unsigned long long>(reference_round3_hash));
+  }
+
+  // --- act 1: run 2 rounds, then die -------------------------------------
+  std::puts("== act 1: daemon runs 2 rounds, then is killed ==");
+  {
+    svc::SoakService daemon(scenarios(), soak_options(store));
+    const svc::SoakReport report = daemon.run(2);
+    CHECK(report.rounds == 2, "daemon did not complete 2 rounds");
+    CHECK(!report.warm_started, "first boot must be cold");
+    std::printf("  2 rounds done, store persisted at each round boundary\n");
+    // Scope exit == SIGTERM: no graceful persist beyond what each round
+    // boundary already wrote atomically.
+  }
+
+  // --- act 2: restart over the store --------------------------------------
+  std::puts("== act 2: a new daemon restarts over the store ==");
+  svc::SoakObserver wall([](const explore::CellDescriptor& cell,
+                            const explore::CellResult& result) {
+    std::printf("  [wall] cell %zu done: %zu fault(s), bootstrap %s\n", cell.index,
+                result.faults, result.bootstrap_from_cache ? "RESUMED" : "converged");
+  });
+  svc::SoakOptions revived_options = soak_options(store);
+  revived_options.campaign.telemetry.wall_observer = &wall;
+  svc::SoakService revived(scenarios(), revived_options);
+  CHECK(revived.store_error().code.empty(), "store load reported an error");
+  const svc::SoakReport boot = revived.report();
+  CHECK(boot.warm_started, "restart did not warm-start from the store");
+  CHECK(boot.primed_from_store > 0, "no live state primed from the store");
+  std::printf("  warm start: %zu live state(s) primed from %s\n",
+              boot.primed_from_store, store.c_str());
+
+  // --- act 3: round 3 of the interrupted history --------------------------
+  std::puts("== act 3: the restarted daemon's first round is round 3 ==");
+  const svc::RoundSummary round3 = revived.run_round();
+  CHECK(round3.cells_from_cache == 1,
+        "round 3 re-converged instead of resuming from the store");
+  CHECK(round3.fault_hash == reference_round3_hash,
+        "round-3 fault bytes diverged from the uninterrupted run");
+  const svc::SoakObserver::Stats stats = wall.stats();
+  CHECK(stats.cells_seen == 1, "the wall-clock observer missed a cell");
+  std::printf("  round 3: bootstrap %.3f ms (resumed), fault hash %016llx == reference\n",
+              round3.bootstrap_ms,
+              static_cast<unsigned long long>(round3.fault_hash));
+
+  std::remove(store.c_str());
+  std::puts("\nresident_soak: OK — kill-and-restart is byte-equivalent to staying up");
+  return EXIT_SUCCESS;
+}

@@ -18,7 +18,11 @@ std::string Route::to_string() const {
 }
 
 bool Rib::upsert(Route route) {
-  auto [it, inserted] = table_.try_emplace(route.prefix, route);
+  // try_emplace only constructs the mapped value when it inserts, so the
+  // move below never fires on the replace path (where `route` is still
+  // needed for the comparison). Pair members initialize first-then-second:
+  // the key is copied out of `route` before the move runs.
+  auto [it, inserted] = table_.try_emplace(route.prefix, std::move(route));
   if (inserted) return true;
   if (it->second == route) return false;
   it->second = std::move(route);

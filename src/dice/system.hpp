@@ -116,6 +116,19 @@ class System {
   [[nodiscard]] util::Status reset_from(const snapshot::PreparedSnapshot& prepared,
                                         sim::Time resume_at = 0);
 
+  /// Raw-cut sibling of reset_from: re-seeds THIS instance straight from an
+  /// encoded Snapshot via the routers' fused one-shot restore — parse and
+  /// install in a single pass, no intermediate shareable decode. Same reset
+  /// sequence, same apply order, same frame-injection offsets, so the
+  /// result is bit-identical to reset_from(prepared-form-of-snap). This is
+  /// the warm-restart path: a daemon resuming a persisted cut restores it
+  /// exactly once, so the decode-once/restore-many split buys nothing and
+  /// the fused restore halves the per-route bill. Delta-encoded cuts
+  /// (kCheckpointSameAsBaseline envelopes) fail with the usual typed error
+  /// — persisted captures are always standalone (live_state.hpp).
+  [[nodiscard]] util::Status reset_from_raw(const snapshot::Snapshot& snap,
+                                            sim::Time resume_at = 0);
+
   /// Captures this (converged, live) system's state as the cacheable
   /// bootstrap artifact: takes a consistent snapshot, prepares it
   /// (decode-once) and wraps it with the simulator resume point. The raw

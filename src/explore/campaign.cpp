@@ -115,6 +115,8 @@ MatrixOptions CampaignOptions::to_matrix_options() const {
   matrix.share_solver_cache = caching.share_solver_cache;
   matrix.live_state_cache = caching.live_state_cache;
   matrix.live_cache = caching.live_cache;
+  matrix.unsat_seed = caching.unsat_seed;
+  matrix.strategy_seed = determinism.strategy_seed;
   matrix.nested_parallelism = parallelism.nested;
   matrix.progress_every_cells = telemetry.progress_every_cells;
   return matrix;
@@ -147,7 +149,8 @@ CampaignResult Campaign::run(CampaignObserver* observer, StopToken stop) {
   const auto start = Clock::now();
   CampaignResult result;
   static_cast<MatrixResult&>(result) =
-      matrix_.run(*pool_, RunControl{observer, token, options_.telemetry.trace});
+      matrix_.run(*pool_, RunControl{observer, token, options_.telemetry.trace,
+                                     options_.telemetry.wall_observer});
   result.wall_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - start).count();
   result.telemetry = obs::MetricsRegistry::global().snapshot().delta_since(before);

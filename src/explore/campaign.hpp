@@ -68,6 +68,13 @@ struct CampaignOptions {
     /// it.
     std::size_t live_cache_max_entries = LiveStateCache::kDefaultMaxEntries;
     bool share_solver_cache = false;     ///< was MatrixOptions::share_solver_cache
+    /// Proven-UNSAT solver keys pre-seeded into every solver cache each
+    /// run() creates (MatrixOptions::unsat_seed) — the svc::ArtifactStore
+    /// warm-start path. Sound and byte-stable: a seeded hit skips solving
+    /// with the exact verdict a fresh solve would reach; no SAT model is
+    /// ever replayed. Must outlive the campaign's run() calls; nullptr =
+    /// no seeding.
+    const std::vector<std::uint64_t>* unsat_seed = nullptr;
     bool prepared_clones = true;         ///< was DiceOptions::prepared_clones
     /// Delta checkpoints against the previous prepared snapshot (snapshot
     /// cost follows churn, not topology size). Requires `prepared_clones`;
@@ -105,6 +112,13 @@ struct CampaignOptions {
     /// flushed cells (and always for the final cell). Rejected at 0 by
     /// validate().
     std::size_t progress_every_cells = 1;
+    /// Liveness-first second observer stream (RunControl::wall_observer;
+    /// svc::SoakObserver): the same start -> fault* -> done burst per cell,
+    /// delivered the moment each cell finishes, in WALL-CLOCK completion
+    /// order — explicitly non-deterministic across runs and worker counts.
+    /// The canonical `observer` stream passed to run() is untouched and
+    /// remains the CI surface. Strictly passive; nullptr = off.
+    CampaignObserver* wall_observer = nullptr;
   };
 
   /// Everything that pins the byte-identical receipt.
@@ -119,6 +133,12 @@ struct CampaignOptions {
     /// rejected by validate().
     std::vector<std::string> implementations{std::string()};
     std::uint64_t rng_seed = 0xd1ce5eed;   ///< was DiceOptions::rng_seed
+    /// Overrides the per-cell derived strategy seed with one fixed value
+    /// for EVERY cell (MatrixOptions::strategy_seed). For single-cell
+    /// receipt campaigns that must reproduce a standalone Orchestrator
+    /// harness's input stream byte-for-byte (the svc round receipt);
+    /// nullopt = the derived per-cell streams.
+    std::optional<std::uint64_t> strategy_seed = std::nullopt;
     std::uint32_t oscillation_threshold = 8;  ///< was DiceOptions::oscillation_threshold
     bool oscillation_early_exit = true;    ///< was DiceOptions::oscillation_early_exit
     bool bootstrap_early_exit = true;      ///< was DiceOptions::bootstrap_early_exit
@@ -215,6 +235,21 @@ class CampaignOptions::Builder {
     options_.telemetry.progress_every_cells = value;
     return *this;
   }
+  /// Convenience: liveness-first wall-clock observer only.
+  Builder& wall_observer(CampaignObserver* value) {
+    options_.telemetry.wall_observer = value;
+    return *this;
+  }
+  /// Convenience: fixed strategy seed only (receipt campaigns).
+  Builder& strategy_seed(std::uint64_t value) {
+    options_.determinism.strategy_seed = value;
+    return *this;
+  }
+  /// Convenience: warm-start UNSAT seeding only.
+  Builder& unsat_seed(const std::vector<std::uint64_t>* value) {
+    options_.caching.unsat_seed = value;
+    return *this;
+  }
   Builder& determinism(Determinism value) {
     options_.determinism = std::move(value);
     return *this;
@@ -283,6 +318,9 @@ class Campaign {
   /// one was supplied) — soak loops may trim() it between runs.
   [[nodiscard]] LiveStateCache& live_cache() noexcept { return *live_cache_; }
   [[nodiscard]] ExplorePool& pool() noexcept { return *pool_; }
+  /// The matrix underneath — svc::SoakService maps its prototypes back to
+  /// stable (scenario, implementation) names when persisting warm state.
+  [[nodiscard]] const ScenarioMatrix& matrix() const noexcept { return matrix_; }
 
  private:
   CampaignOptions options_;

@@ -86,6 +86,35 @@ std::shared_ptr<const snapshot::PreparedLiveState> LiveStateCache::find(
   return entry->state;
 }
 
+std::vector<LiveStateCache::ResolvedEntry> LiveStateCache::resolved_entries() const {
+  std::vector<ResolvedEntry> out;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    if (!entry->resolved.load(std::memory_order_acquire)) continue;
+    if (entry->state == nullptr) continue;  // uncacheable key
+    out.push_back(ResolvedEntry{key, entry->state});
+  }
+  return out;
+}
+
+bool LiveStateCache::replace(const Key& key,
+                             std::shared_ptr<const snapshot::PreparedLiveState> state) {
+  if (state == nullptr) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  if (!it->second->resolved.load(std::memory_order_acquire)) return false;
+  // Fresh Entry, born resolved: the old one stays immutable for anyone who
+  // grabbed its shared_ptr before this swap.
+  auto fresh = std::make_shared<Entry>();
+  fresh->state = std::move(state);
+  fresh->resolved.store(true, std::memory_order_release);
+  fresh->last_used = it->second->last_used;  // promotion is not a use
+  it->second = std::move(fresh);
+  return true;
+}
+
 void LiveStateCache::evict_locked(std::size_t max) {
   while (entries_.size() > max) {
     auto victim = entries_.end();

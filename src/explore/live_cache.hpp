@@ -33,6 +33,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "snapshot/live_state.hpp"
 #include "util/hash.hpp"
@@ -95,6 +96,29 @@ class LiveStateCache {
   /// The published state, or nullptr when the key never resolved (or was
   /// trimmed, or resolved uncacheable). Never blocks on a latch.
   [[nodiscard]] std::shared_ptr<const snapshot::PreparedLiveState> find(const Key& key) const;
+
+  /// One resolved, non-null entry: the key and its published state.
+  struct ResolvedEntry {
+    Key key;
+    std::shared_ptr<const snapshot::PreparedLiveState> state;
+  };
+  /// Snapshot of every RESOLVED entry with a non-null state (uncacheable
+  /// keys and in-flight computes are skipped). Never blocks on a latch;
+  /// entry order is unspecified — callers wanting stable bytes sort by
+  /// their own stable key (svc::ArtifactStore does). Does not touch LRU
+  /// recency: harvesting for persistence must not distort eviction.
+  [[nodiscard]] std::vector<ResolvedEntry> resolved_entries() const;
+
+  /// Atomically swaps `key`'s published state for `state` (non-null). The
+  /// old Entry object is never mutated — resolved entries are published
+  /// immutable and read latch-free, so the swap installs a whole new
+  /// resolved Entry in the map slot; holders of the old state keep it
+  /// alive. No-op when the key is absent (trimmed meanwhile) or its compute
+  /// is still in flight (the computing worker will publish its own result;
+  /// racing it would lose an in-flight latch queue). Returns true when the
+  /// swap happened. Used by svc::SoakService to promote raw-only primed
+  /// entries to their decoded form after the first warm round.
+  bool replace(const Key& key, std::shared_ptr<const snapshot::PreparedLiveState> state);
 
   /// Drops every entry. Holders of returned states (and workers blocked on
   /// a latch) are unaffected; the next lookup per key recomputes.

@@ -1,5 +1,6 @@
 #include "explore/matrix.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <memory>
@@ -172,12 +173,19 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
   const ExplorePool::Stats pool_before = pool.stats();
 
   // One shared cache maximizes cross-cell reuse; per-cell caches keep every
-  // cell's solving history independent of scheduling.
+  // cell's solving history independent of scheduling. Either kind is
+  // pre-seeded with any warm-start UNSAT memo: a seeded hit skips solving
+  // with the verdict a fresh solve would reach, so fault bytes are
+  // unmoved (no SAT model is ever replayed across runs).
   SolverCache shared_cache;
+  if (options_.unsat_seed != nullptr) shared_cache.seed_unsat(*options_.unsat_seed);
   std::vector<std::unique_ptr<SolverCache>> cell_caches;
   if (!options_.share_solver_cache) {
     cell_caches.resize(cells.size());
-    for (auto& cache : cell_caches) cache = std::make_unique<SolverCache>();
+    for (auto& cache : cell_caches) {
+      cache = std::make_unique<SolverCache>();
+      if (options_.unsat_seed != nullptr) cache->seed_unsat(*options_.unsat_seed);
+    }
   }
 
   // Cells push their (already per-cell deduplicated) faults here as they
@@ -206,6 +214,13 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
   } emitter;
   emitter.done.assign(cells.size(), 0);
   if (control.observer != nullptr) emitter.faults.resize(cells.size());
+
+  // Second, liveness-first stream: cells that ran emit their start ->
+  // fault* -> done burst the moment their task body finishes, in wall-clock
+  // completion order (explicitly non-deterministic). Serialized under its
+  // own mutex so a slow wall observer never blocks the canonical reorder
+  // buffer above, and vice versa.
+  std::mutex wall_mutex;
 
   const auto descriptor = [&](std::size_t index) {
     const Cell& cell = cells[index];
@@ -332,8 +347,12 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
 
     // Every cell derives its own independent deterministic stream: the
     // strategy seed depends only on (seed, cell index), never on which
-    // worker picked the cell up or when.
-    const std::uint64_t strategy_seed = util::Rng(cell.seed).fork(2 * index + 1).next();
+    // worker picked the cell up or when. The override pins every cell to
+    // one fixed stream instead (single-cell receipt matrices that must
+    // reproduce a standalone harness byte-for-byte).
+    const std::uint64_t strategy_seed = options_.strategy_seed.has_value()
+                                            ? *options_.strategy_seed
+                                            : util::Rng(cell.seed).fork(2 * index + 1).next();
     SolverCache* cache =
         options_.share_solver_cache ? &shared_cache : cell_caches[index].get();
     const std::unique_ptr<core::InputStrategy> strategy =
@@ -375,6 +394,17 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
                     << out.faults << " fault(s), "
                     << out.clones_run << " clones"
                     << (out.completed ? "" : " [cancelled]");
+    if (control.wall_observer != nullptr) {
+      const std::lock_guard<std::mutex> wall_lock(wall_mutex);
+      const CellDescriptor desc = descriptor(index);
+      control.wall_observer->on_cell_start(desc);
+      if (out.completed) {
+        for (const core::FaultReport& fault : orchestrator.all_faults()) {
+          control.wall_observer->on_fault(desc, fault);
+        }
+      }
+      control.wall_observer->on_cell_done(desc, out);
+    }
     finish_cell(index);
   });
 
@@ -396,6 +426,7 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
   result.faults = ledger.snapshot_sorted();
   if (options_.share_solver_cache) {
     result.solver_cache = shared_cache.stats();
+    result.unsat_keys = shared_cache.unsat_keys();
   } else {
     for (const auto& cache : cell_caches) {
       const SolverCache::Stats stats = cache->stats();
@@ -404,7 +435,13 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
       result.solver_cache.stores += stats.stores;
       result.solver_cache.entries += stats.entries;
       result.solver_cache.sat_entries += stats.sat_entries;
+      const std::vector<std::uint64_t> keys = cache->unsat_keys();
+      result.unsat_keys.insert(result.unsat_keys.end(), keys.begin(), keys.end());
     }
+    std::sort(result.unsat_keys.begin(), result.unsat_keys.end());
+    result.unsat_keys.erase(
+        std::unique(result.unsat_keys.begin(), result.unsat_keys.end()),
+        result.unsat_keys.end());
   }
   const LiveStateCache::Stats cache_after = live_cache->stats();
   result.live_cache.hits = cache_after.hits - cache_before.hits;

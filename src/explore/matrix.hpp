@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -79,6 +81,20 @@ struct MatrixOptions {
   /// External cache to share across matrix runs (long soaks re-running the
   /// same scenarios); nullptr = one private cache per run() call.
   LiveStateCache* live_cache = nullptr;
+  /// Proven-UNSAT solver keys pre-seeded into every solver cache this run
+  /// creates (shared or per-cell) — the svc::ArtifactStore warm-start path.
+  /// Sound and byte-stable: a seeded hit skips solving with the exact
+  /// verdict a fresh solve would reach (no model is replayed). The pointed-
+  /// at vector must outlive run() and not change during it; nullptr = no
+  /// seeding.
+  const std::vector<std::uint64_t>* unsat_seed = nullptr;
+  /// Overrides the per-cell derived strategy seed
+  /// (`Rng(cell.seed).fork(2*index+1).next()`) with one fixed value for
+  /// EVERY cell. Meant for single-cell matrices that must reproduce a
+  /// standalone Orchestrator harness's input stream byte-for-byte (the
+  /// svc round receipt); on a multi-cell matrix it makes same-strategy
+  /// cells draw identical input streams. nullopt = the derived streams.
+  std::optional<std::uint64_t> strategy_seed = std::nullopt;
   /// Progress cadence: emit CampaignObserver::on_progress once every N
   /// flushed cells (and always for the final cell). 1 = after every cell;
   /// 0 is treated as 1. Coarser cadences keep slow observers off the cell
@@ -113,6 +129,10 @@ struct CellResult {
 struct MatrixResult {
   std::vector<CellResult> cells;            ///< cross-product order
   std::vector<core::FaultReport> faults;    ///< completed cells, canonical cell order
+  /// Proven-UNSAT solver keys accumulated by this run's caches (seeded ones
+  /// included), ascending and deduplicated — what svc::ArtifactStore
+  /// persists for warm starts.
+  std::vector<std::uint64_t> unsat_keys;
   SolverCache::Stats solver_cache;          ///< aggregate over all cells
   LiveStateCache::Stats live_cache;         ///< bootstrap-once cache traffic
   ExplorePool::Stats pool;                  ///< pool stats delta for this run
@@ -131,6 +151,15 @@ struct RunControl {
   /// trace's canonical section is in canonical cell order and worker-
   /// count-invariant for completed cells. Strictly passive; may be null.
   obs::Trace* trace = nullptr;
+  /// Liveness-first second stream (svc::SoakObserver): receives the same
+  /// start -> fault* -> done burst per cell, but the moment the cell's task
+  /// body finishes — in WALL-CLOCK completion order, which is explicitly
+  /// non-deterministic across runs and worker counts. Only cells that ran
+  /// are delivered (skipped cells never reach it). Callbacks are serialized
+  /// under their own mutex, independent of the canonical stream's reorder
+  /// buffer, which stays byte-identical and remains the CI surface. May be
+  /// null; strictly passive either way (docs/SERVICE.md).
+  CampaignObserver* wall_observer = nullptr;
 };
 
 /// Execution-deal permutation: round-robins cell indices across distinct
@@ -164,6 +193,20 @@ class ScenarioMatrix {
   [[nodiscard]] std::size_t cell_count() const noexcept {
     return scenarios_.size() * options_.strategies.size() * options_.seeds.size() *
            options_.implementations.size();
+  }
+
+  [[nodiscard]] const std::vector<ScenarioSpec>& scenarios() const noexcept {
+    return scenarios_;
+  }
+  [[nodiscard]] const MatrixOptions& options() const noexcept { return options_; }
+  /// The matrix-lifetime prototypes, indexed
+  /// `scenario * implementations.size() + impl_pos`. What svc::SoakService
+  /// maps LiveStateCache keys (prototype pointer identity) back to stable
+  /// (scenario, implementation) names for persistence, and forward again
+  /// when priming a warm start.
+  [[nodiscard]] const std::vector<std::shared_ptr<const core::SystemPrototype>>&
+  prototypes() const noexcept {
+    return prototypes_;
   }
 
  private:

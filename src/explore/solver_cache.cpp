@@ -81,6 +81,26 @@ std::size_t SolverCache::size() const {
   return total;
 }
 
+std::vector<std::uint64_t> SolverCache::unsat_keys() const {
+  std::vector<std::uint64_t> keys;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [key, value] : shard->entries) {
+      if (!value.has_value()) keys.push_back(key);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void SolverCache::seed_unsat(const std::vector<std::uint64_t>& keys) {
+  for (const std::uint64_t key : keys) {
+    Shard& shard = shard_for(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.try_emplace(key, std::nullopt);
+  }
+}
+
 void SolverCache::clear() {
   for (const auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mutex);

@@ -44,6 +44,21 @@ class SolverCache final : public concolic::SolverMemo {
   [[nodiscard]] std::size_t size() const;
   void clear();
 
+  /// Every key currently holding a proven-UNSAT marker, in ascending order
+  /// (stable bytes for persistence). UNSAT entries are the only part of the
+  /// memo that is sound to replay across runs and processes: a seeded hit
+  /// skips solving with the exact verdict a fresh solve would reach,
+  /// whereas a replayed SAT *model* could differ byte-wise from the one a
+  /// fresh solve produces and move fault bytes.
+  [[nodiscard]] std::vector<std::uint64_t> unsat_keys() const;
+
+  /// Pre-loads proven-UNSAT markers (svc::ArtifactStore warm start,
+  /// MatrixOptions::unsat_seed). First write wins, exactly like store():
+  /// seeding never overwrites an existing entry. Does not count toward the
+  /// hits/misses/stores traffic stats — seeded entries only show up in
+  /// `entries`.
+  void seed_unsat(const std::vector<std::uint64_t>& keys);
+
  private:
   struct Shard {
     mutable std::mutex mutex;

@@ -65,6 +65,11 @@ inline constexpr std::string_view kDifferentialChecks =
 inline constexpr std::string_view kDifferentialDivergence =
     "dice_differential_divergence_total";
 
+// --- svc::SoakService / svc::ArtifactStore ----------------------------------
+inline constexpr std::string_view kSvcRounds = "dice_svc_rounds_total";
+inline constexpr std::string_view kSvcWarmStarts = "dice_svc_warm_starts_total";
+inline constexpr std::string_view kSvcKnobSwaps = "dice_svc_knob_swaps_total";
+
 // --- obs itself -------------------------------------------------------------
 inline constexpr std::string_view kTraceDropped = "dice_trace_events_dropped_total";
 
@@ -78,5 +83,7 @@ inline constexpr std::string_view kBootstrapMs = "dice_bootstrap_ms";
 inline constexpr std::string_view kSnapshotMs = "dice_snapshot_ms";
 inline constexpr std::string_view kSnapshotEncodeMs = "dice_snapshot_encode_ms";
 inline constexpr std::string_view kSnapshotDecodeMs = "dice_snapshot_decode_ms";
+inline constexpr std::string_view kSvcStoreSaveMs = "dice_svc_store_save_ms";
+inline constexpr std::string_view kSvcStoreLoadMs = "dice_svc_store_load_ms";
 
 }  // namespace dice::obs::names

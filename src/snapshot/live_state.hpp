@@ -30,6 +30,13 @@ struct PreparedLiveState {
   /// Typed per-node checkpoints + pre-built in-flight frame schedule
   /// (empty for a quiescent capture) — shared with any concurrent holder.
   std::shared_ptr<const PreparedSnapshot> snapshot;
+  /// The raw (encoded) cut the decoded form above was built from. Kept so
+  /// the capture can be serialized — svc::ArtifactStore persists these raw
+  /// bytes and a restarted daemon re-decodes them against its own routers.
+  /// Always standalone (baseline_id 0): captures happen before any episode
+  /// snapshot exists to delta against. May be null for states that were
+  /// assembled from an already-decoded source and never need persisting.
+  std::shared_ptr<const Snapshot> raw;
   /// Simulator clock at capture (the donor's bootstrap end).
   sim::Time resume_at = 0;
   /// Events the donor's bootstrap executed (receipt for benches: the work

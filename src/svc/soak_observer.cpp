@@ -1,0 +1,41 @@
+#include "svc/soak_observer.hpp"
+
+#include "explore/matrix.hpp"
+
+namespace dice::svc {
+
+void SoakObserver::on_fault(const explore::CellDescriptor& cell,
+                            const core::FaultReport& fault) {
+  (void)cell;
+  (void)fault;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.faults_seen;
+}
+
+void SoakObserver::on_cell_done(const explore::CellDescriptor& cell,
+                                const explore::CellResult& result) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.cells_seen;
+    if (any_seen_ && cell.index < max_index_seen_) ++stats_.out_of_order;
+    max_index_seen_ = any_seen_ ? std::max(max_index_seen_, cell.index) : cell.index;
+    any_seen_ = true;
+    completion_order_.push_back(cell.index);
+  }
+  // Outside our mutex: the sink may log or block briefly without holding up
+  // a concurrent stats() reader. Deliveries themselves stay serialized by
+  // the matrix's wall-stream mutex.
+  if (sink_) sink_(cell, result);
+}
+
+SoakObserver::Stats SoakObserver::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<std::size_t> SoakObserver::completion_order() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return completion_order_;
+}
+
+}  // namespace dice::svc

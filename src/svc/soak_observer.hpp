@@ -1,0 +1,68 @@
+// svc::SoakObserver — the liveness-first wall-clock event stream of the
+// resident soak daemon (docs/SERVICE.md).
+//
+// The canonical CampaignObserver stream is deterministic by construction: a
+// reorder buffer holds finished cells until every earlier cell has landed,
+// so a slow cell delays visibility of every cell behind it. That is the
+// right trade for CI receipts and the wrong one for an operator watching a
+// resident daemon: they want to see cells AS THEY COMPLETE. This observer
+// plugs into the second, liveness-first stream
+// (RunControl::wall_observer / CampaignOptions::Telemetry::wall_observer):
+// the same start -> fault* -> done burst per cell, delivered the moment the
+// cell's task body finishes, in WALL-CLOCK completion order.
+//
+// The completion order is explicitly NON-deterministic — it varies across
+// runs and worker counts, and nothing downstream may treat it as a receipt.
+// The canonical stream stays byte-identical and remains the CI surface;
+// this one is for dashboards, logs and progress. Strictly passive either
+// way (the passivity pin in tests/svc_soak_test.cpp covers both streams).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "explore/control.hpp"
+
+namespace dice::svc {
+
+class SoakObserver : public explore::CampaignObserver {
+ public:
+  struct Stats {
+    std::uint64_t cells_seen = 0;   ///< on_cell_done deliveries
+    std::uint64_t faults_seen = 0;  ///< on_fault deliveries (completed cells only)
+    /// Completions that arrived before some lower-indexed cell had — direct
+    /// evidence this stream really is wall-clock ordered, not canonical.
+    std::uint64_t out_of_order = 0;
+  };
+
+  /// Optional sink invoked (serialized, on a worker thread) per completed
+  /// delivery — how dice_soakd turns cell completions into log lines. Keep
+  /// it fast: a slow sink backpressures the worker that finished the cell
+  /// (though never the canonical stream, which runs under its own mutex).
+  using Sink =
+      std::function<void(const explore::CellDescriptor&, const explore::CellResult&)>;
+
+  explicit SoakObserver(Sink sink = nullptr) : sink_(std::move(sink)) {}
+
+  void on_fault(const explore::CellDescriptor& cell,
+                const core::FaultReport& fault) override;
+  void on_cell_done(const explore::CellDescriptor& cell,
+                    const explore::CellResult& result) override;
+
+  [[nodiscard]] Stats stats() const;
+  /// Cell indices in the order their completions were delivered. A receipt
+  /// of LIVENESS only — two runs may legitimately disagree.
+  [[nodiscard]] std::vector<std::size_t> completion_order() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Stats stats_;
+  std::vector<std::size_t> completion_order_;
+  std::size_t max_index_seen_ = 0;
+  bool any_seen_ = false;
+  Sink sink_;
+};
+
+}  // namespace dice::svc

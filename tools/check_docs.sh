@@ -21,6 +21,11 @@
 #      table row (`| `foo` | ...`) in docs/HETEROGENEITY.md, and every
 #      table-row id there must exist as a constant — registering a third
 #      engine or renaming one without documenting it fails here.
+#   6. svc::SoakOptions <-> docs/SERVICE.md: every field of SoakOptions
+#      (src/svc/soak_service.hpp) must have a knob table row in
+#      docs/SERVICE.md, and every table-row knob there must be declared in
+#      that header — the soak daemon's own knobs get the same two-way gate
+#      as the campaign's.
 #
 # Exit nonzero on any drift; print every offender, not just the first.
 set -u
@@ -155,8 +160,35 @@ for impl in $doc_impls; do
   fi
 done
 
+# --- direction 6: svc::SoakOptions fields <-> docs/SERVICE.md ------------
+SVC_DOC=docs/SERVICE.md
+SVC_HEADER=src/svc/soak_service.hpp
+if [[ ! -f "$SVC_DOC" || ! -f "$SVC_HEADER" ]]; then
+  echo "check_docs: missing $SVC_DOC or $SVC_HEADER" >&2
+  exit 1
+fi
+svc_code_knobs=$(extract_fields "$SVC_HEADER" 'struct SoakOptions \{' | sort -u)
+svc_doc_knobs=$(grep -oE '^\| `[a-z][a-z0-9_]*`' "$SVC_DOC" | sed -E 's/^\| `([a-z0-9_]*)`/\1/' | sort -u)
+if [[ -z "$svc_code_knobs" ]]; then
+  echo "check_docs: no SoakOptions fields found in $SVC_HEADER (format changed?)" >&2
+  exit 1
+fi
+for knob in $svc_code_knobs; do
+  if ! grep -qE "^\| \`$knob\`" "$SVC_DOC"; then
+    echo "check_docs: SoakOptions field '$knob' has no knob table row in $SVC_DOC" >&2
+    fail=1
+  fi
+done
+for knob in $svc_doc_knobs; do
+  if ! grep -qE "^[[:space:]]+[A-Za-z_][A-Za-z0-9_:<>,* ]*[[:space:]][*&]?${knob}([[:space:]]*=|\{|;)" \
+       "$SVC_HEADER"; then
+    echo "check_docs: $SVC_DOC documents '$knob' but $SVC_HEADER does not declare it" >&2
+    fail=1
+  fi
+done
+
 if [[ "$fail" -ne 0 ]]; then
   echo "check_docs: FAILED — the docs and the code drifted" >&2
   exit 1
 fi
-echo "check_docs: OK ($(echo "$doc_knobs" | wc -l) documented knobs, $(echo "$code_knobs" | wc -l) public knobs, $(echo "$code_metrics" | wc -l) metrics, $(echo "$code_impls" | wc -l) implementation ids)"
+echo "check_docs: OK ($(echo "$doc_knobs" | wc -l) documented knobs, $(echo "$code_knobs" | wc -l) public knobs, $(echo "$code_metrics" | wc -l) metrics, $(echo "$code_impls" | wc -l) implementation ids, $(echo "$svc_code_knobs" | wc -l) soak knobs)"
