@@ -1,0 +1,157 @@
+// Sharded-matrix receipt: dealing the cell space to worker PROCESSES must
+// not move a byte.
+//
+// Part 1 runs the committed topology27 receipt campaign through
+// shard::ShardCoordinator at 1/2/4 worker processes and fails unless every
+// merged fault set hashes to the committed value 63f680b04458c2a9 — the
+// proof that the DSHD wire form, the deal, and the shared CellMerger
+// reproduce the single-process byte stream across a process boundary.
+//
+// Part 2 shards the multi-cell "smoke" campaign at 1/2/4 processes against
+// an in-process Campaign reference and fails on hash drift OR on a merge
+// shorter than the dealt cell count — a silently short merge is the
+// failure mode this harness exists to catch. The per-process-count wall
+// times are the scale observation CI records.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "explore/campaign.hpp"
+#include "shard/coordinator.hpp"
+#include "shard/scenario_set.hpp"
+#include "svc/soak_service.hpp"
+
+namespace {
+
+constexpr std::uint64_t kTopology27FaultHash = 0x63f680b04458c2a9ULL;
+
+[[nodiscard]] dice::explore::CampaignOptions receipt_campaign() {
+  auto built = dice::explore::CampaignOptions::builder()
+                   .strategies({dice::explore::StrategyKind::kGrammar})
+                   .seeds({1})
+                   .episodes_per_cell(2)
+                   .inputs_per_episode(32)
+                   .bootstrap_events(2'000'000)
+                   .strategy_seed(0xf1f1)
+                   .parallelism(2)
+                   .build();
+  return std::move(built).take();
+}
+
+[[nodiscard]] dice::explore::CampaignOptions smoke_campaign() {
+  auto built = dice::explore::CampaignOptions::builder()
+                   .strategies({dice::explore::StrategyKind::kGrammar,
+                                dice::explore::StrategyKind::kRandom})
+                   .seeds({1, 2})
+                   .episodes_per_cell(1)
+                   .inputs_per_episode(8)
+                   .bootstrap_events(100'000)
+                   .parallelism(2)
+                   .build();
+  return std::move(built).take();
+}
+
+[[nodiscard]] dice::shard::ShardOptions shard_options(std::size_t processes,
+                                                      std::string scenario_set) {
+  dice::shard::ShardOptions options;
+  options.processes = processes;
+  options.worker_path = DICE_SHARD_WORKER_PATH;
+  options.scenario_set = std::move(scenario_set);
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dice;
+  using bench::fmt;
+  using bench::Stopwatch;
+
+  std::puts("== Sharded matrix: cross-process determinism receipt + scale ==\n");
+
+  // Part 1: the committed single-cell hash, dealt across processes.
+  bench::Table receipt({"processes", "cells", "hash", "match", "ms"});
+  bool hash_ok = true;
+  bool merge_ok = true;
+  for (const std::size_t processes : {1u, 2u, 4u}) {
+    shard::ShardCoordinator coordinator(receipt_campaign(),
+                                        shard_options(processes, "topology27"));
+    Stopwatch watch;
+    auto result = coordinator.run();
+    const double ms = watch.ms();
+    if (!result.ok()) {
+      std::printf("FAIL: coordinator error (%s): %s\n", result.error().code.c_str(),
+                  result.error().detail.c_str());
+      return 1;
+    }
+    const std::uint64_t hash = svc::fault_set_hash(result.value().matrix.faults);
+    const bool match = hash == kTopology27FaultHash;
+    const bool complete = result.value().complete();
+    hash_ok = hash_ok && match;
+    merge_ok = merge_ok && complete;
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%016llx", static_cast<unsigned long long>(hash));
+    receipt.row({std::to_string(processes),
+                 std::to_string(result.value().matrix.cells_completed) + "/" +
+                     std::to_string(result.value().matrix.cells.size()),
+                 hex, match && complete ? "yes" : "NO", fmt(ms, 1)});
+  }
+  receipt.print();
+  std::printf("\ncommitted hash %016llx %s\n\n",
+              static_cast<unsigned long long>(kTopology27FaultHash),
+              hash_ok ? "reproduced at every process count" : "DRIFTED — failing");
+
+  // Part 2: multi-cell smoke campaign, sharded vs in-process.
+  auto scenarios = shard::resolve_scenario_set("smoke");
+  if (!scenarios.ok()) {
+    std::puts("FAIL: smoke scenario set did not resolve");
+    return 1;
+  }
+  explore::Campaign reference(std::move(scenarios).take(), smoke_campaign());
+  const explore::CampaignResult in_process = reference.run();
+  const std::uint64_t expected = svc::fault_set_hash(in_process.faults);
+  const std::size_t dealt = in_process.cells.size();
+
+  bench::Table scale({"processes", "merged", "dealt", "match", "ms"});
+  double sharded_ms_total = 0.0;
+  for (const std::size_t processes : {1u, 2u, 4u}) {
+    shard::ShardCoordinator coordinator(smoke_campaign(),
+                                        shard_options(processes, "smoke"));
+    Stopwatch watch;
+    auto result = coordinator.run();
+    const double ms = watch.ms();
+    sharded_ms_total += ms;
+    if (!result.ok()) {
+      std::printf("FAIL: coordinator error (%s): %s\n", result.error().code.c_str(),
+                  result.error().detail.c_str());
+      return 1;
+    }
+    const std::size_t merged = result.value().matrix.cells.size();
+    const bool match = svc::fault_set_hash(result.value().matrix.faults) == expected &&
+                       result.value().complete();
+    // The cardinal sin this bench gates on: merging fewer cells than dealt.
+    const bool full = merged == dealt &&
+                      result.value().matrix.cells_completed == dealt;
+    hash_ok = hash_ok && match;
+    merge_ok = merge_ok && full;
+    scale.row({std::to_string(processes), std::to_string(merged), std::to_string(dealt),
+               match && full ? "yes" : "NO", fmt(ms, 1)});
+  }
+  scale.print();
+  std::printf("\nsharded smoke campaign %s\n",
+              hash_ok && merge_ok ? "merges byte-identical and full at every "
+                                    "process count"
+                                  : "DRIFTED or MERGED SHORT — failing");
+
+  char json[512];
+  std::snprintf(json, sizeof(json),
+                "{\"bench\":\"shard_scale\",\"hash\":\"%016llx\",\"hash_ok\":%s,"
+                "\"merge_ok\":%s,\"cells\":%zu,\"sharded_ms\":%.1f}",
+                static_cast<unsigned long long>(kTopology27FaultHash),
+                hash_ok ? "true" : "false", merge_ok ? "true" : "false", dealt,
+                sharded_ms_total);
+  bench::emit_json("shard_scale", json);
+
+  return (hash_ok && merge_ok) ? 0 : 1;
+}

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "bgp/bugs.hpp"
+#include "explore/merge.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "util/log.hpp"
@@ -89,6 +90,29 @@ std::string_view to_string(StrategyKind kind) noexcept {
   return "?";
 }
 
+std::vector<CellIdentity> enumerate_cells(std::size_t scenario_count,
+                                          const MatrixOptions& options) {
+  // The implementation axis is the INNERMOST loop: with the default
+  // single-"" axis every cell index (and so every derived RNG stream and
+  // ledger priority) is identical to the pre-axis enumeration.
+  const std::size_t impl_count =
+      options.implementations.empty() ? 1 : options.implementations.size();
+  std::vector<CellIdentity> cells;
+  cells.reserve(scenario_count * options.strategies.size() * options.seeds.size() *
+                impl_count);
+  for (std::size_t s = 0; s < scenario_count; ++s) {
+    for (const StrategyKind kind : options.strategies) {
+      for (std::size_t seed_pos = 0; seed_pos < options.seeds.size(); ++seed_pos) {
+        for (std::size_t impl_pos = 0; impl_pos < impl_count; ++impl_pos) {
+          cells.push_back(
+              CellIdentity{s, kind, options.seeds[seed_pos], seed_pos, impl_pos});
+        }
+      }
+    }
+  }
+  return cells;
+}
+
 std::vector<ScenarioSpec> default_bench_scenarios() {
   std::vector<ScenarioSpec> scenarios;
   scenarios.push_back({"internet9-clean", bgp::make_internet({2, 3, 4})});
@@ -136,26 +160,18 @@ ScenarioMatrix::ScenarioMatrix(std::vector<ScenarioSpec> scenarios, MatrixOption
 }
 
 MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
-  struct Cell {
-    std::size_t scenario = 0;
-    StrategyKind strategy = StrategyKind::kGrammar;
-    std::uint64_t seed = 0;
-    std::size_t seed_pos = 0;  ///< position in options_.seeds (bootstrap-key id)
-    std::size_t impl_pos = 0;  ///< position in options_.implementations
-  };
-  // The implementation axis is the INNERMOST loop: with the default
-  // single-"" axis every cell index (and so every derived RNG stream and
-  // ledger priority) is identical to the pre-axis enumeration.
-  std::vector<Cell> cells;
-  cells.reserve(cell_count());
-  for (std::size_t s = 0; s < scenarios_.size(); ++s) {
-    for (const StrategyKind kind : options_.strategies) {
-      for (std::size_t seed_pos = 0; seed_pos < options_.seeds.size(); ++seed_pos) {
-        for (std::size_t impl_pos = 0; impl_pos < options_.implementations.size();
-             ++impl_pos) {
-          cells.push_back(Cell{s, kind, options_.seeds[seed_pos], seed_pos, impl_pos});
-        }
-      }
+  // The shared canonical enumeration (also what shard::ShardCoordinator
+  // deals from — the two MUST agree or cross-process merge bytes drift).
+  const std::vector<CellIdentity> cells = enumerate_cells(scenarios_.size(), options_);
+
+  // Shard-subset membership: a cell outside the subset is flushed as
+  // skipped without running (and without touching the stop token or the
+  // wall observer) — see MatrixOptions::cell_subset.
+  std::vector<unsigned char> in_subset;
+  if (options_.cell_subset.has_value()) {
+    in_subset.assign(cells.size(), 0);
+    for (const std::size_t index : *options_.cell_subset) {
+      if (index < cells.size()) in_subset[index] = 1;
     }
   }
 
@@ -188,11 +204,6 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
     }
   }
 
-  // Cells push their (already per-cell deduplicated) faults here as they
-  // finish. Keys are salted with the cell index: the same signature in two
-  // scenarios is two distinct findings.
-  FaultLedger ledger;
-
   // Bootstrap-once: cells of the same (scenario, seed) share one converged
   // live state through the cache (the first cell donates, the rest resume).
   LiveStateCache private_cache;
@@ -200,20 +211,18 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
       options_.live_cache != nullptr ? options_.live_cache : &private_cache;
   const LiveStateCache::Stats cache_before = live_cache->stats();
 
-  // Streaming reorder buffer: cells finish in wall-clock order, but the
-  // observer must see canonical (cross-product) order — a finished cell is
-  // held until every earlier cell has landed, then flushed start -> fault*
-  // -> done (+ progress). The emit mutex both serializes callbacks and
-  // publishes result.cells[i] from the finishing worker to the flusher.
-  struct Emitter {
-    std::mutex mutex;
-    std::vector<unsigned char> done;
-    std::vector<std::vector<core::FaultReport>> faults;  ///< per-cell, observer only
-    std::size_t next = 0;
-    std::size_t streamed_faults = 0;
-  } emitter;
-  emitter.done.assign(cells.size(), 0);
-  if (control.observer != nullptr) emitter.faults.resize(cells.size());
+  // Streaming reorder buffer + per-cell-salted canonical ledger, extracted
+  // into CellMerger so shard::ShardCoordinator runs the IDENTICAL merge
+  // across processes (docs/SHARDING.md). Cells finish in wall-clock order;
+  // the observer sees canonical (cross-product) order, and the merger's
+  // flush mutex publishes result.cells[i] from the finishing worker to the
+  // flusher.
+  CellMerger::Options merge_options;
+  merge_options.observer = control.observer;
+  merge_options.trace = control.trace;
+  merge_options.progress_every_cells = options_.progress_every_cells;
+  merge_options.stop = control.stop;
+  CellMerger merger(&result.cells, merge_options);
 
   // Second, liveness-first stream: cells that ran emit their start ->
   // fault* -> done burst the moment their task body finishes, in wall-clock
@@ -223,42 +232,10 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
   std::mutex wall_mutex;
 
   const auto descriptor = [&](std::size_t index) {
-    const Cell& cell = cells[index];
+    const CellIdentity& cell = cells[index];
     return CellDescriptor{index, scenarios_[cell.scenario].name,
                           to_string(cell.strategy), cell.seed,
                           options_.implementations[cell.impl_pos]};
-  };
-  const std::size_t progress_every = std::max<std::size_t>(options_.progress_every_cells, 1);
-  const auto finish_cell = [&](std::size_t index) {
-    const std::lock_guard<std::mutex> lock(emitter.mutex);
-    emitter.done[index] = 1;
-    while (emitter.next < cells.size() && emitter.done[emitter.next] != 0) {
-      const std::size_t i = emitter.next++;
-      // The canonical flush order doubles as the trace's canonical cell
-      // order (the emit mutex serializes these calls).
-      if (control.trace != nullptr) {
-        control.trace->cell_flushed(static_cast<std::uint32_t>(i),
-                                    result.cells[i].completed);
-      }
-      if (control.observer == nullptr) continue;
-      const CellDescriptor desc = descriptor(i);
-      control.observer->on_cell_start(desc);
-      for (const core::FaultReport& fault : emitter.faults[i]) {
-        control.observer->on_fault(desc, fault);
-      }
-      control.observer->on_cell_done(desc, result.cells[i]);
-      emitter.streamed_faults += emitter.faults[i].size();
-      // Cadenced progress: every Nth flushed cell, plus always the last —
-      // a coarser cadence must still report the final counts.
-      if (emitter.next % progress_every == 0 || emitter.next == cells.size()) {
-        control.observer->on_progress(CampaignProgress{
-            emitter.next, cells.size(), emitter.streamed_faults,
-            control.stop.stop_requested()});
-      }
-      // Streamed = done with the copy: release it now rather than holding
-      // every cell's duplicate fault list until the whole run returns.
-      std::vector<core::FaultReport>().swap(emitter.faults[i]);
-    }
   };
 
   // The deal: on a multi-worker pool, execution order round-robins across
@@ -274,7 +251,7 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
   if (pool.workers() > 1) {
     std::vector<std::size_t> cell_keys;
     cell_keys.reserve(cells.size());
-    for (const Cell& cell : cells) {
+    for (const CellIdentity& cell : cells) {
       // Bootstrap key = (prototype, seed): the implementation axis picks
       // the prototype, so it is part of the key. Collapses to the historic
       // (scenario, seed) key when the axis is the single default entry.
@@ -289,16 +266,22 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
   const bool stoppable = control.stop.stop_possible();
   pool.run_batch(cells.size(), [&](std::size_t dealt, std::size_t worker) {
     const std::size_t index = deal.empty() ? dealt : deal[dealt];
-    const Cell& cell = cells[index];
+    const CellIdentity& cell = cells[index];
     const ScenarioSpec& spec = scenarios_[cell.scenario];
     CellResult& out = result.cells[index];
+    if (!in_subset.empty() && in_subset[index] == 0) {
+      // Not this shard's cell: flush it as skipped (started=false) without
+      // draining the pool — the rest of the subset still has to run.
+      merger.finish_cell(index);
+      return;
+    }
     if (stoppable && control.stop.stop_requested()) {
       // Between-cells cancellation point: skip the whole cell and drop the
       // still-queued deal so idle peers stop dequeuing doomed work. The
       // skipped cell still lands in the reorder buffer (partial results
       // stay well-formed); drained cells are swept after the batch.
       pool.drain();
-      finish_cell(index);
+      merger.finish_cell(index);
       return;
     }
     out.started = true;
@@ -377,14 +360,9 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
       matrix_metrics().cells_completed.add();
       const std::vector<core::FaultReport>& faults = orchestrator.all_faults();
       out.faults = faults.size();
-      // 32-bit priority bands (was 20-bit: a cell recording 2^20 faults bled
-      // into the next cell's band and corrupted serial-order dedup). The
-      // const-ref record_all leaves the orchestrator's vector untouched and
-      // copies only reports that actually land in the ledger.
-      assert(faults.size() < (std::uint64_t{1} << 32));
-      ledger.record_all(faults, static_cast<std::uint64_t>(index) << 32,
-                        /*key_salt=*/index + 1);
-      if (control.observer != nullptr) emitter.faults[index] = faults;
+      // The merger applies the canonical ledger discipline (priority
+      // `index << 32`, key salt `index + 1`) and stashes the observer copy.
+      merger.record_faults(index, faults);
     }
     out.wall_ms =
         std::chrono::duration<double, std::milli>(Clock::now() - start).count();
@@ -405,14 +383,12 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
       }
       control.wall_observer->on_cell_done(desc, out);
     }
-    finish_cell(index);
+    merger.finish_cell(index);
   });
 
   // Cells the drain dropped never ran their task body: flush them as
   // skipped so the observer stream and the done flags stay complete.
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (emitter.done[i] == 0) finish_cell(i);
-  }
+  merger.finish_remaining();
 
   // Every recorder has joined (run_batch returned) and every cell was
   // flushed: the trace's canonical ordering is decidable now.
@@ -423,7 +399,7 @@ MatrixResult ScenarioMatrix::run(ExplorePool& pool, const RunControl& control) {
   }
   result.stopped = result.cells_completed != result.cells.size();
 
-  result.faults = ledger.snapshot_sorted();
+  result.faults = merger.canonical_faults();
   if (options_.share_solver_cache) {
     result.solver_cache = shared_cache.stats();
     result.unsat_keys = shared_cache.unsat_keys();

@@ -100,7 +100,33 @@ struct MatrixOptions {
   /// 0 is treated as 1. Coarser cadences keep slow observers off the cell
   /// completion path of big matrices.
   std::size_t progress_every_cells = 1;
+  /// Shard-worker plumbing (docs/SHARDING.md), not a tuning knob: when set,
+  /// only the listed canonical cell indices EXECUTE; every other cell is
+  /// flushed as skipped (started=false, no faults). Cell identity, per-cell
+  /// RNG streams and ledger priorities key off the canonical index, never
+  /// off the subset, so the union of disjoint subsets run in separate
+  /// processes merges byte-identically to one full-space run. Out-of-range
+  /// indices are ignored. nullopt = run every cell (the only mode end users
+  /// drive; explore::Campaign never sets this).
+  std::optional<std::vector<std::size_t>> cell_subset = std::nullopt;
 };
+
+/// Canonical cross-product identity of one cell — THE shared definition of
+/// cell index <-> (scenario, strategy, seed, implementation) used by the
+/// matrix body and by shard::ShardCoordinator's deal/merge. The
+/// implementation axis is the innermost loop (see MatrixOptions).
+struct CellIdentity {
+  std::size_t scenario = 0;  ///< index into the scenario vector
+  StrategyKind strategy = StrategyKind::kGrammar;
+  std::uint64_t seed = 0;
+  std::size_t seed_pos = 0;  ///< position in options.seeds (bootstrap-key id)
+  std::size_t impl_pos = 0;  ///< position in options.implementations
+};
+
+/// Enumerates the full cell space in canonical order. An empty
+/// implementations axis is treated as the documented single-"" default.
+[[nodiscard]] std::vector<CellIdentity> enumerate_cells(std::size_t scenario_count,
+                                                        const MatrixOptions& options);
 
 struct CellResult {
   std::string scenario;

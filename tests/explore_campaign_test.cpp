@@ -467,3 +467,150 @@ TEST(CampaignSoakTest, OwnedLiveCacheServesRepeatRuns) {
 
 }  // namespace
 }  // namespace dice::explore
+
+// ---------------------------------------------------------------------------
+// CellMerger: stop firing MID-MERGE while out-of-order results are held
+// ---------------------------------------------------------------------------
+// The reorder buffer's sharpest edge: results landing out of canonical
+// order while the stop token fires between landings. The stream must stay
+// canonical, every held cell must still drain, progress must carry the
+// fired flag, and finish_remaining must cover the never-landed tail — a
+// pinned partial-validity receipt for the merge path both ScenarioMatrix
+// and shard::ShardCoordinator share.
+
+#include "explore/merge.hpp"
+
+namespace dice::explore {
+namespace {
+
+/// Event recorder that also captures each progress event's stop flag.
+struct MergeRecorder : CampaignObserver {
+  std::vector<std::string> events;
+
+  void on_cell_start(const CellDescriptor& cell) override {
+    events.push_back("start:" + std::to_string(cell.index));
+  }
+  void on_fault(const CellDescriptor& cell, const core::FaultReport& fault) override {
+    events.push_back("fault:" + std::to_string(cell.index) + ":" +
+                     std::string(fault.check));
+  }
+  void on_cell_done(const CellDescriptor& cell, const CellResult& result) override {
+    events.push_back("done:" + std::to_string(cell.index) + ":" +
+                     (result.started ? "started" : "skipped"));
+  }
+  void on_progress(const CampaignProgress& progress) override {
+    events.push_back("progress:" + std::to_string(progress.cells_done) + "/" +
+                     std::to_string(progress.cells_total) +
+                     (progress.stop_requested ? ":stopping" : ""));
+  }
+};
+
+[[nodiscard]] std::vector<CellResult> merger_cells(std::size_t count) {
+  std::vector<CellResult> cells(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    cells[i].scenario = "cell" + std::to_string(i);
+    cells[i].seed = i;
+  }
+  return cells;
+}
+
+[[nodiscard]] core::FaultReport merger_fault(const std::string& check,
+                                             std::uint32_t node) {
+  core::FaultReport fault;
+  fault.fault_class = core::FaultClass::kPolicyConflict;
+  fault.check = check;
+  fault.description = check + " witnessed";
+  fault.node = node;
+  return fault;
+}
+
+TEST(CellMergerTest, StopMidMergeOfOutOfOrderResultsDrainsHeldCells) {
+  std::vector<CellResult> cells = merger_cells(6);
+  MergeRecorder recorder;
+  StopSource source;
+  CellMerger::Options options;
+  options.observer = &recorder;
+  options.progress_every_cells = 1;
+  options.stop = source.token();
+  CellMerger merger(&cells, options);
+
+  // Cells 2 and 1 land BEFORE cell 0: nothing may stream yet.
+  cells[2].started = cells[2].completed = true;
+  merger.record_faults(2, {merger_fault("osc", 7)});
+  merger.finish_cell(2);
+  cells[1].started = cells[1].completed = true;
+  merger.record_faults(1, {merger_fault("osc", 7), merger_fault("div", 3)});
+  merger.finish_cell(1);
+  ASSERT_TRUE(recorder.events.empty())
+      << "out-of-order landings must be held for the canonical prefix";
+  EXPECT_TRUE(merger.finished(1));
+  EXPECT_FALSE(merger.finished(0));
+
+  // The stop fires MID-MERGE, with two finished cells buffered out of
+  // order. A fired token must not wedge or truncate the buffered prefix.
+  source.request_stop();
+
+  // Cell 0 lands: the whole held prefix 0,1,2 drains in canonical order,
+  // and every progress event from here on reports the fired token.
+  cells[0].started = cells[0].completed = true;
+  merger.record_faults(0, {merger_fault("div", 3)});
+  merger.finish_cell(0);
+  const std::vector<std::string> expected_prefix = {
+      "start:0", "fault:0:div", "done:0:started", "progress:1/6:stopping",
+      "start:1", "fault:1:osc", "fault:1:div", "done:1:started",
+      "progress:2/6:stopping",
+      "start:2", "fault:2:osc", "done:2:started", "progress:3/6:stopping",
+  };
+  ASSERT_EQ(recorder.events, expected_prefix);
+
+  // Cells 3-5 never land (skipped by the stop): finish_remaining covers
+  // them exactly once, as skipped, still in canonical order.
+  merger.finish_remaining();
+  const std::vector<std::string> expected_tail = {
+      "start:3", "done:3:skipped", "progress:4/6:stopping",
+      "start:4", "done:4:skipped", "progress:5/6:stopping",
+      "start:5", "done:5:skipped", "progress:6/6:stopping",
+  };
+  ASSERT_EQ(recorder.events.size(), expected_prefix.size() + expected_tail.size());
+  for (std::size_t i = 0; i < expected_tail.size(); ++i) {
+    EXPECT_EQ(recorder.events[expected_prefix.size() + i], expected_tail[i]);
+  }
+
+  // The canonical fault list is the completed cells' serial order —
+  // per-cell salting keeps the identical "osc"/"div" evidence of
+  // different cells distinct instead of cross-cell deduplicating.
+  const std::vector<core::FaultReport> faults = merger.canonical_faults();
+  ASSERT_EQ(faults.size(), 4u);
+  EXPECT_EQ(faults[0].check, "div");  // cell 0
+  EXPECT_EQ(faults[1].check, "osc");  // cell 1, encounter order
+  EXPECT_EQ(faults[2].check, "div");
+  EXPECT_EQ(faults[3].check, "osc");  // cell 2
+}
+
+TEST(CellMergerTest, ProgressCadenceAlwaysCoversTheFinalCell) {
+  std::vector<CellResult> cells = merger_cells(5);
+  MergeRecorder recorder;
+  CellMerger::Options options;
+  options.observer = &recorder;
+  options.progress_every_cells = 3;  // 5 cells: cadence hits 3, final hits 5
+  CellMerger merger(&cells, options);
+  // Land in fully reversed order — the worst case for the reorder buffer.
+  for (std::size_t i = cells.size(); i-- > 0;) {
+    cells[i].started = cells[i].completed = true;
+    merger.finish_cell(i);
+  }
+  merger.finish_remaining();  // nothing left: must be a no-op
+  std::vector<std::string> progress;
+  for (const std::string& event : recorder.events) {
+    if (event.starts_with("progress:")) progress.push_back(event);
+  }
+  EXPECT_EQ(progress, (std::vector<std::string>{"progress:3/5", "progress:5/5"}));
+  std::size_t dones = 0;
+  for (const std::string& event : recorder.events) {
+    if (event.starts_with("done:")) ++dones;
+  }
+  EXPECT_EQ(dones, cells.size()) << "every cell streams exactly once";
+}
+
+}  // namespace
+}  // namespace dice::explore

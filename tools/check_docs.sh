@@ -26,6 +26,11 @@
 #      docs/SERVICE.md, and every table-row knob there must be declared in
 #      that header — the soak daemon's own knobs get the same two-way gate
 #      as the campaign's.
+#   7. shard::ShardOptions <-> docs/SHARDING.md: every field of
+#      ShardOptions (src/shard/coordinator.hpp) must have a knob table row
+#      in docs/SHARDING.md, and every table-row knob there must be
+#      declared in that header — the cross-process coordinator's knobs get
+#      the same two-way gate.
 #
 # Exit nonzero on any drift; print every offender, not just the first.
 set -u
@@ -187,8 +192,35 @@ for knob in $svc_doc_knobs; do
   fi
 done
 
+# --- direction 7: shard::ShardOptions fields <-> docs/SHARDING.md --------
+SHARD_DOC=docs/SHARDING.md
+SHARD_HEADER=src/shard/coordinator.hpp
+if [[ ! -f "$SHARD_DOC" || ! -f "$SHARD_HEADER" ]]; then
+  echo "check_docs: missing $SHARD_DOC or $SHARD_HEADER" >&2
+  exit 1
+fi
+shard_code_knobs=$(extract_fields "$SHARD_HEADER" 'struct ShardOptions \{' | sort -u)
+shard_doc_knobs=$(grep -oE '^\| `[a-z][a-z0-9_]*`' "$SHARD_DOC" | sed -E 's/^\| `([a-z0-9_]*)`/\1/' | sort -u)
+if [[ -z "$shard_code_knobs" ]]; then
+  echo "check_docs: no ShardOptions fields found in $SHARD_HEADER (format changed?)" >&2
+  exit 1
+fi
+for knob in $shard_code_knobs; do
+  if ! grep -qE "^\| \`$knob\`" "$SHARD_DOC"; then
+    echo "check_docs: ShardOptions field '$knob' has no knob table row in $SHARD_DOC" >&2
+    fail=1
+  fi
+done
+for knob in $shard_doc_knobs; do
+  if ! grep -qE "^[[:space:]]+[A-Za-z_][A-Za-z0-9_:<>,* ]*[[:space:]][*&]?${knob}([[:space:]]*=|\{|;)" \
+       "$SHARD_HEADER"; then
+    echo "check_docs: $SHARD_DOC documents '$knob' but $SHARD_HEADER does not declare it" >&2
+    fail=1
+  fi
+done
+
 if [[ "$fail" -ne 0 ]]; then
   echo "check_docs: FAILED — the docs and the code drifted" >&2
   exit 1
 fi
-echo "check_docs: OK ($(echo "$doc_knobs" | wc -l) documented knobs, $(echo "$code_knobs" | wc -l) public knobs, $(echo "$code_metrics" | wc -l) metrics, $(echo "$code_impls" | wc -l) implementation ids, $(echo "$svc_code_knobs" | wc -l) soak knobs)"
+echo "check_docs: OK ($(echo "$doc_knobs" | wc -l) documented knobs, $(echo "$code_knobs" | wc -l) public knobs, $(echo "$code_metrics" | wc -l) metrics, $(echo "$code_impls" | wc -l) implementation ids, $(echo "$svc_code_knobs" | wc -l) soak knobs, $(echo "$shard_code_knobs" | wc -l) shard knobs)"

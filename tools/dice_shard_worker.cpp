@@ -1,0 +1,19 @@
+// dice_shard_worker: one shard attempt of a sharded campaign.
+//
+// Spawned by shard::ShardCoordinator (never run by hand in production):
+// reads a DSHD kJob frame on stdin, executes the job's canonical cell
+// subset, streams kCellResult frames + a kShardDone receipt on stdout.
+// The --test-* flags are the coordinator tests' fault-injection seam; see
+// src/shard/worker.hpp and docs/SHARDING.md.
+#include <cstdio>
+
+#include "shard/worker.hpp"
+
+int main(int argc, char** argv) {
+  auto chaos = dice::shard::parse_worker_args(argc, argv);
+  if (!chaos) {
+    std::fprintf(stderr, "dice_shard_worker: %s\n", chaos.error().detail.c_str());
+    return 4;
+  }
+  return dice::shard::worker_main(/*in_fd=*/0, /*out_fd=*/1, chaos.value());
+}
